@@ -1,0 +1,196 @@
+// Engine ablations (google-benchmark): the design choices DESIGN.md calls
+// out, measured in isolation against a hand-built authorization request —
+// no scheduler in the loop.
+//
+//   * linear rule scan vs. entrypoint-indexed chains, over rule-base size
+//   * user-stack unwinding vs. call depth, and the per-syscall context cache
+//   * lazy vs. eager context retrieval
+//   * pftables rule compilation throughput
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace pf::bench {
+namespace {
+
+// A System plus a hand-crafted task with /bin/true mapped and a call stack
+// of the requested depth.
+struct EngineFixture {
+  System sys;
+  sim::Task task;
+
+  explicit EngineFixture(int frames = 2, int rules = 0, bool indexed = true) {
+    if (rules > 0) {
+      sys.InstallRules(SyntheticRuleBase(rules));
+    }
+    sys.engine->config().ept_chains = indexed;
+    task.pid = 77;
+    task.comm = "bench";
+    task.exe = sim::kBinTrue;
+    task.cred.sid = sys.kernel->labels().Intern("staff_t");
+    task.cwd = sys.kernel->vfs().root()->id();
+    task.mm.Reset(sys.kernel->AslrStackBase());
+    sys.kernel->MapImage(task, sys.kernel->LookupNoHooks(sim::kBinTrue), sim::kBinTrue);
+    const sim::Mapping* map = task.mm.FindMappingByPath(sim::kBinTrue);
+    for (int i = 0; i < frames; ++i) {
+      task.mm.PushFrame(map->base + 0x100 * static_cast<uint64_t>(i + 1), 16, false);
+    }
+  }
+
+  sim::AccessRequest OpenRequest() {
+    sim::AccessRequest req;
+    req.task = &task;
+    req.op = sim::Op::kFileOpen;
+    auto inode = sys.kernel->LookupNoHooks("/etc/passwd");
+    req.inode = inode.get();
+    req.id = inode->id();
+    req.syscall_nr = sim::SyscallNr::kOpen;
+    keep_alive_ = inode;
+    return req;
+  }
+
+  std::shared_ptr<sim::Inode> keep_alive_;
+};
+
+void BM_AuthorizeLinearScan(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
+                   /*indexed=*/false);
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;  // new syscall: invalidates the context cache
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizeLinearScan)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
+
+void BM_AuthorizeIndexedChains(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
+                   /*indexed=*/true);
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizeIndexedChains)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
+
+void BM_UnwindDepth(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::UnwindResult res = core::UnwindUserStack(fx.task);
+    benchmark::DoNotOptimize(res.frames.size());
+  }
+}
+BENCHMARK(BM_UnwindDepth)->Arg(2)->Arg(8)->Arg(16)->Arg(32)->Arg(63);
+
+void BM_ContextCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  EngineFixture fx(/*frames=*/8, /*rules=*/64, /*indexed=*/true);
+  fx.sys.engine->config().cache_context = cached;
+  sim::AccessRequest req = fx.OpenRequest();
+  // Multiple hook invocations per "syscall" (as pathname resolution does).
+  for (auto _ : state) {
+    if (state.iterations() % 8 == 0) {
+      ++fx.task.syscall_count;
+    }
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+}
+BENCHMARK(BM_ContextCache)->Arg(0)->Arg(1);
+
+void BM_LazyVsEagerContext(benchmark::State& state) {
+  const bool lazy = state.range(0) != 0;
+  // Rules that never need entrypoints: lazy mode should skip every unwind.
+  EngineFixture fx(/*frames=*/16, /*rules=*/0, /*indexed=*/true);
+  core::Pftables pft(fx.sys.engine);
+  for (int i = 0; i < 32; ++i) {
+    pft.Exec("pftables -o FILE_WRITE -d shadow_t -j DROP");
+  }
+  fx.sys.engine->config().lazy_context = lazy;
+  fx.sys.engine->config().cache_context = false;
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+}
+BENCHMARK(BM_LazyVsEagerContext)->Arg(0)->Arg(1);
+
+void BM_PftablesCompile(benchmark::State& state) {
+  System sys;
+  core::Pftables pft(sys.engine);
+  size_t i = 0;
+  for (auto _ : state) {
+    pft.Exec("pftables -p /usr/bin/php5 -i 0x" + std::to_string(1000 + (i % 4096)) +
+             " -o FILE_OPEN -d ~{SYSHIGH} -j DROP");
+    if (++i % 4096 == 0) {
+      pft.Exec("pftables -F input");
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PftablesCompile);
+
+// Unwinding method comparison (paper §4.4): precise frame-pointer chains
+// vs. unwind-table recovery vs. the prologue-scan heuristic, at equal depth.
+void BM_UnwindMethod(benchmark::State& state) {
+  const int method = static_cast<int>(state.range(0));  // 0=fp, 1=eh, 2=prologue
+  System sys;
+  std::string path = "/usr/bin/method" + std::to_string(method);
+  auto inode = sys.kernel->MkFileAt(path, "\x7f" "ELF", 0755, 0, 0, "bin_t");
+  auto img = std::make_unique<sim::BinaryImage>();
+  img->entry_key = path;
+  img->has_frame_pointers = method == 0;
+  img->has_eh_info = method == 1;
+  inode->binary = std::move(img);
+
+  sim::Task task;
+  task.pid = 78;
+  task.exe = path;
+  task.mm.Reset(sys.kernel->AslrStackBase());
+  sys.kernel->MapImage(task, inode, path);
+  const sim::Mapping* map = task.mm.FindMappingByPath(path);
+  for (int i = 0; i < 12; ++i) {
+    task.mm.PushFrame(map->base + 0x100 * static_cast<uint64_t>(i + 1), 16,
+                      !map->has_frame_pointers);
+  }
+  for (auto _ : state) {
+    core::UnwindResult res = core::UnwindUserStack(task);
+    benchmark::DoNotOptimize(res.frames.size());
+  }
+  state.SetLabel(method == 0 ? "fp-chain" : method == 1 ? "unwind-tables" : "prologue");
+}
+BENCHMARK(BM_UnwindMethod)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_InterpUnwind(benchmark::State& state) {
+  EngineFixture fx;
+  // Build an interpreter frame list of the requested depth directly in the
+  // task's arena.
+  int depth = static_cast<int>(state.range(0));
+  sim::Addr head = sim::kNullAddr;
+  for (int i = 0; i < depth; ++i) {
+    sim::Addr node = fx.task.mm.ArenaAlloc(24);
+    uint32_t script_id = fx.task.RegisterScript("/var/www/s" + std::to_string(i));
+    uint32_t line = static_cast<uint32_t>(i);
+    uint32_t lang = 1;
+    fx.task.mm.WriteU64(node, head);
+    fx.task.mm.CopyToUser(node + 8, &script_id, 4);
+    fx.task.mm.CopyToUser(node + 12, &line, 4);
+    fx.task.mm.CopyToUser(node + 16, &lang, 4);
+    head = node;
+  }
+  fx.task.mm.set_interp_head(head);
+  for (auto _ : state) {
+    core::InterpUnwindResult res = core::UnwindInterpStack(fx.task);
+    benchmark::DoNotOptimize(res.frames.size());
+  }
+}
+BENCHMARK(BM_InterpUnwind)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace pf::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Shared benchmark scaffolding: a booted system, timing helpers, and
+// fixed-width table printing in the paper's format.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/apps/programs.h"
+#include "src/apps/rule_library.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sched.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::bench {
+
+// A fully booted simulated system with the Process Firewall installed.
+struct System {
+  std::unique_ptr<sim::Kernel> kernel;
+  core::Engine* engine = nullptr;  // owned by the kernel
+  std::unique_ptr<core::Pftables> pftables;
+  std::unique_ptr<sim::Scheduler> sched;
+
+  explicit System(uint64_t seed = 0xbe7c) {
+    kernel = std::make_unique<sim::Kernel>(seed);
+    sim::BuildSysImage(*kernel);
+    apps::InstallPrograms(*kernel);
+    engine = core::InstallProcessFirewall(*kernel);
+    pftables = std::make_unique<core::Pftables>(engine);
+    sched = std::make_unique<sim::Scheduler>(*kernel);
+  }
+
+  void InstallRules(const std::vector<std::string>& rules) {
+    core::Status s = pftables->ExecAll(rules);
+    if (!s.ok()) {
+      std::fprintf(stderr, "rule install failed: %s\n", s.message().c_str());
+      std::abort();
+    }
+  }
+};
+
+// Generates a synthetic distributor rule base of `count` entrypoint rules
+// spread over the standard binaries (the paper's PF Full configuration uses
+// 1218 rules produced with a low suggestion threshold).
+inline std::vector<std::string> SyntheticRuleBase(int count) {
+  const char* bins[] = {sim::kApache, sim::kPhp, sim::kPython, sim::kJava,
+                        sim::kDbusDaemon, sim::kSshd, sim::kBinSh, sim::kDstat};
+  const char* ops[] = {"FILE_OPEN", "FILE_READ", "FILE_WRITE", "DIR_SEARCH",
+                       "LNK_FILE_READ"};
+  std::vector<std::string> rules;
+  rules.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "pftables -p %s -i 0x%x -o %s -d ~{SYSHIGH} -j DROP",
+                  bins[i % (sizeof(bins) / sizeof(bins[0]))], 0x10000 + i * 0x40,
+                  ops[i % (sizeof(ops) / sizeof(ops[0]))]);
+    rules.emplace_back(buf);
+  }
+  return rules;
+}
+
+// Wall-clock timing of `iters` repetitions inside an already-running proc.
+class Stopwatch {
+ public:
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct Sample {
+  double mean = 0;
+  double ci95 = 0;  // half-width of the 95% confidence interval
+};
+
+inline Sample Summarize(const std::vector<double>& xs) {
+  Sample s;
+  if (xs.empty()) {
+    return s;
+  }
+  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double var = 0;
+    for (double x : xs) {
+      var += (x - s.mean) * (x - s.mean);
+    }
+    var /= static_cast<double>(xs.size() - 1);
+    s.ci95 = 1.96 * std::sqrt(var / static_cast<double>(xs.size()));
+  }
+  return s;
+}
+
+// Robust variant: drops the min and max before summarizing (guards macro
+// measurements against scheduler outliers).
+inline Sample SummarizeTrimmed(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  size_t trim = xs.size() > 6 ? 2 : (xs.size() > 4 ? 1 : 0);
+  for (size_t i = 0; i < trim; ++i) {
+    xs.erase(xs.begin());
+    xs.pop_back();
+  }
+  return Summarize(xs);
+}
+
+inline double OverheadPct(double base, double value) {
+  return base <= 0 ? 0.0 : (value - base) / base * 100.0;
+}
+
+// Simple horizontal rule + caption helpers for the report output.
+inline void Caption(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace pf::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

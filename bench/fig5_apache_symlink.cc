@@ -1,0 +1,132 @@
+// Figure 5: Apache's SymLinksIfOwnerMatch program checks vs. the equivalent
+// Process Firewall rule (R8), in requests per second, as a function of path
+// length (n) and number of concurrent clients (c).
+//
+// The program check performs an extra lstat (and stat for links) per path
+// component on every request; the rule performs the same owner comparison
+// inside pathname resolution with no extra system calls. The paper measures
+// a 3-8% request-rate improvement that grows with path depth.
+
+#include "bench/bench_util.h"
+#include "src/apps/webserver.h"
+
+namespace pf::bench {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+constexpr int kRequests = 3000;  // total requests per measurement
+constexpr int kRepeats = 3;
+
+// Builds docroot content at depth n and returns the URL.
+std::string BuildContent(sim::Kernel& k, int depth) {
+  std::string dir = "/var/www";
+  std::string url;
+  for (int i = 1; i < depth; ++i) {
+    dir += "/d" + std::to_string(i);
+    url += "/d" + std::to_string(i);
+    k.MkDirAt(dir, 0755, sim::kWebUid, sim::kWebUid, "httpd_sys_content_t");
+  }
+  url += "/index.html";
+  k.MkFileAt(dir + "/index.html", "<html>deep</html>", 0644, sim::kWebUid, sim::kWebUid,
+             "httpd_sys_content_t");
+  return url;
+}
+
+// Measures requests/second with `clients` worker processes splitting the
+// request load.
+double MeasureRps(System& sys, const apps::WebConfig& config, const std::string& url,
+                  int clients) {
+  std::vector<double> runs;
+  for (int r = 0; r < kRepeats; ++r) {
+    // Enough work per client that worker startup does not dominate at
+    // high concurrency.
+    int per_client = std::max(60, kRequests / clients);
+    Stopwatch sw;
+    sw.Start();
+    std::vector<Pid> pids;
+    for (int c = 0; c < clients; ++c) {
+      sim::SpawnOpts opts;
+      opts.name = "apache-worker";
+      opts.exe = sim::kApache;
+      opts.cred.sid = sys.kernel->labels().Intern("httpd_t");
+      pids.push_back(sys.sched->Spawn(opts, [&, per_client](Proc& p) {
+        apps::Webserver server(config);
+        std::string body;
+        for (int i = 0; i < per_client; ++i) {
+          int status = server.HandleRequest(p, url, &body);
+          if (status != 200) {
+            p.Exit(status);
+          }
+        }
+      }));
+    }
+    for (Pid pid : pids) {
+      int code = sys.sched->RunUntilExit(pid);
+      if (code != 0) {
+        std::fprintf(stderr, "request failed with status %d\n", code);
+        std::abort();
+      }
+    }
+    double seconds = sw.ElapsedUs() / 1e6;
+    runs.push_back(static_cast<double>(per_client * clients) / seconds);
+  }
+  return Summarize(runs).mean;
+}
+
+}  // namespace
+
+void Run() {
+  Caption("Figure 5: SymLinksIfOwnerMatch — program checks vs. PF rule R8 (requests/s)");
+  std::printf("%-18s %12s %12s %10s\n", "c clients, n path", "Program", "PF Rules",
+              "PF gain");
+
+  const int client_counts[] = {1, 10, 200};
+  const int depths[] = {1, 3, 5, 9};
+
+  for (int clients : client_counts) {
+    for (int depth : depths) {
+      // Program-check configuration: checks in Apache, PF idle.
+      // Both configurations carry realistic per-request server work
+      // (response composition + access logging) so the defense cost is a
+      // fraction of the request, as on a real Apache.
+      apps::WebConfig base_cfg;
+      base_cfg.request_work = 250;
+      base_cfg.access_log = true;
+
+      double prog_rps;
+      {
+        System sys;
+        sys.engine->config().enabled = false;
+        std::string url = BuildContent(*sys.kernel, depth);
+        apps::WebConfig cfg = base_cfg;
+        cfg.symlinks_if_owner_match = true;
+        prog_rps = MeasureRps(sys, cfg, url, clients);
+      }
+      // Rule configuration: checks in the Process Firewall (R8), program
+      // checks off (the paper's recommended deployment).
+      double pf_rps;
+      {
+        System sys;
+        sys.InstallRules({apps::RuleLibrary::ApacheSymlinkOwnerRule()});
+        std::string url = BuildContent(*sys.kernel, depth);
+        apps::WebConfig cfg = base_cfg;
+        cfg.symlinks_if_owner_match = false;
+        pf_rps = MeasureRps(sys, cfg, url, clients);
+      }
+      std::printf("c=%-4d n=%-9d %12.0f %12.0f %+9.2f%%\n", clients, depth, prog_rps,
+                  pf_rps, OverheadPct(prog_rps, pf_rps));
+    }
+  }
+  std::printf("\nExpected shape (paper): the PF rule serves more requests than the\n"
+              "program checks, with the gain growing with path length (3%% at n=1\n"
+              "to ~8%% at n=9 for 200 clients).\n");
+}
+
+}  // namespace pf::bench
+
+int main() {
+  pf::bench::Run();
+  return 0;
+}

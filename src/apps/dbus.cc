@@ -1,0 +1,59 @@
+#include "src/apps/dbus.h"
+
+#include "src/apps/entrypoints.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::apps {
+
+using sim::Proc;
+using sim::UserFrame;
+
+int64_t DbusDaemon::PublishSocket(Proc& proc, const std::string& path,
+                                  sim::FileMode final_mode) {
+  int64_t fd = proc.Socket();
+  if (fd < 0) {
+    return fd;
+  }
+  {
+    UserFrame bind_site(proc, sim::kDbusDaemon, kDbusBind);
+    if (int64_t rv = proc.Bind(static_cast<int>(fd), path, 0755); rv != 0) {
+      proc.Close(static_cast<int>(fd));
+      return rv;
+    }
+  }
+  proc.Listen(static_cast<int>(fd));
+  // The race window between creating the socket and opening up its mode.
+  proc.Checkpoint("dbus-bound");
+  {
+    UserFrame chmod_site(proc, sim::kDbusDaemon, kDbusSetattr);
+    if (int64_t rv = proc.Chmod(path, final_mode); rv != 0) {
+      return rv;
+    }
+  }
+  return 0;
+}
+
+int64_t Libdbus::ConnectSystemBus(Proc& proc) {
+  // The E3 flaw: libdbus did not expect setuid callers, so the address
+  // variable is honored unconditionally.
+  std::string path = proc.Getenv("DBUS_SYSTEM_BUS_ADDRESS");
+  if (path.empty()) {
+    path = kSystemBusPath;
+  }
+  int64_t fd = proc.Socket();
+  if (fd < 0) {
+    return fd;
+  }
+  int64_t rv;
+  {
+    UserFrame connect_site(proc, sim::kLibDbus, kLibdbusConnect);
+    rv = proc.Connect(static_cast<int>(fd), path);
+  }
+  if (rv != 0) {
+    proc.Close(static_cast<int>(fd));
+    return rv;
+  }
+  return fd;
+}
+
+}  // namespace pf::apps

@@ -1,0 +1,37 @@
+// D-Bus models: the daemon's bind-then-chmod TOCTTOU window (E6, closed by
+// rules R5/R6) and libdbus's environment-controlled socket path (E3,
+// CVE-2012-3524, closed by rule R3).
+#ifndef SRC_APPS_DBUS_H_
+#define SRC_APPS_DBUS_H_
+
+#include <string>
+
+#include "src/sim/sched.h"
+
+namespace pf::apps {
+
+inline constexpr const char* kSystemBusPath = "/var/run/dbus/system_bus_socket";
+
+class DbusDaemon {
+ public:
+  // Creates and publishes a bus socket at `path`: socket, bind (entrypoint
+  // kDbusBind), then chmod *by path* to open it up (entrypoint
+  // kDbusSetattr). The path-based chmod is the TOCTTOU window: the process
+  // checkpoints at "dbus-bound" between the two calls. Returns 0 or -errno
+  // of the failing step.
+  static int64_t PublishSocket(sim::Proc& proc, const std::string& path,
+                               sim::FileMode final_mode = 0777);
+};
+
+class Libdbus {
+ public:
+  // Client connect as libdbus does it: honor DBUS_SYSTEM_BUS_ADDRESS if set
+  // (the unfiltered environment variable of E3), else the well-known path.
+  // The connect() runs at entrypoint kLibdbusConnect inside libdbus.
+  // Returns the connected fd, or -errno.
+  static int64_t ConnectSystemBus(sim::Proc& proc);
+};
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_DBUS_H_

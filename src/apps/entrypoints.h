@@ -1,0 +1,47 @@
+// Call-site (entrypoint) offsets of the simulated programs.
+//
+// An entrypoint is "the program counter of a function call instruction on
+// the process's call stack" (paper §4.1). The offsets below are binary-
+// relative and deliberately match the values in the paper's rule listings
+// (Table 5), so the shipped rules R1-R8 read exactly as published.
+#ifndef SRC_APPS_ENTRYPOINTS_H_
+#define SRC_APPS_ENTRYPOINTS_H_
+
+#include <cstdint>
+
+namespace pf::apps {
+
+// ld.so: the open() that loads a shared library (rule R1).
+inline constexpr uint64_t kLdsoOpenLibrary = 0x596b;
+// python: the module-import open() (rule R2).
+inline constexpr uint64_t kPythonImport = 0x34f05;
+// libdbus: connect() to the system bus socket (rule R3).
+inline constexpr uint64_t kLibdbusConnect = 0x39231;
+// php: the include()/require() open (rule R4).
+inline constexpr uint64_t kPhpInclude = 0x27ad2c;
+// dbus-daemon: bind() of the bus socket (rule R5) and the following
+// chmod()/setattr (rule R6).
+inline constexpr uint64_t kDbusBind = 0x3c750;
+inline constexpr uint64_t kDbusSetattr = 0x3c786;
+// java: configuration-file open (rule R7).
+inline constexpr uint64_t kJavaConfigOpen = 0x5d7e;
+// apache: symlink traversal while mapping a URL to a file (rule R8).
+inline constexpr uint64_t kApacheLinkRead = 0x2d637;
+
+// Additional call sites not present in the paper's listings (distinct
+// program instructions that request different resource classes).
+inline constexpr uint64_t kApacheServeOpen = 0x2e100;   // static content open
+inline constexpr uint64_t kApacheAuthOpen = 0x2f200;    // password file open
+inline constexpr uint64_t kApacheCheckStat = 0x2f300;   // lstat/fstat checks
+inline constexpr uint64_t kPhpScriptOpen = 0x27b000;    // top-level script open
+inline constexpr uint64_t kPythonScriptOpen = 0x35000;  // top-level script open
+inline constexpr uint64_t kShellOpen = 0x8100;          // shell redirection open
+inline constexpr uint64_t kShellExec = 0x8200;          // shell fork+exec
+inline constexpr uint64_t kSshdLogWrite = 0x6100;       // sshd logging call site
+inline constexpr uint64_t kIcecatPluginOpen = 0x7100;   // icecat plugin search
+inline constexpr uint64_t kSafeOpenCheck = 0x9100;      // safe_open lstat site
+inline constexpr uint64_t kSafeOpenUse = 0x9200;        // safe_open open site
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_ENTRYPOINTS_H_

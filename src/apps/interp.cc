@@ -1,0 +1,94 @@
+#include "src/apps/interp.h"
+
+#include "src/apps/entrypoints.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::apps {
+
+using sim::InterpFrame;
+using sim::InterpLang;
+using sim::Proc;
+using sim::UserFrame;
+
+namespace {
+std::string DirOf(const std::string& path) {
+  auto slash = path.rfind('/');
+  return slash == std::string::npos || slash == 0 ? "/" : path.substr(0, slash);
+}
+}  // namespace
+
+PhpInterp::PhpInterp(Proc& proc, const std::string& script)
+    : proc_(proc), script_(script), script_dir_(DirOf(script)) {
+  top_frame_ = std::make_unique<InterpFrame>(proc_, InterpLang::kPhp, script_, 1);
+  // The interpreter opens the top-level script itself.
+  UserFrame open_site(proc_, sim::kPhp, kPhpScriptOpen);
+  int64_t fd = proc_.Open(script_, sim::kORdOnly);
+  if (fd >= 0) {
+    proc_.Close(static_cast<int>(fd));
+  }
+}
+
+PhpInterp::~PhpInterp() = default;
+
+std::optional<std::string> PhpInterp::Include(const std::string& name, uint32_t line) {
+  // PHP resolves relative includes against the including script's directory.
+  std::string path = (!name.empty() && name[0] == '/') ? name : script_dir_ + "/" + name;
+  InterpFrame frame(proc_, InterpLang::kPhp, script_, line);
+  int64_t fd;
+  {
+    // The include() implementation inside the interpreter binary: the call
+    // site rule R4 pins to httpd_user_script_exec_t objects.
+    UserFrame include_site(proc_, sim::kPhp, kPhpInclude);
+    fd = proc_.Open(path, sim::kORdOnly);
+  }
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  std::string data;
+  proc_.Read(static_cast<int>(fd), &data, 1u << 20);
+  proc_.Close(static_cast<int>(fd));
+  return data;
+}
+
+PythonInterp::PythonInterp(Proc& proc, const std::string& script)
+    : proc_(proc), script_(script) {
+  // CPython 2 sys.path: script directory (or cwd) first — exactly the
+  // untrusted search path of E2 — then the standard library.
+  sys_path_.push_back(script.empty() ? "." : DirOf(script));
+  sys_path_.push_back("/usr/lib/python2.7");
+  sys_path_.push_back("/usr/share/python-modules");
+  top_frame_ = std::make_unique<InterpFrame>(proc_, InterpLang::kPython,
+                                             script_.empty() ? "<stdin>" : script_, 1);
+  if (!script_.empty()) {
+    UserFrame open_site(proc_, sim::kPython, kPythonScriptOpen);
+    int64_t fd = proc_.Open(script_, sim::kORdOnly);
+    if (fd >= 0) {
+      proc_.Close(static_cast<int>(fd));
+    }
+  }
+}
+
+PythonInterp::~PythonInterp() = default;
+
+std::string PythonInterp::ImportModule(const std::string& name, uint32_t line) {
+  InterpFrame frame(proc_, InterpLang::kPython, script_.empty() ? "<stdin>" : script_,
+                    line);
+  for (const std::string& dir : sys_path_) {
+    std::string path = dir + "/" + name + ".py";
+    int64_t fd;
+    {
+      UserFrame import_site(proc_, sim::kPython, kPythonImport);
+      fd = proc_.Open(path, sim::kORdOnly);
+    }
+    if (fd < 0) {
+      continue;
+    }
+    std::string data;
+    proc_.Read(static_cast<int>(fd), &data, 1u << 20);
+    proc_.Close(static_cast<int>(fd));
+    return path;
+  }
+  return "";
+}
+
+}  // namespace pf::apps

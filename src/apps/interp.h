@@ -1,0 +1,60 @@
+// Interpreter runtime models: a PHP-like interpreter whose include() is the
+// Local File Inclusion attack surface (E4), and a Python-like interpreter
+// whose module import searches the working directory (E2). Both maintain
+// interpreter frame lists in user memory that the kernel-side interpreter
+// unwinder walks (paper §4.4), and both issue their security-relevant opens
+// from the interpreter binary's fixed call sites (rules R4, R2).
+#ifndef SRC_APPS_INTERP_H_
+#define SRC_APPS_INTERP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/sched.h"
+
+namespace pf::apps {
+
+class PhpInterp {
+ public:
+  // Starts executing `script` (pushes the top-level interpreter frame).
+  PhpInterp(sim::Proc& proc, const std::string& script);
+  ~PhpInterp();
+
+  // include()/require(): resolves `name` (absolute, or relative to the
+  // including script's directory), opens and "executes" it. Returns the
+  // included file's contents, or nullopt when the open was denied/failed.
+  std::optional<std::string> Include(const std::string& name, uint32_t line);
+
+  const std::string& script() const { return script_; }
+
+ private:
+  sim::Proc& proc_;
+  std::string script_;
+  std::string script_dir_;
+  std::unique_ptr<sim::InterpFrame> top_frame_;
+};
+
+class PythonInterp {
+ public:
+  explicit PythonInterp(sim::Proc& proc, const std::string& script);
+  ~PythonInterp();
+
+  // Module import: searches sys.path — which, as in CPython 2, starts with
+  // the script's directory / the working directory (the E2 vulnerability) —
+  // then the standard library directories. Returns the path the module was
+  // loaded from, or empty when not found / denied.
+  std::string ImportModule(const std::string& name, uint32_t line);
+
+  std::vector<std::string>& sys_path() { return sys_path_; }
+
+ private:
+  sim::Proc& proc_;
+  std::string script_;
+  std::vector<std::string> sys_path_;
+  std::unique_ptr<sim::InterpFrame> top_frame_;
+};
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_INTERP_H_

@@ -1,0 +1,108 @@
+#include "src/apps/ldso.h"
+
+#include <sstream>
+
+#include "src/apps/entrypoints.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::apps {
+
+using sim::Proc;
+
+namespace {
+
+std::vector<std::string> SplitPathList(const std::string& list) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : list) {
+    if (c == ':') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> Ldso::BuildSearchPath(Proc& proc) {
+  std::vector<std::string> dirs;
+  // Figure 1(b) lines 1-5: setid processes must not honor LD_* variables.
+  if (proc.task().cred.IsSetid()) {
+    proc.Unsetenv("LD_LIBRARY_PATH");
+    proc.Unsetenv("LD_PRELOAD");
+  }
+  for (const std::string& d : SplitPathList(proc.Getenv("LD_LIBRARY_PATH"))) {
+    dirs.push_back(d);
+  }
+  // DT_RUNPATH of the main executable (E1: an insecure RUNPATH planted by a
+  // buggy installer ends up here).
+  auto exe = proc.kernel().LookupNoHooks(proc.task().exe);
+  if (exe && exe->binary) {
+    for (const std::string& d : exe->binary->runpath) {
+      dirs.push_back(d);
+    }
+  }
+  dirs.push_back("/lib");
+  dirs.push_back("/usr/lib");
+  return dirs;
+}
+
+std::string Ldso::LoadLibrary(Proc& proc, const std::string& name) {
+  // The library may be given as an absolute path or a bare soname.
+  std::vector<std::string> candidates;
+  if (!name.empty() && name[0] == '/') {
+    candidates.push_back(name);
+  } else {
+    for (const std::string& dir : BuildSearchPath(proc)) {
+      candidates.push_back(dir + "/" + name);
+    }
+  }
+  for (const std::string& path : candidates) {
+    // Figure 1(b) lines 7-11: open from the ld.so call site, then mmap.
+    sim::UserFrame frame(proc, sim::kLdso, kLdsoOpenLibrary);
+    int64_t fd = proc.Open(path, sim::kORdOnly);
+    if (fd < 0) {
+      continue;
+    }
+    int64_t base = proc.MmapFd(static_cast<int>(fd));
+    proc.Close(static_cast<int>(fd));
+    if (base < 0) {
+      continue;
+    }
+    return path;
+  }
+  return "";
+}
+
+LinkResult Ldso::LinkAll(Proc& proc) {
+  LinkResult result;
+  auto exe = proc.kernel().LookupNoHooks(proc.task().exe);
+  if (!exe || !exe->binary) {
+    return result;
+  }
+  for (const std::string& lib : exe->binary->needed) {
+    // Use the basename for search (DT_NEEDED entries are sonames).
+    std::string soname = lib;
+    if (auto slash = soname.rfind('/'); slash != std::string::npos) {
+      soname = soname.substr(slash + 1);
+    }
+    std::string from = LoadLibrary(proc, soname);
+    if (from.empty()) {
+      result.failed_library = soname;
+      return result;
+    }
+    result.loaded.emplace_back(soname, from);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pf::apps

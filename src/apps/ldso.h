@@ -1,0 +1,44 @@
+// Dynamic linker model (Figure 1(b) of the paper).
+//
+// Reproduces ld.so's library search behaviour: for setuid processes the
+// dangerous environment variables are unset; the search path is built from
+// LD_LIBRARY_PATH, the binary's DT_RUNPATH, and the system default
+// directories; each needed library is opened from the first directory where
+// it exists and mapped into the process. The open happens at entrypoint
+// kLdsoOpenLibrary inside the mapped ld.so image — the call site rule R1
+// guards.
+#ifndef SRC_APPS_LDSO_H_
+#define SRC_APPS_LDSO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/sched.h"
+
+namespace pf::apps {
+
+struct LinkResult {
+  bool ok = false;
+  // Library name -> path it was loaded from.
+  std::vector<std::pair<std::string, std::string>> loaded;
+  std::string failed_library;  // first library that could not be loaded
+};
+
+class Ldso {
+ public:
+  // Builds the search path for `proc` exactly as ld.so would (Figure 1(b)):
+  // unset LD_* for setid processes, then LD_LIBRARY_PATH entries, then the
+  // executable's RUNPATH, then /lib and /usr/lib.
+  static std::vector<std::string> BuildSearchPath(sim::Proc& proc);
+
+  // Resolves and maps every DT_NEEDED library of the process's executable.
+  static LinkResult LinkAll(sim::Proc& proc);
+
+  // Loads one library by name through the search path; returns the path it
+  // was loaded from (empty on failure).
+  static std::string LoadLibrary(sim::Proc& proc, const std::string& name);
+};
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_LDSO_H_

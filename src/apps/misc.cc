@@ -1,0 +1,84 @@
+#include "src/apps/misc.h"
+
+#include "src/apps/entrypoints.h"
+#include "src/apps/ldso.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::apps {
+
+using sim::Proc;
+using sim::UserFrame;
+
+std::string JavaLoadConfig(Proc& proc) {
+  for (const std::string& candidate : {std::string("java.conf"), std::string("/etc/java.conf")}) {
+    UserFrame config_site(proc, sim::kJava, kJavaConfigOpen);
+    int64_t fd = proc.Open(candidate, sim::kORdOnly);
+    if (fd < 0) {
+      continue;
+    }
+    std::string data;
+    proc.Read(static_cast<int>(fd), &data, 4096);
+    proc.Close(static_cast<int>(fd));
+    return candidate;
+  }
+  return "";
+}
+
+std::string IcecatStart(Proc& proc) {
+  // The packaging bug: the launcher prepends the working directory to the
+  // library search path.
+  std::string cur = proc.Getenv("LD_LIBRARY_PATH");
+  proc.Setenv("LD_LIBRARY_PATH", cur.empty() ? "." : "." + (":" + cur));
+  return Ldso::LoadLibrary(proc, "libc-2.15.so");
+}
+
+std::string ShellResolveInPath(Proc& proc, const std::string& cmd) {
+  if (!cmd.empty() && cmd[0] == '/') {
+    return cmd;
+  }
+  std::string path_env = proc.Getenv("PATH");
+  if (path_env.empty()) {
+    path_env = "/bin:/usr/bin";
+  }
+  size_t i = 0;
+  while (i <= path_env.size()) {
+    size_t j = path_env.find(':', i);
+    if (j == std::string::npos) {
+      j = path_env.size();
+    }
+    std::string dir = path_env.substr(i, j - i);
+    if (dir.empty()) {
+      dir = ".";  // an empty PATH entry means the working directory
+    }
+    std::string candidate = dir + "/" + cmd;
+    UserFrame probe_site(proc, sim::kBinSh, kShellExec);
+    sim::StatBuf st;
+    if (proc.Stat(candidate, &st) == 0 && (st.mode & 0111) != 0) {
+      return candidate;
+    }
+    i = j + 1;
+  }
+  return "";
+}
+
+int64_t ShellExecCommand(Proc& proc, const std::string& cmd,
+                         std::vector<std::string> argv) {
+  std::string resolved = ShellResolveInPath(proc, cmd);
+  if (resolved.empty()) {
+    return sim::SysError(sim::Err::kNoEnt);
+  }
+  UserFrame exec_site(proc, sim::kBinSh, kShellExec);
+  return proc.Execve(resolved, std::move(argv), proc.task().env);
+}
+
+int64_t InitScriptWritePidfile(Proc& proc, const std::string& path) {
+  sim::InterpFrame script(proc, sim::InterpLang::kBash, "/etc/init.d/rcS", 12);
+  UserFrame open_site(proc, sim::kBinSh, kShellOpen);
+  int64_t fd = proc.Open(path, sim::kOWrOnly | sim::kOCreat | sim::kOTrunc, 0644);
+  if (fd >= 0) {
+    proc.Write(static_cast<int>(fd), "4242\n");
+  }
+  return fd;
+}
+
+}  // namespace pf::apps

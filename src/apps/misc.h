@@ -1,0 +1,41 @@
+// Smaller application behaviours used by the exploit matrix (Table 4):
+// java's untrusted config search (E7), icecat's insecure library path (E8),
+// and the init script's unsafe file creation in /tmp (E9).
+#ifndef SRC_APPS_MISC_H_
+#define SRC_APPS_MISC_H_
+
+#include <string>
+
+#include "src/sim/sched.h"
+
+namespace pf::apps {
+
+// E7: the java launcher reads an auxiliary configuration file from the
+// current working directory before falling back to /etc (the unpatched
+// untrusted-search-path bug). Returns the path it loaded, or "".
+std::string JavaLoadConfig(sim::Proc& proc);
+
+// E8: icecat's wrapper sets LD_LIBRARY_PATH to include the working
+// directory, then dynamically links. Returns the path libc was loaded from
+// ("" when linking failed/was blocked).
+std::string IcecatStart(sim::Proc& proc);
+
+// E9: an init script creates its pid file in /tmp with O_CREAT through
+// whatever name is there — following a planted symlink. Returns the open
+// result (fd or -errno).
+int64_t InitScriptWritePidfile(sim::Proc& proc, const std::string& path = "/tmp/init.pid");
+
+// Shell PATH search: resolves `cmd` against the PATH environment variable
+// (":"-separated; "." and adversary-writable entries are the classic
+// untrusted-search-path hazard). Returns the first path whose executable
+// exists, probing with stat from the shell's exec call site.
+std::string ShellResolveInPath(sim::Proc& proc, const std::string& cmd);
+
+// Resolve-then-exec: what `sh` does for a bare command name. Returns the
+// exec result (-errno) — on success it does not return.
+int64_t ShellExecCommand(sim::Proc& proc, const std::string& cmd,
+                         std::vector<std::string> argv);
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_MISC_H_

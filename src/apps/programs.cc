@@ -1,0 +1,78 @@
+#include "src/apps/programs.h"
+
+#include "src/apps/entrypoints.h"
+#include "src/apps/ldso.h"
+#include "src/sim/sched.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::apps {
+
+using sim::Proc;
+
+namespace {
+
+// Common prologue: run the dynamic linker. A failed (blocked) library load
+// terminates the program with 127, like a real ld.so abort.
+bool Prologue(Proc& proc) { return Ldso::LinkAll(proc).ok; }
+
+int TrueMain(Proc& proc) { return Prologue(proc) ? 0 : 127; }
+
+int FalseMain(Proc& proc) { return Prologue(proc) ? 1 : 127; }
+
+int ShMain(Proc& proc) {
+  if (!Prologue(proc)) {
+    return 127;
+  }
+  // sh -c "<prog> [args...]": fork and exec the command, wait for it.
+  const auto& argv = proc.task().argv;
+  if (argv.size() < 3 || argv[1] != "-c") {
+    return 0;  // interactive shell: nothing to do in the simulation
+  }
+  // Split the command string on spaces.
+  std::vector<std::string> cmd_argv;
+  const std::string& cmd = argv[2];
+  size_t i = 0;
+  while (i < cmd.size()) {
+    size_t j = cmd.find(' ', i);
+    if (j == std::string::npos) {
+      j = cmd.size();
+    }
+    if (j > i) {
+      cmd_argv.push_back(cmd.substr(i, j - i));
+    }
+    i = j + 1;
+  }
+  if (cmd_argv.empty()) {
+    return 0;
+  }
+  sim::UserFrame exec_site(proc, sim::kBinSh, kShellExec);
+  std::string prog = cmd_argv[0];
+  auto env = proc.task().env;
+  int64_t child = proc.Fork([prog, cmd_argv, env](Proc& c) {
+    c.Execve(prog, cmd_argv, env);
+    c.Exit(127);  // exec failed
+  });
+  if (child < 0) {
+    return 126;
+  }
+  int status = 0;
+  proc.Waitpid(static_cast<sim::Pid>(child), &status);
+  return status;
+}
+
+int DefaultMain(Proc& proc) { return Prologue(proc) ? 0 : 127; }
+
+}  // namespace
+
+void InstallPrograms(sim::Kernel& kernel) {
+  kernel.RegisterProgram(sim::kBinTrue, &TrueMain);
+  kernel.RegisterProgram(sim::kBinFalse, &FalseMain);
+  kernel.RegisterProgram(sim::kBinSh, &ShMain);
+  for (const char* prog : {sim::kPython, sim::kPhp, sim::kJava, sim::kApache,
+                           sim::kDbusDaemon, sim::kSshd, sim::kIcecat, sim::kDstat,
+                           sim::kSuidHelper, sim::kLdso}) {
+    kernel.RegisterProgram(prog, &DefaultMain);
+  }
+}
+
+}  // namespace pf::apps

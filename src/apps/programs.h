@@ -1,0 +1,19 @@
+// Entry functions for the registered binaries (what execve runs), plus the
+// installer wiring them into the kernel's binary registry.
+#ifndef SRC_APPS_PROGRAMS_H_
+#define SRC_APPS_PROGRAMS_H_
+
+#include "src/sim/kernel.h"
+
+namespace pf::apps {
+
+// Registers entry functions for every binary in the base system image:
+// /bin/true, /bin/false, /bin/sh (supports "sh -c <prog> [args...]"), the
+// interpreters, and simple default mains for the daemons. Every dynamic
+// program begins by running the simulated ld.so (Ldso::LinkAll), so
+// fork+execve benchmarks include realistic dynamic-linking work.
+void InstallPrograms(sim::Kernel& kernel);
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_PROGRAMS_H_

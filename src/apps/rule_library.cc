@@ -1,0 +1,112 @@
+#include "src/apps/rule_library.h"
+
+#include <sstream>
+
+namespace pf::apps {
+
+std::vector<std::string> RuleLibrary::RuntimeAnalysisRules() {
+  return {
+      // R1: only allow loading trusted library files by the dynamic linker.
+      "pftables -p /lib/ld-2.15.so -i 0x596b -s SYSHIGH "
+      "-d ~{lib_t|textrel_shlib_t|httpd_modules_t|ld_so_t} -o FILE_OPEN -j DROP",
+      // R2: load only trusted python modules.
+      "pftables -p /usr/bin/python2.7 -i 0x34f05 -s SYSHIGH -d ~{lib_t|usr_t} "
+      "-o FILE_OPEN -j DROP",
+      // R3: the D-Bus library connects only to the trusted server socket.
+      "pftables -p /lib/libdbus-1.so.3 -i 0x39231 -s SYSHIGH "
+      "-d ~{system_dbusd_var_run_t} -o UNIX_STREAM_SOCKET_CONNECT -j DROP",
+      // R4: only include properly labeled PHP files (blocks LFI).
+      "pftables -p /usr/bin/php5 -i 0x27ad2c -s SYSHIGH "
+      "-d ~{httpd_user_script_exec_t} -o FILE_OPEN -j DROP",
+  };
+}
+
+std::vector<std::string> RuleLibrary::KnownVulnerabilityRules() {
+  return {
+      // R5: on bind, record the created inode number.
+      "pftables -i 0x3c750 -p /bin/dbus-daemon -o SOCKET_BIND "
+      "-j STATE --set --key 0xbeef --value C_INO",
+      // R6: on chmod of the socket, drop if a different inode is used.
+      "pftables -i 0x3c786 -p /bin/dbus-daemon -o SOCKET_SETATTR "
+      "-m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+      // R6 (generalization): the swapped-in chmod target may be a regular
+      // file rather than a socket — mediate FILE_SETATTR at the same call
+      // site too.
+      "pftables -i 0x3c786 -p /bin/dbus-daemon -o FILE_SETATTR "
+      "-m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+      // R7: disallow java from loading untrusted configuration files.
+      "pftables -i 0x5d7e -p /usr/bin/java -d ~{SYSHIGH} -o FILE_OPEN -j DROP",
+  };
+}
+
+std::string RuleLibrary::ApacheSymlinkOwnerRule() {
+  // R8: SymLinksIfOwnerMatch as a rule: when traversing a symlink while
+  // mapping a URL, the link's owner must equal the target's owner.
+  return "pftables -i 0x2d637 -p /usr/bin/apache2 -o LINK_READ -m COMPARE "
+         "--v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP";
+}
+
+std::vector<std::string> RuleLibrary::SignalRaceRules() {
+  return {
+      // R9: route signal deliveries to the signal chain.
+      "pftables -N signal_chain",
+      "pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
+      // R10: drop a handled, blockable signal while already in a handler.
+      "pftables -I signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP",
+      // R11: otherwise record that we are entering a handler.
+      "pftables -I signal_chain 2 -m SIGNAL_MATCH -j STATE --set --key 'sig' --value 1",
+      // R12: sigreturn leaves the handler.
+      "pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn "
+      "-j STATE --set --key 'sig' --value 0",
+  };
+}
+
+std::vector<std::string> RuleLibrary::SafeOpenRules() {
+  return {
+      // Traversing an adversary-writable symlink is allowed only when the
+      // link's owner matches its target's owner (so adversaries can link to
+      // their own files, not the victim's — Chari et al.'s policy), and the
+      // link may not point at a high-integrity victim file from a shared
+      // location at all for TCB subjects.
+      "pftables -o LNK_FILE_READ -s SYSHIGH -d ~{SYSHIGH} -m COMPARE "
+      "--v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP",
+  };
+}
+
+std::string RuleLibrary::TemplateT1(const std::string& program, uint64_t entrypoint,
+                                    const std::string& resource_set,
+                                    const std::string& op) {
+  std::ostringstream oss;
+  oss << "pftables -I input -i 0x" << std::hex << entrypoint << std::dec << " -p "
+      << program << " -d ~" << resource_set << " -o " << op << " -j DROP";
+  return oss.str();
+}
+
+std::vector<std::string> RuleLibrary::TemplateT2(const std::string& program,
+                                                 uint64_t check_entrypoint,
+                                                 uint64_t use_entrypoint,
+                                                 const std::string& check_op,
+                                                 const std::string& use_op,
+                                                 const std::string& key) {
+  std::ostringstream record;
+  record << "pftables -I input -i 0x" << std::hex << check_entrypoint << std::dec
+         << " -p " << program << " -o " << check_op << " -j STATE --set --key " << key
+         << " --value C_INO";
+  std::ostringstream compare;
+  compare << "pftables -I input -i 0x" << std::hex << use_entrypoint << std::dec
+          << " -p " << program << " -o " << use_op << " -m STATE --key " << key
+          << " --cmp C_INO --nequal -j DROP";
+  return {record.str(), compare.str()};
+}
+
+std::vector<std::string> RuleLibrary::DefaultRuleBase() {
+  std::vector<std::string> rules;
+  for (const auto& group : {RuntimeAnalysisRules(), KnownVulnerabilityRules(),
+                            std::vector<std::string>{ApacheSymlinkOwnerRule()},
+                            SignalRaceRules(), SafeOpenRules()}) {
+    rules.insert(rules.end(), group.begin(), group.end());
+  }
+  return rules;
+}
+
+}  // namespace pf::apps

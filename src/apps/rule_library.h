@@ -1,0 +1,56 @@
+// The shipped rule base: the paper's Table 5 rules R1-R12 (verbatim), the
+// attack-specific rule templates T1/T2, the system-wide safe_open-equivalent
+// link rules, and helpers to compose a default rule base — the role the
+// paper assigns to OS distributors (§6.3.2).
+#ifndef SRC_APPS_RULE_LIBRARY_H_
+#define SRC_APPS_RULE_LIBRARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pf::apps {
+
+class RuleLibrary {
+ public:
+  // R1-R4: rules suggested by runtime analysis (untrusted library load,
+  // python module load, libdbus connect, PHP file inclusion).
+  static std::vector<std::string> RuntimeAnalysisRules();
+
+  // R5-R7: rules generated from known vulnerabilities (D-Bus TOCTTOU,
+  // java untrusted config), including the FILE_SETATTR generalization of
+  // R6 (a swapped-in target may not be a socket).
+  static std::vector<std::string> KnownVulnerabilityRules();
+
+  // R8: Apache SymLinksIfOwnerMatch as a Process Firewall rule.
+  static std::string ApacheSymlinkOwnerRule();
+
+  // R9-R12: non-reentrant signal handler protection (system-wide).
+  static std::vector<std::string> SignalRaceRules();
+
+  // System-wide safe_open equivalent: during pathname resolution, drop
+  // traversal of adversary-writable symlinks whose target belongs to a
+  // different owner (Chari-style link policy, per component, race-free).
+  static std::vector<std::string> SafeOpenRules();
+
+  // Template T1: restrict an entrypoint to a set of resource labels.
+  static std::string TemplateT1(const std::string& program, uint64_t entrypoint,
+                                const std::string& resource_set, const std::string& op);
+
+  // Template T2: TOCTTOU check/use pairing via the STATE module. Returns
+  // the record rule and the compare rule.
+  static std::vector<std::string> TemplateT2(const std::string& program,
+                                             uint64_t check_entrypoint,
+                                             uint64_t use_entrypoint,
+                                             const std::string& check_op,
+                                             const std::string& use_op,
+                                             const std::string& key);
+
+  // Everything above: the deployed rule base used in the security
+  // evaluation (Table 4).
+  static std::vector<std::string> DefaultRuleBase();
+};
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_RULE_LIBRARY_H_

@@ -1,0 +1,32 @@
+// The open() variants compared in paper Figure 4.
+//
+//   OpenPlain     open(path)                                 (no defense)
+//   OpenNofollow  open(path, O_NOFOLLOW)                     (non-portable)
+//   OpenNolink    lstat+open (Figure 1(a) lines 3-6)         (racy)
+//   OpenRace      lstat+open+fstat+lstat (Figure 1(a) full)  (final component only)
+//   SafeOpen      Chari-style per-component checking: ~4 extra system calls
+//                 per pathname component [Chari et al., NDSS'10]
+//   SafeOpenPF    plain open; the equivalent defense enforced by Process
+//                 Firewall rules on each LNK_FILE_READ during resolution
+//
+// All run from the calling process's executable image: call sites
+// kSafeOpenCheck (stat-family) and kSafeOpenUse (open).
+#ifndef SRC_APPS_SAFE_OPEN_H_
+#define SRC_APPS_SAFE_OPEN_H_
+
+#include <string>
+
+#include "src/sim/sched.h"
+
+namespace pf::apps {
+
+int64_t OpenPlain(sim::Proc& proc, const std::string& path);
+int64_t OpenNofollow(sim::Proc& proc, const std::string& path);
+int64_t OpenNolink(sim::Proc& proc, const std::string& path);
+int64_t OpenRace(sim::Proc& proc, const std::string& path);
+int64_t SafeOpen(sim::Proc& proc, const std::string& path);
+int64_t SafeOpenPF(sim::Proc& proc, const std::string& path);
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_SAFE_OPEN_H_

@@ -1,0 +1,37 @@
+#include "src/apps/sshd.h"
+
+#include "src/apps/entrypoints.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::apps {
+
+using sim::Proc;
+using sim::UserFrame;
+
+void Sshd::InstallGraceAlarmHandler(Proc& proc, SshdState* state) {
+  proc.Sigaction(sim::kSigAlrm, [&proc, state](sim::SigNum) {
+    if (state->in_cleanup) {
+      // Re-entered the non-reentrant cleanup: heap corruption in the real
+      // sshd; here we just record that the exploit window was hit.
+      state->corrupted = true;
+    }
+    state->in_cleanup = true;
+    ++state->handled;
+    // Scheduling point inside the critical section (the adversary times the
+    // second signal here), followed by the cleanup's logging system calls —
+    // each a delivery point for the racing signal.
+    proc.Checkpoint("sshd-cleanup");
+    {
+      UserFrame log_site(proc, sim::kSshd, kSshdLogWrite);
+      int64_t fd = proc.Open("/var/log/auth.log", sim::kOWrOnly | sim::kOCreat |
+                                                      sim::kOAppend);
+      if (fd >= 0) {
+        proc.Write(static_cast<int>(fd), "grace alarm: closing connection\n");
+        proc.Close(static_cast<int>(fd));
+      }
+    }
+    state->in_cleanup = false;
+  });
+}
+
+}  // namespace pf::apps

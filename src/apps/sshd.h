@@ -1,0 +1,30 @@
+// OpenSSH signal-race model (E5, CVE-2006-5051).
+//
+// sshd's grace-period SIGALRM handler called non-reentrant cleanup code; a
+// second signal delivered while the handler ran re-entered that code
+// (double free -> exploitable). The model's handler enters a "critical
+// section", performs a logging system call (a delivery point for the racing
+// second signal), and records corruption when re-entered.
+#ifndef SRC_APPS_SSHD_H_
+#define SRC_APPS_SSHD_H_
+
+#include "src/sim/sched.h"
+
+namespace pf::apps {
+
+struct SshdState {
+  bool in_cleanup = false;   // inside the non-reentrant region
+  bool corrupted = false;    // re-entered: the exploitable condition
+  int handled = 0;           // deliveries that ran the handler
+};
+
+class Sshd {
+ public:
+  // Registers the vulnerable grace_alarm SIGALRM handler on `proc`,
+  // recording outcomes in *state (which must outlive the process).
+  static void InstallGraceAlarmHandler(sim::Proc& proc, SshdState* state);
+};
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_SSHD_H_

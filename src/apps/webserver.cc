@@ -1,0 +1,113 @@
+#include "src/apps/webserver.h"
+
+#include "src/apps/entrypoints.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::apps {
+
+using sim::Proc;
+using sim::StatBuf;
+using sim::UserFrame;
+
+bool Webserver::OwnerMatchWalk(Proc& proc, const std::string& path) {
+  // Walk every prefix; if a component is a symlink, the link and its target
+  // must share an owner (Apache's SymLinksIfOwnerMatch). The documentation
+  // itself notes this is racy — the checks and the final open are separate
+  // system calls.
+  std::string prefix;
+  size_t i = 1;
+  while (i <= path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) {
+      j = path.size();
+    }
+    if (j > i) {
+      prefix = path.substr(0, j);
+      UserFrame check(proc, sim::kApache, kApacheCheckStat);
+      StatBuf lbuf;
+      if (proc.Lstat(prefix, &lbuf) != 0) {
+        return false;
+      }
+      if (lbuf.IsSymlink()) {
+        StatBuf target;
+        if (proc.Stat(prefix, &target) != 0) {
+          return false;
+        }
+        if (target.uid != lbuf.uid) {
+          return false;
+        }
+      }
+    }
+    i = j + 1;
+  }
+  return true;
+}
+
+int Webserver::HandleRequest(Proc& proc, const std::string& url, std::string* content) {
+  if (config_.filter_traversal && url.find("..") != std::string::npos) {
+    return 403;
+  }
+  std::string path = config_.docroot + url;
+  if (config_.symlinks_if_owner_match && !OwnerMatchWalk(proc, path)) {
+    return 403;
+  }
+  int64_t fd;
+  {
+    // The URL-to-file mapping call site (rule R8's entrypoint): symlink
+    // traversal during this open fires LNK_FILE_READ here.
+    UserFrame serve(proc, sim::kApache, kApacheLinkRead);
+    fd = proc.Open(path, sim::kORdOnly);
+  }
+  if (fd < 0) {
+    return fd == sim::SysError(sim::Err::kAcces) ? 403 : 404;
+  }
+  std::string data;
+  int64_t n = proc.Read(static_cast<int>(fd), &data, 1u << 20);
+  proc.Close(static_cast<int>(fd));
+  if (n < 0) {
+    return 500;
+  }
+  // Emulated request processing (see WebConfig::request_work).
+  if (config_.request_work > 0) {
+    volatile uint64_t digest = 0x811c9dc5;
+    for (int w = 0; w < config_.request_work; ++w) {
+      uint64_t d = digest;
+      for (char ch : url) {
+        d = (d ^ static_cast<uint8_t>(ch)) * 0x01000193;
+      }
+      for (char ch : data) {
+        d = (d ^ static_cast<uint8_t>(ch)) * 0x01000193;
+      }
+      digest = d;
+    }
+  }
+  if (config_.access_log) {
+    int64_t log_fd =
+        proc.Open("/var/log/apache-access.log", sim::kOWrOnly | sim::kOCreat | sim::kOAppend);
+    if (log_fd >= 0) {
+      proc.Write(static_cast<int>(log_fd), "GET " + url + " 200\n");
+      proc.Close(static_cast<int>(log_fd));
+    }
+  }
+  if (content != nullptr) {
+    *content = std::move(data);
+  }
+  return 200;
+}
+
+bool Webserver::Authenticate(Proc& proc, const std::string& user) {
+  int64_t fd;
+  {
+    UserFrame auth(proc, sim::kApache, kApacheAuthOpen);
+    fd = proc.Open("/etc/passwd", sim::kORdOnly);
+  }
+  if (fd < 0) {
+    return false;
+  }
+  std::string data;
+  proc.Read(static_cast<int>(fd), &data, 1u << 20);
+  proc.Close(static_cast<int>(fd));
+  return data.find(user + ":") != std::string::npos;
+}
+
+}  // namespace pf::apps

@@ -1,0 +1,56 @@
+// Apache-like web server model.
+//
+// Serves static files from a document root, with the program-level defenses
+// the paper discusses as configuration options:
+//   * traversal filtering (reject ".." in URLs — when off, Directory
+//     Traversal attacks reach outside the docroot),
+//   * SymLinksIfOwnerMatch (per-component lstat checks — the costly program
+//     defense Figure 5 compares against rule R8),
+// plus an authentication path that reads /etc/passwd from a *different*
+// call site than content serving — the paper's motivating example of two
+// program instructions with different resource expectations.
+#ifndef SRC_APPS_WEBSERVER_H_
+#define SRC_APPS_WEBSERVER_H_
+
+#include <string>
+
+#include "src/sim/sched.h"
+
+namespace pf::apps {
+
+struct WebConfig {
+  std::string docroot = "/var/www";
+  bool filter_traversal = true;
+  bool symlinks_if_owner_match = false;
+  // Emulates the non-filesystem request work of a real server (header
+  // parsing, response composition): iterations of a checksum loop per
+  // request. 0 disables.
+  int request_work = 0;
+  // Append a line to /var/log/apache-access.log per request.
+  bool access_log = false;
+};
+
+class Webserver {
+ public:
+  explicit Webserver(WebConfig config) : config_(config) {}
+
+  // Serves `url` (e.g. "/index.html"). Returns an HTTP status code; on 200
+  // the body is stored in *content.
+  int HandleRequest(sim::Proc& proc, const std::string& url, std::string* content);
+
+  // Authenticates a user by reading /etc/passwd (distinct call site).
+  bool Authenticate(sim::Proc& proc, const std::string& user);
+
+  const WebConfig& config() const { return config_; }
+  WebConfig& config() { return config_; }
+
+ private:
+  // The SymLinksIfOwnerMatch program check: per-component lstat walk.
+  bool OwnerMatchWalk(sim::Proc& proc, const std::string& path);
+
+  WebConfig config_;
+};
+
+}  // namespace pf::apps
+
+#endif  // SRC_APPS_WEBSERVER_H_

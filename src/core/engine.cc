@@ -1,0 +1,408 @@
+#include "src/core/engine.h"
+
+#include "src/sim/task.h"
+
+namespace pf::core {
+
+namespace {
+constexpr int kMaxChainDepth = 8;
+constexpr CtxMask kAllCtx = CtxBit(Ctx::kObject) | CtxBit(Ctx::kLinkTarget) |
+                            CtxBit(Ctx::kAdversaryAccess) | CtxBit(Ctx::kEntrypoint) |
+                            CtxBit(Ctx::kUserStack) | CtxBit(Ctx::kInterpStack);
+}  // namespace
+
+Engine::Engine(sim::Kernel& kernel, EngineConfig config)
+    : kernel_(kernel), config_(config) {
+  chain_input_ = ruleset_.filter().Find("input");
+  chain_output_ = ruleset_.filter().Find("output");
+  chain_create_ = ruleset_.filter().Find("create");
+  chain_syscallbegin_ = ruleset_.filter().Find("syscallbegin");
+}
+
+namespace {
+// Operations by which the process *affects* resources (mediated by the
+// output chain in addition to input); reads/deliveries are input-only.
+bool IsOutputOp(sim::Op op) {
+  switch (op) {
+    case sim::Op::kFileWrite:
+    case sim::Op::kFileSetattr:
+    case sim::Op::kFileCreate:
+    case sim::Op::kFileUnlink:
+    case sim::Op::kDirAddName:
+    case sim::Op::kDirRemoveName:
+    case sim::Op::kSocketBind:
+    case sim::Op::kSocketSetattr:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+Engine* InstallProcessFirewall(sim::Kernel& kernel, EngineConfig config) {
+  auto engine = std::make_unique<Engine>(kernel, config);
+  Engine* raw = engine.get();
+  size_t slot = kernel.AddModule(std::move(engine));
+  raw->set_slot(slot);
+  return raw;
+}
+
+PfTaskState& Engine::TaskState(sim::Task& task) {
+  auto& blob = task.security[slot_];
+  if (!blob) {
+    blob = std::make_shared<PfTaskState>();
+  }
+  // No shared_ptr copy on the fast path (no refcount traffic).
+  return *static_cast<PfTaskState*>(blob.get());
+}
+
+void Engine::OnTaskExit(sim::Task& task) { task.security[slot_].reset(); }
+
+void Engine::OnTaskFork(sim::Task& parent, sim::Task& child) {
+  // The STATE dictionary follows the process across fork (context caches do
+  // not: the child's first access re-unwinds its own stack).
+  auto& blob = parent.security[slot_];
+  if (!blob) {
+    return;
+  }
+  auto state = std::make_shared<PfTaskState>();
+  state->dict = std::static_pointer_cast<PfTaskState>(blob)->dict;
+  child.security[slot_] = std::move(state);
+}
+
+// --- context modules ---------------------------------------------------------
+
+void Engine::FetchObject(Packet& pkt) {
+  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kObject)];
+  sim::AccessRequest& req = *pkt.req;
+  if (req.inode != nullptr) {
+    pkt.has_object = true;
+    pkt.object_sid = req.inode->sid;
+    pkt.object_id = req.id;
+    pkt.object_generation = req.inode->generation;
+    pkt.object_owner = req.inode->uid;
+  }
+  pkt.Mark(Ctx::kObject);
+}
+
+void Engine::FetchLinkTarget(Packet& pkt) {
+  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kLinkTarget)];
+  sim::AccessRequest& req = *pkt.req;
+  if (req.op == sim::Op::kLnkFileRead && req.inode != nullptr) {
+    pkt.link_owner = req.inode->uid;
+    if (req.link_target != nullptr) {
+      pkt.has_link_target = true;
+      pkt.link_target_owner = req.link_target->uid;
+      pkt.link_target_sid = req.link_target->sid;
+      pkt.link_target_id = req.link_target->id();
+    }
+  }
+  pkt.Mark(Ctx::kLinkTarget);
+}
+
+void Engine::FetchAdversaryAccess(Packet& pkt) {
+  if (!pkt.Has(Ctx::kObject)) {
+    FetchObject(pkt);
+  }
+  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kAdversaryAccess)];
+  if (pkt.has_object) {
+    const sim::MacPolicy& pol = kernel_.policy();
+    pkt.adversary_writable = pol.AdversaryWritable(pkt.object_sid);
+    pkt.adversary_readable = pol.AdversaryReadable(pkt.object_sid);
+  }
+  pkt.Mark(Ctx::kAdversaryAccess);
+}
+
+void Engine::FetchStack(Packet& pkt) {
+  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kEntrypoint)];
+  sim::Task& task = *pkt.req->task;
+  PfTaskState& state = TaskState(task);
+  const bool cache_ok = config_.cache_context && state.stack_cached &&
+                        state.stack_serial == task.syscall_count;
+  if (cache_ok) {
+    ++stats_.unwind_cache_hits;
+  } else {
+    ++stats_.unwinds;
+    UnwindResult res = UnwindUserStack(task);
+    state.stack = std::move(res.frames);
+    state.stack_status = res.status;
+    state.stack_cached = true;
+    state.stack_serial = task.syscall_count;
+  }
+  pkt.stack = &state.stack;
+  pkt.stack_status = state.stack_status;
+  if (state.stack_status != UnwindStatus::kAborted && !state.stack.empty()) {
+    pkt.entrypoint_valid = true;
+    pkt.entrypoint = state.stack.front();
+  }
+  pkt.Mark(Ctx::kEntrypoint);
+  pkt.Mark(Ctx::kUserStack);
+}
+
+void Engine::FetchInterp(Packet& pkt) {
+  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kInterpStack)];
+  sim::Task& task = *pkt.req->task;
+  PfTaskState& state = TaskState(task);
+  const bool cache_ok = config_.cache_context && state.interp_cached &&
+                        state.interp_serial == task.syscall_count;
+  if (!cache_ok) {
+    InterpUnwindResult res = UnwindInterpStack(task);
+    state.interp = std::move(res.frames);
+    state.interp_status = res.status;
+    state.interp_cached = true;
+    state.interp_serial = task.syscall_count;
+  }
+  pkt.interp = &state.interp;
+  pkt.interp_status = state.interp_status;
+  pkt.Mark(Ctx::kInterpStack);
+}
+
+void Engine::EnsureContext(Packet& pkt, CtxMask mask) {
+  CtxMask missing = mask & ~pkt.have;
+  if (missing == 0) {
+    return;
+  }
+  if (missing & CtxBit(Ctx::kObject)) {
+    FetchObject(pkt);
+  }
+  if (missing & CtxBit(Ctx::kLinkTarget)) {
+    FetchLinkTarget(pkt);
+  }
+  if (missing & CtxBit(Ctx::kAdversaryAccess)) {
+    FetchAdversaryAccess(pkt);
+  }
+  if (missing & (CtxBit(Ctx::kEntrypoint) | CtxBit(Ctx::kUserStack))) {
+    FetchStack(pkt);
+  }
+  if (missing & CtxBit(Ctx::kInterpStack)) {
+    FetchInterp(pkt);
+  }
+}
+
+// --- logging -------------------------------------------------------------------
+
+void Engine::EmitLog(Packet& pkt, const std::string& prefix) {
+  EnsureContext(pkt, CtxBit(Ctx::kObject) | CtxBit(Ctx::kAdversaryAccess) |
+                         CtxBit(Ctx::kEntrypoint));
+  const sim::AccessRequest& req = *pkt.req;
+  LogRecord rec;
+  rec.tick = kernel_.tick();
+  rec.pid = req.task->pid;
+  rec.comm = req.task->comm;
+  rec.exe = req.task->exe;
+  rec.op = req.op;
+  rec.syscall = std::string(sim::SyscallName(req.syscall_nr));
+  rec.subject_label = kernel_.labels().Name(req.task->cred.sid);
+  if (pkt.has_object) {
+    rec.object_label = kernel_.labels().Name(pkt.object_sid);
+    rec.object = pkt.object_id;
+  }
+  rec.name = std::string(req.name);
+  if (pkt.entrypoint_valid) {
+    rec.entry_valid = true;
+    rec.program = pkt.entrypoint.image_path;
+    rec.entrypoint = pkt.entrypoint.offset;
+  }
+  rec.adversary_writable = pkt.adversary_writable;
+  rec.adversary_readable = pkt.adversary_readable;
+  rec.prefix = prefix;
+  log_.Append(std::move(rec));
+}
+
+// --- rule evaluation -------------------------------------------------------------
+
+bool Engine::DefaultMatches(const Rule& rule, Packet& pkt) {
+  const sim::AccessRequest& req = *pkt.req;
+  if (rule.op && *rule.op != req.op) {
+    return false;
+  }
+  if (!rule.subject.wildcard &&
+      !rule.subject.MatchesSubject(req.task->cred.sid, kernel_.policy())) {
+    return false;
+  }
+  if (rule.has_program() || rule.entrypoint) {
+    EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
+    if (!pkt.entrypoint_valid) {
+      return false;  // unusable stack forfeits only this process's protection
+    }
+    if (rule.has_program() && !(pkt.entrypoint.image == rule.program_file)) {
+      return false;
+    }
+    if (rule.entrypoint && pkt.entrypoint.offset != *rule.entrypoint) {
+      return false;
+    }
+  }
+  if (!rule.object.wildcard || rule.ino) {
+    EnsureContext(pkt, CtxBit(Ctx::kObject));
+    if (!pkt.has_object) {
+      return false;
+    }
+    if (rule.ino && pkt.object_id.ino != *rule.ino) {
+      return false;
+    }
+    if (!rule.object.wildcard) {
+      // SYSHIGH membership is a policy (adversary accessibility) question.
+      if (rule.object.syshigh) {
+        EnsureContext(pkt, CtxBit(Ctx::kAdversaryAccess));
+      }
+      if (!rule.object.MatchesObject(pkt.object_sid, kernel_.policy())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Engine::Verdict Engine::EvalRule(const Rule& rule, Packet& pkt, int depth) {
+  ++stats_.rules_evaluated;
+  ++rule.evals;
+  if (!DefaultMatches(rule, pkt)) {
+    return Verdict::kFallthrough;
+  }
+  for (const auto& match : rule.matches) {
+    EnsureContext(pkt, match->Needs());
+    if (!match->Matches(pkt, *this)) {
+      return Verdict::kFallthrough;
+    }
+  }
+  ++rule.hits;
+  EnsureContext(pkt, rule.target->Needs());
+  switch (rule.target->Fire(pkt, *this)) {
+    case TargetKind::kAccept:
+      return Verdict::kAccept;
+    case TargetKind::kDrop:
+      return Verdict::kDrop;
+    case TargetKind::kContinue:
+      return Verdict::kFallthrough;
+    case TargetKind::kReturn:
+      return Verdict::kReturn;  // ends this chain; caller continues
+    case TargetKind::kJump: {
+      const Chain* next = ruleset_.filter().Find(rule.target->jump_chain());
+      if (next != nullptr && depth < kMaxChainDepth) {
+        Verdict v = TraverseChain(*next, pkt, depth + 1);
+        if (v == Verdict::kAccept || v == Verdict::kDrop) {
+          return v;
+        }
+      }
+      return Verdict::kFallthrough;
+    }
+  }
+  return Verdict::kFallthrough;
+}
+
+Engine::Verdict Engine::EvalRules(const std::vector<const Rule*>& rules, Packet& pkt,
+                                  int depth) {
+  for (const Rule* rule : rules) {
+    Verdict v = EvalRule(*rule, pkt, depth);
+    if (v != Verdict::kFallthrough) {
+      return v;  // accept, drop, or RETURN to the calling chain
+    }
+  }
+  return Verdict::kFallthrough;
+}
+
+Engine::Verdict Engine::EvalRulesLinear(const std::vector<Rule>& rules, Packet& pkt,
+                                        int depth) {
+  for (const Rule& rule : rules) {
+    Verdict v = EvalRule(rule, pkt, depth);
+    if (v != Verdict::kFallthrough) {
+      return v;
+    }
+  }
+  return Verdict::kFallthrough;
+}
+
+Engine::Verdict Engine::TraverseChain(const Chain& chain, Packet& pkt, int depth) {
+  if (depth >= kMaxChainDepth) {
+    return Verdict::kFallthrough;
+  }
+  if (config_.ept_chains && chain.index_built()) {
+    // Non-entrypoint rules first (paper §4.3), then the hash-selected
+    // entrypoint chain.
+    Verdict v = EvalRules(chain.plain_rules(), pkt, depth);
+    if (v != Verdict::kFallthrough) {
+      return v;
+    }
+    if (chain.indexed_entrypoints() > 0) {
+      EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
+      if (pkt.entrypoint_valid) {
+        const auto* rules =
+            chain.EptRules(EptKey{pkt.entrypoint.image, pkt.entrypoint.offset});
+        if (rules != nullptr) {
+          ++stats_.ept_chain_hits;
+          return EvalRules(*rules, pkt, depth);
+        }
+      }
+    }
+    return Verdict::kFallthrough;
+  }
+  // Linear traversal.
+  return EvalRulesLinear(chain.rules(), pkt, depth);
+}
+
+int64_t Engine::Authorize(sim::AccessRequest& req) {
+  if (!config_.enabled || req.task == nullptr) {
+    return 0;
+  }
+  ++stats_.invocations;
+  Packet pkt;
+  pkt.req = &req;
+  if (!config_.lazy_context) {
+    EnsureContext(pkt, kAllCtx);
+  }
+  PfTaskState& state = TaskState(*req.task);
+  ++state.traversal_depth;
+  Verdict verdict = Verdict::kFallthrough;
+
+  // Runs one builtin chain and applies its default policy on fallthrough.
+  auto run_builtin = [&](const Chain& chain) -> Verdict {
+    Verdict v = TraverseChain(chain, pkt, 0);
+    if (v == Verdict::kReturn) {
+      v = Verdict::kFallthrough;
+    }
+    if (v == Verdict::kFallthrough && chain.policy() == Chain::Policy::kDrop) {
+      v = Verdict::kDrop;
+    }
+    return v;
+  };
+
+  if (req.op == sim::Op::kSyscallBegin) {
+    if (chain_syscallbegin_->size() > 0 ||
+        chain_syscallbegin_->policy() == Chain::Policy::kDrop) {
+      verdict = run_builtin(*chain_syscallbegin_);
+    }
+  } else {
+    // Creation operations consult the create chain first (template T2).
+    if (req.op == sim::Op::kFileCreate || req.op == sim::Op::kDirAddName ||
+        req.op == sim::Op::kSocketBind) {
+      if (chain_create_->size() > 0 ||
+          chain_create_->policy() == Chain::Policy::kDrop) {
+        verdict = run_builtin(*chain_create_);
+      }
+    }
+    // Write-type operations additionally traverse the output chain.
+    if (verdict == Verdict::kFallthrough && IsOutputOp(req.op) &&
+        (chain_output_->size() > 0 ||
+         chain_output_->policy() == Chain::Policy::kDrop)) {
+      verdict = run_builtin(*chain_output_);
+    }
+    if (verdict == Verdict::kFallthrough &&
+        (chain_input_->size() > 0 || chain_input_->policy() == Chain::Policy::kDrop)) {
+      verdict = run_builtin(*chain_input_);
+    }
+  }
+  --state.traversal_depth;
+  if (verdict == Verdict::kDrop) {
+    if (config_.audit_only) {
+      // Permissive deployment: log what enforcement would have denied.
+      ++stats_.audited_drops;
+      EmitLog(pkt, "audit-drop");
+      return 0;
+    }
+    ++stats_.drops;
+    return sim::SysError(sim::Err::kAcces);
+  }
+  return 0;  // default allow
+}
+
+}  // namespace pf::core

@@ -1,0 +1,144 @@
+// The Process Firewall engine.
+//
+// Registered as a SecurityModule behind the kernel's authorization hooks, it
+// builds a Packet for each mediated operation, fetches process/resource
+// context through context modules (lazily, with per-syscall caching), and
+// traverses the rule base — using entrypoint-specific chains where enabled.
+// The three optimizations are independently toggleable to reproduce the
+// ablation columns of paper Table 6:
+//
+//   FULL     = {lazy_context=false, cache_context=false, ept_chains=false}
+//   CONCACHE = {lazy_context=false, cache_context=true,  ept_chains=false}
+//   LAZYCON  = {lazy_context=true,  cache_context=true,  ept_chains=false}
+//   EPTSPC   = {lazy_context=true,  cache_context=true,  ept_chains=true}
+//
+// Per-task state (the STATE dictionary, context caches, traversal depth)
+// hangs off the task structure, so the engine is re-entrant without
+// disabling "interrupts" (paper §5.1).
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/log.h"
+#include "src/core/packet.h"
+#include "src/core/ruleset.h"
+#include "src/sim/kernel.h"
+
+namespace pf::core {
+
+struct EngineConfig {
+  bool enabled = true;
+  bool lazy_context = true;   // fetch context only when a rule needs it
+  bool cache_context = true;  // reuse unwinds across hooks within a syscall
+  bool ept_chains = true;     // entrypoint-specific chain index
+  // Audit mode: evaluate rules and count/log would-be denials, but allow
+  // everything. This is how an OS distributor shakes out false positives
+  // before enforcing a generated rule base (paper §6.3.2).
+  bool audit_only = false;
+};
+
+struct EngineStats {
+  uint64_t invocations = 0;
+  uint64_t drops = 0;
+  uint64_t audited_drops = 0;  // denials suppressed by audit mode
+  uint64_t rules_evaluated = 0;
+  uint64_t ept_chain_hits = 0;
+  uint64_t unwinds = 0;
+  uint64_t unwind_cache_hits = 0;
+  std::array<uint64_t, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
+
+  void Reset() { *this = EngineStats{}; }
+};
+
+// Per-task Process Firewall state (struct task_struct extension).
+struct PfTaskState {
+  // STATE match/target dictionary.
+  std::map<std::string, int64_t> dict;
+
+  // Context caches, valid while serial == task.syscall_count.
+  uint64_t stack_serial = 0;
+  bool stack_cached = false;
+  std::vector<BinFrame> stack;
+  UnwindStatus stack_status = UnwindStatus::kAborted;
+
+  uint64_t interp_serial = 0;
+  bool interp_cached = false;
+  std::vector<InterpRec> interp;
+  UnwindStatus interp_status = UnwindStatus::kAborted;
+
+  int traversal_depth = 0;
+};
+
+class Engine : public sim::SecurityModule {
+ public:
+  Engine(sim::Kernel& kernel, EngineConfig config);
+
+  // --- SecurityModule ---
+  std::string_view ModuleName() const override { return "pf"; }
+  int64_t Authorize(sim::AccessRequest& req) override;
+  void OnTaskExit(sim::Task& task) override;
+  void OnTaskFork(sim::Task& parent, sim::Task& child) override;
+
+  // --- configuration / data ---
+  EngineConfig& config() { return config_; }
+  RuleSet& ruleset() { return ruleset_; }
+  LogSink& log() { return log_; }
+  EngineStats& stats() { return stats_; }
+  sim::Kernel& kernel() { return kernel_; }
+  sim::MacPolicy& policy() { return kernel_.policy(); }
+  void set_slot(size_t slot) { slot_ = slot; }
+  size_t slot() const { return slot_; }
+
+  // Per-task state, created on demand.
+  PfTaskState& TaskState(sim::Task& task);
+
+  // Context-module dispatch: collects every field in `mask` not yet in the
+  // packet. Fields that cannot be collected are marked collected-but-absent
+  // (rules needing them simply fail to match).
+  void EnsureContext(Packet& pkt, CtxMask mask);
+
+  // Emits a LOG record for the packet.
+  void EmitLog(Packet& pkt, const std::string& prefix);
+
+ private:
+  enum class Verdict { kAccept, kDrop, kFallthrough, kReturn };
+
+  Verdict TraverseChain(const Chain& chain, Packet& pkt, int depth);
+  Verdict EvalRules(const std::vector<const Rule*>& rules, Packet& pkt, int depth);
+  Verdict EvalRulesLinear(const std::vector<Rule>& rules, Packet& pkt, int depth);
+  Verdict EvalRule(const Rule& rule, Packet& pkt, int depth);
+  bool DefaultMatches(const Rule& rule, Packet& pkt);
+
+  void FetchObject(Packet& pkt);
+  void FetchLinkTarget(Packet& pkt);
+  void FetchAdversaryAccess(Packet& pkt);
+  void FetchStack(Packet& pkt);
+  void FetchInterp(Packet& pkt);
+
+  sim::Kernel& kernel_;
+  EngineConfig config_;
+  RuleSet ruleset_;
+  LogSink log_;
+  EngineStats stats_;
+  size_t slot_ = 0;
+
+  // Builtin chains, resolved once (std::map nodes are pointer-stable); this
+  // keeps string-keyed lookups off the per-operation fast path.
+  const Chain* chain_input_ = nullptr;
+  const Chain* chain_output_ = nullptr;
+  const Chain* chain_create_ = nullptr;
+  const Chain* chain_syscallbegin_ = nullptr;
+};
+
+// Creates an Engine, registers it with the kernel, and wires its per-task
+// state slot. The kernel owns the engine; the returned pointer stays valid
+// for the kernel's lifetime.
+Engine* InstallProcessFirewall(sim::Kernel& kernel, EngineConfig config = {});
+
+}  // namespace pf::core
+
+#endif  // SRC_CORE_ENGINE_H_

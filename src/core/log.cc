@@ -1,0 +1,245 @@
+#include "src/core/log.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace pf::core {
+
+namespace {
+void JsonField(std::ostringstream& oss, const char* key, const std::string& value,
+               bool* first) {
+  if (!*first) {
+    oss << ",";
+  }
+  *first = false;
+  oss << "\"" << key << "\":\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      oss << '\\';
+    }
+    oss << c;
+  }
+  oss << "\"";
+}
+
+void JsonField(std::ostringstream& oss, const char* key, uint64_t value, bool* first) {
+  if (!*first) {
+    oss << ",";
+  }
+  *first = false;
+  oss << "\"" << key << "\":" << value;
+}
+
+void JsonField(std::ostringstream& oss, const char* key, bool value, bool* first) {
+  if (!*first) {
+    oss << ",";
+  }
+  *first = false;
+  oss << "\"" << key << "\":" << (value ? "true" : "false");
+}
+}  // namespace
+
+std::string LogRecord::ToJson() const {
+  std::ostringstream oss;
+  bool first = true;
+  oss << "{";
+  JsonField(oss, "tick", tick, &first);
+  JsonField(oss, "pid", static_cast<uint64_t>(pid), &first);
+  JsonField(oss, "comm", comm, &first);
+  JsonField(oss, "exe", exe, &first);
+  JsonField(oss, "op", std::string(sim::OpName(op)), &first);
+  JsonField(oss, "syscall", syscall, &first);
+  JsonField(oss, "subject", subject_label, &first);
+  JsonField(oss, "object", object_label, &first);
+  JsonField(oss, "dev", static_cast<uint64_t>(object.dev), &first);
+  JsonField(oss, "ino", object.ino, &first);
+  JsonField(oss, "name", name, &first);
+  JsonField(oss, "entry_valid", entry_valid, &first);
+  JsonField(oss, "program", program, &first);
+  JsonField(oss, "entrypoint", entrypoint, &first);
+  JsonField(oss, "adv_w", adversary_writable, &first);
+  JsonField(oss, "adv_r", adversary_readable, &first);
+  if (!prefix.empty()) {
+    JsonField(oss, "prefix", prefix, &first);
+  }
+  oss << "}";
+  return oss.str();
+}
+
+std::string LogSink::ToJsonLines() const {
+  std::ostringstream oss;
+  for (const LogRecord& r : records_) {
+    oss << r.ToJson() << "\n";
+  }
+  return oss.str();
+}
+
+namespace {
+
+// Minimal parser for the flat JSON objects ToJson emits (string, integer,
+// and boolean values; no nesting).
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse() {
+    SkipWs();
+    if (!Consume('{')) {
+      return false;
+    }
+    for (;;) {
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return false;
+      }
+      SkipWs();
+      if (text_.empty()) {
+        return false;
+      }
+      if (text_[0] == '"') {
+        std::string value;
+        if (!ParseString(&value)) {
+          return false;
+        }
+        strings_[key] = std::move(value);
+      } else if (text_.rfind("true", 0) == 0) {
+        bools_[key] = true;
+        text_.remove_prefix(4);
+      } else if (text_.rfind("false", 0) == 0) {
+        bools_[key] = false;
+        text_.remove_prefix(5);
+      } else {
+        size_t used = 0;
+        uint64_t value = 0;
+        while (used < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[used])))) {
+          value = value * 10 + static_cast<uint64_t>(text_[used] - '0');
+          ++used;
+        }
+        if (used == 0) {
+          return false;
+        }
+        numbers_[key] = value;
+        text_.remove_prefix(used);
+      }
+      SkipWs();
+      if (!Consume(',') && text_.empty()) {
+        return false;
+      }
+    }
+  }
+
+  std::string Str(const std::string& key) const {
+    auto it = strings_.find(key);
+    return it == strings_.end() ? "" : it->second;
+  }
+  uint64_t Num(const std::string& key) const {
+    auto it = numbers_.find(key);
+    return it == numbers_.end() ? 0 : it->second;
+  }
+  bool Bool(const std::string& key) const {
+    auto it = bools_.find(key);
+    return it != bools_.end() && it->second;
+  }
+
+ private:
+  void SkipWs() {
+    while (!text_.empty() && (text_[0] == ' ' || text_[0] == '\t')) {
+      text_.remove_prefix(1);
+    }
+  }
+  bool Consume(char c) {
+    if (!text_.empty() && text_[0] == c) {
+      text_.remove_prefix(1);
+      return true;
+    }
+    return false;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (!text_.empty()) {
+      char c = text_[0];
+      text_.remove_prefix(1);
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (text_.empty()) {
+          return false;
+        }
+        out->push_back(text_[0]);
+        text_.remove_prefix(1);
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, uint64_t> numbers_;
+  std::map<std::string, bool> bools_;
+};
+
+}  // namespace
+
+std::optional<LogRecord> LogRecord::FromJson(std::string_view line) {
+  FlatJsonParser parser(line);
+  if (!parser.Parse()) {
+    return std::nullopt;
+  }
+  LogRecord rec;
+  rec.tick = parser.Num("tick");
+  rec.pid = static_cast<sim::Pid>(parser.Num("pid"));
+  rec.comm = parser.Str("comm");
+  rec.exe = parser.Str("exe");
+  if (auto op = sim::OpFromName(parser.Str("op"))) {
+    rec.op = *op;
+  } else {
+    return std::nullopt;
+  }
+  rec.syscall = parser.Str("syscall");
+  rec.subject_label = parser.Str("subject");
+  rec.object_label = parser.Str("object");
+  rec.object.dev = static_cast<sim::Dev>(parser.Num("dev"));
+  rec.object.ino = parser.Num("ino");
+  rec.name = parser.Str("name");
+  rec.entry_valid = parser.Bool("entry_valid");
+  rec.program = parser.Str("program");
+  rec.entrypoint = parser.Num("entrypoint");
+  rec.adversary_writable = parser.Bool("adv_w");
+  rec.adversary_readable = parser.Bool("adv_r");
+  rec.prefix = parser.Str("prefix");
+  return rec;
+}
+
+size_t LogSink::FromJsonLines(std::string_view dump) {
+  size_t parsed = 0;
+  size_t i = 0;
+  while (i < dump.size()) {
+    size_t j = dump.find('\n', i);
+    if (j == std::string_view::npos) {
+      j = dump.size();
+    }
+    if (auto rec = LogRecord::FromJson(dump.substr(i, j - i))) {
+      records_.push_back(std::move(*rec));
+      ++parsed;
+    }
+    i = j + 1;
+  }
+  return parsed;
+}
+
+}  // namespace pf::core

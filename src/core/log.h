@@ -1,0 +1,67 @@
+// LOG target sink: structured records of resource accesses in JSON-able
+// form (paper §5.2: "The LOG target module logs a variety of information
+// about the current resource access in JSON format"). Rule generation
+// (src/rulegen) consumes these records.
+#ifndef SRC_CORE_LOG_H_
+#define SRC_CORE_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/lsm.h"
+
+namespace pf::core {
+
+struct LogRecord {
+  uint64_t tick = 0;
+  sim::Pid pid = sim::kInvalidPid;
+  std::string comm;
+  std::string exe;
+  sim::Op op = sim::Op::kSyscallBegin;
+  std::string syscall;
+  std::string subject_label;
+  std::string object_label;
+  sim::FileId object;
+  std::string name;  // pathname component / path when available
+
+  bool entry_valid = false;
+  std::string program;       // image containing the entrypoint
+  uint64_t entrypoint = 0;   // binary-relative PC
+
+  bool adversary_writable = false;
+  bool adversary_readable = false;
+
+  std::string prefix;  // --prefix of the LOG rule
+
+  std::string ToJson() const;
+
+  // Parses one ToJson()-format line; nullopt on malformed input. Together
+  // with LogSink::ToJsonLines this gives rule generation a file-based
+  // workflow (collect on one system, analyze on another).
+  static std::optional<LogRecord> FromJson(std::string_view line);
+};
+
+class LogSink {
+ public:
+  void Append(LogRecord record) { records_.push_back(std::move(record)); }
+  void Clear() { records_.clear(); }
+  size_t size() const { return records_.size(); }
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  // Serializes all records, one JSON object per line.
+  std::string ToJsonLines() const;
+
+  // Parses a ToJsonLines() dump, appending the records; returns how many
+  // lines parsed successfully (malformed lines are skipped).
+  size_t FromJsonLines(std::string_view dump);
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace pf::core
+
+#endif  // SRC_CORE_LOG_H_

@@ -1,0 +1,426 @@
+#include "src/core/modules.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "src/core/engine.h"
+#include "src/sim/syscall_nr.h"
+#include "src/sim/task.h"
+
+namespace pf::core {
+
+namespace {
+
+std::optional<int64_t> ParseInt(const std::string& token) {
+  if (token.empty()) {
+    return std::nullopt;
+  }
+  int base = 10;
+  size_t start = 0;
+  bool negative = false;
+  if (token[0] == '-') {
+    negative = true;
+    start = 1;
+  }
+  if (token.size() > start + 2 && token[start] == '0' &&
+      (token[start + 1] == 'x' || token[start + 1] == 'X')) {
+    base = 16;
+    start += 2;
+  }
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data() + start, token.data() + token.size(), value, base);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return negative ? -value : value;
+}
+
+// Finds "--flag" and returns the following token.
+std::optional<std::string> OptValue(const std::vector<std::string>& opts,
+                                    std::string_view flag) {
+  for (size_t i = 0; i + 1 < opts.size(); ++i) {
+    if (opts[i] == flag) {
+      return opts[i + 1];
+    }
+  }
+  return std::nullopt;
+}
+
+bool HasFlag(const std::vector<std::string>& opts, std::string_view flag) {
+  for (const auto& o : opts) {
+    if (o == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Strips optional single quotes (keys are often written as 'sig').
+std::string Unquote(std::string s) {
+  if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+}  // namespace
+
+// --- Operand -------------------------------------------------------------------
+
+std::optional<Operand> Operand::Parse(const std::string& token) {
+  Operand op;
+  if (auto var = CtxVarFromName(token)) {
+    op.is_var = true;
+    op.var = *var;
+    return op;
+  }
+  if (auto nr = sim::SyscallFromName(token); nr && token.rfind("NR_", 0) == 0) {
+    op.literal = static_cast<int64_t>(*nr);
+    return op;
+  }
+  if (auto lit = ParseInt(token)) {
+    op.literal = *lit;
+    return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> Operand::Eval(const Packet& pkt) const {
+  if (is_var) {
+    return pkt.Resolve(var);
+  }
+  return literal;
+}
+
+CtxMask Operand::Needs() const {
+  if (!is_var) {
+    return 0;
+  }
+  switch (var) {
+    case CtxVar::kIno:
+    case CtxVar::kGen:
+    case CtxVar::kDev:
+    case CtxVar::kSid:
+    case CtxVar::kDacOwner:
+      return CtxBit(Ctx::kObject);
+    case CtxVar::kTgtDacOwner:
+    case CtxVar::kTgtSid:
+      return CtxBit(Ctx::kObject) | CtxBit(Ctx::kLinkTarget);
+    case CtxVar::kPid:
+    case CtxVar::kUid:
+    case CtxVar::kEuid:
+    case CtxVar::kSig:
+    case CtxVar::kSyscall:
+      return 0;
+  }
+  return 0;
+}
+
+std::string Operand::Render() const {
+  if (is_var) {
+    return std::string(CtxVarName(var));
+  }
+  return std::to_string(literal);
+}
+
+// --- StateMatch ------------------------------------------------------------------
+
+Status StateMatch::Create(const std::vector<std::string>& opts,
+                          std::unique_ptr<MatchModule>* out) {
+  auto m = std::make_unique<StateMatch>();
+  auto key = OptValue(opts, "--key");
+  if (!key) {
+    return Status::Error("STATE match requires --key");
+  }
+  m->key = Unquote(*key);
+  if (auto cmp = OptValue(opts, "--cmp")) {
+    auto operand = Operand::Parse(*cmp);
+    if (!operand) {
+      return Status::Error("STATE --cmp: cannot parse operand '" + *cmp + "'");
+    }
+    m->cmp = *operand;
+  }
+  if (HasFlag(opts, "--nequal")) {
+    m->negate = true;
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+CtxMask StateMatch::Needs() const { return cmp ? cmp->Needs() : 0; }
+
+bool StateMatch::Matches(Packet& pkt, Engine& engine) const {
+  PfTaskState& state = engine.TaskState(*pkt.req->task);
+  auto it = state.dict.find(key);
+  if (it == state.dict.end()) {
+    return false;  // absent key never matches (even with --nequal)
+  }
+  if (!cmp) {
+    return true;
+  }
+  auto want = cmp->Eval(pkt);
+  if (!want) {
+    return false;
+  }
+  bool equal = it->second == *want;
+  return negate ? !equal : equal;
+}
+
+std::string StateMatch::Render() const {
+  std::ostringstream oss;
+  oss << "STATE --key " << key;
+  if (cmp) {
+    oss << " --cmp " << cmp->Render() << (negate ? " --nequal" : " --equal");
+  }
+  return oss.str();
+}
+
+// --- SignalMatch ------------------------------------------------------------------
+
+Status SignalMatch::Create(const std::vector<std::string>& opts,
+                           std::unique_ptr<MatchModule>* out) {
+  if (!opts.empty()) {
+    return Status::Error("SIGNAL_MATCH takes no options");
+  }
+  *out = std::make_unique<SignalMatch>();
+  return Status::Ok();
+}
+
+bool SignalMatch::Matches(Packet& pkt, Engine&) const {
+  const sim::AccessRequest& req = *pkt.req;
+  if (req.op != sim::Op::kSignalDeliver) {
+    return false;
+  }
+  return req.task->signals.HasHandler(req.sig) && !sim::IsUnblockable(req.sig);
+}
+
+std::string SignalMatch::Render() const { return "SIGNAL_MATCH"; }
+
+// --- SyscallArgsMatch --------------------------------------------------------------
+
+Status SyscallArgsMatch::Create(const std::vector<std::string>& opts,
+                                std::unique_ptr<MatchModule>* out) {
+  auto m = std::make_unique<SyscallArgsMatch>();
+  auto arg = OptValue(opts, "--arg");
+  if (!arg) {
+    return Status::Error("SYSCALL_ARGS requires --arg");
+  }
+  auto idx = ParseInt(*arg);
+  if (!idx || *idx < 0 || *idx > 4) {
+    return Status::Error("SYSCALL_ARGS --arg must be 0..4");
+  }
+  m->arg = static_cast<int>(*idx);
+  auto eq = OptValue(opts, "--equal");
+  auto neq = OptValue(opts, "--nequal");
+  const std::string* value = eq ? &*eq : (neq ? &*neq : nullptr);
+  if (value == nullptr) {
+    return Status::Error("SYSCALL_ARGS requires --equal or --nequal");
+  }
+  m->negate = neq != std::nullopt;
+  if (auto nr = sim::SyscallFromName(*value); nr && value->rfind("NR_", 0) == 0) {
+    m->value = static_cast<int64_t>(*nr);
+  } else if (auto lit = ParseInt(*value)) {
+    m->value = *lit;
+  } else {
+    return Status::Error("SYSCALL_ARGS: cannot parse value '" + *value + "'");
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+bool SyscallArgsMatch::Matches(Packet& pkt, Engine&) const {
+  const sim::AccessRequest& req = *pkt.req;
+  int64_t actual = arg == 0 ? static_cast<int64_t>(req.syscall_nr)
+                            : req.args[static_cast<size_t>(arg - 1)];
+  bool equal = actual == value;
+  return negate ? !equal : equal;
+}
+
+std::string SyscallArgsMatch::Render() const {
+  std::ostringstream oss;
+  oss << "SYSCALL_ARGS --arg " << arg << (negate ? " --nequal " : " --equal ") << value;
+  return oss.str();
+}
+
+// --- CompareMatch ------------------------------------------------------------------
+
+Status CompareMatch::Create(const std::vector<std::string>& opts,
+                            std::unique_ptr<MatchModule>* out) {
+  auto m = std::make_unique<CompareMatch>();
+  auto v1 = OptValue(opts, "--v1");
+  auto v2 = OptValue(opts, "--v2");
+  if (!v1 || !v2) {
+    return Status::Error("COMPARE requires --v1 and --v2");
+  }
+  auto o1 = Operand::Parse(*v1);
+  auto o2 = Operand::Parse(*v2);
+  if (!o1 || !o2) {
+    return Status::Error("COMPARE: cannot parse operands");
+  }
+  m->v1 = *o1;
+  m->v2 = *o2;
+  m->negate = HasFlag(opts, "--nequal");
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+bool CompareMatch::Matches(Packet& pkt, Engine&) const {
+  auto a = v1.Eval(pkt);
+  auto b = v2.Eval(pkt);
+  if (!a || !b) {
+    return false;  // missing context: cannot claim a match
+  }
+  bool equal = *a == *b;
+  return negate ? !equal : equal;
+}
+
+std::string CompareMatch::Render() const {
+  std::ostringstream oss;
+  oss << "COMPARE --v1 " << v1.Render() << " --v2 " << v2.Render()
+      << (negate ? " --nequal" : " --equal");
+  return oss.str();
+}
+
+// --- InterpMatch -------------------------------------------------------------------
+
+Status InterpMatch::Create(const std::vector<std::string>& opts,
+                           std::unique_ptr<MatchModule>* out) {
+  auto m = std::make_unique<InterpMatch>();
+  if (auto script = OptValue(opts, "--script")) {
+    m->script_suffix = *script;
+  }
+  if (auto lang = OptValue(opts, "--lang")) {
+    if (*lang == "php") {
+      m->lang = sim::InterpLang::kPhp;
+    } else if (*lang == "python") {
+      m->lang = sim::InterpLang::kPython;
+    } else if (*lang == "bash") {
+      m->lang = sim::InterpLang::kBash;
+    } else {
+      return Status::Error("INTERP --lang must be php|python|bash");
+    }
+  }
+  if (m->script_suffix.empty() && !m->lang) {
+    return Status::Error("INTERP requires --script and/or --lang");
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+bool InterpMatch::Matches(Packet& pkt, Engine&) const {
+  if (pkt.interp == nullptr || pkt.interp_status == UnwindStatus::kAborted ||
+      pkt.interp->empty()) {
+    return false;
+  }
+  const InterpRec& top = pkt.interp->front();
+  if (lang && top.lang != *lang) {
+    return false;
+  }
+  if (!script_suffix.empty()) {
+    const std::string& path = top.script_path;
+    if (path.size() < script_suffix.size() ||
+        path.compare(path.size() - script_suffix.size(), std::string::npos,
+                     script_suffix) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string InterpMatch::Render() const {
+  std::ostringstream oss;
+  oss << "INTERP";
+  if (!script_suffix.empty()) {
+    oss << " --script " << script_suffix;
+  }
+  if (lang) {
+    oss << " --lang "
+        << (*lang == sim::InterpLang::kPhp
+                ? "php"
+                : *lang == sim::InterpLang::kPython ? "python" : "bash");
+  }
+  return oss.str();
+}
+
+// --- targets -----------------------------------------------------------------------
+
+std::string_view VerdictTarget::Name() const {
+  switch (kind_) {
+    case TargetKind::kAccept: return "ACCEPT";
+    case TargetKind::kDrop: return "DROP";
+    case TargetKind::kReturn: return "RETURN";
+    default: return "CONTINUE";
+  }
+}
+
+TargetKind VerdictTarget::Fire(Packet&, Engine&) const { return kind_; }
+
+Status StateTarget::Create(const std::vector<std::string>& opts,
+                           std::unique_ptr<TargetModule>* out) {
+  auto t = std::make_unique<StateTarget>();
+  auto key = OptValue(opts, "--key");
+  if (!key) {
+    return Status::Error("STATE target requires --key");
+  }
+  t->key = Unquote(*key);
+  t->unset = HasFlag(opts, "--unset");
+  if (!t->unset) {
+    if (!HasFlag(opts, "--set")) {
+      return Status::Error("STATE target requires --set or --unset");
+    }
+    auto value = OptValue(opts, "--value");
+    if (!value) {
+      return Status::Error("STATE --set requires --value");
+    }
+    auto operand = Operand::Parse(*value);
+    if (!operand) {
+      return Status::Error("STATE --value: cannot parse '" + *value + "'");
+    }
+    t->value = *operand;
+  }
+  *out = std::move(t);
+  return Status::Ok();
+}
+
+TargetKind StateTarget::Fire(Packet& pkt, Engine& engine) const {
+  PfTaskState& state = engine.TaskState(*pkt.req->task);
+  if (unset) {
+    state.dict.erase(key);
+    return TargetKind::kContinue;
+  }
+  if (auto v = value.Eval(pkt)) {
+    state.dict[key] = *v;
+  }
+  return TargetKind::kContinue;
+}
+
+std::string StateTarget::Render() const {
+  std::ostringstream oss;
+  oss << "STATE " << (unset ? "--unset" : "--set") << " --key " << key;
+  if (!unset) {
+    oss << " --value " << value.Render();
+  }
+  return oss.str();
+}
+
+Status LogTarget::Create(const std::vector<std::string>& opts,
+                         std::unique_ptr<TargetModule>* out) {
+  auto t = std::make_unique<LogTarget>();
+  if (auto prefix = OptValue(opts, "--prefix")) {
+    t->prefix = Unquote(*prefix);
+  }
+  *out = std::move(t);
+  return Status::Ok();
+}
+
+TargetKind LogTarget::Fire(Packet& pkt, Engine& engine) const {
+  engine.EmitLog(pkt, prefix);
+  return TargetKind::kContinue;
+}
+
+std::string LogTarget::Render() const {
+  return prefix.empty() ? "LOG" : "LOG --prefix " + prefix;
+}
+
+}  // namespace pf::core

@@ -1,0 +1,76 @@
+#include "src/core/packet.h"
+
+#include "src/sim/task.h"
+
+namespace pf::core {
+
+std::optional<CtxVar> CtxVarFromName(std::string_view name) {
+  if (name == "C_INO") return CtxVar::kIno;
+  if (name == "C_GEN") return CtxVar::kGen;
+  if (name == "C_DEV") return CtxVar::kDev;
+  if (name == "C_SID") return CtxVar::kSid;
+  if (name == "C_DAC_OWNER") return CtxVar::kDacOwner;
+  if (name == "C_TGT_DAC_OWNER") return CtxVar::kTgtDacOwner;
+  if (name == "C_TGT_SID") return CtxVar::kTgtSid;
+  if (name == "C_PID") return CtxVar::kPid;
+  if (name == "C_UID") return CtxVar::kUid;
+  if (name == "C_EUID") return CtxVar::kEuid;
+  if (name == "C_SIG") return CtxVar::kSig;
+  if (name == "C_SYSCALL") return CtxVar::kSyscall;
+  return std::nullopt;
+}
+
+std::string_view CtxVarName(CtxVar v) {
+  switch (v) {
+    case CtxVar::kIno: return "C_INO";
+    case CtxVar::kGen: return "C_GEN";
+    case CtxVar::kDev: return "C_DEV";
+    case CtxVar::kSid: return "C_SID";
+    case CtxVar::kDacOwner: return "C_DAC_OWNER";
+    case CtxVar::kTgtDacOwner: return "C_TGT_DAC_OWNER";
+    case CtxVar::kTgtSid: return "C_TGT_SID";
+    case CtxVar::kPid: return "C_PID";
+    case CtxVar::kUid: return "C_UID";
+    case CtxVar::kEuid: return "C_EUID";
+    case CtxVar::kSig: return "C_SIG";
+    case CtxVar::kSyscall: return "C_SYSCALL";
+  }
+  return "C_?";
+}
+
+std::optional<int64_t> Packet::Resolve(CtxVar v) const {
+  switch (v) {
+    case CtxVar::kIno:
+      return has_object ? std::optional<int64_t>(static_cast<int64_t>(object_id.ino))
+                        : std::nullopt;
+    case CtxVar::kGen:
+      return has_object ? std::optional<int64_t>(static_cast<int64_t>(object_generation))
+                        : std::nullopt;
+    case CtxVar::kDev:
+      return has_object ? std::optional<int64_t>(object_id.dev) : std::nullopt;
+    case CtxVar::kSid:
+      return has_object ? std::optional<int64_t>(object_sid) : std::nullopt;
+    case CtxVar::kDacOwner:
+      return has_object ? std::optional<int64_t>(object_owner) : std::nullopt;
+    case CtxVar::kTgtDacOwner:
+      return has_link_target ? std::optional<int64_t>(link_target_owner) : std::nullopt;
+    case CtxVar::kTgtSid:
+      return has_link_target ? std::optional<int64_t>(link_target_sid) : std::nullopt;
+    case CtxVar::kPid:
+      return req && req->task ? std::optional<int64_t>(req->task->pid) : std::nullopt;
+    case CtxVar::kUid:
+      return req && req->task ? std::optional<int64_t>(req->task->cred.uid) : std::nullopt;
+    case CtxVar::kEuid:
+      return req && req->task ? std::optional<int64_t>(req->task->cred.euid)
+                              : std::nullopt;
+    case CtxVar::kSig:
+      return req && req->op == sim::Op::kSignalDeliver ? std::optional<int64_t>(req->sig)
+                                                       : std::nullopt;
+    case CtxVar::kSyscall:
+      return req ? std::optional<int64_t>(static_cast<int32_t>(req->syscall_nr))
+                 : std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pf::core

@@ -1,0 +1,540 @@
+#include "src/core/pftables.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "src/core/modules.h"
+
+namespace pf::core {
+
+namespace {
+
+bool IsTopLevelFlag(const std::string& t) {
+  return t == "-t" || t == "-I" || t == "-A" || t == "-D" || t == "-N" || t == "-F" ||
+         t == "-L" || t == "-P" || t == "-s" || t == "-d" || t == "-i" || t == "-o" || t == "-p" ||
+         t == "-b" || t == "--ino" || t == "-m" || t == "-j";
+}
+
+std::optional<uint64_t> ParseU64(const std::string& token) {
+  if (token.empty()) {
+    return std::nullopt;
+  }
+  int base = 10;
+  size_t start = 0;
+  if (token.size() > 2 && token[0] == '0' && (token[1] == 'x' || token[1] == 'X')) {
+    base = 16;
+    start = 2;
+  }
+  uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data() + start, token.data() + token.size(), value, base);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// "create/input" means "the create chain (falling back to input)"; we route
+// such rules to the first named chain.
+std::string NormalizeChain(const std::string& raw) {
+  std::string s = Lower(raw);
+  auto slash = s.find('/');
+  if (slash != std::string::npos) {
+    s = s.substr(0, slash);
+  }
+  return s;
+}
+
+using MatchFactory = Status (*)(const std::vector<std::string>&,
+                                std::unique_ptr<MatchModule>*);
+using TargetFactory = Status (*)(const std::vector<std::string>&,
+                                 std::unique_ptr<TargetModule>*);
+
+MatchFactory FindMatchFactory(const std::string& name) {
+  if (name == "STATE") return &StateMatch::Create;
+  if (name == "SIGNAL_MATCH") return &SignalMatch::Create;
+  if (name == "SYSCALL_ARGS") return &SyscallArgsMatch::Create;
+  if (name == "COMPARE") return &CompareMatch::Create;
+  if (name == "INTERP") return &InterpMatch::Create;
+  return nullptr;
+}
+
+TargetFactory FindTargetFactory(const std::string& name) {
+  if (name == "STATE") return &StateTarget::Create;
+  if (name == "LOG") return &LogTarget::Create;
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> Pftables::Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  char quote = 0;
+  for (char c : line) {
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      } else {
+        cur.push_back(c);
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n') {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (!cur.empty()) {
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+Status Pftables::ParseLabelSet(const std::string& token, LabelSet* out) {
+  std::string body = token;
+  out->wildcard = false;
+  out->negate = false;
+  out->syshigh = false;
+  out->sids.clear();
+  if (!body.empty() && body[0] == '~') {
+    out->negate = true;
+    body = body.substr(1);
+  }
+  if (!body.empty() && body.front() == '{') {
+    if (body.back() != '}') {
+      return Status::Error("unterminated label set: " + token);
+    }
+    body = body.substr(1, body.size() - 2);
+  }
+  if (body.empty()) {
+    return Status::Error("empty label set: " + token);
+  }
+  size_t i = 0;
+  while (i <= body.size()) {
+    size_t j = body.find('|', i);
+    if (j == std::string::npos) {
+      j = body.size();
+    }
+    std::string name = body.substr(i, j - i);
+    if (name == "SYSHIGH") {
+      out->syshigh = true;
+    } else if (!name.empty()) {
+      out->sids.push_back(engine_->kernel().labels().Intern(name));
+    }
+    if (j == body.size()) {
+      break;
+    }
+    i = j + 1;
+  }
+  return Status::Ok();
+}
+
+Status Pftables::ParseRule(const std::vector<std::string>& tokens, size_t from, Rule* rule) {
+  size_t i = from;
+  auto need_value = [&](const std::string& flag) -> Status {
+    if (i >= tokens.size()) {
+      return Status::Error(flag + " requires a value");
+    }
+    return Status::Ok();
+  };
+
+  while (i < tokens.size()) {
+    const std::string& flag = tokens[i++];
+    if (flag == "-s" || flag == "-d") {
+      if (Status s = need_value(flag); !s.ok()) {
+        return s;
+      }
+      LabelSet* set = flag == "-s" ? &rule->subject : &rule->object;
+      if (Status s = ParseLabelSet(tokens[i++], set); !s.ok()) {
+        return s;
+      }
+    } else if (flag == "-i") {
+      if (Status s = need_value(flag); !s.ok()) {
+        return s;
+      }
+      auto ept = ParseU64(tokens[i++]);
+      if (!ept) {
+        return Status::Error("-i: cannot parse entrypoint");
+      }
+      rule->entrypoint = *ept;
+    } else if (flag == "-o") {
+      if (Status s = need_value(flag); !s.ok()) {
+        return s;
+      }
+      auto op = sim::OpFromName(tokens[i++]);
+      if (!op) {
+        return Status::Error("-o: unknown operation '" + tokens[i - 1] + "'");
+      }
+      rule->op = *op;
+    } else if (flag == "-p" || flag == "-b") {
+      if (Status s = need_value(flag); !s.ok()) {
+        return s;
+      }
+      rule->program = tokens[i++];
+      auto inode = engine_->kernel().LookupNoHooks(rule->program);
+      if (!inode) {
+        return Status::Error("-p: program not found: " + rule->program);
+      }
+      rule->program_file = inode->id();
+    } else if (flag == "--ino") {
+      if (Status s = need_value(flag); !s.ok()) {
+        return s;
+      }
+      auto ino = ParseU64(tokens[i++]);
+      if (!ino) {
+        return Status::Error("--ino: cannot parse inode number");
+      }
+      rule->ino = *ino;
+    } else if (flag == "-m") {
+      if (Status s = need_value(flag); !s.ok()) {
+        return s;
+      }
+      std::string name = tokens[i++];
+      std::vector<std::string> opts;
+      while (i < tokens.size() && !IsTopLevelFlag(tokens[i])) {
+        opts.push_back(tokens[i++]);
+      }
+      std::unique_ptr<MatchModule> match;
+      if (auto it = custom_matches_.find(name); it != custom_matches_.end()) {
+        if (Status s = it->second(opts, &match); !s.ok()) {
+          return s;
+        }
+      } else if (MatchFactory factory = FindMatchFactory(name); factory != nullptr) {
+        if (Status s = factory(opts, &match); !s.ok()) {
+          return s;
+        }
+      } else {
+        return Status::Error("-m: unknown match module '" + name + "'");
+      }
+      rule->matches.push_back(std::move(match));
+    } else if (flag == "-j") {
+      if (Status s = need_value(flag); !s.ok()) {
+        return s;
+      }
+      std::string name = tokens[i++];
+      std::vector<std::string> opts;
+      while (i < tokens.size() && !IsTopLevelFlag(tokens[i])) {
+        opts.push_back(tokens[i++]);
+      }
+      if (auto it = custom_targets_.find(name); it != custom_targets_.end()) {
+        std::unique_ptr<TargetModule> target;
+        if (Status s = it->second(opts, &target); !s.ok()) {
+          return s;
+        }
+        rule->target = std::move(target);
+      } else if (name == "ACCEPT" || name == "DROP" || name == "RETURN" ||
+                 name == "CONTINUE") {
+        if (!opts.empty()) {
+          return Status::Error("-j " + name + " takes no options");
+        }
+        TargetKind kind = name == "ACCEPT"   ? TargetKind::kAccept
+                          : name == "DROP"   ? TargetKind::kDrop
+                          : name == "RETURN" ? TargetKind::kReturn
+                                             : TargetKind::kContinue;
+        rule->target = std::make_unique<VerdictTarget>(kind);
+      } else if (TargetFactory factory = FindTargetFactory(name); factory != nullptr) {
+        std::unique_ptr<TargetModule> target;
+        if (Status s = factory(opts, &target); !s.ok()) {
+          return s;
+        }
+        rule->target = std::move(target);
+      } else {
+        // Jump to a user-defined chain (created on demand; chain names are
+        // case-insensitive, matching the paper's listings).
+        if (!opts.empty()) {
+          return Status::Error("-j <chain> takes no options");
+        }
+        std::string chain = NormalizeChain(name);
+        engine_->ruleset().filter().GetOrCreate(chain);
+        rule->target = std::make_unique<JumpTarget>(chain);
+      }
+    } else {
+      return Status::Error("unknown flag '" + flag + "'");
+    }
+  }
+
+  if (!rule->target) {
+    rule->target = std::make_unique<VerdictTarget>(TargetKind::kContinue);
+  }
+
+  // Compute the union of context requirements (introspection + eager mode).
+  rule->needs = 0;
+  if (rule->has_program() || rule->entrypoint) {
+    rule->needs |= CtxBit(Ctx::kEntrypoint);
+  }
+  if (!rule->object.wildcard || rule->ino) {
+    rule->needs |= CtxBit(Ctx::kObject);
+    if (rule->object.syshigh) {
+      rule->needs |= CtxBit(Ctx::kAdversaryAccess);
+    }
+  }
+  for (const auto& m : rule->matches) {
+    rule->needs |= m->Needs();
+  }
+  rule->needs |= rule->target->Needs();
+  return Status::Ok();
+}
+
+void Pftables::ReindexAll(Table& table) {
+  for (auto& [name, chain] : table.chains()) {
+    chain.BuildIndex();
+  }
+}
+
+Status Pftables::Exec(const std::string& command) {
+  std::vector<std::string> tokens = Tokenize(command);
+  size_t i = 0;
+  if (tokens.empty() || tokens[0][0] == '#' || tokens[0][0] == '*') {
+    return Status::Ok();  // comment / annotation line
+  }
+  if (tokens[0] == "pftables") {
+    ++i;
+  }
+
+  std::string table_name = "filter";
+  if (i + 1 < tokens.size() && tokens[i] == "-t") {
+    table_name = tokens[i + 1];
+    i += 2;
+  }
+  Table* table = engine_->ruleset().FindTable(table_name);
+  if (table == nullptr) {
+    return Status::Error("unknown table '" + table_name + "'");
+  }
+
+  // Chain command (default: append to input).
+  enum class Cmd { kInsert, kAppend, kDelete, kNew, kFlush, kList, kPolicy } cmd =
+      Cmd::kAppend;
+  std::string chain_name = "input";
+  bool chain_given = false;
+  size_t position = 0;
+  bool has_position = false;
+
+  if (i < tokens.size() &&
+      (tokens[i] == "-I" || tokens[i] == "-A" || tokens[i] == "-D" || tokens[i] == "-N" ||
+       tokens[i] == "-F" || tokens[i] == "-L" || tokens[i] == "-P")) {
+    std::string c = tokens[i++];
+    cmd = c == "-I"   ? Cmd::kInsert
+          : c == "-A" ? Cmd::kAppend
+          : c == "-D" ? Cmd::kDelete
+          : c == "-N" ? Cmd::kNew
+          : c == "-F" ? Cmd::kFlush
+          : c == "-P" ? Cmd::kPolicy
+                      : Cmd::kList;
+    if (i < tokens.size() && !IsTopLevelFlag(tokens[i])) {
+      chain_name = NormalizeChain(tokens[i++]);
+      chain_given = true;
+    } else if (cmd != Cmd::kFlush && cmd != Cmd::kList) {
+      return Status::Error("chain name required");
+    }
+    if (i < tokens.size() && (cmd == Cmd::kInsert || cmd == Cmd::kDelete)) {
+      if (auto pos = ParseU64(tokens[i]); pos && !IsTopLevelFlag(tokens[i])) {
+        position = static_cast<size_t>(*pos);
+        has_position = true;
+        ++i;
+      }
+    }
+    if (cmd == Cmd::kDelete && !has_position) {
+      return Status::Error("-D requires a rule number");
+    }
+  }
+
+  switch (cmd) {
+    case Cmd::kNew: {
+      if (!table->NewChain(chain_name)) {
+        return Status::Error("chain exists: " + chain_name);
+      }
+      return Status::Ok();
+    }
+    case Cmd::kFlush: {
+      if (!chain_given) {
+        table->FlushAll();
+      } else if (Chain* chain = table->Find(chain_name)) {
+        chain->Flush();
+      } else {
+        return Status::Error("no such chain: " + chain_name);
+      }
+      ReindexAll(*table);
+      return Status::Ok();
+    }
+    case Cmd::kList:
+      return Status::Ok();  // use List() for output
+    case Cmd::kPolicy: {
+      Chain* chain = table->Find(chain_name);
+      if (chain == nullptr) {
+        return Status::Error("no such chain: " + chain_name);
+      }
+      if (!chain->builtin()) {
+        return Status::Error("-P applies to builtin chains only");
+      }
+      if (i >= tokens.size()) {
+        return Status::Error("-P requires ACCEPT or DROP");
+      }
+      std::string policy = tokens[i++];
+      if (policy == "ACCEPT") {
+        chain->set_policy(Chain::Policy::kAccept);
+      } else if (policy == "DROP") {
+        chain->set_policy(Chain::Policy::kDrop);
+      } else {
+        return Status::Error("-P requires ACCEPT or DROP");
+      }
+      return Status::Ok();
+    }
+    case Cmd::kDelete: {
+      Chain* chain = table->Find(chain_name);
+      if (chain == nullptr) {
+        return Status::Error("no such chain: " + chain_name);
+      }
+      if (position == 0 || !chain->Delete(position - 1)) {
+        return Status::Error("no rule at position");
+      }
+      ReindexAll(*table);
+      return Status::Ok();
+    }
+    case Cmd::kInsert:
+    case Cmd::kAppend: {
+      Rule rule;
+      rule.source = command;
+      if (Status s = ParseRule(tokens, i, &rule); !s.ok()) {
+        return s;
+      }
+      Chain& chain = table->GetOrCreate(chain_name);
+      if (cmd == Cmd::kInsert) {
+        chain.Insert(std::move(rule), has_position ? position - 1 : 0);
+      } else {
+        chain.Append(std::move(rule));
+      }
+      ReindexAll(*table);
+      return Status::Ok();
+    }
+  }
+  return Status::Error("unreachable");
+}
+
+Status Pftables::ExecAll(const std::vector<std::string>& commands) {
+  for (const std::string& cmd : commands) {
+    if (Status s = Exec(cmd); !s.ok()) {
+      return Status::Error(s.message() + " in: " + cmd);
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+// Renders a rule spec in command syntax (shared by List and Save).
+std::string RenderRuleSpec(const Rule& r, const sim::LabelRegistry& labels) {
+  std::ostringstream oss;
+  if (r.op) {
+    oss << "-o " << sim::OpName(*r.op) << " ";
+  }
+  if (!r.subject.wildcard) {
+    oss << "-s " << r.subject.Render(labels) << " ";
+  }
+  if (!r.object.wildcard) {
+    oss << "-d " << r.object.Render(labels) << " ";
+  }
+  if (r.has_program()) {
+    oss << "-p " << r.program << " ";
+  }
+  if (r.entrypoint) {
+    oss << "-i 0x" << std::hex << *r.entrypoint << std::dec << " ";
+  }
+  if (r.ino) {
+    oss << "--ino " << *r.ino << " ";
+  }
+  for (const auto& m : r.matches) {
+    oss << "-m " << m->Render() << " ";
+  }
+  oss << "-j " << r.target->Render();
+  return oss.str();
+}
+}  // namespace
+
+std::string Pftables::List(const std::string& table_name) const {
+  std::ostringstream oss;
+  Table* table = engine_->ruleset().FindTable(table_name);
+  if (table == nullptr) {
+    return "unknown table\n";
+  }
+  const sim::LabelRegistry& labels = engine_->kernel().labels();
+  for (const auto& [name, chain] : table->chains()) {
+    oss << "Chain " << name << " (" << chain.size() << " rules"
+        << (chain.builtin() ? ", builtin" : "") << ")\n";
+    size_t idx = 1;
+    for (const Rule& r : chain.rules()) {
+      oss << "  " << idx++ << ". " << RenderRuleSpec(r, labels);
+      oss << "  [evals=" << r.evals << " hits=" << r.hits << "]\n";
+    }
+  }
+  return oss.str();
+}
+
+std::string Pftables::Save(const std::string& table_name) const {
+  std::ostringstream oss;
+  Table* table = engine_->ruleset().FindTable(table_name);
+  if (table == nullptr) {
+    return "";
+  }
+  const sim::LabelRegistry& labels = engine_->kernel().labels();
+  oss << "* pftables-save table=" << table_name << "\n";
+  for (const auto& [name, chain] : table->chains()) {
+    if (!chain.builtin()) {
+      oss << "pftables -t " << table_name << " -N " << name << "\n";
+    } else if (chain.policy() == Chain::Policy::kDrop) {
+      oss << "pftables -t " << table_name << " -P " << name << " DROP\n";
+    }
+  }
+  for (const auto& [name, chain] : table->chains()) {
+    for (const Rule& r : chain.rules()) {
+      oss << "pftables -t " << table_name << " -A " << name << " "
+          << RenderRuleSpec(r, labels) << "\n";
+    }
+  }
+  return oss.str();
+}
+
+Status Pftables::Restore(const std::string& dump) {
+  size_t i = 0;
+  while (i < dump.size()) {
+    size_t j = dump.find('\n', i);
+    if (j == std::string::npos) {
+      j = dump.size();
+    }
+    std::string line = dump.substr(i, j - i);
+    // Skip -N failures for chains that already exist (idempotent restore).
+    Status s = Exec(line);
+    if (!s.ok() && line.find(" -N ") == std::string::npos) {
+      return Status::Error(s.message() + " in: " + line);
+    }
+    i = j + 1;
+  }
+  return Status::Ok();
+}
+
+void Pftables::ZeroCounters() {
+  for (Table* table : {&engine_->ruleset().filter(), &engine_->ruleset().mangle()}) {
+    for (auto& [name, chain] : table->chains()) {
+      for (Rule& r : chain.rules()) {
+        r.evals = 0;
+        r.hits = 0;
+      }
+    }
+  }
+}
+
+}  // namespace pf::core

@@ -1,0 +1,88 @@
+// pftables: the rule-language front-end (paper Table 3, §5.2).
+//
+// Accepts iptables-style command lines:
+//
+//   pftables [-t table] [-I chain [pos] | -A chain | -D chain pos |
+//             -N chain | -F [chain]] [rule_spec]
+//   rule_spec: [-s labelset] [-d labelset] [-i ept] [-o op] [-p program]
+//              [--ino n] [-m module opts...]* [-j target opts...]
+//   labelset : name | SYSHIGH | {a|b|...} | ~name | ~{a|b|SYSHIGH}
+//
+// When no chain command is given the rule is appended to the `input` chain
+// (the paper's listings R1-R8 rely on this default). At install time label
+// names are translated to security IDs and program paths to inode numbers
+// for fast matching, exactly as described in the paper.
+#ifndef SRC_CORE_PFTABLES_H_
+#define SRC_CORE_PFTABLES_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/status.h"
+
+namespace pf::core {
+
+// Extension factories: the "userspace half" of a match/target module that
+// parses rule-language options into a module instance (the instance itself
+// is the kernel half). Mirrors how iptables extensions register themselves.
+using MatchFactoryFn =
+    std::function<Status(const std::vector<std::string>&, std::unique_ptr<MatchModule>*)>;
+using TargetFactoryFn =
+    std::function<Status(const std::vector<std::string>&, std::unique_ptr<TargetModule>*)>;
+
+class Pftables {
+ public:
+  explicit Pftables(Engine* engine) : engine_(engine) {}
+
+  // Registers a custom match/target module under its rule-language name
+  // (e.g. "-m OWNER ..."). Custom names shadow the built-in set.
+  void RegisterMatch(const std::string& name, MatchFactoryFn factory) {
+    custom_matches_[name] = std::move(factory);
+  }
+  void RegisterTarget(const std::string& name, TargetFactoryFn factory) {
+    custom_targets_[name] = std::move(factory);
+  }
+
+  // Executes one pftables command line (the leading "pftables" word is
+  // optional). Lines that are empty or start with '#'/'*' are ignored, so
+  // annotated rule files can be fed line by line.
+  Status Exec(const std::string& command);
+
+  // Executes many commands; stops at the first error.
+  Status ExecAll(const std::vector<std::string>& commands);
+
+  // Renders a table's chains, rules, and counters.
+  std::string List(const std::string& table = "filter") const;
+
+  // Serializes the rule base as re-installable commands (pftables-save).
+  // Round trip: Restore(Save()) reproduces the rule base.
+  std::string Save(const std::string& table = "filter") const;
+
+  // Executes a Save()-format dump line by line (pftables-restore).
+  Status Restore(const std::string& dump);
+
+  // Zeroes all rule counters (-Z).
+  void ZeroCounters();
+
+  Engine& engine() { return *engine_; }
+
+  // Tokenizes a command line (exposed for tests): whitespace-separated,
+  // honoring single and double quotes.
+  static std::vector<std::string> Tokenize(const std::string& line);
+
+ private:
+  Status ParseLabelSet(const std::string& token, LabelSet* out);
+  Status ParseRule(const std::vector<std::string>& tokens, size_t from, Rule* rule);
+  void ReindexAll(Table& table);
+
+  Engine* engine_;
+  std::map<std::string, MatchFactoryFn> custom_matches_;
+  std::map<std::string, TargetFactoryFn> custom_targets_;
+};
+
+}  // namespace pf::core
+
+#endif  // SRC_CORE_PFTABLES_H_

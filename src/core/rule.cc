@@ -1,0 +1,62 @@
+#include "src/core/rule.h"
+
+#include <sstream>
+
+namespace pf::core {
+
+bool LabelSet::InSet(sim::Sid sid) const {
+  for (sim::Sid s : sids) {
+    if (s == sid) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LabelSet::MatchesSubject(sim::Sid sid, const sim::MacPolicy& policy) const {
+  if (wildcard) {
+    return true;
+  }
+  bool in = InSet(sid) || (syshigh && policy.IsSyshighSubject(sid));
+  return negate ? !in : in;
+}
+
+bool LabelSet::MatchesObject(sim::Sid sid, const sim::MacPolicy& policy) const {
+  if (wildcard) {
+    return true;
+  }
+  bool in = InSet(sid) || (syshigh && policy.IsSyshighObject(sid));
+  return negate ? !in : in;
+}
+
+std::string LabelSet::Render(const sim::LabelRegistry& labels) const {
+  if (wildcard) {
+    return "*";
+  }
+  std::ostringstream oss;
+  if (negate) {
+    oss << "~";
+  }
+  bool braces = sids.size() + (syshigh ? 1 : 0) != 1;
+  if (braces) {
+    oss << "{";
+  }
+  bool first = true;
+  if (syshigh) {
+    oss << "SYSHIGH";
+    first = false;
+  }
+  for (sim::Sid s : sids) {
+    if (!first) {
+      oss << "|";
+    }
+    oss << labels.Name(s);
+    first = false;
+  }
+  if (braces) {
+    oss << "}";
+  }
+  return oss.str();
+}
+
+}  // namespace pf::core

@@ -1,0 +1,105 @@
+// Process Firewall rule representation.
+//
+// A rule mirrors an iptables rule (paper Table 3): default matches (subject
+// label, object label, entrypoint, operation, program, resource identifier),
+// extensible match modules (-m), and a target (-j). Rules are deny rules
+// followed by a default allow (paper §4.1), which keeps traversal order
+// insensitive and makes entrypoint-chain indexing sound.
+#ifndef SRC_CORE_RULE_H_
+#define SRC_CORE_RULE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/packet.h"
+#include "src/sim/label.h"
+#include "src/sim/mac_policy.h"
+
+namespace pf::core {
+
+class Engine;
+
+using CtxMask = uint32_t;
+
+// A set of labels with optional negation and the SYSHIGH keyword
+// (expanded against the MAC policy at match time, so rules stay valid as the
+// policy evolves — compare paper §5.2).
+struct LabelSet {
+  std::vector<sim::Sid> sids;
+  bool syshigh = false;
+  bool negate = false;
+  bool wildcard = true;  // unset: matches anything
+
+  bool MatchesSubject(sim::Sid sid, const sim::MacPolicy& policy) const;
+  bool MatchesObject(sim::Sid sid, const sim::MacPolicy& policy) const;
+  std::string Render(const sim::LabelRegistry& labels) const;
+
+ private:
+  bool InSet(sim::Sid sid) const;
+};
+
+// Extensible match module instance (the kernel half; the "userspace half"
+// is its factory's option parser in pftables.cc).
+class MatchModule {
+ public:
+  virtual ~MatchModule() = default;
+  virtual std::string_view Name() const = 0;
+  // Context fields that must be collected before Matches() runs.
+  virtual CtxMask Needs() const { return 0; }
+  virtual bool Matches(Packet& pkt, Engine& engine) const = 0;
+  virtual std::string Render() const = 0;
+};
+
+// Target verdicts.
+enum class TargetKind {
+  kAccept,    // allow the access, stop traversal
+  kDrop,      // deny the access, stop traversal
+  kContinue,  // side-effect-only target (LOG, STATE --set): keep going
+  kReturn,    // pop to the calling chain
+  kJump,      // push the named chain
+};
+
+class TargetModule {
+ public:
+  virtual ~TargetModule() = default;
+  virtual std::string_view Name() const = 0;
+  virtual CtxMask Needs() const { return 0; }
+  // Fires the target; for kJump the chain name is in jump_chain().
+  virtual TargetKind Fire(Packet& pkt, Engine& engine) const = 0;
+  virtual const std::string& jump_chain() const {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+  virtual std::string Render() const = 0;
+};
+
+struct Rule {
+  // --- default matches ---
+  std::optional<sim::Op> op;                // -o
+  LabelSet subject;                         // -s
+  LabelSet object;                          // -d
+  std::string program;                      // -p (path as written)
+  sim::FileId program_file;                 // compiled identity
+  std::optional<uint64_t> entrypoint;       // -i (binary-relative PC)
+  std::optional<sim::Ino> ino;              // --ino (resource identifier)
+
+  std::vector<std::unique_ptr<MatchModule>> matches;
+  std::unique_ptr<TargetModule> target;     // never null after compilation
+
+  // Context requirements of all parts (computed once at install).
+  CtxMask needs = 0;
+
+  // Diagnostics / counters.
+  std::string source;      // original rule text
+  mutable uint64_t evals = 0;
+  mutable uint64_t hits = 0;
+
+  bool has_program() const { return program_file.ino != sim::kInvalidIno; }
+  bool IndexableByEntrypoint() const { return has_program() && entrypoint.has_value(); }
+};
+
+}  // namespace pf::core
+
+#endif  // SRC_CORE_RULE_H_

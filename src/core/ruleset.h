@@ -1,0 +1,126 @@
+// Tables and chains of rules, with the entrypoint-specific chain index
+// (paper §4.3): because (nearly) all invariants are deny rules associated
+// with a specific entrypoint, rules indexable by (program, entrypoint) are
+// grouped into per-entrypoint chains and looked up by hash, while the
+// remaining rules are scanned first.
+#ifndef SRC_CORE_RULESET_H_
+#define SRC_CORE_RULESET_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/rule.h"
+
+namespace pf::core {
+
+struct EptKey {
+  sim::FileId file;
+  uint64_t offset = 0;
+  bool operator==(const EptKey&) const = default;
+};
+
+struct EptKeyHash {
+  size_t operator()(const EptKey& k) const {
+    return sim::FileIdHash()(k.file) ^ std::hash<uint64_t>()(k.offset * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+class Chain {
+ public:
+  Chain() = default;
+  Chain(std::string name, bool builtin) : name_(std::move(name)), builtin_(builtin) {}
+
+  const std::string& name() const { return name_; }
+  bool builtin() const { return builtin_; }
+
+  // Default verdict when no rule decides (builtin chains only; user chains
+  // fall through to their caller). The paper's deployment uses ACCEPT
+  // everywhere (deny rules + default allow); DROP turns a chain into a
+  // whitelist, at the cost of rule-order sensitivity.
+  enum class Policy { kAccept, kDrop };
+  Policy policy() const { return policy_; }
+  void set_policy(Policy p) { policy_ = p; }
+
+  void Insert(Rule rule, size_t pos);  // pos clamped to [0, size]
+  void Append(Rule rule);
+  bool Delete(size_t pos);
+  void Flush();
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& rules() { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  // --- entrypoint index ---
+  void BuildIndex();
+  bool index_built() const { return index_built_; }
+  const std::vector<const Rule*>& plain_rules() const { return plain_; }
+  const std::vector<const Rule*>* EptRules(const EptKey& key) const;
+  size_t indexed_entrypoints() const { return by_ept_.size(); }
+
+ private:
+  void InvalidateIndex();
+
+  std::string name_;
+  bool builtin_ = false;
+  Policy policy_ = Policy::kAccept;
+  std::vector<Rule> rules_;
+
+  bool index_built_ = false;
+  std::vector<const Rule*> plain_;
+  std::unordered_map<EptKey, std::vector<const Rule*>, EptKeyHash> by_ept_;
+};
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {
+    // Builtin chains (paper Table 3 plus the syscall-entry and create
+    // chains used by rules R12 and template T2).
+    chains_.emplace("input", Chain("input", true));
+    chains_.emplace("output", Chain("output", true));
+    chains_.emplace("create", Chain("create", true));
+    chains_.emplace("syscallbegin", Chain("syscallbegin", true));
+  }
+
+  const std::string& name() const { return name_; }
+  Chain* Find(const std::string& chain);
+  const Chain* Find(const std::string& chain) const;
+  Chain& GetOrCreate(const std::string& chain);
+  bool NewChain(const std::string& chain);  // false if it already exists
+  void FlushAll();
+
+  const std::map<std::string, Chain>& chains() const { return chains_; }
+  std::map<std::string, Chain>& chains() { return chains_; }
+  size_t total_rules() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, Chain> chains_;
+};
+
+class RuleSet {
+ public:
+  RuleSet() : filter_("filter"), mangle_("mangle") {}
+
+  Table* FindTable(const std::string& name) {
+    if (name == "filter") {
+      return &filter_;
+    }
+    if (name == "mangle") {
+      return &mangle_;
+    }
+    return nullptr;
+  }
+  Table& filter() { return filter_; }
+  Table& mangle() { return mangle_; }
+  size_t total_rules() const { return filter_.total_rules() + mangle_.total_rules(); }
+
+ private:
+  Table filter_;
+  Table mangle_;
+};
+
+}  // namespace pf::core
+
+#endif  // SRC_CORE_RULESET_H_

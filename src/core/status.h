@@ -1,0 +1,31 @@
+// Minimal status type for the pftables front-end (rule parsing/validation).
+#ifndef SRC_CORE_STATUS_H_
+#define SRC_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace pf::core {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status Ok() { return Status(); }
+  static Status Error(std::string msg) {
+    Status s;
+    s.ok_ = false;
+    s.msg_ = std::move(msg);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return msg_; }
+
+ private:
+  bool ok_ = true;
+  std::string msg_;
+};
+
+}  // namespace pf::core
+
+#endif  // SRC_CORE_STATUS_H_

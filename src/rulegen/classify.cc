@@ -1,0 +1,75 @@
+#include "src/rulegen/classify.h"
+
+#include <sstream>
+
+namespace pf::rulegen {
+
+void EntrypointClassifier::Add(const core::LogRecord& record) {
+  if (!record.entry_valid) {
+    return;
+  }
+  EptKey key{record.program, record.entrypoint};
+  EptInfo& info = table_[key];
+  ++info.invocations;
+  // Integrity view (footnote 2 of the paper): a resource writable by an
+  // adversary is low-integrity.
+  if (record.adversary_writable) {
+    info.saw_low = true;
+    info.low_labels.insert(record.object_label);
+  } else {
+    info.saw_high = true;
+    info.high_labels.insert(record.object_label);
+  }
+  info.ops.insert(std::string(sim::OpName(record.op)));
+}
+
+void EntrypointClassifier::AddAll(const std::vector<core::LogRecord>& records) {
+  for (const auto& r : records) {
+    Add(r);
+  }
+}
+
+size_t EntrypointClassifier::CountClass(EptClass c) const {
+  size_t n = 0;
+  for (const auto& [key, info] : table_) {
+    if (info.Classification() == c) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::string> EntrypointClassifier::SuggestRules(uint64_t threshold) const {
+  std::vector<std::string> rules;
+  for (const auto& [key, info] : table_) {
+    if (info.invocations < threshold || info.Classification() == EptClass::kBoth) {
+      continue;
+    }
+    const std::set<std::string>& labels =
+        info.Classification() == EptClass::kHigh ? info.high_labels : info.low_labels;
+    if (labels.empty() || labels.count("") != 0) {
+      continue;
+    }
+    std::ostringstream set;
+    set << "{";
+    bool first = true;
+    for (const std::string& label : labels) {
+      if (!first) {
+        set << "|";
+      }
+      set << label;
+      first = false;
+    }
+    set << "}";
+    for (const std::string& op : info.ops) {
+      std::ostringstream rule;
+      rule << "pftables -I input -i 0x" << std::hex << key.entrypoint << std::dec
+           << " -p " << key.program << " -d ~" << set.str() << " -o " << op
+           << " -j DROP";
+      rules.push_back(rule.str());
+    }
+  }
+  return rules;
+}
+
+}  // namespace pf::rulegen

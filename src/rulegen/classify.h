@@ -1,0 +1,72 @@
+// Entrypoint classification from runtime traces (paper §6.3.1).
+//
+// Every LOG record carries the entrypoint (program + relative PC) and the
+// adversary accessibility of the resource. Entrypoints are classified as
+// high (only adversary-inaccessible resources observed), low (only
+// adversary-accessible), or both. Invariant rules are suggested for
+// entrypoints classified high or low and invoked at least a threshold
+// number of times; the threshold trades coverage against false positives.
+#ifndef SRC_RULEGEN_CLASSIFY_H_
+#define SRC_RULEGEN_CLASSIFY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/log.h"
+
+namespace pf::rulegen {
+
+enum class EptClass { kHigh, kLow, kBoth };
+
+struct EptKey {
+  std::string program;
+  uint64_t entrypoint = 0;
+  bool operator<(const EptKey& o) const {
+    return program != o.program ? program < o.program : entrypoint < o.entrypoint;
+  }
+};
+
+struct EptInfo {
+  uint64_t invocations = 0;
+  bool saw_high = false;
+  bool saw_low = false;
+  // Observed object labels and operations, per integrity class.
+  std::set<std::string> high_labels;
+  std::set<std::string> low_labels;
+  std::set<std::string> ops;
+
+  EptClass Classification() const {
+    if (saw_high && saw_low) {
+      return EptClass::kBoth;
+    }
+    return saw_low ? EptClass::kLow : EptClass::kHigh;
+  }
+};
+
+class EntrypointClassifier {
+ public:
+  // Ingests one LOG record (entries without a valid entrypoint are skipped).
+  void Add(const core::LogRecord& record);
+  void AddAll(const std::vector<core::LogRecord>& records);
+
+  const std::map<EptKey, EptInfo>& entrypoints() const { return table_; }
+
+  // Counts by classification.
+  size_t CountClass(EptClass c) const;
+
+  // Suggests T1-style invariant rules for entrypoints invoked at least
+  // `threshold` times and classified high or low: each suggested rule
+  // restricts the entrypoint's operation to the set of labels it was
+  // observed to access.
+  std::vector<std::string> SuggestRules(uint64_t threshold) const;
+
+ private:
+  std::map<EptKey, EptInfo> table_;
+};
+
+}  // namespace pf::rulegen
+
+#endif  // SRC_RULEGEN_CLASSIFY_H_

@@ -1,0 +1,178 @@
+#include "src/rulegen/sting.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::rulegen {
+
+namespace {
+
+std::string DirnameOf(const std::string& path) {
+  auto slash = path.rfind('/');
+  if (slash == std::string::npos || slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+bool IsInterestingOp(sim::Op op) {
+  switch (op) {
+    case sim::Op::kFileOpen:
+    case sim::Op::kFileCreate:
+    case sim::Op::kFileGetattr:
+    case sim::Op::kSocketConnect:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool Sting::AdversaryCanPlant(StingWorld& world, const std::string& path) {
+  auto dir = world.kernel->LookupNoHooks(DirnameOf(path));
+  if (!dir) {
+    return false;
+  }
+  return world.kernel->policy().AdversaryWritable(dir->sid);
+}
+
+std::vector<StingCandidate> Sting::Monitor() {
+  StingWorld world = factory_();
+  core::Pftables pft(world.engine);
+  // Log everything that binds a name to a resource.
+  core::Status s = pft.Exec("pftables -I input -j LOG --prefix sting-monitor");
+  if (!s.ok()) {
+    return {};
+  }
+  workload_(world);
+
+  std::vector<StingCandidate> out;
+  std::set<std::string> seen;
+  for (const core::LogRecord& rec : world.engine->log().records()) {
+    if (!rec.entry_valid || !IsInterestingOp(rec.op)) {
+      continue;
+    }
+    // Names are recorded for pathname-driven accesses only.
+    if (rec.name.empty() || rec.name[0] != '/') {
+      continue;
+    }
+    StingCandidate cand;
+    cand.program = rec.program;
+    cand.entrypoint = rec.entrypoint;
+    cand.path = rec.name;
+    cand.op = rec.op;
+    cand.expects_low_integrity = rec.adversary_writable;
+    // Attack surface: an adversary can interpose on this binding.
+    if (!AdversaryCanPlant(world, cand.path)) {
+      continue;
+    }
+    std::string key = cand.program + ":" + std::to_string(cand.entrypoint) + ":" +
+                      cand.path + ":" + std::string(sim::OpName(cand.op));
+    if (seen.insert(key).second) {
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+std::vector<StingFinding> Sting::TestCandidates(
+    const std::vector<StingCandidate>& candidates) {
+  std::vector<StingFinding> findings;
+  for (const StingCandidate& cand : candidates) {
+    StingFinding finding;
+    finding.candidate = cand;
+
+    StingWorld world = factory_();
+    // Plant the attack: a canary the adversary could never touch directly,
+    // reachable only by tricking the victim.
+    auto canary = world.kernel->MkFileAt(kCanaryPath, "sting-canary", 0666, 0, 0,
+                                         "shadow_t");
+    if (!canary) {
+      canary = world.kernel->LookupNoHooks(kCanaryPath);
+    }
+    // Replace whatever is at the candidate path with a symlink to the
+    // canary (the adversary's unlink+symlink).
+    if (world.kernel->LookupNoHooks(cand.path) != nullptr) {
+      // Simulate the adversary's unlink via a throwaway process so DAC
+      // (sticky bits etc.) is honored.
+      sim::SpawnOpts mopts;
+      mopts.name = "sting-adversary";
+      mopts.cred.uid = mopts.cred.euid = sim::kMalloryUid;
+      mopts.cred.gid = mopts.cred.egid = sim::kMalloryUid;
+      mopts.cred.sid = world.kernel->labels().Intern("user_t");
+      std::string path = cand.path;
+      sim::Pid adv = world.sched->Spawn(mopts, [path](sim::Proc& p) {
+        p.Unlink(path);
+        p.Symlink(Sting::kCanaryPath, path);
+      });
+      world.sched->RunUntilExit(adv);
+    } else {
+      world.kernel->MkSymlinkAt(cand.path, kCanaryPath, sim::kMalloryUid,
+                                sim::kMalloryUid, "tmp_t");
+    }
+    // The plant must have taken effect (DAC, e.g. the sticky bit, may have
+    // stopped the adversary — then this surface is not attackable). Note
+    // LookupNoHooks follows links, so inspect the raw directory entry.
+    bool plant_ok = false;
+    if (auto dir = world.kernel->LookupNoHooks(DirnameOf(cand.path))) {
+      std::string last = cand.path.substr(cand.path.rfind('/') + 1);
+      if (auto it = dir->entries.find(last); it != dir->entries.end()) {
+        auto raw = world.kernel->vfs().Sb(dir->dev).Get(it->second);
+        plant_ok = raw && raw->IsSymlink();
+      }
+    }
+    if (!plant_ok) {
+      findings.push_back(std::move(finding));
+      continue;
+    }
+
+    // Watch for the victim reaching the canary.
+    core::Pftables pft(world.engine);
+    pft.Exec("pftables -I input -j LOG --prefix sting-test");
+    workload_(world);
+
+    sim::FileId canary_id = world.kernel->LookupNoHooks(kCanaryPath)->id();
+    for (const core::LogRecord& rec : world.engine->log().records()) {
+      if (rec.object == canary_id && rec.entry_valid &&
+          rec.entrypoint == cand.entrypoint && rec.program == cand.program) {
+        finding.exploitable = true;
+        finding.record.type = cand.op == sim::Op::kFileCreate ? VulnType::kFileSquat
+                              : cand.expects_low_integrity    ? VulnType::kLinkFollowing
+                                                   : VulnType::kUntrustedSearchPath;
+        finding.record.program = cand.program;
+        finding.record.entrypoint = cand.entrypoint;
+        finding.record.op = std::string(sim::OpName(cand.op));
+        break;
+      }
+    }
+    findings.push_back(std::move(finding));
+  }
+  // Confirmed findings first.
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const StingFinding& a, const StingFinding& b) {
+                     return a.exploitable > b.exploitable;
+                   });
+  return findings;
+}
+
+std::vector<std::string> Sting::GenerateBlockingRules() {
+  std::vector<std::string> rules;
+  std::set<std::string> dedup;
+  for (const StingFinding& finding : TestCandidates(Monitor())) {
+    if (!finding.exploitable) {
+      continue;
+    }
+    for (std::string& rule : GenerateRules(finding.record)) {
+      if (dedup.insert(rule).second) {
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace pf::rulegen

@@ -1,0 +1,92 @@
+// A STING-like runtime vulnerability tester (paper §6.3.1: "our testing
+// tool logs the process entrypoint and the unsafe resource that led to the
+// attack" — Vijayakumar et al., USENIX Security 2012).
+//
+// Workflow:
+//   1. MONITOR: run the workload under a log-everything rule and collect
+//      name resolutions that pass through adversary-writable territory
+//      (candidate attack surfaces).
+//   2. TEST: for each candidate, rebuild the world, actively plant an
+//      adversary artifact (a symbolic link to a canary file) at the
+//      candidate name, re-run the workload, and observe whether the victim
+//      actually accessed the canary.
+//   3. REPORT: each confirmed access yields a VulnRecord from which
+//      GenerateRules() produces a blocking rule — by construction free of
+//      false positives (the entrypoint/unsafe-resource pair is exploitable).
+#ifndef SRC_RULEGEN_STING_H_
+#define SRC_RULEGEN_STING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/rulegen/vuln.h"
+#include "src/sim/sched.h"
+
+namespace pf::rulegen {
+
+// One freshly built world per trial (monitoring and each test run happen in
+// isolation so plants cannot contaminate each other).
+struct StingWorld {
+  std::unique_ptr<sim::Kernel> kernel;
+  core::Engine* engine = nullptr;  // owned by the kernel
+  std::unique_ptr<sim::Scheduler> sched;
+};
+
+using WorldFactory = std::function<StingWorld()>;
+// Runs the victim workload to completion inside the world.
+using Workload = std::function<void(StingWorld&)>;
+
+// A name resolution worth attacking.
+struct StingCandidate {
+  std::string program;       // image containing the entrypoint
+  uint64_t entrypoint = 0;
+  std::string path;          // the name the victim used
+  sim::Op op = sim::Op::kFileOpen;
+  // Whether the monitored (legitimate) access was to an adversary-writable
+  // resource. Decides the generated defense: an entrypoint that legitimately
+  // reads low-integrity files gets the link-following rules (it must keep
+  // reading them); one that expects high-integrity resources gets a T1
+  // SYSHIGH restriction.
+  bool expects_low_integrity = false;
+};
+
+struct StingFinding {
+  StingCandidate candidate;
+  bool exploitable = false;
+  VulnRecord record;  // valid when exploitable
+};
+
+class Sting {
+ public:
+  Sting(WorldFactory factory, Workload workload)
+      : factory_(std::move(factory)), workload_(std::move(workload)) {}
+
+  // Phase 1: finds candidate attack surfaces.
+  std::vector<StingCandidate> Monitor();
+
+  // Phase 2+3: tests every candidate; returns all findings (exploitable or
+  // not), confirmed ones first.
+  std::vector<StingFinding> TestCandidates(const std::vector<StingCandidate>& candidates);
+
+  // Convenience: Monitor + TestCandidates + GenerateRules for confirmed
+  // findings.
+  std::vector<std::string> GenerateBlockingRules();
+
+  // Path of the canary planted during tests.
+  static constexpr const char* kCanaryPath = "/etc/sting_canary";
+
+ private:
+  // True if creating/replacing `path` is within an adversary's power
+  // (its parent directory is adversary-writable under the MAC policy).
+  static bool AdversaryCanPlant(StingWorld& world, const std::string& path);
+
+  WorldFactory factory_;
+  Workload workload_;
+};
+
+}  // namespace pf::rulegen
+
+#endif  // SRC_RULEGEN_STING_H_

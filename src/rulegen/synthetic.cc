@@ -1,0 +1,167 @@
+#include "src/rulegen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/sim/rng.h"
+
+namespace pf::rulegen {
+
+using sim::SplitMix64;
+
+namespace {
+
+// Piecewise-empirical CDF of class-switch points for "both" entrypoints,
+// calibrated to the paper's false-positive ladder (Table 8): most dual
+// entrypoints reveal both classes quickly; a long thin tail stretches out
+// to invocation 1149.
+constexpr struct {
+  uint64_t upto;
+  double cdf;
+} kSwitchCdf[] = {
+    {5, 0.55}, {10, 0.70}, {50, 0.947}, {100, 0.966}, {500, 0.992},
+    {1000, 0.998}, {1149, 1.0},
+};
+
+uint64_t SampleSwitch(SplitMix64& rng) {
+  double u = rng.NextDouble();
+  uint64_t lo = 2;
+  double cdf_lo = 0.0;
+  for (const auto& seg : kSwitchCdf) {
+    if (u <= seg.cdf) {
+      double f = (u - cdf_lo) / (seg.cdf - cdf_lo);
+      // Interpolate in log space within the segment.
+      double lg = std::log(static_cast<double>(lo)) +
+                  f * (std::log(static_cast<double>(seg.upto)) -
+                       std::log(static_cast<double>(lo)));
+      return std::max<uint64_t>(2, static_cast<uint64_t>(std::llround(std::exp(lg))));
+    }
+    lo = seg.upto;
+    cdf_lo = seg.cdf;
+  }
+  return 1149;
+}
+
+// Truncated Pareto invocation counts (heavy-tailed, like real desktop
+// entrypoint usage).
+uint64_t SampleInvocations(SplitMix64& rng, double alpha, uint64_t max) {
+  double u = rng.NextDouble();
+  if (u <= 0.0) {
+    u = 1e-12;
+  }
+  double n = std::pow(1.0 - u, -1.0 / alpha);
+  return std::min<uint64_t>(max, std::max<uint64_t>(1, static_cast<uint64_t>(n)));
+}
+
+}  // namespace
+
+SyntheticTrace GenerateDeploymentTrace(const SyntheticTraceConfig& config) {
+  SplitMix64 rng(config.seed);
+  SyntheticTrace trace;
+  trace.entrypoints.reserve(static_cast<size_t>(config.entrypoints));
+
+  int n_both = static_cast<int>(std::llround(config.both_fraction * config.entrypoints));
+  int n_low = static_cast<int>(std::llround(config.low_fraction * config.entrypoints));
+  bool forced_max_switch = false;
+
+  for (int i = 0; i < config.entrypoints; ++i) {
+    SyntheticEpt ept;
+    if (i < n_both) {
+      ept.truth = SyntheticEpt::Truth::kBoth;
+      ept.majority_high = rng.NextDouble() < config.both_majority_high;
+      ept.switch_at = SampleSwitch(rng);
+      if (!forced_max_switch) {
+        // The paper's trace had its latest switch at exactly 1149.
+        ept.switch_at = config.max_switch;
+        forced_max_switch = true;
+      }
+      // Dual entrypoints are heavily exercised (libraries, shells): they
+      // live long enough to actually reveal their second class.
+      ept.invocations = std::min<uint64_t>(
+          config.max_invocations * 2, ept.switch_at * rng.Range(2, 12));
+      ept.in_library = rng.NextDouble() < 18.0 / 28.0;
+    } else if (i < n_both + n_low) {
+      ept.truth = SyntheticEpt::Truth::kLow;
+      ept.invocations =
+          SampleInvocations(rng, /*alpha=*/0.62, config.max_invocations);
+    } else {
+      ept.truth = SyntheticEpt::Truth::kHigh;
+      ept.invocations =
+          SampleInvocations(rng, /*alpha=*/0.62, config.max_invocations);
+    }
+    trace.total_accesses += ept.invocations;
+    trace.entrypoints.push_back(ept);
+  }
+  return trace;
+}
+
+std::vector<Table8Row> AnalyzeThresholds(const SyntheticTrace& trace,
+                                         const std::vector<uint64_t>& thresholds) {
+  std::vector<Table8Row> rows;
+  rows.reserve(thresholds.size());
+  for (uint64_t threshold : thresholds) {
+    const uint64_t m = std::max<uint64_t>(threshold, 1);
+    Table8Row row;
+    row.threshold = threshold;
+    for (const SyntheticEpt& ept : trace.entrypoints) {
+      // Classification over the first min(m, invocations) accesses.
+      bool prefix_both = ept.truth == SyntheticEpt::Truth::kBoth &&
+                         ept.switch_at <= std::min(m, ept.invocations);
+      if (prefix_both) {
+        ++row.both;
+      } else if (ept.truth == SyntheticEpt::Truth::kLow ||
+                 (ept.truth == SyntheticEpt::Truth::kBoth && !ept.majority_high)) {
+        ++row.low_only;
+      } else {
+        ++row.high_only;
+      }
+      // Rule suggestion: enough invocations and not (yet) classified both.
+      if (ept.invocations >= m && !prefix_both) {
+        ++row.rules_produced;
+        if (ept.truth == SyntheticEpt::Truth::kBoth) {
+          ++row.false_positives;  // ground truth says this rule will misfire
+        }
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+ConsistencyReport AnalyzeLaunchConsistency(uint64_t seed, int programs) {
+  SplitMix64 rng(seed);
+  ConsistencyReport report;
+  report.programs = programs;
+  for (int i = 0; i < programs; ++i) {
+    // Each program is launched several times; daemons and package tools are
+    // started identically, interactive/user programs vary their command
+    // lines, environment, or user-edited configuration files
+    // (paper: 232 of 318 consistent).
+    int launches = static_cast<int>(rng.Range(2, 30));
+    bool varies_argv = rng.NextDouble() < 0.17;
+    bool varies_env = rng.NextDouble() < 0.12;
+    bool modified_config = rng.NextDouble() < 0.06;
+    bool consistent = true;
+    std::string base_argv = "argv" + std::to_string(i);
+    std::string base_env = "env" + std::to_string(i);
+    std::string prev_argv = base_argv;
+    std::string prev_env = base_env;
+    for (int l = 1; l < launches && consistent; ++l) {
+      std::string argv = varies_argv && rng.Chance(0.5)
+                             ? base_argv + "-" + std::to_string(l)
+                             : base_argv;
+      std::string env =
+          varies_env && rng.Chance(0.5) ? base_env + "-" + std::to_string(l) : base_env;
+      if (argv != prev_argv || env != prev_env || modified_config) {
+        consistent = false;
+      }
+    }
+    if (consistent) {
+      ++report.consistent;
+    }
+  }
+  return report;
+}
+
+}  // namespace pf::rulegen

@@ -1,0 +1,85 @@
+// Synthetic deployment trace (the two-week desktop trace of paper §6.3.1)
+// and the Table 8 threshold analysis.
+//
+// The paper's trace is proprietary (an instrumented Ubuntu 10.04 desktop);
+// we generate a statistically matched stand-in: 5,234 entrypoints and
+// ~410,000 access records, Zipf-distributed invocation counts, a small
+// population of genuinely-dual ("both") entrypoints that reveal their
+// second class only after some number of invocations (library entrypoints
+// used from multiple environments, name-from-input programs like nautilus),
+// with the latest reveal around invocation 1149 — the paper's empirical
+// zero-false-positive threshold. Ground truth is known by construction, so
+// false positives are measured exactly.
+#ifndef SRC_RULEGEN_SYNTHETIC_H_
+#define SRC_RULEGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pf::rulegen {
+
+struct SyntheticTraceConfig {
+  uint64_t seed = 0x70ce;
+  int entrypoints = 5234;
+  // Fractions of ground-truth classes (defaults calibrated to Table 8's
+  // converged row: 4229 high / 480 low / 525 both).
+  double low_fraction = 480.0 / 5234.0;
+  double both_fraction = 525.0 / 5234.0;
+  // Among "both" entrypoints, fraction whose majority class is high.
+  double both_majority_high = 207.0 / 525.0;
+  // Zipf-ish invocation-count distribution parameters.
+  double zipf_exponent = 1.1;
+  uint64_t max_invocations = 12000;
+  // The latest observed class switch (paper: 1149).
+  uint64_t max_switch = 1149;
+};
+
+// One synthetic entrypoint with ground truth.
+struct SyntheticEpt {
+  enum class Truth { kHigh, kLow, kBoth };
+  Truth truth = Truth::kHigh;
+  bool majority_high = true;   // for kBoth: which class dominates the prefix
+  uint64_t invocations = 0;    // total invocations in the trace
+  uint64_t switch_at = 0;      // for kBoth: invocation index revealing class 2
+  bool in_library = false;     // cause analysis (paper: 18 of 28 in libraries)
+};
+
+struct SyntheticTrace {
+  std::vector<SyntheticEpt> entrypoints;
+  uint64_t total_accesses = 0;
+};
+
+SyntheticTrace GenerateDeploymentTrace(const SyntheticTraceConfig& config = {});
+
+// One row of Table 8.
+struct Table8Row {
+  uint64_t threshold = 0;
+  uint64_t high_only = 0;
+  uint64_t low_only = 0;
+  uint64_t both = 0;
+  uint64_t rules_produced = 0;
+  uint64_t false_positives = 0;
+};
+
+// Classifies each entrypoint on its first max(threshold, 1) invocations and
+// produces rules for entrypoints with at least that many invocations that
+// are not yet classified "both" (paper §6.3.1). A produced rule is a false
+// positive when the entrypoint's ground truth is "both".
+std::vector<Table8Row> AnalyzeThresholds(const SyntheticTrace& trace,
+                                         const std::vector<uint64_t>& thresholds);
+
+// §6.3.2: launch-environment consistency. Synthesizes launch records for
+// `programs` distinct programs and reports how many were launched with an
+// identical environment (command line, env vars, unmodified package files)
+// every time — the population for which distributor rules are valid.
+struct ConsistencyReport {
+  int programs = 0;
+  int consistent = 0;
+};
+
+ConsistencyReport AnalyzeLaunchConsistency(uint64_t seed = 0x1a47c4, int programs = 318);
+
+}  // namespace pf::rulegen
+
+#endif  // SRC_RULEGEN_SYNTHETIC_H_

@@ -1,0 +1,69 @@
+#include "src/rulegen/vuln.h"
+
+#include <sstream>
+
+#include "src/apps/rule_library.h"
+
+namespace pf::rulegen {
+
+namespace {
+
+std::string LabelSetOf(const VulnRecord& record) {
+  if (record.trusted_labels.empty()) {
+    return "{SYSHIGH}";
+  }
+  std::ostringstream oss;
+  oss << "{";
+  for (size_t i = 0; i < record.trusted_labels.size(); ++i) {
+    if (i > 0) {
+      oss << "|";
+    }
+    oss << record.trusted_labels[i];
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateRules(const VulnRecord& record) {
+  using apps::RuleLibrary;
+  switch (record.type) {
+    case VulnType::kUntrustedSearchPath:
+    case VulnType::kUntrustedLibrary:
+    case VulnType::kPhpInclusion:
+      // Integrity attacks: the entrypoint must only see trusted resources.
+      return {RuleLibrary::TemplateT1(record.program, record.entrypoint, LabelSetOf(record),
+                                      record.op.empty() ? "FILE_OPEN" : record.op)};
+    case VulnType::kDirectoryTraversal: {
+      // The entrypoint serves adversary-accessible content; deny escapes
+      // into the TCB: drop when the object *is* SYSHIGH.
+      std::ostringstream oss;
+      oss << "pftables -I input -i 0x" << std::hex << record.entrypoint << std::dec
+          << " -p " << record.program << " -d {SYSHIGH} -o "
+          << (record.op.empty() ? "FILE_OPEN" : record.op) << " -j DROP";
+      return {oss.str()};
+    }
+    case VulnType::kLinkFollowing:
+      return RuleLibrary::SafeOpenRules();
+    case VulnType::kFileSquat: {
+      // Squats plant adversary resources where the victim creates/opens:
+      // same shape as untrusted search path.
+      return {RuleLibrary::TemplateT1(record.program, record.entrypoint, "{SYSHIGH}",
+                                      record.op.empty() ? "FILE_CREATE" : record.op)};
+    }
+    case VulnType::kTocttou: {
+      std::ostringstream key;
+      key << "0x" << std::hex << record.entrypoint;
+      return RuleLibrary::TemplateT2(
+          record.program, record.check_entrypoint, record.entrypoint,
+          record.check_op.empty() ? "FILE_GETATTR" : record.check_op,
+          record.op.empty() ? "FILE_OPEN" : record.op, key.str());
+    }
+    case VulnType::kSignalRace:
+      return RuleLibrary::SignalRaceRules();
+  }
+  return {};
+}
+
+}  // namespace pf::rulegen

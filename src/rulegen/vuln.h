@@ -1,0 +1,49 @@
+// Rule generation from known vulnerabilities (paper §6.3.1).
+//
+// A vulnerability-testing tool (STING in the paper) logs the process
+// entrypoint and the unsafe resource of a confirmed attack. Because that
+// (entrypoint, unsafe resource) pair is known-exploitable, the generated
+// rule cannot introduce false positives; it is generalized to deny *all*
+// unsafe resources of the attack's class at that entrypoint, using the
+// attack-specific templates T1/T2.
+#ifndef SRC_RULEGEN_VULN_H_
+#define SRC_RULEGEN_VULN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pf::rulegen {
+
+enum class VulnType {
+  kUntrustedSearchPath,   // victim expected high-integrity, got adversary file
+  kUntrustedLibrary,
+  kPhpInclusion,
+  kDirectoryTraversal,    // victim expected adversary-accessible, got high
+  kLinkFollowing,
+  kFileSquat,
+  kTocttou,               // check/use pair
+  kSignalRace,
+};
+
+struct VulnRecord {
+  VulnType type = VulnType::kUntrustedSearchPath;
+  std::string program;      // victim binary
+  uint64_t entrypoint = 0;  // the "use" call site
+  std::string op;           // operation at the use site (e.g. FILE_OPEN)
+
+  // TOCTTOU only: the corresponding check site.
+  uint64_t check_entrypoint = 0;
+  std::string check_op;
+
+  // Optional: labels of the legitimate resources, when known (tightens the
+  // rule beyond the SYSHIGH generalization).
+  std::vector<std::string> trusted_labels;
+};
+
+// Produces the pftables rules that block the vulnerability.
+std::vector<std::string> GenerateRules(const VulnRecord& record);
+
+}  // namespace pf::rulegen
+
+#endif  // SRC_RULEGEN_VULN_H_

@@ -1,0 +1,57 @@
+// Executable image metadata attached to inodes.
+//
+// A "binary" in the simulation is an inode carrying a BinaryImage. Instead of
+// machine code, the image names an entry function registered with the kernel's
+// BinaryRegistry; execve() maps the image (and its dynamic linker) into the
+// task's address space and invokes that function. The remaining fields model
+// the ELF properties that matter for resource access attacks and for stack
+// unwinding:
+//
+//  * runpath  — DT_RPATH/DT_RUNPATH-style library search directories. An
+//               insecure RUNPATH is exploit E1 (CVE-2006-1564).
+//  * needed   — DT_NEEDED library names resolved by the simulated ld.so.
+//  * has_eh_info / has_frame_pointers — whether the entrypoint context module
+//               can unwind frames from this image precisely, via frame-pointer
+//               chains, or only via the prologue-scan fallback (paper §4.4).
+#ifndef SRC_SIM_BINFMT_H_
+#define SRC_SIM_BINFMT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pf::sim {
+
+// Offset of the entry point (_start) within a mapped image; the initial
+// frame pushed by execve returns here.
+inline constexpr uint64_t kEntryOffset = 0x10;
+
+struct BinaryImage {
+  // Key into the kernel's BinaryRegistry naming the entry function. Empty for
+  // shared libraries (which are mapped, not executed directly).
+  std::string entry_key;
+
+  // DT_NEEDED: libraries the dynamic linker must locate and map.
+  std::vector<std::string> needed;
+
+  // DT_RUNPATH: embedded library search directories (searched before system
+  // default paths by the simulated ld.so).
+  std::vector<std::string> runpath;
+
+  // Path of the program interpreter (dynamic linker); empty for static
+  // binaries and shared libraries.
+  std::string interp;
+
+  // Unwind-information properties (see file comment).
+  bool has_eh_info = true;
+  bool has_frame_pointers = true;
+
+  // Size of the mapped text segment; program counters for this image fall in
+  // [base, base + text_size). Large enough for every published call-site
+  // offset (the PHP include site sits at 0x27ad2c).
+  uint64_t text_size = 0x400000;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_BINFMT_H_

@@ -1,0 +1,28 @@
+// Process credentials: DAC identities plus the MAC subject label.
+#ifndef SRC_SIM_CRED_H_
+#define SRC_SIM_CRED_H_
+
+#include "src/sim/types.h"
+
+namespace pf::sim {
+
+struct Cred {
+  Uid uid = kRootUid;    // real uid
+  Gid gid = kRootGid;    // real gid
+  Uid euid = kRootUid;   // effective uid (used for permission checks)
+  Gid egid = kRootGid;   // effective gid
+  Sid sid = kInvalidSid; // MAC subject label (SELinux-style type)
+
+  bool IsRoot() const { return euid == kRootUid; }
+
+  // True when the process runs with elevated privilege relative to its
+  // invoker (the setuid condition that ld.so uses to filter the
+  // environment, Figure 1(b) of the paper).
+  bool IsSetid() const { return uid != euid || gid != egid; }
+
+  bool operator==(const Cred&) const = default;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_CRED_H_

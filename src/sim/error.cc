@@ -1,0 +1,43 @@
+#include "src/sim/error.h"
+
+namespace pf::sim {
+
+std::string_view ErrName(Err e) {
+  switch (e) {
+    case Err::kNone: return "OK";
+    case Err::kPerm: return "EPERM";
+    case Err::kNoEnt: return "ENOENT";
+    case Err::kSrch: return "ESRCH";
+    case Err::kIntr: return "EINTR";
+    case Err::kIo: return "EIO";
+    case Err::kNoExec: return "ENOEXEC";
+    case Err::kBadF: return "EBADF";
+    case Err::kChild: return "ECHILD";
+    case Err::kAgain: return "EAGAIN";
+    case Err::kAcces: return "EACCES";
+    case Err::kFault: return "EFAULT";
+    case Err::kBusy: return "EBUSY";
+    case Err::kExist: return "EEXIST";
+    case Err::kXDev: return "EXDEV";
+    case Err::kNotDir: return "ENOTDIR";
+    case Err::kIsDir: return "EISDIR";
+    case Err::kInval: return "EINVAL";
+    case Err::kNFile: return "ENFILE";
+    case Err::kMFile: return "EMFILE";
+    case Err::kTxtBsy: return "ETXTBSY";
+    case Err::kNoSpc: return "ENOSPC";
+    case Err::kRoFs: return "EROFS";
+    case Err::kMLink: return "EMLINK";
+    case Err::kNameTooLong: return "ENAMETOOLONG";
+    case Err::kNotEmpty: return "ENOTEMPTY";
+    case Err::kLoop: return "ELOOP";
+    case Err::kNoSys: return "ENOSYS";
+    case Err::kNotSock: return "ENOTSOCK";
+    case Err::kAddrInUse: return "EADDRINUSE";
+    case Err::kConnRefused: return "ECONNREFUSED";
+    case Err::kNotConn: return "ENOTCONN";
+  }
+  return "E???";
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,63 @@
+// Error codes for the simulated system-call layer.
+//
+// System calls return int64_t: values >= 0 are success results, negative
+// values are -Err codes (the Linux kernel idiom). Helpers below convert
+// between the enum, the raw return value, and human-readable names.
+#ifndef SRC_SIM_ERROR_H_
+#define SRC_SIM_ERROR_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pf::sim {
+
+enum class Err : int {
+  kNone = 0,
+  kPerm = 1,         // EPERM: operation not permitted
+  kNoEnt = 2,        // ENOENT: no such file or directory
+  kSrch = 3,         // ESRCH: no such process
+  kIntr = 4,         // EINTR: interrupted system call
+  kIo = 5,           // EIO
+  kNoExec = 8,       // ENOEXEC: exec format error
+  kBadF = 9,         // EBADF: bad file descriptor
+  kChild = 10,       // ECHILD: no child processes
+  kAgain = 11,       // EAGAIN
+  kAcces = 13,       // EACCES: permission denied
+  kFault = 14,       // EFAULT: bad address
+  kBusy = 16,        // EBUSY
+  kExist = 17,       // EEXIST: file exists
+  kXDev = 18,        // EXDEV: cross-device link
+  kNotDir = 20,      // ENOTDIR
+  kIsDir = 21,       // EISDIR
+  kInval = 22,       // EINVAL
+  kNFile = 23,       // ENFILE: file table overflow
+  kMFile = 24,       // EMFILE: too many open files
+  kTxtBsy = 26,      // ETXTBSY
+  kNoSpc = 28,       // ENOSPC
+  kRoFs = 30,        // EROFS: read-only filesystem
+  kMLink = 31,       // EMLINK
+  kNameTooLong = 36, // ENAMETOOLONG
+  kNotEmpty = 39,    // ENOTEMPTY
+  kLoop = 40,        // ELOOP: too many symbolic links
+  kNoSys = 38,       // ENOSYS
+  kNotSock = 88,     // ENOTSOCK
+  kAddrInUse = 98,   // EADDRINUSE
+  kConnRefused = 111,// ECONNREFUSED
+  kNotConn = 107,    // ENOTCONN
+};
+
+// Builds a negative system-call return value from an error code.
+constexpr int64_t SysError(Err e) { return -static_cast<int64_t>(static_cast<int>(e)); }
+
+// True if a system-call return value denotes failure.
+constexpr bool IsSysError(int64_t rv) { return rv < 0; }
+
+// Recovers the error code from a failing system-call return value.
+constexpr Err ErrOf(int64_t rv) { return rv < 0 ? static_cast<Err>(-rv) : Err::kNone; }
+
+// Human-readable short name ("EACCES") for diagnostics and logs.
+std::string_view ErrName(Err e);
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_ERROR_H_

@@ -1,0 +1,53 @@
+#include "src/sim/fdtable.h"
+
+namespace pf::sim {
+
+int FdTable::Install(std::shared_ptr<File> file) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i]) {
+      slots_[i] = std::move(file);
+      return static_cast<int>(i);
+    }
+  }
+  slots_.push_back(std::move(file));
+  return static_cast<int>(slots_.size() - 1);
+}
+
+std::shared_ptr<File> FdTable::Get(int fd) const {
+  if (fd < 0 || static_cast<size_t>(fd) >= slots_.size()) {
+    return nullptr;
+  }
+  return slots_[fd];
+}
+
+std::shared_ptr<File> FdTable::Remove(int fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= slots_.size()) {
+    return nullptr;
+  }
+  auto file = std::move(slots_[fd]);
+  slots_[fd] = nullptr;
+  return file;
+}
+
+std::vector<std::shared_ptr<File>> FdTable::Drain() {
+  std::vector<std::shared_ptr<File>> out;
+  for (auto& slot : slots_) {
+    if (slot) {
+      out.push_back(std::move(slot));
+      slot = nullptr;
+    }
+  }
+  return out;
+}
+
+size_t FdTable::open_count() const {
+  size_t n = 0;
+  for (const auto& slot : slots_) {
+    if (slot) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace pf::sim

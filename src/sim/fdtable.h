@@ -1,0 +1,68 @@
+// Open file descriptions and per-task file descriptor tables.
+#ifndef SRC_SIM_FDTABLE_H_
+#define SRC_SIM_FDTABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/inode.h"
+#include "src/sim/types.h"
+
+namespace pf::sim {
+
+// open(2) flags (subset, values mirror Linux where it helps readability).
+enum OpenFlag : uint32_t {
+  kORdOnly = 0x0,
+  kOWrOnly = 0x1,
+  kORdWr = 0x2,
+  kOCreat = 0x40,
+  kOExcl = 0x80,
+  kOTrunc = 0x200,
+  kOAppend = 0x400,
+  kONofollow = 0x20000,
+  kODirectory = 0x10000,
+};
+
+constexpr uint32_t kOAccMode = 0x3;
+
+// An open file description (the object shared by dup'd descriptors). Holding
+// one keeps the inode's open_count elevated, which pins its inode number
+// against recycling.
+struct File {
+  std::shared_ptr<Inode> inode;
+  std::string path;  // pathname used at open time (diagnostics, mmap)
+  uint32_t flags = 0;
+  uint64_t offset = 0;
+  bool connected_socket = false;   // client socket connected to a server
+  FileId peer;                     // bound socket inode it connected to
+
+  bool readable() const { return (flags & kOAccMode) != kOWrOnly; }
+  bool writable() const { return (flags & kOAccMode) != kORdOnly; }
+};
+
+class FdTable {
+ public:
+  // Installs a file into the lowest free slot; returns the descriptor.
+  int Install(std::shared_ptr<File> file);
+
+  // Returns the file for a descriptor, or nullptr.
+  std::shared_ptr<File> Get(int fd) const;
+
+  // Removes the descriptor; returns the file that was installed there.
+  std::shared_ptr<File> Remove(int fd);
+
+  // Duplicate of this table (dup semantics: shares open file descriptions).
+  FdTable Clone() const { return *this; }
+
+  // All live open file descriptions (used by exit() to release inodes).
+  std::vector<std::shared_ptr<File>> Drain();
+
+  size_t open_count() const;
+
+ private:
+  std::vector<std::shared_ptr<File>> slots_;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_FDTABLE_H_

@@ -1,0 +1,78 @@
+// In-memory inode.
+#ifndef SRC_SIM_INODE_H_
+#define SRC_SIM_INODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/sim/binfmt.h"
+#include "src/sim/mode.h"
+#include "src/sim/types.h"
+
+namespace pf::sim {
+
+enum class InodeType {
+  kRegular,
+  kDirectory,
+  kSymlink,
+  kSocket,
+  kFifo,
+  kCharDev,
+};
+
+std::string_view InodeTypeName(InodeType t);
+
+// A filesystem object. Directory entries map names to inode numbers within
+// the same superblock (hard links across devices are rejected with EXDEV).
+//
+// Lifetime: the owning Superblock keeps a shared_ptr while the inode is
+// linked or open. `generation` distinguishes successive inodes that recycle
+// the same inode number — the attack surface behind the "cryogenic sleep"
+// TOCTTOU variant, which the simulation must reproduce faithfully.
+struct Inode {
+  Ino ino = kInvalidIno;
+  Dev dev = 0;
+  InodeType type = InodeType::kRegular;
+  FileMode mode = 0644;
+  Uid uid = kRootUid;
+  Gid gid = kRootGid;
+  Sid sid = kInvalidSid;
+  uint64_t generation = 0;
+
+  uint32_t nlink = 0;
+  uint32_t open_count = 0;  // open file descriptions referencing this inode
+
+  // Logical timestamps (kernel tick values).
+  uint64_t atime = 0;
+  uint64_t mtime = 0;
+  uint64_t ctime = 0;
+
+  // Type-specific payloads.
+  std::string data;                    // kRegular: file contents
+  std::string symlink_target;          // kSymlink
+  std::map<std::string, Ino> entries;  // kDirectory
+  std::unique_ptr<BinaryImage> binary; // kRegular: executable image, if any
+
+  // kSocket: bound-and-listening state for UNIX-domain sockets.
+  bool socket_listening = false;
+  Pid socket_owner = kInvalidPid;
+
+  // kDirectory: the containing directory (".." target). The root of a
+  // mounted filesystem points at the mountpoint's parent.
+  FileId parent_dir;
+
+  FileId id() const { return FileId{dev, ino}; }
+  bool IsDir() const { return type == InodeType::kDirectory; }
+  bool IsSymlink() const { return type == InodeType::kSymlink; }
+  bool IsRegular() const { return type == InodeType::kRegular; }
+  bool IsSocket() const { return type == InodeType::kSocket; }
+  bool IsSetuid() const { return (mode & kModeSetuid) != 0; }
+  bool IsSetgid() const { return (mode & kModeSetgid) != 0; }
+  bool IsSticky() const { return (mode & kModeSticky) != 0; }
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_INODE_H_

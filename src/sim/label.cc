@@ -1,0 +1,40 @@
+#include "src/sim/label.h"
+
+namespace pf::sim {
+
+namespace {
+const std::string kInvalidName = "<invalid>";
+}  // namespace
+
+LabelRegistry::LabelRegistry() {
+  names_.push_back(kInvalidName);  // Sid 0 == kInvalidSid
+  unlabeled_ = Intern("unlabeled_t");
+}
+
+Sid LabelRegistry::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  Sid sid = static_cast<Sid>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string(name), sid);
+  return sid;
+}
+
+std::optional<Sid> LabelRegistry::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& LabelRegistry::Name(Sid sid) const {
+  if (sid >= names_.size()) {
+    return kInvalidName;
+  }
+  return names_[sid];
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,44 @@
+// MAC label registry: interns SELinux-style type strings ("httpd_t",
+// "shadow_t", ...) into dense security identifiers (Sid) for fast matching,
+// mirroring the kernel's sidtab. pftables translates label names in rules to
+// Sids at install time (paper Section 5.2).
+#ifndef SRC_SIM_LABEL_H_
+#define SRC_SIM_LABEL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace pf::sim {
+
+class LabelRegistry {
+ public:
+  LabelRegistry();
+
+  // Returns the Sid for a label, interning it on first use.
+  Sid Intern(std::string_view name);
+
+  // Returns the Sid for a label if it has been interned, otherwise nullopt.
+  std::optional<Sid> Lookup(std::string_view name) const;
+
+  // Returns the label string for a Sid ("<invalid>" for unknown Sids).
+  const std::string& Name(Sid sid) const;
+
+  // Sid that labels objects/subjects with no explicit label.
+  Sid unlabeled() const { return unlabeled_; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Sid> ids_;
+  Sid unlabeled_ = kInvalidSid;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_LABEL_H_

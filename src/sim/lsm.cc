@@ -1,0 +1,40 @@
+#include "src/sim/lsm.h"
+
+#include <array>
+
+namespace pf::sim {
+
+namespace {
+constexpr std::array<std::string_view, kOpCount> kOpNames = {
+    "FILE_OPEN",      "FILE_CREATE",  "FILE_READ",     "FILE_WRITE",     "FILE_EXEC",
+    "FILE_GETATTR",   "FILE_SETATTR", "FILE_MMAP",     "FILE_UNLINK",    "DIR_SEARCH",
+    "DIR_ADD_NAME",   "DIR_REMOVE_NAME", "LNK_FILE_READ", "SOCKET_BIND", "SOCKET_CONNECT",
+    "SOCKET_SETATTR", "PROCESS_SIGNAL_DELIVERY", "SYSCALL_BEGIN", "FORK",
+};
+}  // namespace
+
+std::string_view OpName(Op op) {
+  auto i = static_cast<size_t>(op);
+  if (i >= kOpNames.size()) {
+    return "?";
+  }
+  return kOpNames[i];
+}
+
+std::optional<Op> OpFromName(std::string_view name) {
+  // Aliases used in the paper's rule listings.
+  if (name == "LINK_READ") {
+    return Op::kLnkFileRead;
+  }
+  if (name == "UNIX_STREAM_SOCKET_CONNECT") {
+    return Op::kSocketConnect;
+  }
+  for (size_t i = 0; i < kOpNames.size(); ++i) {
+    if (kOpNames[i] == name) {
+      return static_cast<Op>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,103 @@
+// Authorization hook layer (the LSM analogue).
+//
+// Every security-sensitive operation produced by a system call — including
+// each directory search and symlink traversal during pathname resolution —
+// passes through Kernel::Authorize(), which consults the registered
+// SecurityModules in order. The Process Firewall registers here (the paper
+// builds on LSM because, unlike syscall interposition, it is race-free and
+// provides complete mediation of resource accesses).
+#ifndef SRC_SIM_LSM_H_
+#define SRC_SIM_LSM_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/sim/inode.h"
+#include "src/sim/syscall_nr.h"
+#include "src/sim/types.h"
+
+namespace pf::sim {
+
+struct Task;
+
+// Security-sensitive operations. Names (OpName) are the `-o` operands of the
+// pftables rule language (e.g. FILE_OPEN, LNK_FILE_READ).
+enum class Op : uint32_t {
+  kFileOpen,
+  kFileCreate,
+  kFileRead,
+  kFileWrite,
+  kFileExec,
+  kFileGetattr,
+  kFileSetattr,
+  kFileMmap,
+  kFileUnlink,
+  kDirSearch,
+  kDirAddName,
+  kDirRemoveName,
+  kLnkFileRead,    // reading (following) a symbolic link during resolution
+  kSocketBind,
+  kSocketConnect,
+  kSocketSetattr,
+  kSignalDeliver,
+  kSyscallBegin,   // fired at system-call entry (the `syscallbegin` chain)
+  kFork,
+  kCount,  // sentinel
+};
+
+inline constexpr size_t kOpCount = static_cast<size_t>(Op::kCount);
+
+std::string_view OpName(Op op);
+std::optional<Op> OpFromName(std::string_view name);
+
+// One authorization request ("packet" in Process Firewall terms). Fields are
+// populated per operation kind; unset pointer fields are null.
+struct AccessRequest {
+  Task* task = nullptr;
+  Op op = Op::kSyscallBegin;
+
+  // Resource (file/dir/link/socket operations).
+  Inode* inode = nullptr;
+  FileId id;
+  std::string_view name;  // pathname component / path, when available
+
+  // Symlink traversal: the link's target (if it resolves) for
+  // owner-comparison rules like R8.
+  Inode* link_target = nullptr;
+
+  // Signal delivery.
+  SigNum sig = 0;
+  Pid sig_sender = kInvalidPid;
+
+  // System call context (always populated: the syscall being executed).
+  SyscallNr syscall_nr = SyscallNr::kNull;
+  std::array<int64_t, 4> args = {0, 0, 0, 0};
+};
+
+// A registered security module. Authorize returns 0 to allow or a negative
+// errno to deny. Modules see requests only after DAC has allowed them.
+class SecurityModule {
+ public:
+  virtual ~SecurityModule() = default;
+
+  virtual std::string_view ModuleName() const = 0;
+  virtual int64_t Authorize(AccessRequest& req) = 0;
+
+  // Lifecycle notifications used for per-syscall context invalidation and
+  // per-task state teardown.
+  virtual void OnSyscallEnter(Task& task) { (void)task; }
+  virtual void OnSyscallExit(Task& task) { (void)task; }
+  virtual void OnTaskExit(Task& task) { (void)task; }
+  virtual void OnTaskFork(Task& parent, Task& child) {
+    (void)parent;
+    (void)child;
+  }
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_LSM_H_

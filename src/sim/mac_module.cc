@@ -1,0 +1,52 @@
+#include "src/sim/mac_module.h"
+
+#include "src/sim/error.h"
+#include "src/sim/task.h"
+
+namespace pf::sim {
+
+uint32_t MacModule::PermsFor(Op op) {
+  switch (op) {
+    case Op::kFileOpen:
+    case Op::kFileRead:
+    case Op::kFileGetattr:
+    case Op::kDirSearch:
+    case Op::kLnkFileRead:
+      return kMacRead;
+    case Op::kFileWrite:
+    case Op::kFileSetattr:
+    case Op::kFileUnlink:
+    case Op::kDirRemoveName:
+      return kMacWrite;
+    case Op::kDirAddName:
+    case Op::kFileCreate:
+      return kMacCreate;
+    case Op::kFileExec:
+    case Op::kFileMmap:
+      return kMacExec;
+    case Op::kSocketBind:
+      return kMacBind;
+    case Op::kSocketConnect:
+      return kMacConnect;
+    case Op::kSocketSetattr:
+      return kMacWrite;
+    default:
+      return 0;
+  }
+}
+
+int64_t MacModule::Authorize(AccessRequest& req) {
+  if (!policy_->enforcing() || req.inode == nullptr || req.task == nullptr) {
+    return 0;
+  }
+  uint32_t perms = PermsFor(req.op);
+  if (perms == 0) {
+    return 0;
+  }
+  if (!policy_->Check(req.task->cred.sid, req.inode->sid, perms)) {
+    return SysError(Err::kAcces);
+  }
+  return 0;
+}
+
+}  // namespace pf::sim

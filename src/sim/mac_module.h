@@ -1,0 +1,27 @@
+// SecurityModule adapter that enforces the MacPolicy at the hook layer
+// (the SELinux-over-LSM analogue). Runs before the Process Firewall.
+#ifndef SRC_SIM_MAC_MODULE_H_
+#define SRC_SIM_MAC_MODULE_H_
+
+#include "src/sim/lsm.h"
+#include "src/sim/mac_policy.h"
+
+namespace pf::sim {
+
+class MacModule : public SecurityModule {
+ public:
+  explicit MacModule(MacPolicy* policy) : policy_(policy) {}
+
+  std::string_view ModuleName() const override { return "mac"; }
+  int64_t Authorize(AccessRequest& req) override;
+
+  // Maps a hook operation to the MAC permission it requires (0 = unchecked).
+  static uint32_t PermsFor(Op op);
+
+ private:
+  MacPolicy* policy_;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_MAC_MODULE_H_

@@ -1,0 +1,81 @@
+#include "src/sim/mac_policy.h"
+
+namespace pf::sim {
+
+void MacPolicy::Allow(Sid subject, Sid object, uint32_t perms) {
+  rules_[Key{subject, object}] |= perms;
+  adversary_cache_.clear();
+}
+
+void MacPolicy::Allow(std::string_view subject, std::string_view object, uint32_t perms) {
+  Allow(labels_->Intern(subject), labels_->Intern(object), perms);
+}
+
+void MacPolicy::MarkUntrusted(Sid subject) {
+  untrusted_.insert(subject);
+  adversary_cache_.clear();
+}
+
+void MacPolicy::MarkUntrusted(std::string_view subject) { MarkUntrusted(labels_->Intern(subject)); }
+
+uint32_t MacPolicy::PermsFor(Sid subject, Sid object) const {
+  auto it = rules_.find(Key{subject, object});
+  return it == rules_.end() ? 0u : it->second;
+}
+
+bool MacPolicy::Grants(Sid subject, Sid object, uint32_t perms) const {
+  return (PermsFor(subject, object) & perms) == perms;
+}
+
+bool MacPolicy::Check(Sid subject, Sid object, uint32_t perms) const {
+  if (!enforcing_) {
+    return true;
+  }
+  return Grants(subject, object, perms);
+}
+
+namespace {
+constexpr uint8_t kCachedWritable = 1u << 0;
+constexpr uint8_t kCachedReadable = 1u << 1;
+constexpr uint8_t kCachedValid = 1u << 2;
+}  // namespace
+
+bool MacPolicy::AdversaryWritable(Sid object) const {
+  auto it = adversary_cache_.find(object);
+  if (it != adversary_cache_.end() && (it->second & kCachedValid)) {
+    return (it->second & kCachedWritable) != 0;
+  }
+  uint8_t bits = kCachedValid;
+  for (Sid adversary : untrusted_) {
+    uint32_t perms = PermsFor(adversary, object);
+    if (perms & (kMacWrite | kMacCreate)) {
+      bits |= kCachedWritable;
+    }
+    if (perms & kMacRead) {
+      bits |= kCachedReadable;
+    }
+  }
+  adversary_cache_[object] = bits;
+  return (bits & kCachedWritable) != 0;
+}
+
+bool MacPolicy::AdversaryReadable(Sid object) const {
+  AdversaryWritable(object);  // populates the cache entry
+  return (adversary_cache_[object] & kCachedReadable) != 0;
+}
+
+bool MacPolicy::IsSyshighSubject(Sid subject) const { return !IsUntrusted(subject); }
+
+bool MacPolicy::IsSyshighObject(Sid object) const { return !AdversaryWritable(object); }
+
+std::vector<Sid> MacPolicy::SyshighObjects() const {
+  std::vector<Sid> out;
+  for (Sid sid = 1; sid < labels_->size(); ++sid) {
+    if (IsSyshighObject(sid)) {
+      out.push_back(sid);
+    }
+  }
+  return out;
+}
+
+}  // namespace pf::sim

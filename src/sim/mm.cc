@@ -1,0 +1,112 @@
+#include "src/sim/mm.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pf::sim {
+
+void Mm::Reset(Addr region_base) {
+  maps_.clear();
+  region_.assign(kUserRegionSize, 0);
+  region_base_ = region_base;
+  sp_ = stack_top();
+  fp_ = 0;
+  arena_next_ = region_base_;
+  interp_head_ = kNullAddr;
+  frames_.clear();
+}
+
+const Mapping* Mm::FindMapping(Addr pc) const {
+  for (const Mapping& m : maps_) {
+    if (m.Contains(pc)) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+const Mapping* Mm::FindMappingByPath(const std::string& path_or_name) const {
+  for (const Mapping& m : maps_) {
+    if (m.path == path_or_name) {
+      return &m;
+    }
+    auto slash = m.path.rfind('/');
+    if (slash != std::string::npos && m.path.compare(slash + 1, std::string::npos,
+                                                     path_or_name) == 0) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+bool Mm::CopyFromUser(Addr src, void* dst, uint64_t len) const {
+  if (!ContainsUser(src, len)) {
+    return false;
+  }
+  std::memcpy(dst, region_.data() + (src - region_base_), len);
+  return true;
+}
+
+bool Mm::CopyToUser(Addr dst, const void* src, uint64_t len) {
+  if (!ContainsUser(dst, len)) {
+    return false;
+  }
+  std::memcpy(region_.data() + (dst - region_base_), src, len);
+  return true;
+}
+
+bool Mm::ReadU64(Addr src, uint64_t* out) const { return CopyFromUser(src, out, sizeof(*out)); }
+
+bool Mm::WriteU64(Addr dst, uint64_t value) { return CopyToUser(dst, &value, sizeof(value)); }
+
+void Mm::PushFrame(Addr pc, uint64_t locals, bool scramble_fp) {
+  FrameInfo info;
+  info.pc = pc;
+  info.prev_sp = sp_;
+  info.prev_fp = fp_;
+  sp_ -= locals;
+  sp_ -= kFrameRecordSize;
+  assert(sp_ >= region_base_ + kArenaSize && "user stack overflow");
+  info.record = sp_;
+  // A scrambled saved-FP slot models a binary built with
+  // -fomit-frame-pointer: the chain value is garbage outside the region.
+  // The outermost frame always stores 0 (the runtime zeroes the frame
+  // pointer at process entry), terminating every unwind.
+  uint64_t saved_fp = (scramble_fp && fp_ != 0) ? (0x5a5a000000000000ULL ^ pc) : fp_;
+  WriteU64(sp_, saved_fp);
+  WriteU64(sp_ + 8, pc);
+  fp_ = sp_;
+  frames_.push_back(info);
+}
+
+void Mm::PopFrame() {
+  assert(!frames_.empty());
+  const FrameInfo& info = frames_.back();
+  sp_ = info.prev_sp;
+  fp_ = info.prev_fp;
+  frames_.pop_back();
+}
+
+Addr Mm::ArenaAlloc(uint64_t len) {
+  len = (len + 7) & ~7ULL;  // 8-byte alignment
+  if (arena_next_ + len > region_base_ + kArenaSize) {
+    return kNullAddr;
+  }
+  Addr out = arena_next_;
+  arena_next_ += len;
+  return out;
+}
+
+void Mm::ArenaRollback(Addr addr, uint64_t len) {
+  len = (len + 7) & ~7ULL;
+  if (arena_next_ == addr + len) {
+    arena_next_ = addr;
+  }
+}
+
+void Mm::ArenaReset() {
+  arena_next_ = region_base_;
+  interp_head_ = kNullAddr;
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,124 @@
+// Simulated user address space: mappings, the user stack, and call frames.
+//
+// Each task owns an Mm holding:
+//  * a mapping table (binary + libraries, ASLR-randomized bases), and
+//  * one backed memory region containing a bump-allocated arena (used by
+//    interpreter runtimes for their frame lists) and the user stack.
+//
+// The user stack contains *real frame records* — 16-byte {saved frame
+// pointer, return PC} pairs written into the region — and the task carries
+// sp/fp "registers". The Process Firewall's entrypoint context module unwinds
+// this memory with validated reads, exactly as the kernel patch unwinds real
+// user stacks: a malicious process can scribble over its own frame records,
+// and the unwinder must fail safe (paper Section 4.4).
+//
+// Frames pushed from images compiled without frame pointers get a scrambled
+// saved-FP slot, breaking the FP chain; images with exception-handler info
+// can still be unwound precisely, others only via the prologue-scan
+// heuristic. A ground-truth frame list is kept alongside for (a) restoring
+// sp/fp on return and (b) modelling DWARF/EH unwind tables, which describe
+// exact frame locations but whose *contents* must still be validated against
+// (untrusted) user memory.
+#ifndef SRC_SIM_MM_H_
+#define SRC_SIM_MM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace pf::sim {
+
+inline constexpr uint64_t kUserRegionSize = 64 * 1024;
+inline constexpr uint64_t kArenaSize = 16 * 1024;
+inline constexpr uint64_t kFrameRecordSize = 16;
+
+// One mapped executable image.
+struct Mapping {
+  std::string path;   // filesystem path it was mapped from
+  FileId file;        // identity of the mapped inode
+  Addr base = 0;      // ASLR-randomized load base
+  uint64_t size = 0;  // text size; PCs fall in [base, base + size)
+  bool has_eh_info = true;
+  bool has_frame_pointers = true;
+
+  bool Contains(Addr pc) const { return pc >= base && pc < base + size; }
+};
+
+// Ground-truth record of one pushed frame (see file comment).
+struct FrameInfo {
+  Addr pc = 0;           // return PC stored in the record
+  Addr record = 0;       // address of the 16-byte frame record
+  Addr prev_sp = 0;      // sp to restore on pop
+  Addr prev_fp = 0;      // fp to restore on pop
+};
+
+class Mm {
+ public:
+  Mm() = default;
+
+  // Initializes the region at an ASLR-randomized base and resets registers.
+  void Reset(Addr region_base);
+
+  // --- mappings ---
+  void AddMapping(Mapping m) { maps_.push_back(std::move(m)); }
+  const std::vector<Mapping>& mappings() const { return maps_; }
+  const Mapping* FindMapping(Addr pc) const;
+  // Matches a full path or a basename ("ld-2.15.so").
+  const Mapping* FindMappingByPath(const std::string& path_or_name) const;
+
+  // --- validated user-memory access (the copy_from_user analogue) ---
+  bool CopyFromUser(Addr src, void* dst, uint64_t len) const;
+  bool CopyToUser(Addr dst, const void* src, uint64_t len);
+  bool ReadU64(Addr src, uint64_t* out) const;
+  bool WriteU64(Addr dst, uint64_t value);
+
+  bool ContainsUser(Addr addr, uint64_t len) const {
+    return addr >= region_base_ && len <= kUserRegionSize &&
+           addr - region_base_ <= kUserRegionSize - len;
+  }
+
+  // --- the user stack ---
+  // Pushes a call frame returning to `pc`, reserving `locals` bytes of
+  // callee stack space first. `scramble_fp` models a frame emitted without
+  // frame-pointer bookkeeping.
+  void PushFrame(Addr pc, uint64_t locals, bool scramble_fp);
+  void PopFrame();
+
+  Addr sp() const { return sp_; }
+  Addr fp() const { return fp_; }
+  void set_fp(Addr fp) { fp_ = fp; }  // test hook: corrupt the FP register
+
+  const std::vector<FrameInfo>& frames() const { return frames_; }
+  Addr region_base() const { return region_base_; }
+  Addr stack_top() const { return region_base_ + kUserRegionSize; }
+
+  // --- arena (interpreter frame lists live here) ---
+  // Bump-allocates user memory; returns kNullAddr when exhausted.
+  Addr ArenaAlloc(uint64_t len);
+  // Returns the allocation if it was the most recent one (LIFO free).
+  void ArenaRollback(Addr addr, uint64_t len);
+  void ArenaReset();
+
+  Addr interp_head() const { return interp_head_; }
+  void set_interp_head(Addr a) { interp_head_ = a; }
+
+  // Deep copy for fork(): same addresses, duplicated backing store.
+  Mm Clone() const { return *this; }
+
+ private:
+  std::vector<Mapping> maps_;
+  std::vector<uint8_t> region_;
+  Addr region_base_ = 0;
+  Addr sp_ = 0;
+  Addr fp_ = 0;
+  Addr arena_next_ = 0;
+  Addr interp_head_ = kNullAddr;
+  std::vector<FrameInfo> frames_;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_MM_H_

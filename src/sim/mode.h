@@ -1,0 +1,37 @@
+// File mode bits and helpers (UNIX permission semantics).
+#ifndef SRC_SIM_MODE_H_
+#define SRC_SIM_MODE_H_
+
+#include <cstdint>
+
+namespace pf::sim {
+
+using FileMode = uint32_t;
+
+// Permission bits, matching the POSIX octal layout.
+inline constexpr FileMode kModeSetuid = 04000;
+inline constexpr FileMode kModeSetgid = 02000;
+inline constexpr FileMode kModeSticky = 01000;
+inline constexpr FileMode kModeRUsr = 0400;
+inline constexpr FileMode kModeWUsr = 0200;
+inline constexpr FileMode kModeXUsr = 0100;
+inline constexpr FileMode kModeRGrp = 0040;
+inline constexpr FileMode kModeWGrp = 0020;
+inline constexpr FileMode kModeXGrp = 0010;
+inline constexpr FileMode kModeROth = 0004;
+inline constexpr FileMode kModeWOth = 0002;
+inline constexpr FileMode kModeXOth = 0001;
+inline constexpr FileMode kModePermMask = 07777;
+
+// Access request bits used by the DAC permission check.
+enum class Access : uint32_t {
+  kRead = 4,
+  kWrite = 2,
+  kExec = 1,
+};
+
+constexpr uint32_t AccessBit(Access a) { return static_cast<uint32_t>(a); }
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_MODE_H_

@@ -1,0 +1,183 @@
+// Pathname resolution (the namei analogue).
+//
+// Resolution walks component by component. Every directory lookup fires the
+// DIR_SEARCH hook and every followed symlink fires LNK_FILE_READ — this
+// per-component mediation is what lets Process Firewall rules implement
+// safe_open-equivalent link checks entirely in "kernel" space (Figure 4).
+
+#include <deque>
+
+#include "src/sim/kernel.h"
+
+namespace pf::sim {
+
+namespace {
+
+// Maximum symlink expansions before ELOOP (Linux uses 40).
+constexpr int kMaxSymlinks = 40;
+
+// Splits a path into components, dropping empty ones.
+std::deque<std::string> Components(const std::string& path) {
+  std::deque<std::string> out;
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) {
+      j = path.size();
+    }
+    if (j > i) {
+      out.emplace_back(path.substr(i, j - i));
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t Kernel::PathWalk(Task& task, const std::string& path, uint32_t flags, Nameidata* nd) {
+  return PathWalkInternal(&task, nullptr, path, flags, nd);
+}
+
+int64_t Kernel::PathWalkInternal(Task* task, std::shared_ptr<Inode> start,
+                                 const std::string& path, uint32_t flags, Nameidata* nd) {
+  if (path.empty()) {
+    return SysError(Err::kNoEnt);
+  }
+  if (path.size() > 4096) {
+    return SysError(Err::kNameTooLong);
+  }
+  const bool hooks = (flags & kNoHooks) == 0;
+
+  std::shared_ptr<Inode> cur;
+  if (path[0] == '/') {
+    cur = vfs_.root();
+  } else if (start) {
+    cur = std::move(start);
+  } else if (task) {
+    cur = vfs_.Get(task->cwd);
+  }
+  if (!cur) {
+    return SysError(Err::kNoEnt);
+  }
+
+  std::deque<std::string> work = Components(path);
+  if (work.empty()) {
+    // Path was "/" (or equivalent).
+    nd->parent = cur;
+    nd->inode = cur;
+    nd->last = ".";
+    return 0;
+  }
+
+  int symlinks = 0;
+  while (!work.empty()) {
+    std::string comp = std::move(work.front());
+    work.pop_front();
+    const bool is_final = work.empty();
+
+    if (!cur->IsDir()) {
+      return SysError(Err::kNotDir);
+    }
+    if (hooks) {
+      if (!DacPermitted(task->cred, *cur, AccessBit(Access::kExec))) {
+        return SysError(Err::kAcces);
+      }
+      if (int64_t rv = HookInode(*task, Op::kDirSearch, *cur, comp); rv != 0) {
+        return rv;
+      }
+    }
+
+    if (comp == ".") {
+      if (is_final) {
+        nd->parent = cur;
+        nd->inode = cur;
+        nd->last = ".";
+        return 0;
+      }
+      continue;
+    }
+    if (comp == "..") {
+      auto parent = vfs_.Get(cur->parent_dir);
+      if (!parent) {
+        parent = vfs_.root();
+      }
+      if (is_final) {
+        nd->parent = parent;
+        nd->inode = parent;
+        nd->last = "..";
+        return 0;
+      }
+      cur = parent;
+      continue;
+    }
+
+    auto it = cur->entries.find(comp);
+    std::shared_ptr<Inode> child;
+    if (it != cur->entries.end()) {
+      child = vfs_.Sb(cur->dev).Get(it->second);
+    }
+    if (!child) {
+      if (is_final && (flags & kWantParent)) {
+        nd->parent = cur;
+        nd->inode = nullptr;
+        nd->last = comp;
+        return 0;
+      }
+      return SysError(Err::kNoEnt);
+    }
+
+    // Symlink handling: intermediate links are always followed; the final
+    // link is followed only with kFollowFinal.
+    if (child->IsSymlink() && (!is_final || (flags & kFollowFinal))) {
+      if (++symlinks > kMaxSymlinks) {
+        return SysError(Err::kLoop);
+      }
+      if (hooks) {
+        // Resolve the target's inode (without mediation of the peek itself)
+        // so owner-comparison rules like R8 can see the target's attributes.
+        std::shared_ptr<Inode> keep_alive;
+        Inode* target_inode = nullptr;
+        if (!child->symlink_target.empty()) {
+          Nameidata peek;
+          if (PathWalkInternal(nullptr, cur, child->symlink_target,
+                               kNoHooks | kFollowFinal, &peek) == 0) {
+            keep_alive = peek.inode;
+            target_inode = keep_alive.get();
+          }
+        }
+        if (int64_t rv = HookInode(*task, Op::kLnkFileRead, *child, comp, target_inode);
+            rv != 0) {
+          return rv;
+        }
+      }
+      std::deque<std::string> target_comps = Components(child->symlink_target);
+      if (!child->symlink_target.empty() && child->symlink_target[0] == '/') {
+        cur = vfs_.root();
+      }
+      // Splice the target's components in front of the remaining work.
+      for (auto rit = target_comps.rbegin(); rit != target_comps.rend(); ++rit) {
+        work.push_front(std::move(*rit));
+      }
+      if (work.empty()) {
+        // Link to "/" or an empty target resolving to the current dir.
+        nd->parent = cur;
+        nd->inode = cur;
+        nd->last = ".";
+        return 0;
+      }
+      continue;
+    }
+
+    if (is_final) {
+      nd->parent = cur;
+      nd->inode = vfs_.CrossMount(child);
+      nd->last = comp;
+      return 0;
+    }
+    cur = vfs_.CrossMount(child);
+  }
+  return SysError(Err::kNoEnt);
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,43 @@
+// Deterministic, seedable random number generators.
+//
+// All randomness in the simulation (ASLR bases, inode recycling order,
+// synthetic traces, workload mixes) flows through these so that every test
+// and benchmark run is reproducible from a seed.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace pf::sim {
+
+// SplitMix64: tiny, high-quality 64-bit generator; also used to seed others.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_RNG_H_

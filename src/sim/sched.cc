@@ -1,0 +1,724 @@
+#include "src/sim/sched.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pf::sim {
+
+// --- Proc --------------------------------------------------------------------
+
+Proc::Proc(Scheduler& sched, Kernel& kernel, std::unique_ptr<Task> task)
+    : sched_(sched), kernel_(kernel), task_(std::move(task)) {}
+
+void Proc::AfterSyscall() {
+  kernel_.DeliverPendingSignals(*this);
+  sched_.SyscallExitPoint(*this);
+}
+
+int64_t Proc::Null() {
+  int64_t rv = kernel_.SysNull(*task_);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Getpid() {
+  int64_t rv = kernel_.SysGetpid(*task_);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Umask(FileMode mask) {
+  int64_t rv = kernel_.SysUmask(*task_, mask);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Open(const std::string& path, uint32_t flags, FileMode mode) {
+  int64_t rv = kernel_.SysOpen(*task_, path, flags, mode);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Close(int fd) {
+  int64_t rv = kernel_.SysClose(*task_, fd);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Read(int fd, std::string* out, uint64_t count) {
+  int64_t rv = kernel_.SysRead(*task_, fd, out, count);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Write(int fd, std::string_view data) {
+  int64_t rv = kernel_.SysWrite(*task_, fd, data);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Stat(const std::string& path, StatBuf* st) {
+  int64_t rv = kernel_.SysStat(*task_, path, st);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Lstat(const std::string& path, StatBuf* st) {
+  int64_t rv = kernel_.SysLstat(*task_, path, st);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Fstat(int fd, StatBuf* st) {
+  int64_t rv = kernel_.SysFstat(*task_, fd, st);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Access(const std::string& path, uint32_t bits) {
+  int64_t rv = kernel_.SysAccess(*task_, path, bits);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Unlink(const std::string& path) {
+  int64_t rv = kernel_.SysUnlink(*task_, path);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Mkdir(const std::string& path, FileMode mode) {
+  int64_t rv = kernel_.SysMkdir(*task_, path, mode);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Rmdir(const std::string& path) {
+  int64_t rv = kernel_.SysRmdir(*task_, path);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Symlink(const std::string& target, const std::string& linkpath) {
+  int64_t rv = kernel_.SysSymlink(*task_, target, linkpath);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Link(const std::string& oldpath, const std::string& newpath) {
+  int64_t rv = kernel_.SysLink(*task_, oldpath, newpath);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Rename(const std::string& oldpath, const std::string& newpath) {
+  int64_t rv = kernel_.SysRename(*task_, oldpath, newpath);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Chmod(const std::string& path, FileMode mode) {
+  int64_t rv = kernel_.SysChmod(*task_, path, mode);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Fchmod(int fd, FileMode mode) {
+  int64_t rv = kernel_.SysFchmod(*task_, fd, mode);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Chown(const std::string& path, Uid uid, Gid gid) {
+  int64_t rv = kernel_.SysChown(*task_, path, uid, gid);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Chdir(const std::string& path) {
+  int64_t rv = kernel_.SysChdir(*task_, path);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Readdir(const std::string& path, std::vector<std::string>* names) {
+  int64_t rv = kernel_.SysReaddir(*task_, path, names);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::MmapFd(int fd) {
+  int64_t rv = kernel_.SysMmap(*task_, fd);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Socket() {
+  int64_t rv = kernel_.SysSocket(*task_);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Bind(int fd, const std::string& path, FileMode mode) {
+  int64_t rv = kernel_.SysBind(*task_, fd, path, mode);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Listen(int fd) {
+  int64_t rv = kernel_.SysListen(*task_, fd);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Connect(int fd, const std::string& path) {
+  int64_t rv = kernel_.SysConnect(*task_, fd, path);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Sigaction(SigNum sig, std::function<void(SigNum)> handler) {
+  int64_t rv = kernel_.SysSigaction(*task_, sig, std::move(handler));
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Sigprocmask(bool block, SigNum sig) {
+  int64_t rv = kernel_.SysSigprocmask(*task_, block, sig);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Kill(Pid pid, SigNum sig) {
+  int64_t rv = kernel_.SysKill(*task_, pid, sig);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Fork(std::function<void(Proc&)> body) {
+  int64_t rv = kernel_.SysFork(*this, std::move(body));
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Waitpid(Pid pid, int* status) {
+  int dummy = 0;
+  int64_t rv = kernel_.SysWaitpid(*this, pid, status ? status : &dummy);
+  AfterSyscall();
+  return rv;
+}
+
+int64_t Proc::Execve(const std::string& path, std::vector<std::string> argv,
+                     std::map<std::string, std::string> env) {
+  int64_t rv = kernel_.SysExecve(*this, path, std::move(argv), std::move(env));
+  AfterSyscall();
+  return rv;
+}
+
+void Proc::Exit(int code) { kernel_.SysExit(*this, code); }
+
+int64_t Proc::Pause() {
+  int64_t rv = kernel_.SysPause(*this);
+  AfterSyscall();
+  return rv;
+}
+
+void Proc::Checkpoint(std::string_view label) {
+  kernel_.DeliverPendingSignals(*this);
+  sched_.CheckpointPoint(*this, label);
+}
+
+// --- UserFrame / InterpFrame ---------------------------------------------------
+
+UserFrame::UserFrame(Proc& proc, const std::string& image, uint64_t offset, uint64_t locals) {
+  Mm& mm = proc.task().mm;
+  const Mapping* map = mm.FindMappingByPath(image);
+  if (map == nullptr) {
+    std::fprintf(stderr, "UserFrame: image '%s' is not mapped in pid %d (%s)\n", image.c_str(),
+                 proc.pid(), proc.task().comm.c_str());
+    std::abort();
+  }
+  pc_ = map->base + offset;
+  mm.PushFrame(pc_, locals, /*scramble_fp=*/!map->has_frame_pointers);
+  mm_ = &mm;
+}
+
+UserFrame::~UserFrame() {
+  if (mm_ != nullptr) {
+    mm_->PopFrame();
+  }
+}
+
+InterpFrame::InterpFrame(Proc& proc, InterpLang lang, const std::string& script, uint32_t line)
+    : proc_(proc) {
+  Mm& mm = proc.task().mm;
+  node_ = mm.ArenaAlloc(kNodeSize);
+  if (node_ == kNullAddr) {
+    return;  // arena exhausted: frame list simply ends here
+  }
+  prev_head_ = mm.interp_head();
+  uint32_t script_id = proc.task().RegisterScript(script);
+  uint32_t lang_tag = static_cast<uint32_t>(lang);
+  mm.WriteU64(node_, prev_head_);
+  mm.CopyToUser(node_ + 8, &script_id, sizeof(script_id));
+  mm.CopyToUser(node_ + 12, &line, sizeof(line));
+  mm.CopyToUser(node_ + 16, &lang_tag, sizeof(lang_tag));
+  mm.set_interp_head(node_);
+  proc.task().interp_lang = lang;
+}
+
+InterpFrame::~InterpFrame() {
+  if (node_ == kNullAddr) {
+    return;
+  }
+  Mm& mm = proc_.task().mm;
+  mm.set_interp_head(prev_head_);
+  mm.ArenaRollback(node_, kNodeSize);
+}
+
+// --- Scheduler -----------------------------------------------------------------
+
+Scheduler::Scheduler(Kernel& kernel) : kernel_(kernel) { kernel_.set_sched(this); }
+
+Scheduler::~Scheduler() {
+  // Force-terminate anything still alive, then join.
+  for (auto& [pid, rec] : recs_) {
+    if (rec->state != Rec::State::kExited) {
+      rec->kill_requested = true;
+      RunProcOnce(rec.get());
+    }
+  }
+  for (auto& [pid, rec] : recs_) {
+    if (rec->thread.joinable()) {
+      rec->thread.join();
+    }
+  }
+  kernel_.set_sched(nullptr);
+}
+
+Scheduler::Rec* Scheduler::Find(Pid pid) {
+  auto it = recs_.find(pid);
+  return it == recs_.end() ? nullptr : it->second.get();
+}
+
+const Scheduler::Rec* Scheduler::Find(Pid pid) const {
+  auto it = recs_.find(pid);
+  return it == recs_.end() ? nullptr : it->second.get();
+}
+
+Pid Scheduler::Spawn(SpawnOpts opts, std::function<void(Proc&)> body) {
+  auto task = std::make_unique<Task>();
+  task->pid = kernel_.AllocPid();
+  task->ppid = 1;
+  task->comm = opts.name;
+  task->cred = opts.cred;
+  if (task->cred.sid == kInvalidSid) {
+    task->cred.sid = kernel_.labels().unlabeled();
+  }
+  task->argv = opts.argv.empty() ? std::vector<std::string>{opts.name} : std::move(opts.argv);
+  task->env = std::move(opts.env);
+  task->mm.Reset(kernel_.AslrStackBase());
+
+  auto cwd = kernel_.LookupNoHooks(opts.cwd);
+  task->cwd = cwd ? cwd->id() : kernel_.vfs().root()->id();
+
+  if (!opts.exe.empty()) {
+    auto inode = kernel_.LookupNoHooks(opts.exe);
+    if (inode && inode->binary) {
+      kernel_.MapImage(*task, inode, opts.exe);
+      task->exe = opts.exe;
+      const Mapping* map = task->mm.FindMappingByPath(opts.exe);
+      if (map != nullptr) {
+        task->mm.PushFrame(map->base + kEntryOffset, 0, !map->has_frame_pointers);
+      }
+    }
+  }
+  return SpawnInternal(std::move(task), std::move(body));
+}
+
+Pid Scheduler::SpawnForked(std::unique_ptr<Task> task, std::function<void(Proc&)> body) {
+  return SpawnInternal(std::move(task), std::move(body));
+}
+
+Pid Scheduler::SpawnInternal(std::unique_ptr<Task> task, std::function<void(Proc&)> body) {
+  Pid pid = task->pid;
+  auto rec = std::make_unique<Rec>();
+  Rec* raw = rec.get();
+  raw->pid = pid;
+  raw->ppid = task->ppid;
+  raw->name = task->comm;
+  raw->proc = std::make_unique<Proc>(*this, kernel_, std::move(task));
+  raw->proc->rec_ = raw;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    recs_[pid] = std::move(rec);
+    order_.push_back(pid);
+  }
+  raw->thread = std::thread([this, raw, b = std::move(body)]() mutable {
+    ThreadMain(raw, std::move(b));
+  });
+  return pid;
+}
+
+void Scheduler::ThreadMain(Rec* rec, std::function<void(Proc&)> body) {
+  AwaitGrant(rec);
+  int code = 0;
+  if (!rec->kill_requested) {
+    try {
+      body(*rec->proc);
+      // Falling off the end of the body is exit(0).
+      try {
+        kernel_.SysExit(*rec->proc, 0);
+      } catch (const ProcExitException& e) {
+        code = e.code;
+      }
+    } catch (const ProcExitException& e) {
+      code = e.code;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "proc %d (%s): uncaught exception: %s\n", rec->pid,
+                   rec->name.c_str(), e.what());
+      code = -125;
+    }
+  } else {
+    code = -1;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (exited_codes_.count(rec->pid) == 0) {
+    // Abnormal path (kill / uncaught exception): SysExit did not run, so
+    // record the exit and wake any waiting parent here.
+    exited_codes_[rec->pid] = code;
+    auto pit = recs_.find(rec->ppid);
+    if (pit != recs_.end()) {
+      Rec* parent = pit->second.get();
+      if (parent->state == Rec::State::kBlocked && parent->block == Rec::Block::kChild &&
+          (parent->wait_child == kInvalidPid || parent->wait_child == rec->pid)) {
+        parent->state = Rec::State::kReady;
+      }
+    }
+  }
+  rec->exit_code = exited_codes_[rec->pid];
+  rec->state = Rec::State::kExited;
+  rec->yielded = true;
+  cv_.notify_all();
+}
+
+void Scheduler::RunProcOnce(Rec* rec) {
+  std::unique_lock<std::mutex> lk(mu_);
+  rec->hit_stop = false;
+  rec->grant = true;
+  rec->yielded = false;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return rec->yielded; });
+}
+
+void Scheduler::YieldToDirector(Rec* rec) {
+  std::unique_lock<std::mutex> lk(mu_);
+  rec->yielded = true;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return rec->grant; });
+  rec->grant = false;
+  if (rec->kill_requested) {
+    lk.unlock();
+    throw ProcExitException{-1};
+  }
+}
+
+void Scheduler::AwaitGrant(Rec* rec) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return rec->grant; });
+  rec->grant = false;
+}
+
+void Scheduler::Deadlock(const std::string& why) {
+  std::ostringstream oss;
+  oss << "scheduler deadlock: " << why << " [";
+  for (const auto& [pid, rec] : recs_) {
+    oss << " " << rec->name << ":" << pid << "="
+        << (rec->state == Rec::State::kReady
+                ? (rec->hit_stop ? "paused" : "ready")
+                : rec->state == Rec::State::kBlocked ? "blocked" : "exited");
+  }
+  oss << " ]";
+  throw std::runtime_error(oss.str());
+}
+
+Scheduler::Rec* Scheduler::PickOther(Pid skip) {
+  if (order_.empty()) {
+    return nullptr;
+  }
+  for (size_t i = 0; i < order_.size(); ++i) {
+    rr_cursor_ = (rr_cursor_ + 1) % order_.size();
+    Rec* rec = Find(order_[rr_cursor_]);
+    if (rec != nullptr && rec->pid != skip && rec->state == Rec::State::kReady &&
+        !rec->hit_stop) {
+      return rec;
+    }
+  }
+  return nullptr;
+}
+
+int Scheduler::RunUntilExit(Pid pid) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = exited_codes_.find(pid);
+      if (it != exited_codes_.end()) {
+        Rec* rec = Find(pid);
+        if (rec == nullptr || rec->state == Rec::State::kExited) {
+          return it->second;
+        }
+      }
+    }
+    Rec* rec = Find(pid);
+    if (rec == nullptr) {
+      throw std::runtime_error("RunUntilExit: unknown pid " + std::to_string(pid));
+    }
+    Rec* next = rec->state == Rec::State::kReady ? rec : PickOther(pid);
+    if (next == nullptr) {
+      Deadlock("target " + std::to_string(pid) + " cannot run");
+    }
+    RunProcOnce(next);
+  }
+}
+
+bool Scheduler::RunUntilLabel(Pid pid, std::string_view label) {
+  Rec* rec = Find(pid);
+  if (rec == nullptr) {
+    return false;
+  }
+  rec->stop_at_label = true;
+  rec->stop_label = std::string(label);
+  for (;;) {
+    if (rec->state == Rec::State::kExited) {
+      rec->stop_at_label = false;
+      return false;
+    }
+    Rec* next = rec->state == Rec::State::kReady && !rec->hit_stop ? rec : PickOther(pid);
+    if (next == nullptr && rec->state == Rec::State::kReady) {
+      next = rec;  // resume the paused target itself
+    }
+    if (next == nullptr) {
+      Deadlock("target " + std::to_string(pid) + " blocked before label");
+    }
+    RunProcOnce(next);
+    if (rec->hit_stop) {
+      rec->stop_at_label = false;
+      return true;
+    }
+  }
+}
+
+bool Scheduler::StepSyscalls(Pid pid, uint64_t n) {
+  Rec* rec = Find(pid);
+  if (rec == nullptr || n == 0) {
+    return false;
+  }
+  rec->stop_syscalls = n;
+  for (;;) {
+    if (rec->state == Rec::State::kExited) {
+      rec->stop_syscalls = 0;
+      return false;
+    }
+    Rec* next = rec->state == Rec::State::kReady && !rec->hit_stop ? rec : PickOther(pid);
+    if (next == nullptr && rec->state == Rec::State::kReady) {
+      next = rec;
+    }
+    if (next == nullptr) {
+      Deadlock("target " + std::to_string(pid) + " blocked mid-step");
+    }
+    RunProcOnce(next);
+    if (rec->hit_stop) {
+      return true;
+    }
+  }
+}
+
+void Scheduler::RunAll() {
+  for (;;) {
+    Rec* next = PickOther(kInvalidPid);
+    if (next == nullptr) {
+      // Resume paused (label-stopped) processes if that is all that is left.
+      for (Pid pid : order_) {
+        Rec* rec = Find(pid);
+        if (rec != nullptr && rec->state == Rec::State::kReady && rec->hit_stop) {
+          next = rec;
+          break;
+        }
+      }
+    }
+    if (next == nullptr) {
+      for (const auto& [pid, rec] : recs_) {
+        if (rec->state == Rec::State::kBlocked) {
+          Deadlock("RunAll: blocked processes remain");
+        }
+      }
+      return;
+    }
+    RunProcOnce(next);
+  }
+}
+
+void Scheduler::Wake(Pid pid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Rec* rec = Find(pid);
+  if (rec == nullptr) {
+    return;
+  }
+  if (rec->state == Rec::State::kBlocked) {
+    rec->state = Rec::State::kReady;
+  } else {
+    // Not blocked yet: remember the wakeup so the next Pause() returns
+    // immediately instead of blocking forever.
+    rec->wake_pending = true;
+  }
+}
+
+void Scheduler::NotifySignal(Pid pid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Rec* rec = Find(pid);
+  if (rec != nullptr && rec->state == Rec::State::kBlocked) {
+    rec->state = Rec::State::kReady;
+  }
+}
+
+Task* Scheduler::FindTask(Pid pid) {
+  Rec* rec = Find(pid);
+  return rec != nullptr && rec->proc ? &rec->proc->task() : nullptr;
+}
+
+Proc* Scheduler::FindProc(Pid pid) {
+  Rec* rec = Find(pid);
+  return rec != nullptr ? rec->proc.get() : nullptr;
+}
+
+bool Scheduler::Exited(Pid pid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return exited_codes_.count(pid) != 0;
+}
+
+int Scheduler::ExitCode(Pid pid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = exited_codes_.find(pid);
+  return it == exited_codes_.end() ? -255 : it->second;
+}
+
+size_t Scheduler::live_procs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [pid, rec] : recs_) {
+    if (rec->state != Rec::State::kExited) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Scheduler::BlockOnChild(Proc& proc, Pid child) {
+  Rec* rec = static_cast<Rec*>(proc.rec_);
+  rec->state = Rec::State::kBlocked;
+  rec->block = Rec::Block::kChild;
+  rec->wait_child = child;
+  YieldToDirector(rec);
+  rec->state = Rec::State::kReady;
+  rec->block = Rec::Block::kNone;
+  rec->wait_child = kInvalidPid;
+}
+
+void Scheduler::BlockOnSignal(Proc& proc) {
+  Rec* rec = static_cast<Rec*>(proc.rec_);
+  if (rec->wake_pending) {
+    rec->wake_pending = false;
+    return;
+  }
+  rec->state = Rec::State::kBlocked;
+  rec->block = Rec::Block::kSignal;
+  YieldToDirector(rec);
+  rec->state = Rec::State::kReady;
+  rec->block = Rec::Block::kNone;
+}
+
+void Scheduler::OnTaskExited(Proc& proc, int code) {
+  std::lock_guard<std::mutex> lk(mu_);
+  exited_codes_[proc.pid()] = code;
+  Rec* rec = static_cast<Rec*>(proc.rec_);
+  rec->exit_code = code;
+  // Wake a parent blocked in waitpid.
+  Rec* parent = Find(rec->ppid);
+  if (parent != nullptr && parent->state == Rec::State::kBlocked &&
+      parent->block == Rec::Block::kChild &&
+      (parent->wait_child == kInvalidPid || parent->wait_child == rec->pid)) {
+    parent->state = Rec::State::kReady;
+  }
+}
+
+Scheduler::ReapResult Scheduler::TryReap(Pid parent, Pid child, int* status, Pid* reaped_pid) {
+  Rec* victim = nullptr;
+  bool found_child = false;
+  for (Pid pid : order_) {
+    Rec* rec = Find(pid);
+    if (rec == nullptr || rec->ppid != parent || rec->reaped) {
+      continue;
+    }
+    if (child != kInvalidPid && rec->pid != child) {
+      continue;
+    }
+    found_child = true;
+    if (rec->state == Rec::State::kExited) {
+      victim = rec;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    return found_child ? ReapResult::kStillRunning : ReapResult::kNoChild;
+  }
+  *status = victim->exit_code;
+  *reaped_pid = victim->pid;
+  victim->reaped = true;
+  if (victim->thread.joinable()) {
+    victim->thread.join();
+  }
+  // Drop the record entirely: long-running fork benchmarks must not
+  // accumulate dead tasks.
+  Pid vpid = victim->pid;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    recs_.erase(vpid);
+    for (size_t i = 0; i < order_.size(); ++i) {
+      if (order_[i] == vpid) {
+        order_.erase(order_.begin() + i);
+        if (rr_cursor_ >= order_.size()) {
+          rr_cursor_ = 0;
+        }
+        break;
+      }
+    }
+  }
+  return ReapResult::kReaped;
+}
+
+void Scheduler::SyscallExitPoint(Proc& proc) {
+  Rec* rec = static_cast<Rec*>(proc.rec_);
+  if (rec == nullptr) {
+    return;
+  }
+  if (rec->stop_syscalls > 0 && --rec->stop_syscalls == 0) {
+    rec->hit_stop = true;
+    YieldToDirector(rec);
+  }
+}
+
+void Scheduler::CheckpointPoint(Proc& proc, std::string_view label) {
+  Rec* rec = static_cast<Rec*>(proc.rec_);
+  if (rec == nullptr) {
+    return;
+  }
+  if (rec->stop_at_label && rec->stop_label == label) {
+    rec->stop_at_label = false;
+    rec->hit_stop = true;
+    YieldToDirector(rec);
+  }
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,272 @@
+// Cooperative, deterministic process scheduling.
+//
+// Each simulated process runs its body (a C++ function) on a dedicated OS
+// thread, but exactly one thread executes at any time: a baton is handed
+// between the *director* (the test / benchmark / example driving the system)
+// and the processes. Processes return the baton when they
+//
+//  * exit,
+//  * block (waitpid, pause),
+//  * reach a named Checkpoint() that the director armed, or
+//  * finish the Nth system call of an armed StepSyscalls().
+//
+// This gives tests byte-precise control over interleavings — the adversary
+// can be scheduled exactly between a victim's "check" and "use" system calls
+// to reproduce TOCTTOU and signal races — while unarmed processes run at
+// full speed for the benchmarks.
+#ifndef SRC_SIM_SCHED_H_
+#define SRC_SIM_SCHED_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/kernel.h"
+#include "src/sim/task.h"
+
+namespace pf::sim {
+
+// Thrown to unwind a process thread on exit()/execve(); never caught by
+// application code.
+struct ProcExitException {
+  int code = 0;
+};
+
+struct SpawnOpts {
+  std::string name = "proc";
+  Cred cred;
+  // Optional binary to map into the new process (as execve would), making
+  // its image available for UserFrame call sites. The body still runs
+  // instead of the registered entry function.
+  std::string exe;
+  std::vector<std::string> argv;
+  std::map<std::string, std::string> env;
+  std::string cwd = "/";
+};
+
+class Scheduler;
+
+// Handle through which process bodies issue system calls. Wrappers mirror
+// the Kernel's Sys* methods and add the post-syscall processing a real
+// kernel performs on the syscall return path: pending-signal delivery and
+// preemption (baton hand-off when a stop condition is armed).
+class Proc {
+ public:
+  Proc(Scheduler& sched, Kernel& kernel, std::unique_ptr<Task> task);
+
+  Task& task() { return *task_; }
+  Kernel& kernel() { return kernel_; }
+  Scheduler& sched() { return sched_; }
+  Pid pid() const { return task_->pid; }
+
+  // --- system calls ---
+  int64_t Null();
+  int64_t Getpid();
+  int64_t Umask(FileMode mask);
+  int64_t Open(const std::string& path, uint32_t flags, FileMode mode = 0644);
+  int64_t Close(int fd);
+  int64_t Read(int fd, std::string* out, uint64_t count);
+  int64_t Write(int fd, std::string_view data);
+  int64_t Stat(const std::string& path, StatBuf* st);
+  int64_t Lstat(const std::string& path, StatBuf* st);
+  int64_t Fstat(int fd, StatBuf* st);
+  int64_t Access(const std::string& path, uint32_t bits);
+  int64_t Unlink(const std::string& path);
+  int64_t Mkdir(const std::string& path, FileMode mode);
+  int64_t Rmdir(const std::string& path);
+  int64_t Symlink(const std::string& target, const std::string& linkpath);
+  int64_t Link(const std::string& oldpath, const std::string& newpath);
+  int64_t Rename(const std::string& oldpath, const std::string& newpath);
+  int64_t Chmod(const std::string& path, FileMode mode);
+  int64_t Fchmod(int fd, FileMode mode);
+  int64_t Chown(const std::string& path, Uid uid, Gid gid);
+  int64_t Chdir(const std::string& path);
+  int64_t Readdir(const std::string& path, std::vector<std::string>* names);
+  int64_t MmapFd(int fd);
+  int64_t Socket();
+  int64_t Bind(int fd, const std::string& path, FileMode mode = 0755);
+  int64_t Listen(int fd);
+  int64_t Connect(int fd, const std::string& path);
+  int64_t Sigaction(SigNum sig, std::function<void(SigNum)> handler);
+  int64_t Sigprocmask(bool block, SigNum sig);
+  int64_t Kill(Pid pid, SigNum sig);
+  int64_t Fork(std::function<void(Proc&)> body);
+  int64_t Waitpid(Pid pid, int* status = nullptr);
+  int64_t Execve(const std::string& path, std::vector<std::string> argv,
+                 std::map<std::string, std::string> env);
+  [[noreturn]] void Exit(int code);
+  int64_t Pause();
+
+  // --- user-level helpers (not system calls) ---
+  // Named scheduling point; the director can arm a stop on it.
+  void Checkpoint(std::string_view label);
+  void Setenv(const std::string& key, const std::string& value) { task_->env[key] = value; }
+  void Unsetenv(const std::string& key) { task_->env.erase(key); }
+  std::string Getenv(const std::string& key) const { return task_->EnvOr(key); }
+  bool HasEnv(const std::string& key) const { return task_->env.count(key) != 0; }
+
+ private:
+  friend class Scheduler;
+  friend class Kernel;
+
+  void AfterSyscall();
+
+  Scheduler& sched_;
+  Kernel& kernel_;
+  std::unique_ptr<Task> task_;
+  void* rec_ = nullptr;  // owning Scheduler::Rec (opaque here)
+};
+
+// RAII user-stack frame for a call site at `offset` within a mapped image.
+// The image must already be mapped (by Spawn/execve for the main binary and
+// its interpreter, by mmap for libraries).
+class UserFrame {
+ public:
+  UserFrame(Proc& proc, const std::string& image, uint64_t offset, uint64_t locals = 32);
+  ~UserFrame();
+
+  UserFrame(const UserFrame&) = delete;
+  UserFrame& operator=(const UserFrame&) = delete;
+
+  bool valid() const { return mm_ != nullptr; }
+  Addr pc() const { return pc_; }
+
+ private:
+  Mm* mm_ = nullptr;
+  Addr pc_ = 0;
+};
+
+// RAII interpreter frame: a node in the interpreter's frame list, written
+// into the task's user-memory arena for the kernel-side interpreter
+// unwinder to walk (paper Section 4.4).
+class InterpFrame {
+ public:
+  // Node layout in user memory (24 bytes):
+  //   [0..8)   next node address (0 terminates)
+  //   [8..12)  script id (index into the task's script table)
+  //   [12..16) line number
+  //   [16..20) language tag (InterpLang)
+  //   [20..24) padding
+  static constexpr uint64_t kNodeSize = 24;
+
+  InterpFrame(Proc& proc, InterpLang lang, const std::string& script, uint32_t line);
+  ~InterpFrame();
+
+  InterpFrame(const InterpFrame&) = delete;
+  InterpFrame& operator=(const InterpFrame&) = delete;
+
+  bool valid() const { return node_ != kNullAddr; }
+  Addr node() const { return node_; }
+
+ private:
+  Proc& proc_;
+  Addr node_ = kNullAddr;
+  Addr prev_head_ = kNullAddr;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(Kernel& kernel);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // --- director API ---
+  Pid Spawn(SpawnOpts opts, std::function<void(Proc&)> body);
+
+  // Runs the target (and, while it is blocked, other runnable processes)
+  // until it exits. Returns its exit code.
+  int RunUntilExit(Pid pid);
+  // Runs until the target reaches Checkpoint(label). Returns false if it
+  // exited without reaching the label.
+  bool RunUntilLabel(Pid pid, std::string_view label);
+  // Runs until the target completes n more system calls. Returns false if
+  // it exited first.
+  bool StepSyscalls(Pid pid, uint64_t n);
+  // Runs every process to completion (round-robin at yield points).
+  void RunAll();
+  // Unblocks a process blocked in Pause().
+  void Wake(Pid pid);
+
+  Task* FindTask(Pid pid);
+  Proc* FindProc(Pid pid);
+  bool Exited(Pid pid) const;
+  int ExitCode(Pid pid) const;
+  size_t live_procs() const;
+
+  // --- kernel-facing API ---
+  Pid SpawnForked(std::unique_ptr<Task> task, std::function<void(Proc&)> body);
+  void BlockOnChild(Proc& proc, Pid child);
+  void BlockOnSignal(Proc& proc);
+  void OnTaskExited(Proc& proc, int code);
+  // Wakes the target if it is blocked (a signal arrived).
+  void NotifySignal(Pid pid);
+
+  enum class ReapResult { kReaped, kNoChild, kStillRunning };
+  ReapResult TryReap(Pid parent, Pid child, int* status, Pid* reaped_pid);
+
+  // --- process-side API ---
+  void SyscallExitPoint(Proc& proc);
+  void CheckpointPoint(Proc& proc, std::string_view label);
+
+ private:
+  struct Rec {
+    Pid pid = kInvalidPid;
+    Pid ppid = kInvalidPid;
+    std::string name;
+    std::unique_ptr<Proc> proc;
+    std::thread thread;
+
+    enum class State { kReady, kBlocked, kExited } state = State::kReady;
+    enum class Block { kNone, kChild, kSignal } block = Block::kNone;
+    Pid wait_child = kInvalidPid;  // kInvalidPid = any child
+
+    // Armed stop conditions (director-set while the process is parked).
+    bool stop_at_label = false;
+    std::string stop_label;
+    uint64_t stop_syscalls = 0;  // counts down; 0 = unarmed
+    bool hit_stop = false;       // parked because a stop condition fired
+    bool kill_requested = false;
+    bool wake_pending = false;   // Wake() arrived before the next Pause()
+
+    // Baton.
+    bool grant = false;
+    bool yielded = true;
+
+    int exit_code = 0;
+    bool reaped = false;
+  };
+
+  Rec* Find(Pid pid);
+  const Rec* Find(Pid pid) const;
+  Pid SpawnInternal(std::unique_ptr<Task> task, std::function<void(Proc&)> body);
+  void ThreadMain(Rec* rec, std::function<void(Proc&)> body);
+
+  // Grants the baton to `rec` and waits until it yields again.
+  void RunProcOnce(Rec* rec);
+  // Picks the next process to run while `target` cannot run (round-robin
+  // over ready processes); null if none.
+  Rec* PickOther(Pid target);
+  // Process-side: return the baton and wait for the next grant.
+  void YieldToDirector(Rec* rec);
+  void AwaitGrant(Rec* rec);
+  [[noreturn]] void Deadlock(const std::string& why);
+
+  Kernel& kernel_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Pid, std::unique_ptr<Rec>> recs_;
+  std::vector<Pid> order_;  // spawn order, for deterministic round-robin
+  size_t rr_cursor_ = 0;
+  std::map<Pid, int> exited_codes_;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_SCHED_H_

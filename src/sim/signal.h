@@ -1,0 +1,85 @@
+// Signals: numbers, handler registrations, and per-task signal state.
+//
+// Signal delivery is a resource access in the paper's taxonomy (Table 2, row
+// 4): an adversary "delivers" a resource asynchronously. The kernel invokes
+// the authorization hooks (and thus the Process Firewall) before delivering a
+// handled signal, which is how rules R9-R12 block non-reentrant signal
+// handler races.
+#ifndef SRC_SIM_SIGNAL_H_
+#define SRC_SIM_SIGNAL_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/sim/types.h"
+
+namespace pf::sim {
+
+inline constexpr SigNum kSigHup = 1;
+inline constexpr SigNum kSigInt = 2;
+inline constexpr SigNum kSigKill = 9;
+inline constexpr SigNum kSigUsr1 = 10;
+inline constexpr SigNum kSigUsr2 = 12;
+inline constexpr SigNum kSigAlrm = 14;
+inline constexpr SigNum kSigTerm = 15;
+inline constexpr SigNum kSigChld = 17;
+inline constexpr SigNum kSigStop = 19;
+inline constexpr SigNum kMaxSig = 64;
+
+// SIGKILL/SIGSTOP cannot be caught or blocked.
+constexpr bool IsUnblockable(SigNum sig) { return sig == kSigKill || sig == kSigStop; }
+
+// A registered handler. Handlers are user code: they run on the task's
+// simulated thread and may issue system calls (which is exactly what makes
+// non-reentrant handlers exploitable).
+struct SigAction {
+  std::function<void(SigNum)> handler;
+};
+
+struct PendingSignal {
+  SigNum sig = 0;
+  Pid sender = kInvalidPid;
+};
+
+struct SignalState {
+  std::map<SigNum, SigAction> actions;
+  std::deque<PendingSignal> pending;
+  std::set<SigNum> blocked;
+  int in_handler_depth = 0;  // kernel-side nesting view (PF keeps its own via STATE rules)
+
+  bool HasHandler(SigNum sig) const { return actions.count(sig) != 0; }
+  bool IsBlocked(SigNum sig) const { return blocked.count(sig) != 0 && !IsUnblockable(sig); }
+
+  // True if some pending signal could be delivered right now.
+  bool HasDeliverable() const {
+    for (const PendingSignal& ps : pending) {
+      if (!IsBlocked(ps.sig)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // True if a deliverable pending signal would actually interrupt a blocking
+  // system call: it has a handler, or its default disposition terminates the
+  // process. Default-ignored signals (e.g. SIGCHLD without a handler) do not
+  // interrupt waits.
+  bool WouldInterrupt() const {
+    for (const PendingSignal& ps : pending) {
+      if (IsBlocked(ps.sig)) {
+        continue;
+      }
+      if (HasHandler(ps.sig) || ps.sig == kSigKill || ps.sig == kSigTerm ||
+          ps.sig == kSigInt || ps.sig == kSigHup || ps.sig == kSigAlrm) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_SIGNAL_H_

@@ -1,0 +1,39 @@
+#include "src/sim/syscall_nr.h"
+
+#include <array>
+#include <string>
+
+namespace pf::sim {
+
+namespace {
+constexpr std::array<std::string_view, static_cast<size_t>(SyscallNr::kCount)> kNames = {
+    "null",   "open",     "close",  "read",    "write",  "stat",        "lstat",
+    "fstat",  "access",   "unlink", "mkdir",   "rmdir",  "symlink",     "link",
+    "rename", "chmod",    "fchmod", "chown",   "chdir",  "readdir",     "mmap",
+    "socket", "bind",     "listen", "connect", "fork",   "execve",      "exit",
+    "waitpid", "kill",    "sigaction", "sigprocmask", "sigreturn", "pause",
+    "getpid", "umask",
+};
+}  // namespace
+
+std::string_view SyscallName(SyscallNr nr) {
+  auto i = static_cast<size_t>(nr);
+  if (i >= kNames.size()) {
+    return "?";
+  }
+  return kNames[i];
+}
+
+std::optional<SyscallNr> SyscallFromName(std::string_view name) {
+  if (name.rfind("NR_", 0) == 0) {
+    name.remove_prefix(3);
+  }
+  for (size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) {
+      return static_cast<SyscallNr>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,57 @@
+// System call numbers and names (for the SYSCALL_ARGS match module and the
+// syscallbegin chain, e.g. rule R12 matching NR_sigreturn).
+#ifndef SRC_SIM_SYSCALL_NR_H_
+#define SRC_SIM_SYSCALL_NR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace pf::sim {
+
+enum class SyscallNr : int32_t {
+  kNull = 0,  // getpid-style no-op used by the lmbench "null" microbenchmark
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kStat,
+  kLstat,
+  kFstat,
+  kAccess,
+  kUnlink,
+  kMkdir,
+  kRmdir,
+  kSymlink,
+  kLink,
+  kRename,
+  kChmod,
+  kFchmod,
+  kChown,
+  kChdir,
+  kReaddir,
+  kMmap,
+  kSocket,
+  kBind,
+  kListen,
+  kConnect,
+  kFork,
+  kExecve,
+  kExit,
+  kWaitpid,
+  kKill,
+  kSigaction,
+  kSigprocmask,
+  kSigreturn,
+  kPause,
+  kGetpid,
+  kUmask,
+  kCount,  // sentinel
+};
+
+std::string_view SyscallName(SyscallNr nr);
+std::optional<SyscallNr> SyscallFromName(std::string_view name);  // accepts "NR_open" / "open"
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_SYSCALL_NR_H_

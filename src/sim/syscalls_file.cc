@@ -1,0 +1,503 @@
+// File and directory system calls.
+
+#include "src/sim/kernel.h"
+
+namespace pf::sim {
+
+namespace {
+uint32_t AccModeBits(uint32_t flags) {
+  switch (flags & kOAccMode) {
+    case kORdOnly: return AccessBit(Access::kRead);
+    case kOWrOnly: return AccessBit(Access::kWrite);
+    default: return AccessBit(Access::kRead) | AccessBit(Access::kWrite);
+  }
+}
+}  // namespace
+
+std::shared_ptr<Inode> Kernel::CreateAt(Task& task, Nameidata& nd, InodeType type,
+                                        FileMode mode) {
+  auto inode = vfs_.Sb(nd.parent->dev).Alloc(type, mode & ~task.umask & kModePermMask,
+                                             task.cred.euid, task.cred.egid,
+                                             nd.parent->sid);  // label inherited from parent
+  inode->nlink = 1;
+  inode->mtime = inode->ctime = inode->atime = tick_;
+  if (type == InodeType::kDirectory) {
+    inode->parent_dir = nd.parent->id();
+  }
+  nd.parent->entries[nd.last] = inode->ino;
+  nd.parent->mtime = tick_;
+  return inode;
+}
+
+void Kernel::DropLink(const std::shared_ptr<Inode>& dir, const std::string& name,
+                      const std::shared_ptr<Inode>& victim) {
+  dir->entries.erase(name);
+  dir->mtime = tick_;
+  if (victim->nlink > 0) {
+    --victim->nlink;
+  }
+  vfs_.Sb(victim->dev).MaybeFree(victim);
+}
+
+int64_t Kernel::SysOpen(Task& task, const std::string& path, uint32_t flags, FileMode mode) {
+  SyscallScope scope(*this, task, SyscallNr::kOpen, {static_cast<int64_t>(flags)});
+  if (scope.denied()) {
+    return scope.error();
+  }
+
+  uint32_t walk = 0;
+  if ((flags & kONofollow) == 0 && (flags & (kOCreat | kOExcl)) != (kOCreat | kOExcl)) {
+    walk |= kFollowFinal;
+  }
+  if (flags & kOCreat) {
+    walk |= kWantParent;
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, walk, &nd); rv != 0) {
+    return rv;
+  }
+
+  std::shared_ptr<Inode> inode = nd.inode;
+  if (inode && inode->IsSymlink()) {
+    // Reached only with O_NOFOLLOW or O_CREAT|O_EXCL on a link.
+    return SysError(Err::kLoop);
+  }
+  if (inode && (flags & kOCreat) && (flags & kOExcl)) {
+    return SysError(Err::kExist);
+  }
+
+  if (!inode) {
+    // O_CREAT path: need write on the parent directory.
+    if (!DacPermitted(task.cred, *nd.parent,
+                      AccessBit(Access::kWrite) | AccessBit(Access::kExec))) {
+      return SysError(Err::kAcces);
+    }
+    if (int64_t rv = HookInode(task, Op::kDirAddName, *nd.parent, nd.last); rv != 0) {
+      return rv;
+    }
+    inode = CreateAt(task, nd, InodeType::kRegular, mode);
+    if (int64_t rv = HookInode(task, Op::kFileCreate, *inode, path); rv != 0) {
+      // Undo the creation on denial.
+      DropLink(nd.parent, nd.last, inode);
+      return rv;
+    }
+  } else {
+    if (inode->IsDir() && (flags & kOAccMode) != kORdOnly) {
+      return SysError(Err::kIsDir);
+    }
+    if ((flags & kODirectory) && !inode->IsDir()) {
+      return SysError(Err::kNotDir);
+    }
+    if (!DacPermitted(task.cred, *inode, AccModeBits(flags))) {
+      return SysError(Err::kAcces);
+    }
+    if (int64_t rv = HookInode(task, Op::kFileOpen, *inode, path); rv != 0) {
+      return rv;
+    }
+    if ((flags & kOTrunc) && inode->IsRegular()) {
+      inode->data.clear();
+      inode->mtime = tick_;
+    }
+  }
+
+  auto file = std::make_shared<File>();
+  file->inode = inode;
+  file->path = path;
+  file->flags = flags;
+  if (flags & kOAppend) {
+    file->offset = inode->data.size();
+  }
+  ++inode->open_count;
+  return task.fds.Install(std::move(file));
+}
+
+int64_t Kernel::SysClose(Task& task, int fd) {
+  SyscallScope scope(*this, task, SyscallNr::kClose, {fd});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = task.fds.Remove(fd);
+  if (!file) {
+    return SysError(Err::kBadF);
+  }
+  if (file.use_count() == 1 && file->inode) {
+    // Last descriptor referencing this open file description.
+    if (file->inode->open_count > 0) {
+      --file->inode->open_count;
+    }
+    // Anonymous inodes (unbound sockets) live outside any superblock.
+    if (file->inode->dev != 0) {
+      vfs_.Sb(file->inode->dev).MaybeFree(file->inode);
+    }
+  }
+  return 0;
+}
+
+int64_t Kernel::SysRead(Task& task, int fd, std::string* out, uint64_t count) {
+  SyscallScope scope(*this, task, SyscallNr::kRead, {fd, static_cast<int64_t>(count)});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = task.fds.Get(fd);
+  if (!file) {
+    return SysError(Err::kBadF);
+  }
+  if (!file->readable()) {
+    return SysError(Err::kBadF);
+  }
+  if (int64_t rv = HookInode(task, Op::kFileRead, *file->inode, ""); rv != 0) {
+    return rv;
+  }
+  const std::string& data = file->inode->data;
+  if (file->offset >= data.size()) {
+    out->clear();
+    return 0;
+  }
+  uint64_t n = std::min<uint64_t>(count, data.size() - file->offset);
+  out->assign(data, file->offset, n);
+  file->offset += n;
+  file->inode->atime = tick_;
+  return static_cast<int64_t>(n);
+}
+
+int64_t Kernel::SysWrite(Task& task, int fd, std::string_view data) {
+  SyscallScope scope(*this, task, SyscallNr::kWrite,
+                     {fd, static_cast<int64_t>(data.size())});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = task.fds.Get(fd);
+  if (!file) {
+    return SysError(Err::kBadF);
+  }
+  if (!file->writable()) {
+    return SysError(Err::kBadF);
+  }
+  if (int64_t rv = HookInode(task, Op::kFileWrite, *file->inode, ""); rv != 0) {
+    return rv;
+  }
+  std::string& dst = file->inode->data;
+  if (file->offset > dst.size()) {
+    dst.resize(file->offset, '\0');
+  }
+  dst.replace(file->offset, data.size(), data);
+  file->offset += data.size();
+  file->inode->mtime = tick_;
+  return static_cast<int64_t>(data.size());
+}
+
+int64_t Kernel::DoUnlinkCommon(Task& task, const std::string& path, bool rmdir) {
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, 0, &nd); rv != 0) {
+    return rv;
+  }
+  auto victim = nd.inode;
+  if (rmdir) {
+    if (!victim->IsDir()) {
+      return SysError(Err::kNotDir);
+    }
+    if (!victim->entries.empty()) {
+      return SysError(Err::kNotEmpty);
+    }
+  } else if (victim->IsDir()) {
+    return SysError(Err::kIsDir);
+  }
+  if (!DacMayDelete(task.cred, *nd.parent, *victim)) {
+    return SysError(Err::kAcces);
+  }
+  if (int64_t rv = HookInode(task, Op::kDirRemoveName, *nd.parent, nd.last); rv != 0) {
+    return rv;
+  }
+  if (int64_t rv = HookInode(task, Op::kFileUnlink, *victim, path); rv != 0) {
+    return rv;
+  }
+  DropLink(nd.parent, nd.last, victim);
+  return 0;
+}
+
+int64_t Kernel::SysUnlink(Task& task, const std::string& path) {
+  SyscallScope scope(*this, task, SyscallNr::kUnlink);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  return DoUnlinkCommon(task, path, /*rmdir=*/false);
+}
+
+int64_t Kernel::SysRmdir(Task& task, const std::string& path) {
+  SyscallScope scope(*this, task, SyscallNr::kRmdir);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  return DoUnlinkCommon(task, path, /*rmdir=*/true);
+}
+
+int64_t Kernel::SysMkdir(Task& task, const std::string& path, FileMode mode) {
+  SyscallScope scope(*this, task, SyscallNr::kMkdir);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, kWantParent, &nd); rv != 0) {
+    return rv;
+  }
+  if (nd.inode) {
+    return SysError(Err::kExist);
+  }
+  if (!DacPermitted(task.cred, *nd.parent,
+                    AccessBit(Access::kWrite) | AccessBit(Access::kExec))) {
+    return SysError(Err::kAcces);
+  }
+  if (int64_t rv = HookInode(task, Op::kDirAddName, *nd.parent, nd.last); rv != 0) {
+    return rv;
+  }
+  auto inode = CreateAt(task, nd, InodeType::kDirectory, mode);
+  if (int64_t rv = HookInode(task, Op::kFileCreate, *inode, path); rv != 0) {
+    DropLink(nd.parent, nd.last, inode);
+    return rv;
+  }
+  return 0;
+}
+
+int64_t Kernel::SysSymlink(Task& task, const std::string& target, const std::string& linkpath) {
+  SyscallScope scope(*this, task, SyscallNr::kSymlink);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, linkpath, kWantParent, &nd); rv != 0) {
+    return rv;
+  }
+  if (nd.inode) {
+    return SysError(Err::kExist);
+  }
+  if (!DacPermitted(task.cred, *nd.parent,
+                    AccessBit(Access::kWrite) | AccessBit(Access::kExec))) {
+    return SysError(Err::kAcces);
+  }
+  if (int64_t rv = HookInode(task, Op::kDirAddName, *nd.parent, nd.last); rv != 0) {
+    return rv;
+  }
+  auto inode = CreateAt(task, nd, InodeType::kSymlink, 0777);
+  inode->symlink_target = target;
+  if (int64_t rv = HookInode(task, Op::kFileCreate, *inode, linkpath); rv != 0) {
+    DropLink(nd.parent, nd.last, inode);
+    return rv;
+  }
+  return 0;
+}
+
+int64_t Kernel::SysLink(Task& task, const std::string& oldpath, const std::string& newpath) {
+  SyscallScope scope(*this, task, SyscallNr::kLink);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  Nameidata old_nd;
+  if (int64_t rv = PathWalk(task, oldpath, 0, &old_nd); rv != 0) {
+    return rv;
+  }
+  if (old_nd.inode->IsDir()) {
+    return SysError(Err::kPerm);
+  }
+  Nameidata new_nd;
+  if (int64_t rv = PathWalk(task, newpath, kWantParent, &new_nd); rv != 0) {
+    return rv;
+  }
+  if (new_nd.inode) {
+    return SysError(Err::kExist);
+  }
+  if (new_nd.parent->dev != old_nd.inode->dev) {
+    return SysError(Err::kXDev);
+  }
+  if (!DacPermitted(task.cred, *new_nd.parent,
+                    AccessBit(Access::kWrite) | AccessBit(Access::kExec))) {
+    return SysError(Err::kAcces);
+  }
+  if (int64_t rv = HookInode(task, Op::kDirAddName, *new_nd.parent, new_nd.last); rv != 0) {
+    return rv;
+  }
+  new_nd.parent->entries[new_nd.last] = old_nd.inode->ino;
+  ++old_nd.inode->nlink;
+  return 0;
+}
+
+int64_t Kernel::SysRename(Task& task, const std::string& oldpath, const std::string& newpath) {
+  SyscallScope scope(*this, task, SyscallNr::kRename);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  Nameidata old_nd;
+  if (int64_t rv = PathWalk(task, oldpath, 0, &old_nd); rv != 0) {
+    return rv;
+  }
+  Nameidata new_nd;
+  if (int64_t rv = PathWalk(task, newpath, kWantParent, &new_nd); rv != 0) {
+    return rv;
+  }
+  if (new_nd.parent->dev != old_nd.inode->dev) {
+    return SysError(Err::kXDev);
+  }
+  if (!DacMayDelete(task.cred, *old_nd.parent, *old_nd.inode)) {
+    return SysError(Err::kAcces);
+  }
+  if (!DacPermitted(task.cred, *new_nd.parent,
+                    AccessBit(Access::kWrite) | AccessBit(Access::kExec))) {
+    return SysError(Err::kAcces);
+  }
+  if (int64_t rv = HookInode(task, Op::kDirRemoveName, *old_nd.parent, old_nd.last); rv != 0) {
+    return rv;
+  }
+  if (int64_t rv = HookInode(task, Op::kDirAddName, *new_nd.parent, new_nd.last); rv != 0) {
+    return rv;
+  }
+  // Replace an existing destination atomically.
+  if (new_nd.inode) {
+    DropLink(new_nd.parent, new_nd.last, new_nd.inode);
+  }
+  new_nd.parent->entries[new_nd.last] = old_nd.inode->ino;
+  old_nd.parent->entries.erase(old_nd.last);
+  if (old_nd.inode->IsDir()) {
+    old_nd.inode->parent_dir = new_nd.parent->id();
+  }
+  return 0;
+}
+
+int64_t Kernel::SysChmod(Task& task, const std::string& path, FileMode mode) {
+  SyscallScope scope(*this, task, SyscallNr::kChmod);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, kFollowFinal, &nd); rv != 0) {
+    return rv;
+  }
+  if (!task.cred.IsRoot() && task.cred.euid != nd.inode->uid) {
+    return SysError(Err::kPerm);
+  }
+  Op op = nd.inode->IsSocket() ? Op::kSocketSetattr : Op::kFileSetattr;
+  if (int64_t rv = HookInode(task, op, *nd.inode, path); rv != 0) {
+    return rv;
+  }
+  nd.inode->mode = (nd.inode->mode & ~kModePermMask) | (mode & kModePermMask);
+  nd.inode->ctime = tick_;
+  return 0;
+}
+
+int64_t Kernel::SysFchmod(Task& task, int fd, FileMode mode) {
+  SyscallScope scope(*this, task, SyscallNr::kFchmod, {fd});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = task.fds.Get(fd);
+  if (!file) {
+    return SysError(Err::kBadF);
+  }
+  if (!task.cred.IsRoot() && task.cred.euid != file->inode->uid) {
+    return SysError(Err::kPerm);
+  }
+  Op op = file->inode->IsSocket() ? Op::kSocketSetattr : Op::kFileSetattr;
+  if (int64_t rv = HookInode(task, op, *file->inode, ""); rv != 0) {
+    return rv;
+  }
+  file->inode->mode = (file->inode->mode & ~kModePermMask) | (mode & kModePermMask);
+  file->inode->ctime = tick_;
+  return 0;
+}
+
+int64_t Kernel::SysChown(Task& task, const std::string& path, Uid uid, Gid gid) {
+  SyscallScope scope(*this, task, SyscallNr::kChown);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, kFollowFinal, &nd); rv != 0) {
+    return rv;
+  }
+  if (!task.cred.IsRoot()) {
+    return SysError(Err::kPerm);
+  }
+  if (int64_t rv = HookInode(task, Op::kFileSetattr, *nd.inode, path); rv != 0) {
+    return rv;
+  }
+  nd.inode->uid = uid;
+  nd.inode->gid = gid;
+  nd.inode->ctime = tick_;
+  return 0;
+}
+
+int64_t Kernel::SysChdir(Task& task, const std::string& path) {
+  SyscallScope scope(*this, task, SyscallNr::kChdir);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, kFollowFinal, &nd); rv != 0) {
+    return rv;
+  }
+  if (!nd.inode->IsDir()) {
+    return SysError(Err::kNotDir);
+  }
+  if (!DacPermitted(task.cred, *nd.inode, AccessBit(Access::kExec))) {
+    return SysError(Err::kAcces);
+  }
+  task.cwd = nd.inode->id();
+  return 0;
+}
+
+int64_t Kernel::SysReaddir(Task& task, const std::string& path,
+                           std::vector<std::string>* names) {
+  SyscallScope scope(*this, task, SyscallNr::kReaddir);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, kFollowFinal, &nd); rv != 0) {
+    return rv;
+  }
+  if (!nd.inode->IsDir()) {
+    return SysError(Err::kNotDir);
+  }
+  if (!DacPermitted(task.cred, *nd.inode, AccessBit(Access::kRead))) {
+    return SysError(Err::kAcces);
+  }
+  if (int64_t rv = HookInode(task, Op::kFileRead, *nd.inode, path); rv != 0) {
+    return rv;
+  }
+  names->clear();
+  for (const auto& [name, ino] : nd.inode->entries) {
+    names->push_back(name);
+  }
+  return static_cast<int64_t>(names->size());
+}
+
+int64_t Kernel::SysMmap(Task& task, int fd) {
+  SyscallScope scope(*this, task, SyscallNr::kMmap, {fd});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = task.fds.Get(fd);
+  if (!file) {
+    return SysError(Err::kBadF);
+  }
+  if (!file->inode->IsRegular()) {
+    return SysError(Err::kInval);
+  }
+  if (int64_t rv = HookInode(task, Op::kFileMmap, *file->inode, ""); rv != 0) {
+    return rv;
+  }
+  Mapping m;
+  m.file = file->inode->id();
+  m.path = file->path.empty() ? vfs_.PathOf(m.file) : file->path;
+  m.base = AslrMapBase();
+  if (file->inode->binary) {
+    m.size = file->inode->binary->text_size;
+    m.has_eh_info = file->inode->binary->has_eh_info;
+    m.has_frame_pointers = file->inode->binary->has_frame_pointers;
+  } else {
+    m.size = std::max<uint64_t>(file->inode->data.size(), 0x1000);
+  }
+  Addr base = m.base;
+  task.mm.AddMapping(std::move(m));
+  return static_cast<int64_t>(base);
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,221 @@
+// Process lifecycle system calls: fork, execve, exit, waitpid, pause.
+
+#include "src/sim/sched.h"
+
+namespace pf::sim {
+
+namespace {
+std::string Basename(const std::string& path) {
+  auto slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+}  // namespace
+
+int64_t Kernel::MapImage(Task& task, const std::shared_ptr<Inode>& inode,
+                         const std::string& path) {
+  if (!inode || !inode->IsRegular() || !inode->binary) {
+    return SysError(Err::kInval);
+  }
+  Mapping m;
+  m.path = path;
+  m.file = inode->id();
+  m.base = AslrMapBase();
+  m.size = inode->binary->text_size;
+  m.has_eh_info = inode->binary->has_eh_info;
+  m.has_frame_pointers = inode->binary->has_frame_pointers;
+  task.mm.AddMapping(std::move(m));
+
+  // Map the program interpreter (dynamic linker) alongside, as execve does.
+  if (!inode->binary->interp.empty()) {
+    auto interp = LookupNoHooks(inode->binary->interp);
+    if (interp && interp->binary) {
+      Mapping im;
+      im.path = inode->binary->interp;
+      im.file = interp->id();
+      im.base = AslrMapBase();
+      im.size = interp->binary->text_size;
+      im.has_eh_info = interp->binary->has_eh_info;
+      im.has_frame_pointers = interp->binary->has_frame_pointers;
+      task.mm.AddMapping(std::move(im));
+    }
+  }
+  return 0;
+}
+
+int64_t Kernel::SysFork(Proc& proc, std::function<void(Proc&)> body) {
+  Task& parent = proc.task();
+  {
+    SyscallScope scope(*this, parent, SyscallNr::kFork);
+    if (scope.denied()) {
+      return scope.error();
+    }
+    AccessRequest req;
+    req.task = &parent;
+    req.op = Op::kFork;
+    req.syscall_nr = parent.syscall_nr;
+    req.args = parent.syscall_args;
+    if (int64_t rv = Authorize(req); rv != 0) {
+      return rv;
+    }
+  }
+
+  auto child = std::make_unique<Task>();
+  child->pid = AllocPid();
+  child->ppid = parent.pid;
+  child->comm = parent.comm;
+  child->exe = parent.exe;
+  child->cred = parent.cred;
+  child->fds = parent.fds.Clone();
+  child->cwd = parent.cwd;
+  child->umask = parent.umask;
+  child->mm = parent.mm.Clone();
+  child->argv = parent.argv;
+  child->env = parent.env;
+  // Signal dispositions: the blocked mask is inherited. Handler closures are
+  // bound to the parent's Proc, so they are reset in the child (a child that
+  // needs handlers re-registers them, as after execve).
+  child->signals.blocked = parent.signals.blocked;
+  child->scripts = parent.scripts;
+  child->interp_lang = parent.interp_lang;
+
+  for (auto& m : modules_) {
+    m->OnTaskFork(parent, *child);
+  }
+  return sched_->SpawnForked(std::move(child), std::move(body));
+}
+
+int64_t Kernel::SysWaitpid(Proc& proc, Pid pid, int* status) {
+  SyscallScope scope(*this, proc.task(), SyscallNr::kWaitpid, {pid});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  for (;;) {
+    Pid reaped = kInvalidPid;
+    switch (sched_->TryReap(proc.task().pid, pid, status, &reaped)) {
+      case Scheduler::ReapResult::kReaped:
+        return reaped;
+      case Scheduler::ReapResult::kNoChild:
+        return SysError(Err::kChild);
+      case Scheduler::ReapResult::kStillRunning:
+        break;
+    }
+    sched_->BlockOnChild(proc, pid);
+    // Woken either because a child exited (loop re-checks) or because a
+    // signal arrived. Only signals that would actually be acted upon
+    // interrupt the wait (a default-ignored SIGCHLD from a *different*
+    // child must not abort waitpid).
+    if (proc.task().signals.WouldInterrupt()) {
+      Pid again = kInvalidPid;
+      if (sched_->TryReap(proc.task().pid, pid, status, &again) ==
+          Scheduler::ReapResult::kReaped) {
+        return again;
+      }
+      return SysError(Err::kIntr);
+    }
+  }
+}
+
+int64_t Kernel::SysExecve(Proc& proc, const std::string& path, std::vector<std::string> argv,
+                          std::map<std::string, std::string> env) {
+  Task& task = proc.task();
+  const ProgMain* entry = nullptr;
+  {
+    SyscallScope scope(*this, task, SyscallNr::kExecve);
+    if (scope.denied()) {
+      return scope.error();
+    }
+    Nameidata nd;
+    if (int64_t rv = PathWalk(task, path, kFollowFinal, &nd); rv != 0) {
+      return rv;
+    }
+    auto inode = nd.inode;
+    if (!inode->IsRegular() || !inode->binary || inode->binary->entry_key.empty()) {
+      return SysError(Err::kNoExec);
+    }
+    if (!DacPermitted(task.cred, *inode, AccessBit(Access::kExec))) {
+      return SysError(Err::kAcces);
+    }
+    if (!policy_.Check(task.cred.sid, inode->sid, kMacExec)) {
+      return SysError(Err::kAcces);
+    }
+    if (int64_t rv = HookInode(task, Op::kFileExec, *inode, path); rv != 0) {
+      return rv;
+    }
+    entry = FindProgram(inode->binary->entry_key);
+    if (entry == nullptr) {
+      return SysError(Err::kNoExec);
+    }
+
+    // Point of no return: replace the process image.
+    if (inode->IsSetuid()) {
+      task.cred.euid = inode->uid;
+    }
+    if (inode->IsSetgid()) {
+      task.cred.egid = inode->gid;
+    }
+    task.exe = path;
+    task.comm = argv.empty() ? Basename(path) : Basename(argv[0]);
+    task.argv = argv.empty() ? std::vector<std::string>{path} : std::move(argv);
+    task.env = std::move(env);
+    task.signals.actions.clear();
+    task.scripts.clear();
+    task.interp_lang = InterpLang::kNone;
+    task.mm.Reset(AslrStackBase());
+    MapImage(task, inode, path);
+    const Mapping* map = task.mm.FindMappingByPath(path);
+    if (map != nullptr) {
+      task.mm.PushFrame(map->base + kEntryOffset, 0, !map->has_frame_pointers);
+    }
+  }
+  // Run the new program outside the execve scope (it makes its own calls).
+  int code = (*entry)(proc);
+  SysExit(proc, code);  // never returns
+}
+
+void Kernel::ReleaseTaskResources(Task& task) {
+  for (auto& file : task.fds.Drain()) {
+    if (file.use_count() == 1 && file->inode) {
+      if (file->inode->open_count > 0) {
+        --file->inode->open_count;
+      }
+      if (file->inode->dev != 0) {
+        vfs_.Sb(file->inode->dev).MaybeFree(file->inode);
+      }
+    }
+  }
+}
+
+void Kernel::SysExit(Proc& proc, int code) {
+  Task& task = proc.task();
+  {
+    SyscallScope scope(*this, task, SyscallNr::kExit, {code});
+    // exit cannot be denied.
+    task.exit_code = code;
+    ReleaseTaskResources(task);
+    for (auto& m : modules_) {
+      m->OnTaskExit(task);
+    }
+    if (task.ppid != 1) {
+      if (Task* parent = sched_->FindTask(task.ppid); parent != nullptr) {
+        PostSignal(*parent, kSigChld, task.pid);
+      }
+    }
+    sched_->OnTaskExited(proc, code);
+  }
+  throw ProcExitException{code};
+}
+
+int64_t Kernel::SysPause(Proc& proc) {
+  SyscallScope scope(*this, proc.task(), SyscallNr::kPause);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  // A deliverable signal that arrived while we were not looking means pause
+  // returns immediately (delivery happens on the syscall return path).
+  if (!proc.task().signals.HasDeliverable()) {
+    sched_->BlockOnSignal(proc);
+  }
+  return SysError(Err::kIntr);
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,146 @@
+// Signal system calls and delivery.
+//
+// Delivery is where the Process Firewall mediates: before a handled signal
+// is delivered, the PROCESS_SIGNAL_DELIVERY hook fires (paper rules R9-R12
+// drop a handled signal that would re-enter a non-reentrant handler). The
+// kernel itself happily nests handler invocations — that *is* the
+// vulnerability (E5, CVE-2006-5051).
+
+#include "src/sim/sched.h"
+
+namespace pf::sim {
+
+// Offset within the main binary's image representing the handler's code
+// (frames pushed during handler execution return here).
+inline constexpr uint64_t kSignalHandlerOffset = 0x2000;
+
+int64_t Kernel::SysSigaction(Task& task, SigNum sig, std::function<void(SigNum)> handler) {
+  SyscallScope scope(*this, task, SyscallNr::kSigaction, {sig});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  if (sig <= 0 || sig > kMaxSig || IsUnblockable(sig)) {
+    return SysError(Err::kInval);
+  }
+  if (handler) {
+    task.signals.actions[sig] = SigAction{std::move(handler)};
+  } else {
+    task.signals.actions.erase(sig);
+  }
+  return 0;
+}
+
+int64_t Kernel::SysSigprocmask(Task& task, bool block, SigNum sig) {
+  SyscallScope scope(*this, task, SyscallNr::kSigprocmask, {block ? 1 : 0, sig});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  if (sig <= 0 || sig > kMaxSig) {
+    return SysError(Err::kInval);
+  }
+  if (block) {
+    task.signals.blocked.insert(sig);
+  } else {
+    task.signals.blocked.erase(sig);
+  }
+  return 0;
+}
+
+int64_t Kernel::SysKill(Task& task, Pid pid, SigNum sig) {
+  SyscallScope scope(*this, task, SyscallNr::kKill, {pid, sig});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  if (sig <= 0 || sig > kMaxSig) {
+    return SysError(Err::kInval);
+  }
+  Task* target = sched_ ? sched_->FindTask(pid) : nullptr;
+  if (target == nullptr) {
+    return SysError(Err::kSrch);
+  }
+  // kill(2) permission: root, or matching real/effective uid.
+  if (!task.cred.IsRoot() && task.cred.euid != target->cred.uid &&
+      task.cred.uid != target->cred.uid) {
+    return SysError(Err::kPerm);
+  }
+  PostSignal(*target, sig, task.pid);
+  return 0;
+}
+
+void Kernel::PostSignal(Task& target, SigNum sig, Pid sender) {
+  target.signals.pending.push_back(PendingSignal{sig, sender});
+  if (sched_ != nullptr) {
+    sched_->NotifySignal(target.pid);
+  }
+}
+
+int64_t Kernel::SysSigreturn(Task& task) {
+  SyscallScope scope(*this, task, SyscallNr::kSigreturn);
+  // Fires the syscallbegin chain (rule R12 matches NR_sigreturn); the
+  // denial result is ignored — returning from a handler cannot fail.
+  return 0;
+}
+
+int Kernel::DeliverPendingSignals(Proc& proc) {
+  Task& task = proc.task();
+  int delivered = 0;
+  for (;;) {
+    // Find the first deliverable (unblocked) pending signal.
+    auto it = task.signals.pending.begin();
+    while (it != task.signals.pending.end() && task.signals.IsBlocked(it->sig)) {
+      ++it;
+    }
+    if (it == task.signals.pending.end()) {
+      return delivered;
+    }
+    PendingSignal ps = *it;
+    task.signals.pending.erase(it);
+
+    if (ps.sig == kSigKill) {
+      SysExit(proc, 128 + kSigKill);  // throws
+    }
+    auto action = task.signals.actions.find(ps.sig);
+    if (action == task.signals.actions.end()) {
+      // Default disposition: terminating signals end the process, the rest
+      // are ignored.
+      if (ps.sig == kSigTerm || ps.sig == kSigInt || ps.sig == kSigHup ||
+          ps.sig == kSigAlrm) {
+        SysExit(proc, 128 + ps.sig);
+      }
+      continue;
+    }
+
+    // The Process Firewall sees the delivery as a resource access.
+    AccessRequest req;
+    req.task = &task;
+    req.op = Op::kSignalDeliver;
+    req.sig = ps.sig;
+    req.sig_sender = ps.sender;
+    req.syscall_nr = task.syscall_nr;
+    req.args = task.syscall_args;
+    if (Authorize(req) != 0) {
+      continue;  // dropped
+    }
+
+    ++task.signals.in_handler_depth;
+    const Mapping* exe_map =
+        task.exe.empty() ? nullptr : task.mm.FindMappingByPath(task.exe);
+    bool pushed = false;
+    if (exe_map != nullptr) {
+      task.mm.PushFrame(exe_map->base + kSignalHandlerOffset, 0,
+                        !exe_map->has_frame_pointers);
+      pushed = true;
+    }
+    // Copy the handler: it may re-register itself via sigaction.
+    auto handler = action->second.handler;
+    handler(ps.sig);
+    SysSigreturn(task);
+    if (pushed) {
+      task.mm.PopFrame();
+    }
+    --task.signals.in_handler_depth;
+    ++delivered;
+  }
+}
+
+}  // namespace pf::sim

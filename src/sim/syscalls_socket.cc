@@ -1,0 +1,108 @@
+// UNIX-domain socket system calls (bind / listen / connect over filesystem
+// paths). These carry the D-Bus squat/TOCTTOU scenarios (E3, E6).
+
+#include "src/sim/kernel.h"
+
+namespace pf::sim {
+
+int64_t Kernel::SysSocket(Task& task) {
+  SyscallScope scope(*this, task, SyscallNr::kSocket);
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = std::make_shared<File>();
+  file->flags = kORdWr;
+  // An unbound socket has an anonymous inode outside any filesystem.
+  file->inode = std::make_shared<Inode>();
+  file->inode->type = InodeType::kSocket;
+  file->inode->uid = task.cred.euid;
+  file->inode->gid = task.cred.egid;
+  file->inode->sid = task.cred.sid;
+  file->inode->open_count = 1;
+  return task.fds.Install(std::move(file));
+}
+
+int64_t Kernel::SysBind(Task& task, int fd, const std::string& path, FileMode mode) {
+  SyscallScope scope(*this, task, SyscallNr::kBind, {fd});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = task.fds.Get(fd);
+  if (!file || !file->inode || !file->inode->IsSocket()) {
+    return file ? SysError(Err::kNotSock) : SysError(Err::kBadF);
+  }
+  if (!file->path.empty()) {
+    return SysError(Err::kInval);  // already bound
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, kWantParent, &nd); rv != 0) {
+    return rv;
+  }
+  if (nd.inode) {
+    return SysError(Err::kAddrInUse);
+  }
+  if (!DacPermitted(task.cred, *nd.parent,
+                    AccessBit(Access::kWrite) | AccessBit(Access::kExec))) {
+    return SysError(Err::kAcces);
+  }
+  if (int64_t rv = HookInode(task, Op::kDirAddName, *nd.parent, nd.last); rv != 0) {
+    return rv;
+  }
+  auto inode = CreateAt(task, nd, InodeType::kSocket, mode);
+  inode->socket_owner = task.pid;
+  if (int64_t rv = HookInode(task, Op::kSocketBind, *inode, path); rv != 0) {
+    DropLink(nd.parent, nd.last, inode);
+    return rv;
+  }
+  // Swap the anonymous inode for the bound one.
+  file->inode = inode;
+  file->path = path;
+  ++inode->open_count;
+  return 0;
+}
+
+int64_t Kernel::SysListen(Task& task, int fd) {
+  SyscallScope scope(*this, task, SyscallNr::kListen, {fd});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = task.fds.Get(fd);
+  if (!file || !file->inode || !file->inode->IsSocket()) {
+    return file ? SysError(Err::kNotSock) : SysError(Err::kBadF);
+  }
+  file->inode->socket_listening = true;
+  return 0;
+}
+
+int64_t Kernel::SysConnect(Task& task, int fd, const std::string& path) {
+  SyscallScope scope(*this, task, SyscallNr::kConnect, {fd});
+  if (scope.denied()) {
+    return scope.error();
+  }
+  auto file = task.fds.Get(fd);
+  if (!file || !file->inode || !file->inode->IsSocket()) {
+    return file ? SysError(Err::kNotSock) : SysError(Err::kBadF);
+  }
+  Nameidata nd;
+  if (int64_t rv = PathWalk(task, path, kFollowFinal, &nd); rv != 0) {
+    return rv;
+  }
+  if (!nd.inode->IsSocket()) {
+    return SysError(Err::kConnRefused);
+  }
+  if (!DacPermitted(task.cred, *nd.inode,
+                    AccessBit(Access::kRead) | AccessBit(Access::kWrite))) {
+    return SysError(Err::kAcces);
+  }
+  if (int64_t rv = HookInode(task, Op::kSocketConnect, *nd.inode, path); rv != 0) {
+    return rv;
+  }
+  if (!nd.inode->socket_listening) {
+    return SysError(Err::kConnRefused);
+  }
+  file->connected_socket = true;
+  file->peer = nd.inode->id();
+  return 0;
+}
+
+}  // namespace pf::sim

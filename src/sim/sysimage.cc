@@ -1,0 +1,146 @@
+#include "src/sim/sysimage.h"
+
+#include <memory>
+#include <string>
+
+namespace pf::sim {
+
+namespace {
+
+// Attaches a BinaryImage to an already-created file inode.
+void MakeBinary(Kernel& k, const std::string& path, bool is_lib,
+                std::vector<std::string> needed = {}, std::vector<std::string> runpath = {},
+                bool eh = true, bool fp = true) {
+  auto inode = k.LookupNoHooks(path);
+  if (!inode) {
+    return;
+  }
+  auto img = std::make_unique<BinaryImage>();
+  if (!is_lib) {
+    img->entry_key = path;
+    img->interp = kLdso;
+  }
+  img->needed = std::move(needed);
+  img->runpath = std::move(runpath);
+  img->has_eh_info = eh;
+  img->has_frame_pointers = fp;
+  inode->binary = std::move(img);
+  inode->mode |= 0111;
+}
+
+}  // namespace
+
+void BuildSysImage(Kernel& k, const SysImageOptions& opts) {
+  // --- directory tree (mode, owner, label) ---
+  k.MkDirAt("/bin", 0755, 0, 0, "bin_t");
+  k.MkDirAt("/lib", 0755, 0, 0, "lib_t");
+  k.MkDirAt("/usr", 0755, 0, 0, "usr_t");
+  k.MkDirAt("/usr/bin", 0755, 0, 0, "bin_t");
+  k.MkDirAt("/usr/sbin", 0755, 0, 0, "bin_t");
+  k.MkDirAt("/usr/lib", 0755, 0, 0, "lib_t");
+  k.MkDirAt("/usr/lib/python2.7", 0755, 0, 0, "lib_t");
+  k.MkDirAt("/usr/share", 0755, 0, 0, "usr_t");
+  k.MkDirAt("/usr/share/python-modules", 0755, 0, 0, "usr_t");
+  k.MkDirAt("/etc", 0755, 0, 0, "etc_t");
+  k.MkDirAt("/etc/init.d", 0755, 0, 0, "etc_t");
+  k.MkDirAt("/var", 0755, 0, 0, "var_t");
+  k.MkDirAt("/var/run", 0755, 0, 0, "var_run_t");
+  k.MkDirAt("/var/run/dbus", 0755, kMessagebusUid, kMessagebusUid,
+            "system_dbusd_var_run_t");
+  k.MkDirAt("/var/www", 0755, 0, 0, "httpd_sys_content_t");
+  k.MkDirAt("/var/www/users", 0755, 0, 0, "httpd_user_content_t");
+  k.MkDirAt("/var/log", 0755, 0, 0, "var_log_t");
+  k.MkDirAt("/home", 0755, 0, 0, "home_root_t");
+  k.MkDirAt("/home/alice", 0755, kAliceUid, kAliceUid, "user_home_t");
+  k.MkDirAt("/home/mallory", 0755, kMalloryUid, kMalloryUid, "user_home_t");
+  // World-writable, sticky /tmp: the classic shared directory.
+  k.MkDirAt("/tmp", 01777, 0, 0, "tmp_t");
+
+  // --- core configuration files ---
+  k.MkFileAt("/etc/passwd", "root:x:0:0\nwww-data:x:33:33\nalice:x:1000:1000\n", 0644, 0, 0,
+             "etc_t");
+  k.MkFileAt("/etc/shadow", "root:$6$secret\n", 0600, 0, 0, "shadow_t");
+  k.MkFileAt("/etc/ld.so.conf", "/lib\n/usr/lib\n", 0644, 0, 0, "etc_t");
+  k.MkFileAt("/etc/apache2.conf", "DocumentRoot /var/www\n", 0644, 0, 0, "httpd_config_t");
+  k.MkFileAt("/etc/java.conf", "jvm.options=-Xmx64m\n", 0644, 0, 0, "etc_t");
+
+  // --- binaries & libraries (contents are placeholders) ---
+  const char* bins[] = {kBinTrue, kBinFalse, kBinSh,  kPython,     kPhp,   kJava,
+                        kApache,  kDbusDaemon, kSshd, kIcecat,     kDstat, kSuidHelper};
+  for (const char* b : bins) {
+    k.MkFileAt(b, "\x7f""ELF", 0755, 0, 0, "bin_t");
+  }
+  k.MkFileAt(kLdso, "\x7f""ELF", 0755, 0, 0, "ld_so_t");
+  k.MkFileAt(kLibc, "\x7f""ELF", 0644, 0, 0, "lib_t");
+  k.MkFileAt(kLibDbus, "\x7f""ELF", 0644, 0, 0, "lib_t");
+  for (int i = 0; i < opts.extra_libs; ++i) {
+    k.MkFileAt("/usr/lib/lib" + std::to_string(i) + ".so", "\x7f""ELF", 0644, 0, 0, "lib_t");
+  }
+  k.MkFileAt("/usr/lib/python2.7/os.py", "# stdlib\n", 0644, 0, 0, "lib_t");
+  k.MkFileAt("/usr/lib/python2.7/sys.py", "# stdlib\n", 0644, 0, 0, "lib_t");
+
+  MakeBinary(k, kLdso, /*is_lib=*/true);
+  // ld.so is special: it is its own interpreter and has an entry used by
+  // direct invocation; model it as a library plus entry key.
+  if (auto ldso = k.LookupNoHooks(kLdso); ldso && ldso->binary) {
+    ldso->binary->entry_key = kLdso;
+  }
+  MakeBinary(k, kLibc, /*is_lib=*/true);
+  MakeBinary(k, kLibDbus, /*is_lib=*/true);
+  MakeBinary(k, kBinTrue, false, {kLibc});
+  MakeBinary(k, kBinFalse, false, {kLibc});
+  MakeBinary(k, kBinSh, false, {kLibc});
+  MakeBinary(k, kPython, false, {kLibc});
+  MakeBinary(k, kPhp, false, {kLibc});
+  MakeBinary(k, kJava, false, {kLibc});
+  MakeBinary(k, kApache, false, {kLibc});
+  MakeBinary(k, kDbusDaemon, false, {kLibc, kLibDbus});
+  MakeBinary(k, kSshd, false, {kLibc});
+  MakeBinary(k, kIcecat, false, {kLibc});
+  MakeBinary(k, kDstat, false, {kLibc});
+  MakeBinary(k, kSuidHelper, false, {kLibc, kLibDbus});
+  // The setuid-root helper binary (victim of E3-style attacks).
+  if (auto helper = k.LookupNoHooks(kSuidHelper)) {
+    helper->mode |= kModeSetuid;
+    helper->uid = 0;
+  }
+
+  // --- web content ---
+  k.MkFileAt("/var/www/index.html", "<html>home</html>", 0644, kWebUid, kWebUid,
+             "httpd_sys_content_t");
+  for (int i = 0; i < opts.web_files; ++i) {
+    k.MkFileAt("/var/www/page" + std::to_string(i) + ".html", "<html>page</html>", 0644,
+               kWebUid, kWebUid, "httpd_sys_content_t");
+  }
+  k.MkDirAt("/var/www/app", 0755, kWebUid, kWebUid, "httpd_user_script_exec_t");
+  k.MkFileAt("/var/www/app/index.php", "<?php include($_GET['page']); ?>", 0644, kWebUid,
+             kWebUid, "httpd_user_script_exec_t");
+  k.MkFileAt("/var/www/app/gcalendar.php", "<?php /* component */ ?>", 0644, kWebUid, kWebUid,
+             "httpd_user_script_exec_t");
+
+  // --- MAC policy ---
+  MacPolicy& pol = k.policy();
+  LabelRegistry& labels = k.labels();
+  Sid user_t = labels.Intern("user_t");
+  pol.MarkUntrusted(user_t);
+  // What the untrusted user domain may touch. This drives adversary
+  // accessibility and the SYSHIGH set.
+  pol.Allow(user_t, labels.Intern("tmp_t"), kMacAll);
+  pol.Allow(user_t, labels.Intern("user_home_t"), kMacAll);
+  pol.Allow(user_t, labels.Intern("user_tmp_t"), kMacAll);
+  pol.Allow(user_t, labels.Intern("httpd_user_content_t"), kMacAll);
+  pol.Allow(user_t, labels.Intern("etc_t"), kMacRead);
+  pol.Allow(user_t, labels.Intern("lib_t"), kMacRead | kMacExec);
+  pol.Allow(user_t, labels.Intern("bin_t"), kMacRead | kMacExec);
+  pol.Allow(user_t, labels.Intern("usr_t"), kMacRead);
+  // Interned so SYSHIGH queries see them even before first use.
+  for (const char* t :
+       {"root_t", "etc_t", "shadow_t", "bin_t", "lib_t", "ld_so_t", "usr_t", "var_t",
+        "var_run_t", "var_log_t", "system_dbusd_var_run_t", "httpd_sys_content_t",
+        "httpd_config_t", "httpd_user_script_exec_t", "textrel_shlib_t", "httpd_modules_t",
+        "init_t", "httpd_t", "sshd_t", "system_dbusd_t", "java_t"}) {
+    labels.Intern(t);
+  }
+}
+
+}  // namespace pf::sim

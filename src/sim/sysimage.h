@@ -1,0 +1,50 @@
+// Builds the standard system image used by tests, examples, and benchmarks:
+// an Ubuntu-10.04-flavoured filesystem tree with SELinux-style labels, the
+// MAC policy (including the untrusted user_t domain), well-known users, and
+// the binaries the paper's scenarios exercise. Program *bodies* are
+// registered separately (src/apps installs them).
+#ifndef SRC_SIM_SYSIMAGE_H_
+#define SRC_SIM_SYSIMAGE_H_
+
+#include "src/sim/kernel.h"
+
+namespace pf::sim {
+
+// Well-known users.
+inline constexpr Uid kWebUid = 33;       // www-data
+inline constexpr Uid kMessagebusUid = 102;
+inline constexpr Uid kAliceUid = 1000;   // ordinary user
+inline constexpr Uid kMalloryUid = 1001; // the adversary
+
+struct SysImageOptions {
+  // Number of extra content files under /var/www (web benchmarks).
+  int web_files = 16;
+  // Extra libraries under /usr/lib (search-path realism).
+  int extra_libs = 8;
+};
+
+// Populates `kernel` with the base image. Idempotent-ish: call once on a
+// fresh Kernel.
+void BuildSysImage(Kernel& kernel, const SysImageOptions& opts = {});
+
+// Paths of the standard binaries (BinaryImage entry_key == path; bodies are
+// registered under the same key).
+inline constexpr const char* kLdso = "/lib/ld-2.15.so";
+inline constexpr const char* kLibc = "/lib/libc-2.15.so";
+inline constexpr const char* kLibDbus = "/lib/libdbus-1.so.3";
+inline constexpr const char* kBinTrue = "/bin/true";
+inline constexpr const char* kBinFalse = "/bin/false";
+inline constexpr const char* kBinSh = "/bin/sh";
+inline constexpr const char* kPython = "/usr/bin/python2.7";
+inline constexpr const char* kPhp = "/usr/bin/php5";
+inline constexpr const char* kJava = "/usr/bin/java";
+inline constexpr const char* kApache = "/usr/bin/apache2";
+inline constexpr const char* kDbusDaemon = "/bin/dbus-daemon";
+inline constexpr const char* kSshd = "/usr/sbin/sshd";
+inline constexpr const char* kIcecat = "/usr/bin/icecat";
+inline constexpr const char* kDstat = "/usr/bin/dstat";
+inline constexpr const char* kSuidHelper = "/usr/bin/passwd-helper";  // setuid-root demo binary
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_SYSIMAGE_H_

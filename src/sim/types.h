@@ -1,0 +1,44 @@
+// Basic identifier types shared across the simulated kernel.
+#ifndef SRC_SIM_TYPES_H_
+#define SRC_SIM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pf::sim {
+
+using Uid = uint32_t;
+using Gid = uint32_t;
+using Pid = int32_t;
+using Ino = uint64_t;    // inode number, unique within a superblock
+using Dev = uint32_t;    // superblock / device identifier
+using Sid = uint32_t;    // security identifier (interned MAC label)
+using Addr = uint64_t;   // simulated user-space virtual address
+using SigNum = int32_t;  // signal number
+
+inline constexpr Uid kRootUid = 0;
+inline constexpr Gid kRootGid = 0;
+inline constexpr Sid kInvalidSid = 0;
+inline constexpr Ino kInvalidIno = 0;
+inline constexpr Pid kInvalidPid = -1;
+inline constexpr Addr kNullAddr = 0;
+
+// A (device, inode) pair uniquely identifies a filesystem object system-wide
+// for as long as the inode is live. This is the identity that TOCTTOU
+// "check"/"use" comparisons (fstat vs. lstat) rely on.
+struct FileId {
+  Dev dev = 0;
+  Ino ino = kInvalidIno;
+
+  bool operator==(const FileId&) const = default;
+};
+
+struct FileIdHash {
+  size_t operator()(const FileId& id) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(id.dev) << 48) ^ id.ino);
+  }
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_TYPES_H_

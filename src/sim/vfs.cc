@@ -1,0 +1,125 @@
+#include "src/sim/vfs.h"
+
+#include <deque>
+
+namespace pf::sim {
+
+std::string_view InodeTypeName(InodeType t) {
+  switch (t) {
+    case InodeType::kRegular: return "reg";
+    case InodeType::kDirectory: return "dir";
+    case InodeType::kSymlink: return "lnk";
+    case InodeType::kSocket: return "sock";
+    case InodeType::kFifo: return "fifo";
+    case InodeType::kCharDev: return "chr";
+  }
+  return "?";
+}
+
+Superblock::Superblock(Dev dev, std::string fstype) : dev_(dev), fstype_(std::move(fstype)) {}
+
+std::shared_ptr<Inode> Superblock::Alloc(InodeType type, FileMode mode, Uid uid, Gid gid,
+                                         Sid sid) {
+  Ino ino;
+  if (recycle_inodes_ && !free_list_.empty()) {
+    ino = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    ino = next_ino_++;
+  }
+  auto inode = std::make_shared<Inode>();
+  inode->ino = ino;
+  inode->dev = dev_;
+  inode->type = type;
+  inode->mode = mode;
+  inode->uid = uid;
+  inode->gid = gid;
+  inode->sid = sid;
+  inode->generation = next_generation_++;
+  inodes_[ino] = inode;
+  return inode;
+}
+
+std::shared_ptr<Inode> Superblock::Get(Ino ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : it->second;
+}
+
+void Superblock::MaybeFree(const std::shared_ptr<Inode>& inode) {
+  if (inode->nlink > 0 || inode->open_count > 0) {
+    return;
+  }
+  if (inodes_.erase(inode->ino) > 0) {
+    free_list_.push_back(inode->ino);
+  }
+}
+
+Vfs::Vfs() {
+  // The root filesystem always exists (dev 1). Its root directory is its own
+  // parent and carries no label until the kernel assigns one.
+  Superblock& sb = CreateFs("rootfs", kInvalidSid);
+  sb.root()->parent_dir = sb.root()->id();
+}
+
+Superblock& Vfs::CreateFs(const std::string& fstype, Sid root_sid, FileMode root_mode) {
+  Dev dev = static_cast<Dev>(supers_.size() + 1);
+  supers_.push_back(std::make_unique<Superblock>(dev, fstype));
+  Superblock& sb = *supers_.back();
+  sb.root_ = sb.Alloc(InodeType::kDirectory, root_mode, kRootUid, kRootGid, root_sid);
+  sb.root_->nlink = 1;
+  return sb;
+}
+
+void Vfs::Mount(FileId mountpoint, Dev sb) { mounts_[mountpoint] = sb; }
+
+std::shared_ptr<Inode> Vfs::CrossMount(const std::shared_ptr<Inode>& dir) const {
+  if (!dir || !dir->IsDir()) {
+    return dir;
+  }
+  auto it = mounts_.find(dir->id());
+  if (it == mounts_.end()) {
+    return dir;
+  }
+  return supers_.at(it->second - 1)->root();
+}
+
+std::shared_ptr<Inode> Vfs::Get(FileId id) const {
+  if (id.dev == 0 || id.dev > supers_.size()) {
+    return nullptr;
+  }
+  return supers_[id.dev - 1]->Get(id.ino);
+}
+
+std::string Vfs::PathOf(FileId id) const {
+  // BFS over directories from the root, crossing mounts.
+  struct Item {
+    std::shared_ptr<Inode> dir;
+    std::string path;
+  };
+  std::deque<Item> queue;
+  queue.push_back({root(), ""});
+  if (root()->id() == id) {
+    return "/";
+  }
+  while (!queue.empty()) {
+    Item item = queue.front();
+    queue.pop_front();
+    for (const auto& [name, ino] : item.dir->entries) {
+      auto child = Sb(item.dir->dev).Get(ino);
+      if (!child) {
+        continue;
+      }
+      std::string path = item.path + "/" + name;
+      auto effective = CrossMount(child);
+      if (child->id() == id || (effective && effective->id() == id)) {
+        return path;
+      }
+      if (effective && effective->IsDir()) {
+        queue.push_back({effective, path});
+      }
+    }
+  }
+  return "<unlinked dev=" + std::to_string(id.dev) + " ino=" + std::to_string(id.ino) + ">";
+}
+
+}  // namespace pf::sim

@@ -1,0 +1,91 @@
+// Superblocks and the virtual filesystem layer (mount table).
+#ifndef SRC_SIM_VFS_H_
+#define SRC_SIM_VFS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/inode.h"
+#include "src/sim/types.h"
+
+namespace pf::sim {
+
+// One mounted filesystem instance. Owns its inodes and allocates inode
+// numbers. Freed inode numbers go on a LIFO free list and are handed out
+// again on the next allocation when recycling is enabled — this reproduces
+// the inode-number reuse that the "cryogenic sleep" TOCTTOU attack exploits.
+// An inode is freed once its link count and open count both reach zero, so a
+// held-open file pins its inode number (the defense in Figure 1(a), line 11).
+class Superblock {
+ public:
+  Superblock(Dev dev, std::string fstype);
+
+  Dev dev() const { return dev_; }
+  const std::string& fstype() const { return fstype_; }
+
+  // Allocates a fresh inode (recycling a freed number if possible).
+  std::shared_ptr<Inode> Alloc(InodeType type, FileMode mode, Uid uid, Gid gid, Sid sid);
+
+  // Looks up a live inode by number; nullptr if not present.
+  std::shared_ptr<Inode> Get(Ino ino) const;
+
+  // Drops the inode if it is no longer linked or open, returning its number
+  // to the free list. Call after nlink/open_count decrements.
+  void MaybeFree(const std::shared_ptr<Inode>& inode);
+
+  void set_recycle_inodes(bool on) { recycle_inodes_ = on; }
+
+  const std::shared_ptr<Inode>& root() const { return root_; }
+  size_t live_inodes() const { return inodes_.size(); }
+  size_t free_list_size() const { return free_list_.size(); }
+
+ private:
+  friend class Vfs;
+
+  Dev dev_;
+  std::string fstype_;
+  std::unordered_map<Ino, std::shared_ptr<Inode>> inodes_;
+  std::vector<Ino> free_list_;
+  Ino next_ino_ = 2;  // ino 1 is the root directory
+  uint64_t next_generation_ = 1;
+  bool recycle_inodes_ = true;
+  std::shared_ptr<Inode> root_;
+};
+
+// Mount table plus convenience inode accessors. Path *resolution* lives in
+// the Kernel (namei.cc) because every component lookup passes through the
+// authorization hooks.
+class Vfs {
+ public:
+  Vfs();
+
+  // Creates a new filesystem instance of the given type.
+  Superblock& CreateFs(const std::string& fstype, Sid root_sid, FileMode root_mode = 0755);
+
+  // Mounts `sb` over the directory identified by `mountpoint`.
+  void Mount(FileId mountpoint, Dev sb);
+
+  // If `dir` is a mountpoint, returns the mounted filesystem's root;
+  // otherwise returns `dir`'s inode unchanged.
+  std::shared_ptr<Inode> CrossMount(const std::shared_ptr<Inode>& dir) const;
+
+  Superblock& Sb(Dev dev) const { return *supers_.at(dev - 1); }
+  std::shared_ptr<Inode> Get(FileId id) const;
+
+  Superblock& root_sb() const { return *supers_.front(); }
+  const std::shared_ptr<Inode>& root() const { return root_sb().root(); }
+
+  // Reverse lookup: walks the namespace from / to find one path for an
+  // inode. Linear in filesystem size; used only for diagnostics and logs.
+  std::string PathOf(FileId id) const;
+
+ private:
+  std::vector<std::unique_ptr<Superblock>> supers_;
+  std::unordered_map<FileId, Dev, FileIdHash> mounts_;
+};
+
+}  // namespace pf::sim
+
+#endif  // SRC_SIM_VFS_H_

@@ -1,0 +1,170 @@
+// One scenario per attack class of paper Tables 1/2, each run vulnerable
+// and protected — the taxonomy as an executable matrix. (The CVE-specific
+// exploits live in exploits_test.cc; these are the *class-generic* shapes,
+// including two not covered by Table 4: executable PATH hijacking and file
+// squatting.)
+
+#include <gtest/gtest.h>
+
+#include "src/apps/entrypoints.h"
+#include "src/apps/misc.h"
+#include "src/apps/programs.h"
+#include "src/apps/rule_library.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::apps {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+class AttackClassTest : public pf::testing::SimTest {
+ protected:
+  AttackClassTest() : engine_(core::InstallProcessFirewall(kernel())), pft_(engine_) {
+    InstallPrograms(kernel());
+  }
+
+  core::Engine* engine_;
+  core::Pftables pft_;
+};
+
+// --- Untrusted Search Path (CWE-426): PATH hijacking of a shell command ----
+
+TEST_F(AttackClassTest, PathHijackVulnerableByDefault) {
+  kernel().MkDirAt("/tmp/bin", 0777, sim::kMalloryUid, sim::kMalloryUid, "tmp_t");
+  kernel().MkFileAt("/tmp/bin/backup-tool", "\x7f" "ELF", 0755, sim::kMalloryUid,
+                    sim::kMalloryUid, "tmp_t");
+  Pid pid = sched().Spawn(
+      {.name = "sh", .exe = sim::kBinSh, .env = {{"PATH", "/tmp/bin:/bin:/usr/bin"}}},
+      [](Proc& p) {
+        std::string resolved = ShellResolveInPath(p, "backup-tool");
+        p.Exit(resolved == "/tmp/bin/backup-tool" ? 1 : 0);
+      });
+  EXPECT_EQ(sched().RunUntilExit(pid), 1) << "the Trojan resolves first";
+}
+
+TEST_F(AttackClassTest, PathHijackBlockedByShellExecRule) {
+  // Restrict the shell's exec-probing call site to TCB resources.
+  ASSERT_TRUE(pft_.Exec(RuleLibrary::TemplateT1(sim::kBinSh, kShellExec, "{SYSHIGH}",
+                                                "FILE_GETATTR"))
+                  .ok());
+  ASSERT_TRUE(pft_.Exec(RuleLibrary::TemplateT1(sim::kBinSh, kShellExec, "{SYSHIGH}",
+                                                "FILE_EXEC"))
+                  .ok());
+  kernel().MkDirAt("/tmp/bin", 0777, sim::kMalloryUid, sim::kMalloryUid, "tmp_t");
+  kernel().MkFileAt("/tmp/bin/true", "\x7f" "ELF", 0755, sim::kMalloryUid,
+                    sim::kMalloryUid, "tmp_t");
+  Pid pid = sched().Spawn(
+      {.name = "sh", .exe = sim::kBinSh, .env = {{"PATH", "/tmp/bin:/bin:/usr/bin"}}},
+      [](Proc& p) {
+        std::string resolved = ShellResolveInPath(p, "true");
+        // The Trojan probe is denied; resolution falls through to /bin.
+        p.Exit(resolved == "/bin/true" ? 0 : 1);
+      });
+  EXPECT_EQ(sched().RunUntilExit(pid), 0);
+}
+
+// --- File squat (CWE-283): the victim "creates" a file the adversary
+// already planted --------------------------------------------------------------
+
+TEST_F(AttackClassTest, FileSquatVulnerableByDefault) {
+  Pid mallory = sched().Spawn({.name = "mallory", .cred = UserCred(sim::kMalloryUid)},
+                              [](Proc& p) {
+    int64_t fd = p.Open("/tmp/daemon.state", sim::kOWrOnly | sim::kOCreat, 0777);
+    p.Write(static_cast<int>(fd), "forged-state");
+    p.Close(static_cast<int>(fd));
+  });
+  sched().RunUntilExit(mallory);
+  std::string state;
+  Pid victim = sched().Spawn({.name = "daemon", .exe = sim::kBinTrue}, [&](Proc& p) {
+    sim::UserFrame site(p, sim::kBinTrue, 0x5151);
+    int64_t fd = p.Open("/tmp/daemon.state", sim::kORdWr | sim::kOCreat, 0600);
+    ASSERT_GE(fd, 0);
+    p.Read(static_cast<int>(fd), &state, 4096);
+  });
+  sched().RunUntilExit(victim);
+  EXPECT_EQ(state, "forged-state") << "the daemon trusted the squatted file";
+}
+
+TEST_F(AttackClassTest, FileSquatBlockedByOwnerInvariant) {
+  // At this creation call site, the opened file must belong to the caller:
+  // drop when C_DAC_OWNER != C_EUID (squatted files are adversary-owned).
+  ASSERT_TRUE(pft_.Exec("pftables -p /bin/true -i 0x5151 -o FILE_OPEN -m COMPARE "
+                        "--v1 C_DAC_OWNER --v2 C_EUID --nequal -j DROP")
+                  .ok());
+  Pid mallory = sched().Spawn({.name = "mallory", .cred = UserCred(sim::kMalloryUid)},
+                              [](Proc& p) {
+    int64_t fd = p.Open("/tmp/daemon.state", sim::kOWrOnly | sim::kOCreat, 0777);
+    p.Write(static_cast<int>(fd), "forged-state");
+    p.Close(static_cast<int>(fd));
+  });
+  sched().RunUntilExit(mallory);
+  Pid victim = sched().Spawn({.name = "daemon", .exe = sim::kBinTrue}, [&](Proc& p) {
+    sim::UserFrame site(p, sim::kBinTrue, 0x5151);
+    EXPECT_EQ(p.Open("/tmp/daemon.state", sim::kORdWr | sim::kOCreat, 0600),
+              sim::SysError(sim::Err::kAcces))
+        << "squatted (foreign-owned) file denied";
+    // Freshly created files are the caller's own: allowed.
+    EXPECT_GE(p.Open("/tmp/daemon.fresh", sim::kORdWr | sim::kOCreat, 0600), 0);
+  });
+  sched().RunUntilExit(victim);
+}
+
+// --- IPC squat: connecting to an adversary's socket -------------------------
+
+TEST_F(AttackClassTest, IpcSquatVulnerableThenBlocked) {
+  // The adversary squats the well-known socket name before the real daemon.
+  Pid mallory = sched().Spawn({.name = "mallory", .cred = UserCred(sim::kMalloryUid)},
+                              [](Proc& p) {
+    int64_t fd = p.Socket();
+    p.Bind(static_cast<int>(fd), "/tmp/app.sock", 0777);
+    p.Listen(static_cast<int>(fd));
+    p.Checkpoint("squatted");
+    p.Pause();
+  });
+  ASSERT_TRUE(sched().RunUntilLabel(mallory, "squatted"));
+
+  auto connect_once = [&](int64_t* rv) {
+    Pid client = sched().Spawn({.name = "client", .exe = sim::kBinTrue}, [&](Proc& p) {
+      sim::UserFrame site(p, sim::kBinTrue, 0x6161);
+      int64_t fd = p.Socket();
+      *rv = p.Connect(static_cast<int>(fd), "/tmp/app.sock");
+    });
+    sched().RunUntilExit(client);
+  };
+  int64_t rv = -1;
+  connect_once(&rv);
+  EXPECT_EQ(rv, 0) << "victim happily talks to the adversary's socket";
+
+  ASSERT_TRUE(pft_.Exec("pftables -p /bin/true -i 0x6161 -o SOCKET_CONNECT "
+                        "-d ~{SYSHIGH} -j DROP")
+                  .ok());
+  connect_once(&rv);
+  EXPECT_EQ(rv, sim::SysError(sim::Err::kAcces))
+      << "connects restricted to TCB-labeled sockets";
+  sched().Wake(mallory);
+  sched().RunUntilExit(mallory);
+}
+
+// --- Directory traversal (CWE-22) generic shape ------------------------------
+
+TEST_F(AttackClassTest, TraversalBlockedByServeRule) {
+  ASSERT_TRUE(pft_.Exec(RuleLibrary::TemplateT1(
+                            sim::kBinTrue, 0x7171,
+                            "{httpd_sys_content_t|httpd_user_content_t}", "FILE_OPEN"))
+                  .ok());
+  Pid victim = sched().Spawn({.name = "server", .exe = sim::kBinTrue}, [&](Proc& p) {
+    sim::UserFrame site(p, sim::kBinTrue, 0x7171);
+    EXPECT_GE(p.Open("/var/www/index.html", sim::kORdOnly), 0);
+    EXPECT_EQ(p.Open("/var/www/../../etc/passwd", sim::kORdOnly),
+              sim::SysError(sim::Err::kAcces))
+        << "the escaped path resolves to etc_t and is dropped";
+  });
+  sched().RunUntilExit(victim);
+}
+
+}  // namespace
+}  // namespace pf::apps

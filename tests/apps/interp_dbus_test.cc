@@ -1,0 +1,138 @@
+// Interpreter runtimes and D-Bus model tests: include resolution, module
+// search order, interpreter frames visible to the kernel unwinder, daemon
+// bind/chmod sequencing, libdbus address-variable handling.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/dbus.h"
+#include "src/apps/interp.h"
+#include "src/apps/programs.h"
+#include "src/core/unwind.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::apps {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+class InterpTest : public pf::testing::SimTest {
+ protected:
+  InterpTest() { InstallPrograms(kernel()); }
+};
+
+TEST_F(InterpTest, PhpIncludeResolvesRelativeToScriptDir) {
+  Pid pid = sched().Spawn({.exe = sim::kPhp}, [](Proc& p) {
+    PhpInterp php(p, "/var/www/app/index.php");
+    auto body = php.Include("gcalendar.php", 5);
+    ASSERT_TRUE(body.has_value());
+    EXPECT_NE(body->find("component"), std::string::npos);
+  });
+  sched().RunUntilExit(pid);
+}
+
+TEST_F(InterpTest, PhpIncludeAbsolutePath) {
+  Pid pid = sched().Spawn({.exe = sim::kPhp}, [](Proc& p) {
+    PhpInterp php(p, "/var/www/app/index.php");
+    auto body = php.Include("/var/www/app/index.php", 5);
+    EXPECT_TRUE(body.has_value());
+    EXPECT_FALSE(php.Include("/var/www/app/missing.php", 6).has_value());
+  });
+  sched().RunUntilExit(pid);
+}
+
+TEST_F(InterpTest, PhpFramesVisibleToKernelUnwinder) {
+  Pid pid = sched().Spawn({.exe = sim::kPhp}, [](Proc& p) {
+    PhpInterp php(p, "/var/www/app/index.php");
+    // During include the interpreter pushes a frame; emulate mid-include
+    // inspection by nesting.
+    sim::InterpFrame frame(p, sim::InterpLang::kPhp, "/var/www/app/index.php", 23);
+    core::InterpUnwindResult res = core::UnwindInterpStack(p.task());
+    ASSERT_EQ(res.status, core::UnwindStatus::kOk);
+    ASSERT_GE(res.frames.size(), 2u);
+    EXPECT_EQ(res.frames[0].script_path, "/var/www/app/index.php");
+    EXPECT_EQ(res.frames[0].line, 23u);
+  });
+  sched().RunUntilExit(pid);
+}
+
+TEST_F(InterpTest, PythonSearchOrderPrefersFirstHit) {
+  Pid pid = sched().Spawn({.exe = sim::kPython}, [](Proc& p) {
+    PythonInterp py(p, "/usr/bin/dstat");
+    EXPECT_EQ(py.ImportModule("os", 3), "/usr/lib/python2.7/os.py");
+    EXPECT_EQ(py.ImportModule("nonexistent", 4), "");
+  });
+  sched().RunUntilExit(pid);
+}
+
+TEST_F(InterpTest, PythonCwdEntryShadowsStdlib) {
+  kernel().MkFileAt("/tmp/os.py", "trojan", 0644, sim::kMalloryUid, sim::kMalloryUid,
+                    "tmp_t");
+  Pid pid = sched().Spawn({.exe = sim::kPython, .cwd = "/tmp"}, [](Proc& p) {
+    PythonInterp py(p, "");
+    // sys.path[0] is "." for script-less invocation.
+    EXPECT_EQ(py.ImportModule("os", 3), "./os.py") << "the E2 hazard";
+  });
+  sched().RunUntilExit(pid);
+}
+
+class DbusTest : public pf::testing::SimTest {
+ protected:
+  DbusTest() { InstallPrograms(kernel()); }
+};
+
+TEST_F(DbusTest, PublishSocketCreatesListeningSocketWithFinalMode) {
+  sim::SpawnOpts opts;
+  opts.name = "dbus-daemon";
+  opts.exe = sim::kDbusDaemon;
+  Pid pid = sched().Spawn(opts, [](Proc& p) {
+    EXPECT_EQ(DbusDaemon::PublishSocket(p, "/var/run/dbus/test_socket", 0777), 0);
+  });
+  sched().RunUntilExit(pid);
+  auto sock = kernel().LookupNoHooks("/var/run/dbus/test_socket");
+  ASSERT_NE(sock, nullptr);
+  EXPECT_TRUE(sock->IsSocket());
+  EXPECT_TRUE(sock->socket_listening);
+  EXPECT_EQ(sock->mode & sim::kModePermMask, 0777u);
+}
+
+TEST_F(DbusTest, ConnectUsesDefaultPathWithoutEnv) {
+  sim::SpawnOpts daemon_opts;
+  daemon_opts.name = "dbus-daemon";
+  daemon_opts.exe = sim::kDbusDaemon;
+  Pid daemon = sched().Spawn(daemon_opts, [](Proc& p) {
+    DbusDaemon::PublishSocket(p, kSystemBusPath);
+  });
+  sched().RunUntilExit(daemon);
+
+  sim::SpawnOpts client_opts;
+  client_opts.name = "client";
+  client_opts.exe = sim::kSuidHelper;
+  Pid client = sched().Spawn(client_opts, [](Proc& p) {
+    int lib = static_cast<int>(p.Open(sim::kLibDbus, sim::kORdOnly));
+    p.MmapFd(lib);
+    p.Close(lib);
+    int64_t fd = Libdbus::ConnectSystemBus(p);
+    ASSERT_GE(fd, 0);
+    auto file = p.task().fds.Get(static_cast<int>(fd));
+    EXPECT_TRUE(file->connected_socket);
+  });
+  sched().RunUntilExit(client);
+}
+
+TEST_F(DbusTest, ConnectFailsCleanlyWhenNoBus) {
+  sim::SpawnOpts opts;
+  opts.exe = sim::kSuidHelper;
+  Pid client = sched().Spawn(opts, [](Proc& p) {
+    int lib = static_cast<int>(p.Open(sim::kLibDbus, sim::kORdOnly));
+    p.MmapFd(lib);
+    p.Close(lib);
+    EXPECT_LT(Libdbus::ConnectSystemBus(p), 0);
+    EXPECT_EQ(p.task().fds.open_count(), 0u) << "no leaked descriptors";
+  });
+  sched().RunUntilExit(client);
+}
+
+}  // namespace
+}  // namespace pf::apps

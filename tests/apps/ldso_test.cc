@@ -1,0 +1,124 @@
+// Dynamic linker model tests: search path construction (env, RUNPATH,
+// defaults), setid environment filtering, fallback on blocked candidates.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/entrypoints.h"
+#include "src/apps/ldso.h"
+#include "src/apps/programs.h"
+#include "src/apps/rule_library.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::apps {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+class LdsoTest : public pf::testing::SimTest {
+ protected:
+  LdsoTest() { InstallPrograms(kernel()); }
+
+  int RunAs(sim::Cred cred, std::map<std::string, std::string> env,
+            std::function<void(Proc&)> body, const std::string& exe = sim::kBinTrue) {
+    sim::SpawnOpts opts;
+    opts.name = "prog";
+    opts.cred = cred;
+    opts.exe = exe;
+    opts.env = std::move(env);
+    Pid pid = sched().Spawn(opts, std::move(body));
+    return sched().RunUntilExit(pid);
+  }
+};
+
+TEST_F(LdsoTest, DefaultSearchPathIsLibThenUsrLib) {
+  RunAs({}, {}, [](Proc& p) {
+    auto dirs = Ldso::BuildSearchPath(p);
+    ASSERT_GE(dirs.size(), 2u);
+    EXPECT_EQ(dirs[dirs.size() - 2], "/lib");
+    EXPECT_EQ(dirs.back(), "/usr/lib");
+  });
+}
+
+TEST_F(LdsoTest, LdLibraryPathComesFirst) {
+  RunAs({}, {{"LD_LIBRARY_PATH", "/opt/weird:/tmp/libs"}}, [](Proc& p) {
+    auto dirs = Ldso::BuildSearchPath(p);
+    ASSERT_GE(dirs.size(), 4u);
+    EXPECT_EQ(dirs[0], "/opt/weird");
+    EXPECT_EQ(dirs[1], "/tmp/libs");
+  });
+}
+
+TEST_F(LdsoTest, SetidProcessesIgnoreAndScrubEnvironment) {
+  sim::Cred setid;
+  setid.uid = sim::kMalloryUid;
+  setid.gid = sim::kMalloryUid;
+  setid.euid = 0;  // setuid root
+  RunAs(setid, {{"LD_LIBRARY_PATH", "/tmp/evil"}, {"LD_PRELOAD", "/tmp/evil/pre.so"}},
+        [](Proc& p) {
+          auto dirs = Ldso::BuildSearchPath(p);
+          for (const auto& d : dirs) {
+            EXPECT_NE(d, "/tmp/evil");
+          }
+          EXPECT_FALSE(p.HasEnv("LD_LIBRARY_PATH")) << "Figure 1(b): unsetenv";
+          EXPECT_FALSE(p.HasEnv("LD_PRELOAD"));
+        });
+}
+
+TEST_F(LdsoTest, RunpathIsSearchedBeforeDefaults) {
+  auto exe = kernel().LookupNoHooks(sim::kBinTrue);
+  exe->binary->runpath = {"/opt/vendor"};
+  kernel().MkDirAt("/opt", 0755, 0, 0, "usr_t");
+  kernel().MkDirAt("/opt/vendor", 0755, 0, 0, "usr_t");
+  kernel().MkFileAt("/opt/vendor/libc-2.15.so", "\x7f" "ELF", 0644, 0, 0, "lib_t");
+  RunAs({}, {}, [](Proc& p) {
+    EXPECT_EQ(Ldso::LoadLibrary(p, "libc-2.15.so"), "/opt/vendor/libc-2.15.so");
+  });
+  exe->binary->runpath.clear();
+}
+
+TEST_F(LdsoTest, LinkAllLoadsEveryNeededLibrary) {
+  RunAs({}, {}, [](Proc& p) {
+    LinkResult res = Ldso::LinkAll(p);
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.loaded.size(), 1u);  // /bin/true needs libc
+    EXPECT_EQ(res.loaded[0].second, "/lib/libc-2.15.so");
+    EXPECT_NE(p.task().mm.FindMappingByPath("/lib/libc-2.15.so"), nullptr);
+  });
+}
+
+TEST_F(LdsoTest, MissingLibraryReportsFailure) {
+  auto exe = kernel().LookupNoHooks(sim::kBinTrue);
+  exe->binary->needed.push_back("libmissing.so");
+  RunAs({}, {}, [](Proc& p) {
+    LinkResult res = Ldso::LinkAll(p);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.failed_library, "libmissing.so");
+  });
+  exe->binary->needed.pop_back();
+}
+
+TEST_F(LdsoTest, AbsolutePathNeededBypassesSearch) {
+  RunAs({}, {{"LD_LIBRARY_PATH", "/tmp"}}, [](Proc& p) {
+    EXPECT_EQ(Ldso::LoadLibrary(p, "/lib/libdbus-1.so.3"), "/lib/libdbus-1.so.3");
+  });
+}
+
+TEST_F(LdsoTest, BlockedCandidateFallsThroughToTrustedDirectory) {
+  // With rule R1 installed, a planted library in an untrusted dir is
+  // skipped and the trusted one loads — graceful degradation, not failure.
+  core::Engine* engine = core::InstallProcessFirewall(kernel());
+  core::Pftables pft(engine);
+  ASSERT_TRUE(pft.ExecAll(RuleLibrary::RuntimeAnalysisRules()).ok());
+  kernel().MkFileAt("/tmp/libc-2.15.so", "evil", 0755, sim::kMalloryUid,
+                    sim::kMalloryUid, "tmp_t");
+  RunAs({}, {{"LD_LIBRARY_PATH", "/tmp"}}, [](Proc& p) {
+    EXPECT_EQ(Ldso::LoadLibrary(p, "libc-2.15.so"), "/lib/libc-2.15.so");
+  });
+}
+
+}  // namespace
+}  // namespace pf::apps

@@ -1,0 +1,95 @@
+// Rule library unit tests: every shipped group installs cleanly on the base
+// image, templates expand to valid rules, and the default base is coherent.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/entrypoints.h"
+#include "src/apps/rule_library.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::apps {
+namespace {
+
+class RuleLibraryTest : public pf::testing::SimTest {
+ protected:
+  RuleLibraryTest() : engine_(core::InstallProcessFirewall(kernel())), pft_(engine_) {}
+
+  core::Engine* engine_;
+  core::Pftables pft_;
+};
+
+TEST_F(RuleLibraryTest, EveryGroupInstallsCleanly) {
+  core::Status s = pft_.ExecAll(RuleLibrary::RuntimeAnalysisRules());
+  EXPECT_TRUE(s.ok()) << s.message();
+  s = pft_.ExecAll(RuleLibrary::KnownVulnerabilityRules());
+  EXPECT_TRUE(s.ok()) << s.message();
+  s = pft_.Exec(RuleLibrary::ApacheSymlinkOwnerRule());
+  EXPECT_TRUE(s.ok()) << s.message();
+  s = pft_.ExecAll(RuleLibrary::SignalRaceRules());
+  EXPECT_TRUE(s.ok()) << s.message();
+  s = pft_.ExecAll(RuleLibrary::SafeOpenRules());
+  EXPECT_TRUE(s.ok()) << s.message();
+}
+
+TEST_F(RuleLibraryTest, DefaultRuleBaseIsTheUnion) {
+  auto base = RuleLibrary::DefaultRuleBase();
+  size_t expected = RuleLibrary::RuntimeAnalysisRules().size() +
+                    RuleLibrary::KnownVulnerabilityRules().size() + 1 +
+                    RuleLibrary::SignalRaceRules().size() +
+                    RuleLibrary::SafeOpenRules().size();
+  EXPECT_EQ(base.size(), expected);
+  core::Status s = pft_.ExecAll(base);
+  EXPECT_TRUE(s.ok()) << s.message();
+  // 12 paper rules + generalizations, minus the two non-rule commands (-N).
+  EXPECT_GT(engine_->ruleset().total_rules(), 10u);
+}
+
+TEST_F(RuleLibraryTest, PaperEntrypointValuesAreVerbatim) {
+  auto r = RuleLibrary::RuntimeAnalysisRules();
+  EXPECT_NE(r[0].find("-i 0x596b"), std::string::npos);   // R1 ld.so
+  EXPECT_NE(r[1].find("-i 0x34f05"), std::string::npos);  // R2 python
+  EXPECT_NE(r[2].find("-i 0x39231"), std::string::npos);  // R3 libdbus
+  EXPECT_NE(r[3].find("-i 0x27ad2c"), std::string::npos); // R4 php
+  EXPECT_NE(RuleLibrary::ApacheSymlinkOwnerRule().find("-i 0x2d637"),
+            std::string::npos);                           // R8 apache
+}
+
+TEST_F(RuleLibraryTest, TemplateT1Expansion) {
+  std::string rule = RuleLibrary::TemplateT1("/bin/true", 0xabc, "{lib_t|usr_t}",
+                                             "FILE_OPEN");
+  EXPECT_NE(rule.find("-i 0xabc"), std::string::npos);
+  EXPECT_NE(rule.find("-p /bin/true"), std::string::npos);
+  EXPECT_NE(rule.find("-d ~{lib_t|usr_t}"), std::string::npos);
+  EXPECT_NE(rule.find("-j DROP"), std::string::npos);
+  EXPECT_TRUE(pft_.Exec(rule).ok());
+}
+
+TEST_F(RuleLibraryTest, TemplateT2Expansion) {
+  auto rules = RuleLibrary::TemplateT2("/bin/true", 0x10, 0x20, "FILE_GETATTR",
+                                       "FILE_OPEN", "mykey");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_NE(rules[0].find("-i 0x10"), std::string::npos);
+  EXPECT_NE(rules[0].find("STATE --set --key mykey --value C_INO"), std::string::npos);
+  EXPECT_NE(rules[1].find("-i 0x20"), std::string::npos);
+  EXPECT_NE(rules[1].find("--cmp C_INO --nequal -j DROP"), std::string::npos);
+  EXPECT_TRUE(pft_.ExecAll(rules).ok());
+}
+
+TEST_F(RuleLibraryTest, EntrypointConstantsMatchAppsUsage) {
+  // The library's hex literals must equal the constants the apps push
+  // frames with — otherwise the shipped rules silently never match.
+  EXPECT_EQ(kLdsoOpenLibrary, 0x596bu);
+  EXPECT_EQ(kPythonImport, 0x34f05u);
+  EXPECT_EQ(kLibdbusConnect, 0x39231u);
+  EXPECT_EQ(kPhpInclude, 0x27ad2cu);
+  EXPECT_EQ(kDbusBind, 0x3c750u);
+  EXPECT_EQ(kDbusSetattr, 0x3c786u);
+  EXPECT_EQ(kJavaConfigOpen, 0x5d7eu);
+  EXPECT_EQ(kApacheLinkRead, 0x2d637u);
+}
+
+}  // namespace
+}  // namespace pf::apps

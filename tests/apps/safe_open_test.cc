@@ -1,0 +1,117 @@
+// safe_open family tests: semantic guarantees of each Figure 4 variant,
+// including directed races. The key property sweep lives in
+// tests/props/toctou_property_test.cc; these cover per-variant behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/programs.h"
+#include "src/apps/rule_library.h"
+#include "src/apps/safe_open.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::apps {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+class SafeOpenTest : public pf::testing::SimTest {
+ protected:
+  SafeOpenTest() { InstallPrograms(kernel()); }
+
+  int64_t Call(int64_t (*fn)(Proc&, const std::string&), const std::string& path) {
+    int64_t rv = 0;
+    Pid pid = sched().Spawn({.name = "opener", .exe = sim::kBinTrue},
+                            [&](Proc& p) { rv = fn(p, path); });
+    sched().RunUntilExit(pid);
+    return rv;
+  }
+};
+
+TEST_F(SafeOpenTest, AllVariantsOpenPlainFiles) {
+  for (auto fn : {&OpenPlain, &OpenNofollow, &OpenNolink, &OpenRace, &SafeOpen,
+                  &SafeOpenPF}) {
+    EXPECT_GE(Call(fn, "/etc/passwd"), 0);
+  }
+}
+
+TEST_F(SafeOpenTest, VariantsDifferOnFinalSymlink) {
+  kernel().MkSymlinkAt("/tmp/lnk", "/etc/passwd", sim::kMalloryUid, sim::kMalloryUid,
+                       "tmp_t");
+  EXPECT_GE(Call(&OpenPlain, "/tmp/lnk"), 0) << "no defense follows the link";
+  EXPECT_EQ(Call(&OpenNofollow, "/tmp/lnk"), sim::SysError(sim::Err::kLoop));
+  EXPECT_EQ(Call(&OpenNolink, "/tmp/lnk"), sim::SysError(sim::Err::kLoop));
+  EXPECT_EQ(Call(&OpenRace, "/tmp/lnk"), sim::SysError(sim::Err::kLoop));
+  EXPECT_EQ(Call(&SafeOpen, "/tmp/lnk"), sim::SysError(sim::Err::kLoop));
+}
+
+TEST_F(SafeOpenTest, OnlySafeOpenCatchesIntermediateForeignLink) {
+  // A symlinked *directory* component owned by the adversary: the lstat-
+  // based final-component checks are blind to it (Chari et al.'s point).
+  kernel().MkDirAt("/srv", 0755, 0, 0, "var_t");
+  kernel().MkDirAt("/srv/app", 0755, 0, 0, "var_t");
+  kernel().MkFileAt("/srv/app/config", "x", 0644, 0, 0, "var_t");
+  kernel().MkSymlinkAt("/tmp/appdir", "/srv/app", sim::kMalloryUid, sim::kMalloryUid,
+                       "tmp_t");
+  EXPECT_GE(Call(&OpenNolink, "/tmp/appdir/config"), 0) << "final-only check passes";
+  EXPECT_GE(Call(&OpenRace, "/tmp/appdir/config"), 0) << "final-only check passes";
+  EXPECT_LT(Call(&SafeOpen, "/tmp/appdir/config"), 0)
+      << "per-component check sees the adversary's directory link";
+}
+
+TEST_F(SafeOpenTest, SafeOpenAllowsAdversaryLinkToOwnFile) {
+  // Chari policy: an adversary may link to *their own* files.
+  kernel().MkFileAt("/tmp/mallorys-data", "m", 0644, sim::kMalloryUid, sim::kMalloryUid,
+                    "tmp_t");
+  kernel().MkSymlinkAt("/tmp/mallorys-link", "/tmp/mallorys-data", sim::kMalloryUid,
+                       sim::kMalloryUid, "tmp_t");
+  EXPECT_GE(Call(&SafeOpen, "/tmp/mallorys-link"), 0);
+}
+
+TEST_F(SafeOpenTest, SafeOpenPFBlocksForeignLinkOnlyWithRules) {
+  kernel().MkSymlinkAt("/tmp/lnk2", "/etc/passwd", sim::kMalloryUid, sim::kMalloryUid,
+                       "tmp_t");
+  EXPECT_GE(Call(&SafeOpenPF, "/tmp/lnk2"), 0) << "without rules it is a plain open";
+
+  core::Engine* engine = core::InstallProcessFirewall(kernel());
+  core::Pftables pft(engine);
+  ASSERT_TRUE(pft.ExecAll(RuleLibrary::SafeOpenRules()).ok());
+  EXPECT_EQ(Call(&SafeOpenPF, "/tmp/lnk2"), sim::SysError(sim::Err::kAcces));
+  // Adversary's link to their own file still passes (owner match).
+  kernel().MkFileAt("/tmp/own", "d", 0644, sim::kMalloryUid, sim::kMalloryUid, "tmp_t");
+  kernel().MkSymlinkAt("/tmp/ownlnk", "/tmp/own", sim::kMalloryUid, sim::kMalloryUid,
+                       "tmp_t");
+  EXPECT_GE(Call(&SafeOpenPF, "/tmp/ownlnk"), 0);
+}
+
+TEST_F(SafeOpenTest, OpenRaceDetectsSwapAfterOpen) {
+  kernel().MkFileAt("/tmp/race", "v1", 0666, sim::kMalloryUid, sim::kMalloryUid, "tmp_t");
+  int64_t rv = 1;
+  Pid victim = sched().Spawn({.name = "victim", .exe = sim::kBinTrue}, [&](Proc& p) {
+    rv = OpenRace(p, "/tmp/race");
+  });
+  // Swap the file for a symlink between the victim's lstat (syscall 1 after
+  // spawn) and open. (A plain unlink+recreate would recycle the inode number
+  // and evade this very check — the cryogenic-sleep weakness, covered
+  // elsewhere.) OpenRace's post-open fstat must report the race.
+  ASSERT_TRUE(sched().StepSyscalls(victim, 1));  // the lstat completed
+  Pid mallory = sched().Spawn({.name = "mallory", .cred = UserCred(sim::kMalloryUid)},
+                              [](Proc& p) {
+    p.Unlink("/tmp/race");
+    p.Symlink("/etc/passwd", "/tmp/race");
+  });
+  sched().RunUntilExit(mallory);
+  sched().RunUntilExit(victim);
+  EXPECT_EQ(rv, sim::SysError(sim::Err::kAgain)) << "identity mismatch detected";
+}
+
+TEST_F(SafeOpenTest, MissingFileErrorsPropagate) {
+  EXPECT_EQ(Call(&SafeOpen, "/no/such/file"), sim::SysError(sim::Err::kNoEnt));
+  EXPECT_EQ(Call(&OpenRace, "/no/such/file"), sim::SysError(sim::Err::kNoEnt));
+}
+
+}  // namespace
+}  // namespace pf::apps

@@ -1,0 +1,112 @@
+// Web server model tests: request mapping, traversal filtering,
+// SymLinksIfOwnerMatch program checks, authentication, access logging.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/programs.h"
+#include "src/apps/webserver.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::apps {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+class WebserverTest : public pf::testing::SimTest {
+ protected:
+  WebserverTest() { InstallPrograms(kernel()); }
+
+  int Serve(const WebConfig& cfg, const std::string& url, std::string* body = nullptr) {
+    int status = 0;
+    sim::SpawnOpts opts;
+    opts.name = "apache2";
+    opts.exe = sim::kApache;
+    opts.cred.sid = kernel().labels().Intern("httpd_t");
+    Pid pid = sched().Spawn(opts, [&](Proc& p) {
+      Webserver server(cfg);
+      std::string content;
+      status = server.HandleRequest(p, url, &content);
+      if (body != nullptr) {
+        *body = content;
+      }
+    });
+    sched().RunUntilExit(pid);
+    return status;
+  }
+};
+
+TEST_F(WebserverTest, ServesContentFromDocroot) {
+  std::string body;
+  EXPECT_EQ(Serve({}, "/index.html", &body), 200);
+  EXPECT_EQ(body, "<html>home</html>");
+}
+
+TEST_F(WebserverTest, MissingFileIs404) { EXPECT_EQ(Serve({}, "/nope.html"), 404); }
+
+TEST_F(WebserverTest, TraversalFilteredByDefault) {
+  EXPECT_EQ(Serve({}, "/../../etc/passwd"), 403);
+}
+
+TEST_F(WebserverTest, TraversalEscapesWhenFilterDisabled) {
+  WebConfig cfg;
+  cfg.filter_traversal = false;
+  std::string body;
+  EXPECT_EQ(Serve(cfg, "/../../etc/passwd", &body), 200)
+      << "the vulnerable configuration";
+  EXPECT_NE(body.find("root:"), std::string::npos);
+}
+
+TEST_F(WebserverTest, OwnerMatchAllowsSameOwnerLink) {
+  kernel().MkFileAt("/var/www/real.html", "<html>r</html>", 0644, sim::kWebUid,
+                    sim::kWebUid, "httpd_sys_content_t");
+  kernel().MkSymlinkAt("/var/www/alias.html", "/var/www/real.html", sim::kWebUid,
+                       sim::kWebUid, "httpd_sys_content_t");
+  WebConfig cfg;
+  cfg.symlinks_if_owner_match = true;
+  EXPECT_EQ(Serve(cfg, "/alias.html"), 200);
+}
+
+TEST_F(WebserverTest, OwnerMatchRejectsForeignLink) {
+  kernel().MkSymlinkAt("/var/www/steal.html", "/etc/passwd", sim::kMalloryUid,
+                       sim::kMalloryUid, "httpd_sys_content_t");
+  WebConfig cfg;
+  cfg.symlinks_if_owner_match = true;
+  EXPECT_EQ(Serve(cfg, "/steal.html"), 403);
+  // Without the option the link is followed (the vulnerable default).
+  EXPECT_EQ(Serve({}, "/steal.html"), 200);
+}
+
+TEST_F(WebserverTest, AuthenticationReadsPasswd) {
+  sim::SpawnOpts opts;
+  opts.exe = sim::kApache;
+  Pid pid = sched().Spawn(opts, [](Proc& p) {
+    Webserver server(WebConfig{});
+    EXPECT_TRUE(server.Authenticate(p, "alice"));
+    EXPECT_FALSE(server.Authenticate(p, "eve"));
+  });
+  sched().RunUntilExit(pid);
+}
+
+TEST_F(WebserverTest, AccessLogAppends) {
+  WebConfig cfg;
+  cfg.access_log = true;
+  EXPECT_EQ(Serve(cfg, "/index.html"), 200);
+  EXPECT_EQ(Serve(cfg, "/page0.html"), 200);
+  auto log = kernel().LookupNoHooks("/var/log/apache-access.log");
+  ASSERT_NE(log, nullptr);
+  EXPECT_NE(log->data.find("GET /index.html 200"), std::string::npos);
+  EXPECT_NE(log->data.find("GET /page0.html 200"), std::string::npos);
+}
+
+TEST_F(WebserverTest, RequestWorkDoesNotChangeSemantics) {
+  WebConfig cfg;
+  cfg.request_work = 10;
+  std::string body;
+  EXPECT_EQ(Serve(cfg, "/index.html", &body), 200);
+  EXPECT_EQ(body, "<html>home</html>");
+}
+
+}  // namespace
+}  // namespace pf::apps

@@ -1,0 +1,136 @@
+// The cryogenic-sleep arms race (Kirch's attack, paper §2.1) and the C_GEN
+// extension.
+//
+// Userspace check/use comparisons are limited to what stat exposes:
+// (dev, ino). If the victim holds no descriptor, the inode number recycles
+// and a swapped-in file is indistinguishable. A STATE rule keyed on C_INO
+// inherits that limit; C_GEN — the kernel's generation counter, which
+// userspace cannot query — closes it. This is the paper's broader point in
+// miniature: system-only knowledge, unavailable through the syscall API,
+// is exactly what the Process Firewall can bring to per-call invariants.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/entrypoints.h"
+#include "src/apps/programs.h"
+#include "src/apps/rule_library.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::core {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+class GenerationTest : public pf::testing::SimTest {
+ protected:
+  GenerationTest() : engine_(InstallProcessFirewall(kernel())), pft_(engine_) {
+    apps::InstallPrograms(kernel());
+    kernel().MkFileAt("/tmp/drop", "benign", 0666, sim::kMalloryUid, sim::kMalloryUid,
+                      "tmp_t");
+  }
+
+  // Victim: lstat-check then open-use, pausing in between. The adversary
+  // performs the cryogenic-sleep swap: unlink, then recreate so that the
+  // recycled file has the SAME inode number but malicious content.
+  // Returns what the victim read ("" if the open was denied).
+  std::string RunCryogenicSleep() {
+    std::string read_back;
+    Pid victim = sched().Spawn({.name = "victim", .exe = sim::kBinTrue}, [&](Proc& p) {
+      sim::StatBuf st;
+      {
+        sim::UserFrame check(p, sim::kBinTrue, apps::kSafeOpenCheck);
+        ASSERT_EQ(p.Lstat("/tmp/drop", &st), 0);
+      }
+      p.Checkpoint("sleeping");  // the "cryogenic sleep"
+      sim::UserFrame use(p, sim::kBinTrue, apps::kSafeOpenUse);
+      int64_t fd = p.Open("/tmp/drop", sim::kORdOnly);
+      if (fd >= 0) {
+        p.Read(static_cast<int>(fd), &read_back, 4096);
+      }
+    });
+    EXPECT_TRUE(sched().RunUntilLabel(victim, "sleeping"));
+    Pid mallory = sched().Spawn(
+        {.name = "mallory", .cred = UserCred(sim::kMalloryUid)}, [](Proc& p) {
+          p.Unlink("/tmp/drop");
+          // Recreate immediately: the freed inode number is recycled.
+          int64_t fd = p.Open("/tmp/drop", sim::kOWrOnly | sim::kOCreat, 0666);
+          p.Write(static_cast<int>(fd), "MALICIOUS");
+          p.Close(static_cast<int>(fd));
+        });
+    sched().RunUntilExit(mallory);
+    sched().RunUntilExit(victim);
+    return read_back;
+  }
+
+  Engine* engine_;
+  Pftables pft_;
+};
+
+TEST_F(GenerationTest, InodeNumberInvariantIsDefeatedByRecycling) {
+  // The paper's T2 rule compares C_INO — and the recycled inode number
+  // matches, so the swap goes unnoticed. (Figure 1(a)'s program checks have
+  // the same blind spot unless the file is held open.)
+  ASSERT_TRUE(pft_.ExecAll(apps::RuleLibrary::TemplateT2(
+                               sim::kBinTrue, apps::kSafeOpenCheck, apps::kSafeOpenUse,
+                               "FILE_GETATTR", "FILE_OPEN", "drop"))
+                  .ok());
+  EXPECT_EQ(RunCryogenicSleep(), "MALICIOUS")
+      << "inode numbers alone cannot distinguish the recycled file";
+}
+
+TEST_F(GenerationTest, GenerationInvariantSurvivesRecycling) {
+  // Same template shape, but keyed on the kernel's generation counter.
+  ASSERT_TRUE(pft_.ExecAll({
+                      "pftables -I input -i 0x9100 -p /bin/true -o FILE_GETATTR "
+                      "-j STATE --set --key drop --value C_GEN",
+                      "pftables -I input -i 0x9200 -p /bin/true -o FILE_OPEN "
+                      "-m STATE --key drop --cmp C_GEN --nequal -j DROP",
+                  })
+                  .ok());
+  EXPECT_EQ(RunCryogenicSleep(), "")
+      << "the generation changes on recycling: the use is denied";
+}
+
+TEST_F(GenerationTest, GenerationInvariantHasNoFalsePositives) {
+  ASSERT_TRUE(pft_.ExecAll({
+                      "pftables -I input -i 0x9100 -p /bin/true -o FILE_GETATTR "
+                      "-j STATE --set --key drop --value C_GEN",
+                      "pftables -I input -i 0x9200 -p /bin/true -o FILE_OPEN "
+                      "-m STATE --key drop --cmp C_GEN --nequal -j DROP",
+                  })
+                  .ok());
+  std::string read_back;
+  Pid calm = sched().Spawn({.name = "calm", .exe = sim::kBinTrue}, [&](Proc& p) {
+    sim::StatBuf st;
+    {
+      sim::UserFrame check(p, sim::kBinTrue, apps::kSafeOpenCheck);
+      ASSERT_EQ(p.Lstat("/tmp/drop", &st), 0);
+    }
+    sim::UserFrame use(p, sim::kBinTrue, apps::kSafeOpenUse);
+    int64_t fd = p.Open("/tmp/drop", sim::kORdOnly);
+    ASSERT_GE(fd, 0);
+    p.Read(static_cast<int>(fd), &read_back, 4096);
+  });
+  sched().RunUntilExit(calm);
+  EXPECT_EQ(read_back, "benign");
+}
+
+TEST_F(GenerationTest, GenerationIsNotExposedToUserspace) {
+  // stat must not leak the generation: the defense genuinely requires the
+  // kernel vantage point.
+  Pid pid = sched().Spawn({.exe = sim::kBinTrue}, [](Proc& p) {
+    sim::StatBuf st;
+    ASSERT_EQ(p.Stat("/tmp/drop", &st), 0);
+    // StatBuf carries dev/ino/mode/uid/... but no generation field; this
+    // compiles only while that stays true (the assertion is the API shape).
+    EXPECT_GT(st.ino, 0u);
+  });
+  sched().RunUntilExit(pid);
+}
+
+}  // namespace
+}  // namespace pf::core

@@ -1,0 +1,99 @@
+// LOG record serialization: JSON escaping, round trips, file-based rulegen
+// ingestion, malformed-input tolerance.
+
+#include <gtest/gtest.h>
+
+#include "src/core/log.h"
+#include "src/rulegen/classify.h"
+
+namespace pf::core {
+namespace {
+
+LogRecord SampleRecord() {
+  LogRecord rec;
+  rec.tick = 1234;
+  rec.pid = 42;
+  rec.comm = "apache2";
+  rec.exe = "/usr/bin/apache2";
+  rec.op = sim::Op::kFileOpen;
+  rec.syscall = "open";
+  rec.subject_label = "httpd_t";
+  rec.object_label = "httpd_sys_content_t";
+  rec.object = {1, 777};
+  rec.name = "/var/www/index.html";
+  rec.entry_valid = true;
+  rec.program = "/usr/bin/apache2";
+  rec.entrypoint = 0x2d637;
+  rec.adversary_writable = true;
+  rec.prefix = "audit";
+  return rec;
+}
+
+TEST(LogTest, JsonRoundTrip) {
+  LogRecord rec = SampleRecord();
+  auto parsed = LogRecord::FromJson(rec.ToJson());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tick, rec.tick);
+  EXPECT_EQ(parsed->pid, rec.pid);
+  EXPECT_EQ(parsed->comm, rec.comm);
+  EXPECT_EQ(parsed->op, rec.op);
+  EXPECT_EQ(parsed->object, rec.object);
+  EXPECT_EQ(parsed->name, rec.name);
+  EXPECT_EQ(parsed->entry_valid, rec.entry_valid);
+  EXPECT_EQ(parsed->entrypoint, rec.entrypoint);
+  EXPECT_EQ(parsed->adversary_writable, rec.adversary_writable);
+  EXPECT_EQ(parsed->adversary_readable, rec.adversary_readable);
+  EXPECT_EQ(parsed->prefix, rec.prefix);
+}
+
+TEST(LogTest, EscapesQuotesAndBackslashes) {
+  LogRecord rec = SampleRecord();
+  rec.name = "/tmp/evil\"quote\\back";
+  std::string json = rec.ToJson();
+  auto parsed = LogRecord::FromJson(json);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->name, rec.name);
+}
+
+TEST(LogTest, MalformedInputRejected) {
+  EXPECT_FALSE(LogRecord::FromJson(""));
+  EXPECT_FALSE(LogRecord::FromJson("not json"));
+  EXPECT_FALSE(LogRecord::FromJson("{\"tick\":"));
+  EXPECT_FALSE(LogRecord::FromJson("{\"op\":\"NOT_AN_OP\"}"));
+  EXPECT_FALSE(LogRecord::FromJson("{\"unterminated\":\"str"));
+}
+
+TEST(LogTest, SinkDumpAndReload) {
+  LogSink sink;
+  for (int i = 0; i < 5; ++i) {
+    LogRecord rec = SampleRecord();
+    rec.tick = static_cast<uint64_t>(i);
+    sink.Append(rec);
+  }
+  std::string dump = sink.ToJsonLines();
+  LogSink reloaded;
+  EXPECT_EQ(reloaded.FromJsonLines(dump), 5u);
+  ASSERT_EQ(reloaded.size(), 5u);
+  EXPECT_EQ(reloaded.records()[3].tick, 3u);
+  // Garbage lines are skipped, valid ones still land.
+  LogSink partial;
+  EXPECT_EQ(partial.FromJsonLines("garbage\n" + SampleRecord().ToJson() + "\n???\n"), 1u);
+}
+
+TEST(LogTest, ReloadedRecordsFeedTheClassifier) {
+  LogSink sink;
+  LogRecord high = SampleRecord();
+  high.adversary_writable = false;
+  sink.Append(high);
+  sink.Append(high);
+  LogSink reloaded;
+  reloaded.FromJsonLines(sink.ToJsonLines());
+  rulegen::EntrypointClassifier classifier;
+  classifier.AddAll(reloaded.records());
+  ASSERT_EQ(classifier.entrypoints().size(), 1u);
+  EXPECT_EQ(classifier.CountClass(rulegen::EptClass::kHigh), 1u);
+  EXPECT_EQ(classifier.SuggestRules(2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pf::core

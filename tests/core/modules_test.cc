@@ -1,0 +1,223 @@
+// Unit tests for match/target modules in isolation: operand parsing and
+// evaluation, STATE match/target semantics, SIGNAL_MATCH, SYSCALL_ARGS,
+// COMPARE, LOG rendering — against hand-built packets, no scheduler.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/modules.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::core {
+namespace {
+
+class ModulesTest : public ::testing::Test {
+ protected:
+  ModulesTest() : kernel_(11) {
+    sim::BuildSysImage(kernel_);
+    engine_ = InstallProcessFirewall(kernel_);
+    task_.pid = 55;
+    task_.comm = "unit";
+    task_.cwd = kernel_.vfs().root()->id();
+    inode_ = kernel_.LookupNoHooks("/etc/passwd");
+    req_.task = &task_;
+    req_.op = sim::Op::kFileOpen;
+    req_.inode = inode_.get();
+    req_.id = inode_->id();
+    req_.syscall_nr = sim::SyscallNr::kOpen;
+    pkt_.req = &req_;
+  }
+
+  // Collects object context into the packet.
+  void FillObject() { engine_->EnsureContext(pkt_, CtxBit(Ctx::kObject)); }
+
+  sim::Kernel kernel_;
+  Engine* engine_ = nullptr;
+  sim::Task task_;
+  std::shared_ptr<sim::Inode> inode_;
+  sim::AccessRequest req_;
+  Packet pkt_;
+};
+
+TEST_F(ModulesTest, OperandParsing) {
+  auto lit = Operand::Parse("42");
+  ASSERT_TRUE(lit);
+  EXPECT_FALSE(lit->is_var);
+  EXPECT_EQ(lit->literal, 42);
+
+  auto hex = Operand::Parse("0xbeef");
+  ASSERT_TRUE(hex);
+  EXPECT_EQ(hex->literal, 0xbeef);
+
+  auto neg = Operand::Parse("-7");
+  ASSERT_TRUE(neg);
+  EXPECT_EQ(neg->literal, -7);
+
+  auto var = Operand::Parse("C_INO");
+  ASSERT_TRUE(var);
+  EXPECT_TRUE(var->is_var);
+  EXPECT_EQ(var->var, CtxVar::kIno);
+
+  auto nr = Operand::Parse("NR_sigreturn");
+  ASSERT_TRUE(nr);
+  EXPECT_FALSE(nr->is_var);
+  EXPECT_EQ(nr->literal, static_cast<int64_t>(sim::SyscallNr::kSigreturn));
+
+  EXPECT_FALSE(Operand::Parse("bogus"));
+  EXPECT_FALSE(Operand::Parse(""));
+  EXPECT_FALSE(Operand::Parse("C_NOPE"));
+}
+
+TEST_F(ModulesTest, OperandContextNeeds) {
+  EXPECT_EQ(Operand::Parse("7")->Needs(), 0u);
+  EXPECT_EQ(Operand::Parse("C_INO")->Needs(), CtxBit(Ctx::kObject));
+  EXPECT_EQ(Operand::Parse("C_TGT_DAC_OWNER")->Needs(),
+            CtxBit(Ctx::kObject) | CtxBit(Ctx::kLinkTarget));
+  EXPECT_EQ(Operand::Parse("C_PID")->Needs(), 0u);
+}
+
+TEST_F(ModulesTest, OperandEvalAgainstPacket) {
+  FillObject();
+  EXPECT_EQ(Operand::Parse("C_INO")->Eval(pkt_), static_cast<int64_t>(inode_->ino));
+  EXPECT_EQ(Operand::Parse("C_DEV")->Eval(pkt_), static_cast<int64_t>(inode_->dev));
+  EXPECT_EQ(Operand::Parse("C_DAC_OWNER")->Eval(pkt_), 0);
+  EXPECT_EQ(Operand::Parse("C_PID")->Eval(pkt_), 55);
+  EXPECT_EQ(Operand::Parse("C_SYSCALL")->Eval(pkt_),
+            static_cast<int64_t>(sim::SyscallNr::kOpen));
+  EXPECT_FALSE(Operand::Parse("C_TGT_DAC_OWNER")->Eval(pkt_))
+      << "no link target on a plain open";
+  EXPECT_FALSE(Operand::Parse("C_SIG")->Eval(pkt_)) << "not a signal delivery";
+}
+
+TEST_F(ModulesTest, StateMatchSemantics) {
+  std::unique_ptr<MatchModule> m;
+  ASSERT_TRUE(StateMatch::Create({"--key", "'k'", "--cmp", "7"}, &m).ok());
+  PfTaskState& state = engine_->TaskState(task_);
+  EXPECT_FALSE(m->Matches(pkt_, *engine_)) << "absent key never matches";
+  state.dict["k"] = 7;
+  EXPECT_TRUE(m->Matches(pkt_, *engine_));
+  state.dict["k"] = 8;
+  EXPECT_FALSE(m->Matches(pkt_, *engine_));
+
+  std::unique_ptr<MatchModule> neq;
+  ASSERT_TRUE(StateMatch::Create({"--key", "k", "--cmp", "7", "--nequal"}, &neq).ok());
+  EXPECT_TRUE(neq->Matches(pkt_, *engine_));
+  state.dict["k"] = 7;
+  EXPECT_FALSE(neq->Matches(pkt_, *engine_));
+
+  std::unique_ptr<MatchModule> present;
+  ASSERT_TRUE(StateMatch::Create({"--key", "k"}, &present).ok());
+  EXPECT_TRUE(present->Matches(pkt_, *engine_)) << "bare --key means presence";
+}
+
+TEST_F(ModulesTest, StateMatchAgainstContextVariable) {
+  FillObject();
+  std::unique_ptr<MatchModule> m;
+  ASSERT_TRUE(StateMatch::Create({"--key", "ino", "--cmp", "C_INO", "--nequal"}, &m).ok());
+  PfTaskState& state = engine_->TaskState(task_);
+  state.dict["ino"] = static_cast<int64_t>(inode_->ino);
+  EXPECT_FALSE(m->Matches(pkt_, *engine_)) << "same inode: --nequal fails";
+  state.dict["ino"] = static_cast<int64_t>(inode_->ino) + 1;
+  EXPECT_TRUE(m->Matches(pkt_, *engine_)) << "different inode: the TOCTTOU trigger";
+}
+
+TEST_F(ModulesTest, StateTargetSetAndUnset) {
+  std::unique_ptr<TargetModule> set;
+  ASSERT_TRUE(StateTarget::Create({"--set", "--key", "x", "--value", "3"}, &set).ok());
+  EXPECT_EQ(set->Fire(pkt_, *engine_), TargetKind::kContinue);
+  EXPECT_EQ(engine_->TaskState(task_).dict["x"], 3);
+
+  std::unique_ptr<TargetModule> unset;
+  ASSERT_TRUE(StateTarget::Create({"--unset", "--key", "x"}, &unset).ok());
+  unset->Fire(pkt_, *engine_);
+  EXPECT_EQ(engine_->TaskState(task_).dict.count("x"), 0u);
+}
+
+TEST_F(ModulesTest, SignalMatchRequiresHandledBlockableSignal) {
+  std::unique_ptr<MatchModule> m;
+  ASSERT_TRUE(SignalMatch::Create({}, &m).ok());
+  EXPECT_FALSE(m->Matches(pkt_, *engine_)) << "not a signal delivery";
+
+  sim::AccessRequest sig_req;
+  sig_req.task = &task_;
+  sig_req.op = sim::Op::kSignalDeliver;
+  sig_req.sig = sim::kSigUsr1;
+  Packet sig_pkt;
+  sig_pkt.req = &sig_req;
+  EXPECT_FALSE(m->Matches(sig_pkt, *engine_)) << "no handler registered";
+  task_.signals.actions[sim::kSigUsr1] = sim::SigAction{[](sim::SigNum) {}};
+  EXPECT_TRUE(m->Matches(sig_pkt, *engine_));
+  sig_req.sig = sim::kSigKill;
+  EXPECT_FALSE(m->Matches(sig_pkt, *engine_)) << "unblockable signals never match";
+}
+
+TEST_F(ModulesTest, SyscallArgsMatchesNumberAndArgs) {
+  std::unique_ptr<MatchModule> by_nr;
+  ASSERT_TRUE(
+      SyscallArgsMatch::Create({"--arg", "0", "--equal", "NR_open"}, &by_nr).ok());
+  EXPECT_TRUE(by_nr->Matches(pkt_, *engine_));
+  req_.syscall_nr = sim::SyscallNr::kClose;
+  EXPECT_FALSE(by_nr->Matches(pkt_, *engine_));
+  req_.syscall_nr = sim::SyscallNr::kOpen;
+
+  req_.args = {42, 0, 0, 0};
+  std::unique_ptr<MatchModule> by_arg;
+  ASSERT_TRUE(SyscallArgsMatch::Create({"--arg", "1", "--equal", "42"}, &by_arg).ok());
+  EXPECT_TRUE(by_arg->Matches(pkt_, *engine_));
+  req_.args = {41, 0, 0, 0};
+  EXPECT_FALSE(by_arg->Matches(pkt_, *engine_));
+
+  std::unique_ptr<MatchModule> neq;
+  ASSERT_TRUE(SyscallArgsMatch::Create({"--arg", "1", "--nequal", "42"}, &neq).ok());
+  EXPECT_TRUE(neq->Matches(pkt_, *engine_));
+}
+
+TEST_F(ModulesTest, CompareMatchMissingContextNeverMatches) {
+  std::unique_ptr<MatchModule> m;
+  ASSERT_TRUE(CompareMatch::Create(
+                  {"--v1", "C_DAC_OWNER", "--v2", "C_TGT_DAC_OWNER", "--nequal"}, &m)
+                  .ok());
+  FillObject();
+  EXPECT_FALSE(m->Matches(pkt_, *engine_))
+      << "C_TGT_DAC_OWNER is absent on a non-link access: rule must not fire";
+}
+
+TEST_F(ModulesTest, CompareMatchOnLinkTraversal) {
+  kernel_.MkSymlinkAt("/tmp/owned", "/etc/passwd", sim::kMalloryUid, sim::kMalloryUid,
+                      "tmp_t");
+  auto link = kernel_.LookupNoHooks("/tmp");  // parent; fetch the raw link inode
+  auto raw_link_ino = link->entries.at("owned");
+  auto raw_link = kernel_.vfs().Sb(link->dev).Get(raw_link_ino);
+  auto target = kernel_.LookupNoHooks("/etc/passwd");
+
+  sim::AccessRequest lnk_req;
+  lnk_req.task = &task_;
+  lnk_req.op = sim::Op::kLnkFileRead;
+  lnk_req.inode = raw_link.get();
+  lnk_req.id = raw_link->id();
+  lnk_req.link_target = target.get();
+  Packet lnk_pkt;
+  lnk_pkt.req = &lnk_req;
+  engine_->EnsureContext(lnk_pkt,
+                         CtxBit(Ctx::kObject) | CtxBit(Ctx::kLinkTarget));
+
+  std::unique_ptr<MatchModule> m;
+  ASSERT_TRUE(CompareMatch::Create(
+                  {"--v1", "C_DAC_OWNER", "--v2", "C_TGT_DAC_OWNER", "--nequal"}, &m)
+                  .ok());
+  EXPECT_TRUE(m->Matches(lnk_pkt, *engine_))
+      << "mallory's link to root's file: owners differ (rule R8 fires)";
+}
+
+TEST_F(ModulesTest, RenderRoundTrips) {
+  std::unique_ptr<MatchModule> m;
+  ASSERT_TRUE(StateMatch::Create({"--key", "0xbeef", "--cmp", "C_INO", "--nequal"}, &m)
+                  .ok());
+  EXPECT_EQ(m->Render(), "STATE --key 0xbeef --cmp C_INO --nequal");
+  std::unique_ptr<TargetModule> t;
+  ASSERT_TRUE(LogTarget::Create({"--prefix", "audit"}, &t).ok());
+  EXPECT_EQ(t->Render(), "LOG --prefix audit");
+}
+
+}  // namespace
+}  // namespace pf::core

@@ -1,0 +1,87 @@
+// Chain default policies (-P): whitelist deployments where unmatched
+// accesses are denied, and Save() round trips of policies.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::core {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+class PolicyTest : public pf::testing::SimTest {
+ protected:
+  PolicyTest() : engine_(InstallProcessFirewall(kernel())), pft_(engine_) {}
+
+  int Run(std::function<void(Proc&)> body) {
+    Pid pid = sched().Spawn({.name = "probe", .exe = sim::kBinTrue}, std::move(body));
+    return sched().RunUntilExit(pid);
+  }
+
+  Engine* engine_;
+  Pftables pft_;
+};
+
+TEST_F(PolicyTest, DefaultPolicyIsAccept) {
+  const Chain* input = engine_->ruleset().filter().Find("input");
+  EXPECT_EQ(input->policy(), Chain::Policy::kAccept);
+  Run([](Proc& p) { EXPECT_GE(p.Open("/etc/passwd", sim::kORdOnly), 0); });
+}
+
+TEST_F(PolicyTest, OutputDropPolicyMakesWritesWhitelisted) {
+  // Whitelist: only tmp_t writes are allowed, everything else write-like
+  // is denied by the output chain's policy. Reads stay unrestricted.
+  ASSERT_TRUE(pft_.Exec("pftables -A output -o FILE_WRITE -d tmp_t -j ACCEPT").ok());
+  ASSERT_TRUE(pft_.Exec("pftables -A output -o DIR_ADD_NAME -d tmp_t -j ACCEPT").ok());
+  ASSERT_TRUE(pft_.Exec("pftables -A output -o FILE_CREATE -d tmp_t -j ACCEPT").ok());
+  ASSERT_TRUE(pft_.Exec("pftables -P output DROP").ok());
+  kernel().MkFileAt("/var/log/app.log", "", 0666, 0, 0, "var_log_t");
+  Run([](Proc& p) {
+    EXPECT_GE(p.Open("/tmp/scratch", sim::kOWrOnly | sim::kOCreat), 0)
+        << "whitelisted write path";
+    int fd = static_cast<int>(p.Open("/var/log/app.log", sim::kORdWr));
+    ASSERT_GE(fd, 0) << "open itself is a read-side operation";
+    EXPECT_EQ(p.Write(fd, "denied"), sim::SysError(sim::Err::kAcces))
+        << "non-whitelisted write dropped by policy";
+    std::string buf;
+    EXPECT_GE(p.Read(fd, &buf, 4), 0) << "reads unaffected";
+  });
+}
+
+TEST_F(PolicyTest, PolicyRequiresBuiltinChain) {
+  ASSERT_TRUE(pft_.Exec("pftables -N custom").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -P custom DROP").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -P input SOMETIMES").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -P nosuch DROP").ok());
+}
+
+TEST_F(PolicyTest, PolicySurvivesSaveRestore) {
+  ASSERT_TRUE(pft_.Exec("pftables -A output -o FILE_WRITE -d tmp_t -j ACCEPT").ok());
+  ASSERT_TRUE(pft_.Exec("pftables -P output DROP").ok());
+  std::string dump = pft_.Save();
+  EXPECT_NE(dump.find("-P output DROP"), std::string::npos);
+  ASSERT_TRUE(pft_.Exec("pftables -F").ok());
+  ASSERT_TRUE(pft_.Exec("pftables -P output ACCEPT").ok());
+  ASSERT_TRUE(pft_.Restore(dump).ok());
+  EXPECT_EQ(engine_->ruleset().filter().Find("output")->policy(),
+            Chain::Policy::kDrop);
+}
+
+TEST_F(PolicyTest, AuditModeAlsoSoftensPolicies) {
+  ASSERT_TRUE(pft_.Exec("pftables -P output DROP").ok());
+  engine_->config().audit_only = true;
+  kernel().MkFileAt("/var/log/a.log", "", 0666, 0, 0, "var_log_t");
+  Run([](Proc& p) {
+    int fd = static_cast<int>(p.Open("/var/log/a.log", sim::kOWrOnly));
+    EXPECT_GE(p.Write(fd, "x"), 0) << "audit mode logs instead of denying";
+  });
+  EXPECT_GT(engine_->stats().audited_drops, 0u);
+}
+
+}  // namespace
+}  // namespace pf::core

@@ -1,0 +1,179 @@
+// Pathname-resolution properties over randomly generated trees and paths:
+// agreement with a string-normalizing reference model (for link-free paths),
+// termination on random symlink graphs, and equivalence of resolution
+// through "." / ".." decorations.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/kernel.h"
+#include "src/sim/rng.h"
+#include "tests/testutil.h"
+
+namespace pf::sim {
+namespace {
+
+// Reference model: lexically normalize an absolute, link-free path.
+std::string Normalize(const std::string& path) {
+  std::vector<std::string> stack;
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) {
+      j = path.size();
+    }
+    std::string comp = path.substr(i, j - i);
+    if (comp == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+    } else if (!comp.empty() && comp != ".") {
+      stack.push_back(comp);
+    }
+    i = j + 1;
+  }
+  std::string out;
+  for (const auto& c : stack) {
+    out += "/" + c;
+  }
+  return out.empty() ? "/" : out;
+}
+
+class NameiProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NameiProperty, AgreesWithLexicalModelOnLinkFreeTrees) {
+  SplitMix64 rng(GetParam());
+  Kernel kernel(GetParam());
+  Task task;
+  task.pid = 5;
+  task.cwd = kernel.vfs().root()->id();
+
+  // Random directory tree, depth <= 4, recording every file's true path.
+  std::vector<std::string> dirs = {""};
+  std::vector<std::string> files;
+  for (int d = 0; d < 12; ++d) {
+    std::string parent = dirs[rng.Below(dirs.size())];
+    std::string dir = parent + "/dir" + std::to_string(d);
+    if (kernel.MkDirAt(dir, 0755, 0, 0, "var_t")) {
+      dirs.push_back(dir);
+    }
+  }
+  for (int f = 0; f < 16; ++f) {
+    std::string parent = dirs[rng.Below(dirs.size())];
+    std::string file = parent + "/file" + std::to_string(f);
+    if (kernel.MkFileAt(file, "data", 0644, 0, 0, "var_t")) {
+      files.push_back(file);
+    }
+  }
+  ASSERT_FALSE(files.empty());
+
+  // Decorate true paths with random "." and ".." detours; resolution must
+  // agree with the lexical model.
+  for (int round = 0; round < 24; ++round) {
+    const std::string& target = files[rng.Below(files.size())];
+    std::string decorated;
+    size_t i = 1;
+    while (i <= target.size()) {
+      size_t j = target.find('/', i);
+      if (j == std::string::npos) {
+        j = target.size();
+      }
+      if (rng.Chance(0.3)) {
+        decorated += "/.";
+      }
+      if (rng.Chance(0.2) && !dirs.empty()) {
+        // Detour into a sibling directory and back out.
+        const std::string& detour = dirs[rng.Below(dirs.size())];
+        if (!detour.empty() && decorated.empty()) {
+          decorated += detour;
+          for (size_t c = 0; c < static_cast<size_t>(
+                                     std::count(detour.begin(), detour.end(), '/'));
+               ++c) {
+            decorated += "/..";
+          }
+        }
+      }
+      decorated += "/" + target.substr(i, j - i);
+      i = j + 1;
+    }
+    Nameidata nd;
+    int64_t rv = kernel.PathWalk(task, decorated, kFollowFinal, &nd);
+    ASSERT_EQ(rv, 0) << decorated;
+    EXPECT_EQ(kernel.vfs().PathOf(nd.inode->id()), Normalize(decorated))
+        << "decorated: " << decorated;
+  }
+}
+
+TEST_P(NameiProperty, RandomSymlinkGraphsTerminate) {
+  SplitMix64 rng(GetParam() ^ 0xabcdef);
+  Kernel kernel(GetParam());
+  Task task;
+  task.pid = 5;
+  task.cwd = kernel.vfs().root()->id();
+
+  kernel.MkDirAt("/maze", 0755, 0, 0, "var_t");
+  kernel.MkFileAt("/maze/exit", "out", 0644, 0, 0, "var_t");
+  // Random links pointing at each other, at the exit, at garbage.
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) {
+    names.push_back("/maze/l" + std::to_string(i));
+  }
+  for (int i = 0; i < 12; ++i) {
+    std::string target;
+    switch (rng.Below(4)) {
+      case 0: target = names[rng.Below(names.size())]; break;
+      case 1: target = "/maze/exit"; break;
+      case 2: target = "/maze/missing" + std::to_string(rng.Below(4)); break;
+      default: target = "l" + std::to_string(rng.Below(12)); break;  // relative
+    }
+    kernel.MkSymlinkAt(names[static_cast<size_t>(i)], target, 0, 0, "var_t");
+  }
+  for (const std::string& name : names) {
+    Nameidata nd;
+    int64_t rv = kernel.PathWalk(task, name, kFollowFinal, &nd);
+    // Must terminate with success, ENOENT, or ELOOP — nothing else.
+    EXPECT_TRUE(rv == 0 || rv == SysError(Err::kNoEnt) || rv == SysError(Err::kLoop))
+        << name << " -> " << rv;
+    if (rv == 0) {
+      EXPECT_FALSE(nd.inode->IsSymlink()) << "followed resolution must not end on a link";
+    }
+  }
+}
+
+TEST_P(NameiProperty, HookCountMatchesComponentCount) {
+  // Every directory lookup fires exactly one DIR_SEARCH authorization; the
+  // count is what the per-component PF rules rely on.
+  Kernel kernel(GetParam());
+  Task task;
+  task.pid = 5;
+  task.cwd = kernel.vfs().root()->id();
+  kernel.MkDirAt("/a", 0755, 0, 0, "var_t");
+  kernel.MkDirAt("/a/b", 0755, 0, 0, "var_t");
+  kernel.MkDirAt("/a/b/c", 0755, 0, 0, "var_t");
+  kernel.MkFileAt("/a/b/c/f", "", 0644, 0, 0, "var_t");
+
+  class Counter : public SecurityModule {
+   public:
+    std::string_view ModuleName() const override { return "counter"; }
+    int64_t Authorize(AccessRequest& req) override {
+      if (req.op == Op::kDirSearch) {
+        ++dir_searches;
+      }
+      return 0;
+    }
+    int dir_searches = 0;
+  };
+  auto counter = std::make_unique<Counter>();
+  Counter* raw = counter.get();
+  kernel.AddModule(std::move(counter));
+
+  Nameidata nd;
+  ASSERT_EQ(kernel.PathWalk(task, "/a/b/c/f", kFollowFinal, &nd), 0);
+  EXPECT_EQ(raw->dir_searches, 4) << "/, a, b, c";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameiProperty, ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace pf::sim

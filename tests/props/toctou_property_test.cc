@@ -1,0 +1,181 @@
+// TOCTTOU interleaving property sweep.
+//
+// The paper's claim (via Cai et al.) is that system-only defenses without
+// process context are unsound, while the Process Firewall's stateful
+// check/use invariant holds for *every* interleaving. We sweep the
+// adversary's preemption point over every system call position in the
+// victim's check-use window and assert:
+//
+//   * without rules, some preemption point yields the attack (the window
+//     is real), and
+//   * with template-T2 rules, NO preemption point lets the victim use the
+//     swapped resource, and non-racing runs are never disturbed (no false
+//     positives).
+
+#include <gtest/gtest.h>
+
+#include "src/apps/entrypoints.h"
+#include "src/apps/programs.h"
+#include "src/apps/rule_library.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+enum class Outcome { kReadSwapped, kReadOriginal, kDenied, kDetected };
+
+class TocttouSweep : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+// The victim: lstat (check), a few unrelated syscalls (a realistic window),
+// then open+read (use).
+Outcome RunVictim(uint64_t preempt_after, bool protect) {
+  sim::Kernel kernel(0x7e57 + preempt_after);
+  sim::BuildSysImage(kernel);
+  apps::InstallPrograms(kernel);
+  core::Engine* engine = core::InstallProcessFirewall(kernel);
+  core::Pftables pft(engine);
+  if (protect) {
+    auto rules = apps::RuleLibrary::TemplateT2(sim::kBinTrue, apps::kSafeOpenCheck,
+                                               apps::kSafeOpenUse, "FILE_GETATTR",
+                                               "FILE_OPEN", "sweep");
+    if (!pft.ExecAll(rules).ok()) {
+      ADD_FAILURE() << "rule install failed";
+    }
+  } else {
+    engine->config().enabled = false;
+  }
+  kernel.MkFileAt("/tmp/target", "ORIGINAL", 0666, sim::kMalloryUid, sim::kMalloryUid,
+                  "tmp_t");
+  sim::Scheduler sched(kernel);
+
+  Outcome outcome = Outcome::kDetected;
+  Pid victim = sched.Spawn({.name = "victim", .exe = sim::kBinTrue}, [&](Proc& p) {
+    sim::StatBuf st;
+    {
+      sim::UserFrame check(p, sim::kBinTrue, apps::kSafeOpenCheck);
+      if (p.Lstat("/tmp/target", &st) != 0 || st.IsSymlink()) {
+        outcome = Outcome::kDetected;
+        p.Exit(0);
+      }
+    }
+    // Unrelated work widening the race window.
+    p.Null();
+    p.Getpid();
+    sim::StatBuf other;
+    p.Stat("/etc/passwd", &other);
+    int64_t fd;
+    {
+      sim::UserFrame use(p, sim::kBinTrue, apps::kSafeOpenUse);
+      fd = p.Open("/tmp/target", sim::kORdOnly);
+    }
+    if (fd < 0) {
+      outcome = Outcome::kDenied;
+      p.Exit(0);
+    }
+    std::string data;
+    p.Read(static_cast<int>(fd), &data, 4096);
+    outcome = data.find("root:") != std::string::npos ? Outcome::kReadSwapped
+              : data == "ORIGINAL"                    ? Outcome::kReadOriginal
+                                                      : Outcome::kDetected;
+  });
+
+  // Adversary swap, scheduled after exactly `preempt_after` victim syscalls.
+  bool victim_still_running = preempt_after == 0
+                                  ? true
+                                  : sched.StepSyscalls(victim, preempt_after);
+  if (victim_still_running) {
+    sim::SpawnOpts mopts;
+    mopts.name = "mallory";
+    mopts.cred.uid = mopts.cred.euid = sim::kMalloryUid;
+    mopts.cred.gid = mopts.cred.egid = sim::kMalloryUid;
+    mopts.cred.sid = kernel.labels().Intern("user_t");
+    Pid mallory = sched.Spawn(mopts, [](Proc& p) {
+      p.Unlink("/tmp/target");
+      p.Symlink("/etc/passwd", "/tmp/target");
+    });
+    sched.RunUntilExit(mallory);
+  }
+  sched.RunUntilExit(victim);
+  return outcome;
+}
+
+TEST_P(TocttouSweep, InvariantHoldsAtEveryPreemptionPoint) {
+  auto [preempt_after, protect] = GetParam();
+  Outcome outcome = RunVictim(preempt_after, protect);
+  if (protect) {
+    EXPECT_NE(outcome, Outcome::kReadSwapped)
+        << "preemption point " << preempt_after
+        << ": the victim used a swapped resource despite T2 rules";
+  }
+  // Whether protected or not, a run must never produce garbage.
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPreemptionPoints, TocttouSweep,
+                         ::testing::Combine(::testing::Range<uint64_t>(0, 9),
+                                            ::testing::Bool()),
+                         [](const auto& info) {
+                           return "after" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  (std::get<1>(info.param) ? "_protected"
+                                                           : "_vulnerable");
+                         });
+
+TEST(TocttouSweepSummary, WindowExistsWithoutRulesAndClosesWithThem) {
+  int vulnerable_hits = 0;
+  int protected_hits = 0;
+  int protected_denials = 0;
+  for (uint64_t k = 0; k < 9; ++k) {
+    if (RunVictim(k, /*protect=*/false) == Outcome::kReadSwapped) {
+      ++vulnerable_hits;
+    }
+    Outcome prot = RunVictim(k, /*protect=*/true);
+    if (prot == Outcome::kReadSwapped) {
+      ++protected_hits;
+    }
+    if (prot == Outcome::kDenied) {
+      ++protected_denials;
+    }
+  }
+  EXPECT_GT(vulnerable_hits, 0) << "the race window must be real";
+  EXPECT_EQ(protected_hits, 0);
+  EXPECT_EQ(protected_denials, vulnerable_hits)
+      << "every exploitable interleaving must turn into a denial";
+
+  // No false positives: a run without any adversary must succeed under the
+  // same rules.
+  sim::Kernel kernel(1);
+  sim::BuildSysImage(kernel);
+  apps::InstallPrograms(kernel);
+  core::Engine* engine = core::InstallProcessFirewall(kernel);
+  core::Pftables pft(engine);
+  ASSERT_TRUE(pft.ExecAll(apps::RuleLibrary::TemplateT2(
+                              sim::kBinTrue, apps::kSafeOpenCheck, apps::kSafeOpenUse,
+                              "FILE_GETATTR", "FILE_OPEN", "sweep"))
+                  .ok());
+  kernel.MkFileAt("/tmp/calm", "CALM", 0666, 0, 0, "tmp_t");
+  sim::Scheduler sched(kernel);
+  std::string read_back;
+  Pid pid = sched.Spawn({.name = "calm", .exe = sim::kBinTrue}, [&](Proc& p) {
+    sim::StatBuf st;
+    {
+      sim::UserFrame check(p, sim::kBinTrue, apps::kSafeOpenCheck);
+      ASSERT_EQ(p.Lstat("/tmp/calm", &st), 0);
+    }
+    sim::UserFrame use(p, sim::kBinTrue, apps::kSafeOpenUse);
+    int64_t fd = p.Open("/tmp/calm", sim::kORdOnly);
+    ASSERT_GE(fd, 0);
+    p.Read(static_cast<int>(fd), &read_back, 64);
+  });
+  sched.RunUntilExit(pid);
+  EXPECT_EQ(read_back, "CALM");
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,263 @@
+// Rule generation tests: classification from real LOG records, threshold-
+// based suggestion, generation from known vulnerabilities (rules must parse
+// and actually block), the synthetic deployment trace and Table 8 analysis
+// invariants, and the launch-consistency study.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/entrypoints.h"
+#include "src/apps/programs.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/rulegen/classify.h"
+#include "src/rulegen/synthetic.h"
+#include "src/rulegen/vuln.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::rulegen {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+using sim::UserFrame;
+
+class RulegenTest : public pf::testing::SimTest {
+ protected:
+  RulegenTest() : engine_(core::InstallProcessFirewall(kernel())), pft_(engine_) {
+    apps::InstallPrograms(kernel());
+  }
+
+  core::Engine* engine_;
+  core::Pftables pft_;
+};
+
+TEST_F(RulegenTest, ClassifiesEntrypointsFromLogRecords) {
+  // Log every open, then drive one entrypoint at trusted files and another
+  // at adversary-writable ones.
+  ASSERT_TRUE(pft_.Exec("pftables -o FILE_OPEN -j LOG").ok());
+  kernel().MkFileAt("/tmp/loot", "x", 0666, sim::kMalloryUid, sim::kMalloryUid, "tmp_t");
+  Pid pid = sched().Spawn({.exe = sim::kBinTrue}, [](Proc& p) {
+    for (int i = 0; i < 3; ++i) {
+      UserFrame f(p, sim::kBinTrue, 0xaaa);
+      p.Close(static_cast<int>(p.Open("/etc/passwd", sim::kORdOnly)));
+    }
+    for (int i = 0; i < 2; ++i) {
+      UserFrame f(p, sim::kBinTrue, 0xbbb);
+      p.Close(static_cast<int>(p.Open("/tmp/loot", sim::kORdOnly)));
+    }
+    UserFrame f(p, sim::kBinTrue, 0xccc);
+    p.Close(static_cast<int>(p.Open("/etc/passwd", sim::kORdOnly)));
+    p.Close(static_cast<int>(p.Open("/tmp/loot", sim::kORdOnly)));
+  });
+  sched().RunUntilExit(pid);
+
+  EntrypointClassifier classifier;
+  classifier.AddAll(engine_->log().records());
+  ASSERT_EQ(classifier.entrypoints().size(), 3u);
+  EptKey high_key{sim::kBinTrue, 0xaaa};
+  EptKey low_key{sim::kBinTrue, 0xbbb};
+  EptKey both_key{sim::kBinTrue, 0xccc};
+  EXPECT_EQ(classifier.entrypoints().at(high_key).Classification(), EptClass::kHigh);
+  EXPECT_EQ(classifier.entrypoints().at(high_key).invocations, 3u);
+  EXPECT_EQ(classifier.entrypoints().at(low_key).Classification(), EptClass::kLow);
+  EXPECT_EQ(classifier.entrypoints().at(both_key).Classification(), EptClass::kBoth);
+  EXPECT_EQ(classifier.CountClass(EptClass::kHigh), 1u);
+  EXPECT_EQ(classifier.CountClass(EptClass::kBoth), 1u);
+}
+
+TEST_F(RulegenTest, SuggestionHonorsThresholdAndSkipsBoth) {
+  ASSERT_TRUE(pft_.Exec("pftables -o FILE_OPEN -j LOG").ok());
+  Pid pid = sched().Spawn({.exe = sim::kBinTrue}, [](Proc& p) {
+    for (int i = 0; i < 5; ++i) {
+      UserFrame f(p, sim::kBinTrue, 0xaaa);
+      p.Close(static_cast<int>(p.Open("/etc/passwd", sim::kORdOnly)));
+    }
+    UserFrame f(p, sim::kBinTrue, 0xbbb);
+    p.Close(static_cast<int>(p.Open("/etc/passwd", sim::kORdOnly)));
+  });
+  sched().RunUntilExit(pid);
+
+  EntrypointClassifier classifier;
+  classifier.AddAll(engine_->log().records());
+  auto strict = classifier.SuggestRules(/*threshold=*/5);
+  ASSERT_EQ(strict.size(), 1u) << "only the 5x entrypoint qualifies";
+  EXPECT_NE(strict[0].find("0xaaa"), std::string::npos);
+  EXPECT_NE(strict[0].find("~{etc_t}"), std::string::npos);
+  auto lax = classifier.SuggestRules(/*threshold=*/1);
+  EXPECT_EQ(lax.size(), 2u);
+  // Suggested rules must install cleanly.
+  EXPECT_TRUE(pft_.ExecAll(strict).ok());
+}
+
+TEST_F(RulegenTest, SuggestedRuleBlocksDeviation) {
+  // Learn that entrypoint 0xaaa only opens etc_t, install the suggestion,
+  // and verify a later tmp_t access at that entrypoint is blocked.
+  ASSERT_TRUE(pft_.Exec("pftables -o FILE_OPEN -j LOG").ok());
+  Pid train = sched().Spawn({.exe = sim::kBinTrue}, [](Proc& p) {
+    for (int i = 0; i < 3; ++i) {
+      UserFrame f(p, sim::kBinTrue, 0xaaa);
+      p.Close(static_cast<int>(p.Open("/etc/passwd", sim::kORdOnly)));
+    }
+  });
+  sched().RunUntilExit(train);
+
+  EntrypointClassifier classifier;
+  classifier.AddAll(engine_->log().records());
+  auto rules = classifier.SuggestRules(3);
+  ASSERT_EQ(rules.size(), 1u);
+  ASSERT_TRUE(pft_.ExecAll(rules).ok());
+
+  kernel().MkFileAt("/tmp/planted", "x", 0666, sim::kMalloryUid, sim::kMalloryUid,
+                    "tmp_t");
+  Pid deploy = sched().Spawn({.exe = sim::kBinTrue}, [](Proc& p) {
+    {
+      UserFrame f(p, sim::kBinTrue, 0xaaa);
+      // Deviating access: blocked.
+      if (p.Open("/tmp/planted", sim::kORdOnly) != sim::SysError(sim::Err::kAcces)) {
+        p.Exit(1);
+      }
+      // Learned access: still fine.
+      if (p.Open("/etc/passwd", sim::kORdOnly) < 0) {
+        p.Exit(2);
+      }
+    }
+    p.Exit(0);
+  });
+  EXPECT_EQ(sched().RunUntilExit(deploy), 0);
+}
+
+TEST_F(RulegenTest, VulnGenerationTocttouTemplate) {
+  VulnRecord rec;
+  rec.type = VulnType::kTocttou;
+  rec.program = "/bin/dbus-daemon";
+  rec.check_entrypoint = apps::kDbusBind;
+  rec.check_op = "SOCKET_BIND";
+  rec.entrypoint = apps::kDbusSetattr;
+  rec.op = "SOCKET_SETATTR";
+  auto rules = GenerateRules(rec);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_TRUE(pft_.ExecAll(rules).ok());
+  EXPECT_NE(rules[0].find("STATE --set"), std::string::npos);
+  EXPECT_NE(rules[1].find("--nequal -j DROP"), std::string::npos);
+}
+
+TEST_F(RulegenTest, VulnGenerationSearchPathIsSyshighGeneralized) {
+  VulnRecord rec;
+  rec.type = VulnType::kUntrustedSearchPath;
+  rec.program = "/usr/bin/java";
+  rec.entrypoint = apps::kJavaConfigOpen;
+  auto rules = GenerateRules(rec);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_NE(rules[0].find("~{SYSHIGH}"), std::string::npos);
+  EXPECT_TRUE(pft_.ExecAll(rules).ok());
+}
+
+TEST_F(RulegenTest, VulnGenerationAllTypesProduceInstallableRules) {
+  for (VulnType type :
+       {VulnType::kUntrustedSearchPath, VulnType::kUntrustedLibrary,
+        VulnType::kPhpInclusion, VulnType::kDirectoryTraversal, VulnType::kLinkFollowing,
+        VulnType::kFileSquat, VulnType::kTocttou, VulnType::kSignalRace}) {
+    sim::Kernel k(7);
+    sim::BuildSysImage(k);
+    core::Engine* engine = core::InstallProcessFirewall(k);
+    core::Pftables pft(engine);
+    VulnRecord rec;
+    rec.type = type;
+    rec.program = "/bin/true";
+    rec.entrypoint = 0x1000;
+    rec.check_entrypoint = 0x900;
+    auto rules = GenerateRules(rec);
+    ASSERT_FALSE(rules.empty());
+    core::Status s = pft.ExecAll(rules);
+    EXPECT_TRUE(s.ok()) << "type " << static_cast<int>(type) << ": " << s.message();
+  }
+}
+
+// --- synthetic trace / Table 8 ---
+
+class SyntheticTraceTest : public ::testing::Test {
+ protected:
+  SyntheticTrace trace_ = GenerateDeploymentTrace();
+  const std::vector<uint64_t> thresholds_ = {0, 5, 10, 50, 100, 500, 1000, 1149, 5000};
+};
+
+TEST_F(SyntheticTraceTest, MatchesPaperScale) {
+  EXPECT_EQ(trace_.entrypoints.size(), 5234u);
+  // ~410k accesses: same order of magnitude.
+  EXPECT_GT(trace_.total_accesses, 100000u);
+  EXPECT_LT(trace_.total_accesses, 2000000u);
+}
+
+TEST_F(SyntheticTraceTest, GroundTruthClassCountsCalibrated) {
+  size_t high = 0, low = 0, both = 0;
+  for (const auto& e : trace_.entrypoints) {
+    switch (e.truth) {
+      case SyntheticEpt::Truth::kHigh: ++high; break;
+      case SyntheticEpt::Truth::kLow: ++low; break;
+      case SyntheticEpt::Truth::kBoth: ++both; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(high), 4229, 10);
+  EXPECT_NEAR(static_cast<double>(low), 480, 10);
+  EXPECT_NEAR(static_cast<double>(both), 525, 10);
+}
+
+TEST_F(SyntheticTraceTest, Table8RowsAreMonotone) {
+  auto rows = AnalyzeThresholds(trace_, thresholds_);
+  ASSERT_EQ(rows.size(), thresholds_.size());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i].rules_produced, rows[i - 1].rules_produced)
+        << "higher thresholds cannot produce more rules";
+    EXPECT_LE(rows[i].false_positives, rows[i - 1].false_positives);
+    EXPECT_GE(rows[i].both, rows[i - 1].both)
+        << "more invocations can only reveal more dual entrypoints";
+  }
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.high_only + row.low_only + row.both, trace_.entrypoints.size());
+    EXPECT_LE(row.false_positives, row.rules_produced);
+  }
+}
+
+TEST_F(SyntheticTraceTest, ZeroFalsePositivesAtPaperThreshold) {
+  auto rows = AnalyzeThresholds(trace_, thresholds_);
+  const Table8Row* r1149 = nullptr;
+  const Table8Row* r0 = nullptr;
+  for (const auto& row : rows) {
+    if (row.threshold == 1149) {
+      r1149 = &row;
+    }
+    if (row.threshold == 0) {
+      r0 = &row;
+    }
+  }
+  ASSERT_NE(r1149, nullptr);
+  ASSERT_NE(r0, nullptr);
+  EXPECT_EQ(r1149->false_positives, 0u)
+      << "the paper's empirical threshold must be clean by construction";
+  EXPECT_GT(r1149->rules_produced, 0u);
+  EXPECT_EQ(r0->both, 0u) << "one invocation can never classify as both";
+  EXPECT_EQ(r0->rules_produced, trace_.entrypoints.size());
+  EXPECT_GT(r0->false_positives, 400u) << "every dual entrypoint misfires at t=0";
+}
+
+TEST_F(SyntheticTraceTest, DeterministicForSameSeed) {
+  SyntheticTrace again = GenerateDeploymentTrace();
+  ASSERT_EQ(again.entrypoints.size(), trace_.entrypoints.size());
+  EXPECT_EQ(again.total_accesses, trace_.total_accesses);
+  SyntheticTraceConfig other;
+  other.seed = 99;
+  SyntheticTrace different = GenerateDeploymentTrace(other);
+  EXPECT_NE(different.total_accesses, trace_.total_accesses);
+}
+
+TEST(ConsistencyTest, RoughlyMatchesPaperFraction) {
+  ConsistencyReport report = AnalyzeLaunchConsistency();
+  EXPECT_EQ(report.programs, 318);
+  // Paper: 232 of 318 — accept the same ballpark.
+  EXPECT_GT(report.consistent, 190);
+  EXPECT_LT(report.consistent, 290);
+}
+
+}  // namespace
+}  // namespace pf::rulegen

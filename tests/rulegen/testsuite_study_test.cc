@@ -1,0 +1,138 @@
+// The §6.3.1 rule-source study: rules generated from program *test suites*
+// vs. rules generated from the *deployment* trace.
+//
+// Test suites exercise configurations the deployment never uses (the paper's
+// example: Apache suites run with and without .htaccess support), so
+// suite-derived rules allow resource labels the deployed program never
+// touches. Both rule sets are false-positive-free on the deployment
+// workload, but the suite rules miss attacks that deployment rules block —
+// "unnecessary false negatives".
+
+#include <gtest/gtest.h>
+
+#include "src/apps/programs.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/rulegen/classify.h"
+#include "src/sim/sched.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::rulegen {
+namespace {
+
+using sim::Pid;
+using sim::Proc;
+
+constexpr uint64_t kServeEpt = 0x2e100;
+
+struct World {
+  std::unique_ptr<sim::Kernel> kernel;
+  core::Engine* engine = nullptr;
+  std::unique_ptr<sim::Scheduler> sched;
+  std::unique_ptr<core::Pftables> pft;
+
+  World() {
+    kernel = std::make_unique<sim::Kernel>(0x5717e);
+    sim::BuildSysImage(*kernel);
+    apps::InstallPrograms(*kernel);
+    engine = core::InstallProcessFirewall(*kernel);
+    pft = std::make_unique<core::Pftables>(engine);
+    sched = std::make_unique<sim::Scheduler>(*kernel);
+    // A configuration file only the test suite's "AllowOverride" runs touch
+    // (high-integrity, but a label the deployment never serves).
+    kernel->MkFileAt("/var/www/override.conf", "AllowOverride All", 0644, 0, 0,
+                     "httpd_config_t");
+  }
+
+  // Runs the "server" opening a set of files at the serve entrypoint.
+  void RunServer(const std::vector<std::string>& paths) {
+    Pid pid = sched->Spawn({.name = "apache2", .exe = sim::kApache}, [&](Proc& p) {
+      for (const std::string& path : paths) {
+        sim::UserFrame site(p, sim::kApache, kServeEpt);
+        int64_t fd = p.Open(path, sim::kORdOnly);
+        if (fd >= 0) {
+          p.Close(static_cast<int>(fd));
+        }
+      }
+    });
+    sched->RunUntilExit(pid);
+  }
+
+  // Probes one open at the serve entrypoint; true if it was denied.
+  bool ProbeDenied(const std::string& path) {
+    bool denied = false;
+    Pid pid = sched->Spawn({.name = "apache2", .exe = sim::kApache}, [&](Proc& p) {
+      sim::UserFrame site(p, sim::kApache, kServeEpt);
+      int64_t fd = p.Open(path, sim::kORdOnly);
+      denied = fd == sim::SysError(sim::Err::kAcces);
+      if (fd >= 0) {
+        p.Close(static_cast<int>(fd));
+      }
+    });
+    sched->RunUntilExit(pid);
+    return denied;
+  }
+};
+
+// Produces suggested rules for a trace of paths (run under a LOG rule).
+std::vector<std::string> RulesFromTrace(const std::vector<std::string>& paths) {
+  World w;
+  w.pft->Exec("pftables -I input -o FILE_OPEN -j LOG");
+  for (int i = 0; i < 4; ++i) {  // enough invocations to clear the threshold
+    w.RunServer(paths);
+  }
+  EntrypointClassifier classifier;
+  classifier.AddAll(w.engine->log().records());
+  return classifier.SuggestRules(/*threshold=*/4);
+}
+
+TEST(TestSuiteStudy, SuiteRulesAreBroaderThanDeploymentRules) {
+  // The test suite also exercises the .htaccess configuration; the
+  // deployment serves only system content.
+  auto suite_rules =
+      RulesFromTrace({"/var/www/index.html", "/var/www/override.conf"});
+  auto deploy_rules = RulesFromTrace({"/var/www/index.html"});
+  ASSERT_FALSE(suite_rules.empty());
+  ASSERT_FALSE(deploy_rules.empty());
+  // The suite rule's allowed label set must contain the config label; the
+  // deployment rule's must not.
+  EXPECT_NE(suite_rules[0].find("httpd_config_t"), std::string::npos);
+  EXPECT_EQ(deploy_rules[0].find("httpd_config_t"), std::string::npos);
+}
+
+TEST(TestSuiteStudy, NeitherSourceCausesDeploymentFalsePositives) {
+  for (auto* rules : {new std::vector<std::string>(RulesFromTrace(
+                          {"/var/www/index.html", "/var/www/override.conf"})),
+                      new std::vector<std::string>(
+                          RulesFromTrace({"/var/www/index.html"}))}) {
+    World w;
+    ASSERT_TRUE(w.pft->ExecAll(*rules).ok());
+    EXPECT_FALSE(w.ProbeDenied("/var/www/index.html"))
+        << "deployment accesses must stay allowed";
+    delete rules;
+  }
+}
+
+TEST(TestSuiteStudy, SuiteRulesMissAttacksDeploymentRulesBlock) {
+  auto suite_rules =
+      RulesFromTrace({"/var/www/index.html", "/var/www/override.conf"});
+  auto deploy_rules = RulesFromTrace({"/var/www/index.html"});
+
+  // The attack: the adversary redirects the serve entrypoint to their
+  // user-content file (a label the deployment never serves).
+  {
+    World w;
+    ASSERT_TRUE(w.pft->ExecAll(deploy_rules).ok());
+    EXPECT_TRUE(w.ProbeDenied("/var/www/override.conf"))
+        << "deployment-derived rule blocks the foreign label";
+  }
+  {
+    World w;
+    ASSERT_TRUE(w.pft->ExecAll(suite_rules).ok());
+    EXPECT_FALSE(w.ProbeDenied("/var/www/override.conf"))
+        << "suite-derived rule allows it: the unnecessary false negative";
+  }
+}
+
+}  // namespace
+}  // namespace pf::rulegen

@@ -1,0 +1,85 @@
+// File descriptor table unit tests: slot allocation, reuse, sharing, drain.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/fdtable.h"
+
+namespace pf::sim {
+namespace {
+
+std::shared_ptr<File> MakeFile() {
+  auto f = std::make_shared<File>();
+  f->inode = std::make_shared<Inode>();
+  return f;
+}
+
+TEST(FdTable, AllocatesLowestFreeSlot) {
+  FdTable t;
+  EXPECT_EQ(t.Install(MakeFile()), 0);
+  EXPECT_EQ(t.Install(MakeFile()), 1);
+  EXPECT_EQ(t.Install(MakeFile()), 2);
+  t.Remove(1);
+  EXPECT_EQ(t.Install(MakeFile()), 1) << "freed slot is reused first";
+  EXPECT_EQ(t.Install(MakeFile()), 3);
+}
+
+TEST(FdTable, GetAndRemove) {
+  FdTable t;
+  auto f = MakeFile();
+  int fd = t.Install(f);
+  EXPECT_EQ(t.Get(fd), f);
+  EXPECT_EQ(t.Get(99), nullptr);
+  EXPECT_EQ(t.Get(-1), nullptr);
+  EXPECT_EQ(t.Remove(fd), f);
+  EXPECT_EQ(t.Get(fd), nullptr);
+  EXPECT_EQ(t.Remove(fd), nullptr) << "double remove is a no-op";
+}
+
+TEST(FdTable, CloneSharesOpenFileDescriptions) {
+  FdTable t;
+  auto f = MakeFile();
+  int fd = t.Install(f);
+  FdTable copy = t.Clone();
+  EXPECT_EQ(copy.Get(fd), f) << "dup semantics: same description";
+  f->offset = 42;
+  EXPECT_EQ(copy.Get(fd)->offset, 42u) << "offset is shared state";
+  // Removing from one table leaves the other's reference intact.
+  t.Remove(fd);
+  EXPECT_NE(copy.Get(fd), nullptr);
+}
+
+TEST(FdTable, DrainEmptiesEverything) {
+  FdTable t;
+  t.Install(MakeFile());
+  t.Install(MakeFile());
+  t.Remove(0);
+  auto drained = t.Drain();
+  EXPECT_EQ(drained.size(), 1u);
+  EXPECT_EQ(t.open_count(), 0u);
+  EXPECT_TRUE(t.Drain().empty());
+}
+
+TEST(FdTable, OpenCountSkipsHoles) {
+  FdTable t;
+  t.Install(MakeFile());
+  t.Install(MakeFile());
+  t.Install(MakeFile());
+  t.Remove(1);
+  EXPECT_EQ(t.open_count(), 2u);
+}
+
+TEST(File, ReadableWritableFlags) {
+  File f;
+  f.flags = kORdOnly;
+  EXPECT_TRUE(f.readable());
+  EXPECT_FALSE(f.writable());
+  f.flags = kOWrOnly;
+  EXPECT_FALSE(f.readable());
+  EXPECT_TRUE(f.writable());
+  f.flags = kORdWr;
+  EXPECT_TRUE(f.readable());
+  EXPECT_TRUE(f.writable());
+}
+
+}  // namespace
+}  // namespace pf::sim

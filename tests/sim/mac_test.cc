@@ -1,0 +1,104 @@
+// MAC policy tests: allow rules, enforcing mode, adversary accessibility,
+// and SYSHIGH derivation — the "system knowledge" half of the PF invariants.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/label.h"
+#include "src/sim/mac_policy.h"
+
+namespace pf::sim {
+namespace {
+
+class MacTest : public ::testing::Test {
+ protected:
+  LabelRegistry labels_;
+  MacPolicy pol_{&labels_};
+};
+
+TEST_F(MacTest, LabelRegistryInternsStably) {
+  Sid a = labels_.Intern("httpd_t");
+  Sid b = labels_.Intern("httpd_t");
+  Sid c = labels_.Intern("shadow_t");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(labels_.Name(a), "httpd_t");
+  EXPECT_EQ(labels_.Lookup("shadow_t"), c);
+  EXPECT_EQ(labels_.Lookup("absent_t"), std::nullopt);
+  EXPECT_EQ(labels_.Name(9999), "<invalid>");
+}
+
+TEST_F(MacTest, PermissiveModeAllowsEverything) {
+  Sid s = labels_.Intern("a_t");
+  Sid o = labels_.Intern("b_t");
+  EXPECT_TRUE(pol_.Check(s, o, kMacWrite));
+  EXPECT_FALSE(pol_.Grants(s, o, kMacWrite)) << "raw query ignores permissive mode";
+}
+
+TEST_F(MacTest, EnforcingModeDeniesWithoutRule) {
+  pol_.set_enforcing(true);
+  Sid s = labels_.Intern("a_t");
+  Sid o = labels_.Intern("b_t");
+  EXPECT_FALSE(pol_.Check(s, o, kMacRead));
+  pol_.Allow(s, o, kMacRead);
+  EXPECT_TRUE(pol_.Check(s, o, kMacRead));
+  EXPECT_FALSE(pol_.Check(s, o, kMacRead | kMacWrite)) << "all requested perms required";
+}
+
+TEST_F(MacTest, AdversaryAccessibilityTracksUntrustedWriters) {
+  Sid user = labels_.Intern("user_t");
+  Sid tmp = labels_.Intern("tmp_t");
+  Sid etc = labels_.Intern("etc_t");
+  Sid shadow = labels_.Intern("shadow_t");
+  pol_.MarkUntrusted(user);
+  pol_.Allow(user, tmp, kMacAll);
+  pol_.Allow(user, etc, kMacRead);
+
+  EXPECT_TRUE(pol_.AdversaryWritable(tmp));
+  EXPECT_FALSE(pol_.AdversaryWritable(etc));
+  EXPECT_TRUE(pol_.AdversaryReadable(etc));
+  EXPECT_FALSE(pol_.AdversaryWritable(shadow));
+  EXPECT_FALSE(pol_.AdversaryReadable(shadow));
+}
+
+TEST_F(MacTest, CacheInvalidatedOnPolicyChange) {
+  Sid user = labels_.Intern("user_t");
+  Sid var = labels_.Intern("var_t");
+  pol_.MarkUntrusted(user);
+  EXPECT_FALSE(pol_.AdversaryWritable(var));
+  pol_.Allow(user, var, kMacWrite);
+  EXPECT_TRUE(pol_.AdversaryWritable(var)) << "new allow rule must invalidate the cache";
+}
+
+TEST_F(MacTest, SyshighSubjectsAreNonUntrusted) {
+  Sid user = labels_.Intern("user_t");
+  Sid httpd = labels_.Intern("httpd_t");
+  pol_.MarkUntrusted(user);
+  EXPECT_FALSE(pol_.IsSyshighSubject(user));
+  EXPECT_TRUE(pol_.IsSyshighSubject(httpd));
+}
+
+TEST_F(MacTest, SyshighObjectsExcludeAdversaryWritable) {
+  Sid user = labels_.Intern("user_t");
+  Sid tmp = labels_.Intern("tmp_t");
+  Sid lib = labels_.Intern("lib_t");
+  pol_.MarkUntrusted(user);
+  pol_.Allow(user, tmp, kMacAll);
+  pol_.Allow(user, lib, kMacRead | kMacExec);
+  EXPECT_FALSE(pol_.IsSyshighObject(tmp));
+  EXPECT_TRUE(pol_.IsSyshighObject(lib));
+  auto syshigh = pol_.SyshighObjects();
+  EXPECT_NE(std::find(syshigh.begin(), syshigh.end(), lib), syshigh.end());
+  EXPECT_EQ(std::find(syshigh.begin(), syshigh.end(), tmp), syshigh.end());
+}
+
+TEST_F(MacTest, CreatePermissionCountsAsWriteForAdversaryAccess) {
+  Sid user = labels_.Intern("user_t");
+  Sid spool = labels_.Intern("spool_t");
+  pol_.MarkUntrusted(user);
+  pol_.Allow(user, spool, kMacCreate);
+  EXPECT_TRUE(pol_.AdversaryWritable(spool))
+      << "ability to plant names is an integrity threat";
+}
+
+}  // namespace
+}  // namespace pf::sim

@@ -1,0 +1,141 @@
+// User address-space tests: frame records, validated copies, mappings,
+// arena allocation — the raw material of the entrypoint context module.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/mm.h"
+
+namespace pf::sim {
+namespace {
+
+constexpr Addr kBase = 0x7ffc12340000ULL;
+
+Mapping MakeMapping(const std::string& path, Addr base, bool eh = true, bool fp = true) {
+  Mapping m;
+  m.path = path;
+  m.base = base;
+  m.size = 0x10000;
+  m.has_eh_info = eh;
+  m.has_frame_pointers = fp;
+  return m;
+}
+
+TEST(Mm, ResetInitializesRegisters) {
+  Mm mm;
+  mm.Reset(kBase);
+  EXPECT_EQ(mm.sp(), kBase + kUserRegionSize);
+  EXPECT_EQ(mm.fp(), 0u);
+  EXPECT_TRUE(mm.frames().empty());
+}
+
+TEST(Mm, PushPopFrameMaintainsChain) {
+  Mm mm;
+  mm.Reset(kBase);
+  mm.PushFrame(0x1000, 32, false);
+  Addr fp1 = mm.fp();
+  mm.PushFrame(0x2000, 16, false);
+  ASSERT_EQ(mm.frames().size(), 2u);
+  // The newest record's saved-FP slot must point at the previous frame.
+  uint64_t saved_fp = 0;
+  ASSERT_TRUE(mm.ReadU64(mm.fp(), &saved_fp));
+  EXPECT_EQ(saved_fp, fp1);
+  uint64_t ret_pc = 0;
+  ASSERT_TRUE(mm.ReadU64(mm.fp() + 8, &ret_pc));
+  EXPECT_EQ(ret_pc, 0x2000u);
+  mm.PopFrame();
+  EXPECT_EQ(mm.fp(), fp1);
+  mm.PopFrame();
+  EXPECT_TRUE(mm.frames().empty());
+}
+
+TEST(Mm, ScrambledFramesBreakTheChain) {
+  Mm mm;
+  mm.Reset(kBase);
+  mm.PushFrame(0x1000, 0, false);
+  mm.PushFrame(0x2000, 0, /*scramble_fp=*/true);
+  uint64_t saved_fp = 0;
+  ASSERT_TRUE(mm.ReadU64(mm.fp(), &saved_fp));
+  EXPECT_FALSE(mm.ContainsUser(saved_fp, 16))
+      << "scrambled saved-FP must not point into the user region";
+}
+
+TEST(Mm, CopyFromUserRejectsOutOfRange) {
+  Mm mm;
+  mm.Reset(kBase);
+  uint8_t buf[16];
+  EXPECT_FALSE(mm.CopyFromUser(kBase - 1, buf, 16));
+  EXPECT_FALSE(mm.CopyFromUser(kBase + kUserRegionSize - 8, buf, 16));
+  EXPECT_FALSE(mm.CopyFromUser(0, buf, 16));
+  EXPECT_TRUE(mm.CopyFromUser(kBase, buf, 16));
+  // Overflow-proof: len larger than the region.
+  EXPECT_FALSE(mm.CopyFromUser(kBase, buf, kUserRegionSize + 1));
+}
+
+TEST(Mm, CopyToUserThenFromRoundTrips) {
+  Mm mm;
+  mm.Reset(kBase);
+  uint64_t v = 0xdeadbeefcafef00dULL;
+  ASSERT_TRUE(mm.WriteU64(kBase + 128, v));
+  uint64_t r = 0;
+  ASSERT_TRUE(mm.ReadU64(kBase + 128, &r));
+  EXPECT_EQ(r, v);
+}
+
+TEST(Mm, FindMappingByAddressAndPath) {
+  Mm mm;
+  mm.Reset(kBase);
+  mm.AddMapping(MakeMapping("/lib/ld-2.15.so", 0x7f0000100000));
+  mm.AddMapping(MakeMapping("/usr/bin/apache2", 0x7f0000200000));
+  EXPECT_EQ(mm.FindMapping(0x7f0000100008)->path, "/lib/ld-2.15.so");
+  EXPECT_EQ(mm.FindMapping(0x7f0000200008)->path, "/usr/bin/apache2");
+  EXPECT_EQ(mm.FindMapping(0x7f0000210000), nullptr) << "one past the end";
+  EXPECT_EQ(mm.FindMapping(0x1), nullptr);
+  EXPECT_EQ(mm.FindMappingByPath("/usr/bin/apache2")->base, 0x7f0000200000u);
+  EXPECT_EQ(mm.FindMappingByPath("apache2")->base, 0x7f0000200000u)
+      << "basename lookup must work";
+  EXPECT_EQ(mm.FindMappingByPath("nope"), nullptr);
+}
+
+TEST(Mm, ArenaAllocatesAndRollsBack) {
+  Mm mm;
+  mm.Reset(kBase);
+  Addr a = mm.ArenaAlloc(24);
+  Addr b = mm.ArenaAlloc(24);
+  EXPECT_NE(a, kNullAddr);
+  EXPECT_NE(b, kNullAddr);
+  EXPECT_NE(a, b);
+  mm.ArenaRollback(b, 24);
+  Addr c = mm.ArenaAlloc(24);
+  EXPECT_EQ(c, b) << "LIFO rollback must reuse the slot";
+}
+
+TEST(Mm, ArenaExhaustionReturnsNull) {
+  Mm mm;
+  mm.Reset(kBase);
+  Addr last = 0;
+  for (;;) {
+    Addr a = mm.ArenaAlloc(1024);
+    if (a == kNullAddr) {
+      break;
+    }
+    last = a;
+  }
+  EXPECT_NE(last, 0u);
+  EXPECT_LT(last + 1024, kBase + kArenaSize + 1);
+}
+
+TEST(Mm, CloneDuplicatesBackingStore) {
+  Mm mm;
+  mm.Reset(kBase);
+  mm.WriteU64(kBase + 64, 1111);
+  Mm copy = mm.Clone();
+  copy.WriteU64(kBase + 64, 2222);
+  uint64_t orig = 0, dup = 0;
+  mm.ReadU64(kBase + 64, &orig);
+  copy.ReadU64(kBase + 64, &dup);
+  EXPECT_EQ(orig, 1111u);
+  EXPECT_EQ(dup, 2222u);
+}
+
+}  // namespace
+}  // namespace pf::sim

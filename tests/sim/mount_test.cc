@@ -1,0 +1,91 @@
+// Mount and cross-device semantics: resolution across mountpoints, EXDEV
+// for cross-device link/rename, and per-superblock inode-number spaces.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sched.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::sim {
+namespace {
+
+class MountTest : public pf::testing::SimTest {
+ protected:
+  MountTest() {
+    // Mount a tmpfs over /mnt.
+    kernel().MkDirAt("/mnt", 0755, 0, 0, "var_t");
+    auto mnt = kernel().LookupNoHooks("/mnt");
+    Superblock& tmpfs = kernel().vfs().CreateFs("tmpfs", kernel().labels().Intern("tmp_t"));
+    tmpfs.root()->mode = 01777;
+    tmpfs.root()->parent_dir = mnt->parent_dir;
+    kernel().vfs().Mount(mnt->id(), tmpfs.dev());
+    tmpfs_dev_ = tmpfs.dev();
+  }
+
+  int Run(std::function<void(Proc&)> body) {
+    Pid pid = sched().Spawn({.name = "mnt"}, std::move(body));
+    return sched().RunUntilExit(pid);
+  }
+
+  Dev tmpfs_dev_ = 0;
+};
+
+TEST_F(MountTest, ResolutionCrossesTheMountpoint) {
+  Run([&](Proc& p) {
+    int64_t fd = p.Open("/mnt/file", kOWrOnly | kOCreat, 0644);
+    ASSERT_GE(fd, 0);
+    StatBuf st;
+    ASSERT_EQ(p.Fstat(static_cast<int>(fd), &st), 0);
+    EXPECT_EQ(st.dev, tmpfs_dev_) << "the file lives on the mounted filesystem";
+    EXPECT_NE(st.dev, kernel().vfs().root()->dev);
+  });
+}
+
+TEST_F(MountTest, MountedRootLabelGoverns) {
+  Run([&](Proc& p) {
+    StatBuf st;
+    ASSERT_EQ(p.Stat("/mnt", &st), 0);
+    EXPECT_EQ(st.sid, kernel().labels().Intern("tmp_t"));
+  });
+}
+
+TEST_F(MountTest, HardLinkAcrossDevicesIsEXDEV) {
+  kernel().MkFileAt("/etc/linkme", "x", 0644, 0, 0, "etc_t");
+  Run([](Proc& p) {
+    EXPECT_EQ(p.Link("/etc/linkme", "/mnt/alias"), SysError(Err::kXDev));
+  });
+}
+
+TEST_F(MountTest, RenameAcrossDevicesIsEXDEV) {
+  kernel().MkFileAt("/etc/moveme", "x", 0644, 0, 0, "etc_t");
+  Run([](Proc& p) {
+    EXPECT_EQ(p.Rename("/etc/moveme", "/mnt/moved"), SysError(Err::kXDev));
+  });
+}
+
+TEST_F(MountTest, InodeNumbersAreOnlyUniquePerDevice) {
+  // Same inode number can exist on both devices — the reason TOCTTOU
+  // identity checks must compare (dev, ino), not ino alone.
+  Run([&](Proc& p) {
+    int64_t a = p.Open("/mnt/a", kOWrOnly | kOCreat, 0644);
+    StatBuf sa;
+    p.Fstat(static_cast<int>(a), &sa);
+    // Find a root-fs file with a potentially overlapping ino space.
+    StatBuf sb;
+    p.Stat("/etc/passwd", &sb);
+    EXPECT_NE(sa.dev, sb.dev);
+    EXPECT_NE(sa.id(), sb.id());
+  });
+}
+
+TEST_F(MountTest, DotDotOutOfMountReturnsToParentTree) {
+  Run([](Proc& p) {
+    StatBuf st;
+    ASSERT_EQ(p.Stat("/mnt/../etc/passwd", &st), 0);
+    EXPECT_EQ(st.ino, 0u + st.ino);  // resolves without error
+  });
+}
+
+}  // namespace
+}  // namespace pf::sim

@@ -1,0 +1,158 @@
+// Scheduler stress and determinism: fork trees, many concurrent processes,
+// signal storms, and bit-identical behaviour across same-seed runs.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/sim/sched.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::sim {
+namespace {
+
+class SchedStressTest : public pf::testing::SimTest {};
+
+TEST_F(SchedStressTest, ForkTreeOfDepthThree) {
+  // Each node forks two children down to depth 3 and sums their exits.
+  std::function<void(Proc&, int)> node = [&](Proc& p, int depth) {
+    if (depth == 0) {
+      p.Exit(1);
+    }
+    int total = 0;
+    for (int i = 0; i < 2; ++i) {
+      int64_t child = p.Fork([&node, depth](Proc& c) { node(c, depth - 1); });
+      ASSERT_GT(child, 0);
+      int status = 0;
+      ASSERT_EQ(p.Waitpid(static_cast<Pid>(child), &status), child);
+      total += status;
+    }
+    p.Exit(total);
+  };
+  Pid root = sched().Spawn({.name = "root"}, [&](Proc& p) { node(p, 3); });
+  EXPECT_EQ(sched().RunUntilExit(root), 8) << "2^3 leaves";
+  EXPECT_EQ(sched().live_procs(), 0u);
+}
+
+TEST_F(SchedStressTest, ManyProcessesRunAll) {
+  int done = 0;
+  for (int i = 0; i < 64; ++i) {
+    sched().Spawn({.name = "worker" + std::to_string(i)}, [&, i](Proc& p) {
+      for (int k = 0; k < i % 7; ++k) {
+        p.Null();
+      }
+      ++done;
+    });
+  }
+  sched().RunAll();
+  EXPECT_EQ(done, 64);
+}
+
+TEST_F(SchedStressTest, SignalStormIsLossless) {
+  // 30 signals sent one at a time; every one must be delivered (each sender
+  // runs to completion before the victim resumes, so none coalesce).
+  int received = 0;
+  Pid victim = sched().Spawn({.name = "victim"}, [&](Proc& p) {
+    p.Sigaction(kSigUsr1, [&](SigNum) { ++received; });
+    for (int i = 0; i < 64; ++i) {
+      p.Checkpoint("tick");
+      p.Null();
+    }
+  });
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(sched().RunUntilLabel(victim, "tick"));
+    Pid sender = sched().Spawn({.name = "sender"},
+                               [&](Proc& p) { p.Kill(victim, kSigUsr1); });
+    sched().RunUntilExit(sender);
+  }
+  sched().RunUntilExit(victim);
+  EXPECT_EQ(received, 30);
+}
+
+TEST_F(SchedStressTest, WaitpidReapsInAnyOrder) {
+  Pid parent = sched().Spawn({.name = "parent"}, [](Proc& p) {
+    std::vector<Pid> kids;
+    for (int i = 0; i < 8; ++i) {
+      int64_t c = p.Fork([i](Proc& ch) { ch.Exit(i); });
+      kids.push_back(static_cast<Pid>(c));
+    }
+    // Reap in reverse order of creation.
+    int sum = 0;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      int status = 0;
+      EXPECT_EQ(p.Waitpid(*it, &status), *it);
+      sum += status;
+    }
+    p.Exit(sum);
+  });
+  EXPECT_EQ(sched().RunUntilExit(parent), 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+TEST_F(SchedStressTest, WaitAnyChild) {
+  Pid parent = sched().Spawn({.name = "parent"}, [](Proc& p) {
+    for (int i = 0; i < 5; ++i) {
+      p.Fork([](Proc& ch) { ch.Exit(7); });
+    }
+    int reaped = 0;
+    int status = 0;
+    while (p.Waitpid(kInvalidPid, &status) > 0) {
+      EXPECT_EQ(status, 7);
+      ++reaped;
+    }
+    p.Exit(reaped);
+  });
+  EXPECT_EQ(sched().RunUntilExit(parent), 5);
+}
+
+TEST_F(SchedStressTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [](uint64_t seed) {
+    sim::Kernel kernel(seed);
+    BuildSysImage(kernel);
+    Scheduler sched(kernel);
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i) {
+      sched.Spawn({.name = "p" + std::to_string(i)}, [&, i](Proc& p) {
+        p.Null();
+        order.push_back(i);
+        p.Null();
+        order.push_back(i + 100);
+      });
+    }
+    sched.RunAll();
+    return order;
+  };
+  auto a = run_once(1234);
+  auto b = run_once(1234);
+  EXPECT_EQ(a, b) << "same seed, same interleaving";
+}
+
+TEST_F(SchedStressTest, ExitReleasesOpenFiles) {
+  kernel().MkFileAt("/tmp/held", "x", 0666, 0, 0, "tmp_t");
+  auto inode = kernel().LookupNoHooks("/tmp/held");
+  Pid pid = sched().Spawn({}, [](Proc& p) {
+    p.Open("/tmp/held", kORdOnly);
+    p.Open("/tmp/held", kORdOnly);
+    p.Exit(0);  // never closes
+  });
+  sched().RunUntilExit(pid);
+  EXPECT_EQ(inode->open_count, 0u) << "exit must release open file descriptions";
+}
+
+TEST_F(SchedStressTest, ZombieChildHoldsExitCodeUntilReaped) {
+  Pid parent = sched().Spawn({.name = "parent"}, [](Proc& p) {
+    int64_t child = p.Fork([](Proc& c) { c.Exit(42); });
+    // Let the child run and exit before we wait.
+    p.Null();
+    p.Checkpoint("child-spawned");
+    int status = 0;
+    EXPECT_EQ(p.Waitpid(static_cast<Pid>(child), &status), child);
+    p.Exit(status);
+  });
+  ASSERT_TRUE(sched().RunUntilLabel(parent, "child-spawned"));
+  // Drive everything else (the child) to completion first.
+  EXPECT_EQ(sched().RunUntilExit(parent), 42);
+}
+
+}  // namespace
+}  // namespace pf::sim

@@ -1,0 +1,271 @@
+// File/socket system-call tests: open flags, DAC enforcement, sticky
+// directories, inode identity across TOCTTOU-relevant operations, sockets.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sched.h"
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::sim {
+namespace {
+
+class SyscallTest : public pf::testing::SimTest {
+ protected:
+  // Runs `body` in a fresh proc with the given creds; returns its exit code.
+  int Run(Cred cred, std::function<void(Proc&)> body) {
+    SpawnOpts opts;
+    opts.cred = cred;
+    Pid pid = sched().Spawn(opts, std::move(body));
+    return sched().RunUntilExit(pid);
+  }
+};
+
+TEST_F(SyscallTest, OpenReadWriteRoundTrip) {
+  Run(RootCred(), [](Proc& p) {
+    int64_t fd = p.Open("/tmp/new.txt", kOWrOnly | kOCreat, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(p.Write(static_cast<int>(fd), "hello world"), 11);
+    ASSERT_EQ(p.Close(static_cast<int>(fd)), 0);
+    fd = p.Open("/tmp/new.txt", kORdOnly);
+    ASSERT_GE(fd, 0);
+    std::string data;
+    ASSERT_EQ(p.Read(static_cast<int>(fd), &data, 4096), 11);
+    EXPECT_EQ(data, "hello world");
+  });
+}
+
+TEST_F(SyscallTest, OCreatRespectsUmask) {
+  Run(RootCred(), [](Proc& p) {
+    p.Umask(077);
+    int64_t fd = p.Open("/tmp/masked", kOWrOnly | kOCreat, 0666);
+    ASSERT_GE(fd, 0);
+    StatBuf st;
+    ASSERT_EQ(p.Fstat(static_cast<int>(fd), &st), 0);
+    EXPECT_EQ(st.mode & kModePermMask, 0600u);
+  });
+}
+
+TEST_F(SyscallTest, OExclFailsOnExisting) {
+  kernel().MkFileAt("/tmp/existing", "", 0644, 0, 0, "tmp_t");
+  Run(RootCred(), [](Proc& p) {
+    EXPECT_EQ(p.Open("/tmp/existing", kOWrOnly | kOCreat | kOExcl),
+              SysError(Err::kExist));
+  });
+}
+
+TEST_F(SyscallTest, ONofollowRefusesSymlink) {
+  kernel().MkSymlinkAt("/tmp/lnk", "/etc/passwd", kMalloryUid, kMalloryUid, "tmp_t");
+  Run(RootCred(), [](Proc& p) {
+    EXPECT_EQ(p.Open("/tmp/lnk", kORdOnly | kONofollow), SysError(Err::kLoop));
+    EXPECT_GE(p.Open("/tmp/lnk", kORdOnly), 0);  // followed without the flag
+  });
+}
+
+TEST_F(SyscallTest, OCreatFollowsFinalSymlink) {
+  // Classic squat: O_CREAT through a planted link creates/opens the target.
+  kernel().MkSymlinkAt("/tmp/victimfile", "/tmp/target", kMalloryUid, kMalloryUid, "tmp_t");
+  Run(RootCred(), [&](Proc& p) {
+    int64_t fd = p.Open("/tmp/victimfile", kOWrOnly | kOCreat, 0644);
+    ASSERT_GE(fd, 0);
+    StatBuf st;
+    ASSERT_EQ(p.Fstat(static_cast<int>(fd), &st), 0);
+    StatBuf target;
+    ASSERT_EQ(p.Lstat("/tmp/target", &target), 0);
+    EXPECT_EQ(st.id(), target.id()) << "open(O_CREAT) must have followed the link";
+  });
+}
+
+TEST_F(SyscallTest, DacDeniesUnreadableFile) {
+  Run(UserCred(kMalloryUid), [](Proc& p) {
+    EXPECT_EQ(p.Open("/etc/shadow", kORdOnly), SysError(Err::kAcces));
+  });
+  Run(RootCred(), [](Proc& p) { EXPECT_GE(p.Open("/etc/shadow", kORdOnly), 0); });
+}
+
+TEST_F(SyscallTest, DacDeniesWriteToReadOnlyDir) {
+  Run(UserCred(kMalloryUid), [](Proc& p) {
+    EXPECT_EQ(p.Open("/etc/evil", kOWrOnly | kOCreat), SysError(Err::kAcces));
+    EXPECT_GE(p.Open("/tmp/ok", kOWrOnly | kOCreat), 0);  // /tmp is 1777
+  });
+}
+
+TEST_F(SyscallTest, StickyTmpPreventsDeletingOthersFiles) {
+  kernel().MkFileAt("/tmp/alices", "", 0666, kAliceUid, kAliceUid, "tmp_t");
+  Run(UserCred(kMalloryUid), [](Proc& p) {
+    EXPECT_EQ(p.Unlink("/tmp/alices"), SysError(Err::kAcces));
+  });
+  Run(UserCred(kAliceUid), [](Proc& p) { EXPECT_EQ(p.Unlink("/tmp/alices"), 0); });
+}
+
+TEST_F(SyscallTest, UnlinkThenRecreateRecyclesInode) {
+  // The precondition of the cryogenic-sleep attack: same inode number, new
+  // file (distinguishable only by generation, which stat does not expose).
+  Run(RootCred(), [](Proc& p) {
+    int64_t fd = p.Open("/tmp/r", kOWrOnly | kOCreat);
+    StatBuf before;
+    p.Fstat(static_cast<int>(fd), &before);
+    p.Close(static_cast<int>(fd));
+    p.Unlink("/tmp/r");
+    int64_t fd2 = p.Open("/tmp/r2", kOWrOnly | kOCreat);
+    StatBuf after;
+    p.Fstat(static_cast<int>(fd2), &after);
+    EXPECT_EQ(before.ino, after.ino) << "inode number must be recycled";
+  });
+}
+
+TEST_F(SyscallTest, HeldOpenFilePinsItsInodeNumber) {
+  Run(RootCred(), [](Proc& p) {
+    int64_t fd = p.Open("/tmp/pinned", kOWrOnly | kOCreat);
+    StatBuf pinned;
+    p.Fstat(static_cast<int>(fd), &pinned);
+    p.Unlink("/tmp/pinned");
+    int64_t fd2 = p.Open("/tmp/other", kOWrOnly | kOCreat);
+    StatBuf other;
+    p.Fstat(static_cast<int>(fd2), &other);
+    EXPECT_NE(pinned.ino, other.ino) << "open file's inode number must not be recycled";
+  });
+}
+
+TEST_F(SyscallTest, StatVsLstatOnSymlink) {
+  kernel().MkSymlinkAt("/tmp/sl", "/etc/passwd", 0, 0, "tmp_t");
+  Run(RootCred(), [](Proc& p) {
+    StatBuf st, lst;
+    ASSERT_EQ(p.Stat("/tmp/sl", &st), 0);
+    ASSERT_EQ(p.Lstat("/tmp/sl", &lst), 0);
+    EXPECT_FALSE(st.IsSymlink());
+    EXPECT_TRUE(lst.IsSymlink());
+    EXPECT_NE(st.id(), lst.id());
+  });
+}
+
+TEST_F(SyscallTest, MkdirRmdirReaddir) {
+  Run(RootCred(), [](Proc& p) {
+    ASSERT_EQ(p.Mkdir("/tmp/d", 0755), 0);
+    ASSERT_EQ(p.Mkdir("/tmp/d/sub", 0755), 0);
+    EXPECT_EQ(p.Rmdir("/tmp/d"), SysError(Err::kNotEmpty));
+    std::vector<std::string> names;
+    ASSERT_EQ(p.Readdir("/tmp/d", &names), 1);
+    EXPECT_EQ(names[0], "sub");
+    ASSERT_EQ(p.Rmdir("/tmp/d/sub"), 0);
+    ASSERT_EQ(p.Rmdir("/tmp/d"), 0);
+    EXPECT_EQ(p.Rmdir("/tmp/d"), SysError(Err::kNoEnt));
+  });
+}
+
+TEST_F(SyscallTest, HardLinkSharesInode) {
+  kernel().MkFileAt("/tmp/orig", "payload", 0644, 0, 0, "tmp_t");
+  Run(RootCred(), [](Proc& p) {
+    ASSERT_EQ(p.Link("/tmp/orig", "/tmp/alias"), 0);
+    StatBuf a, b;
+    p.Stat("/tmp/orig", &a);
+    p.Stat("/tmp/alias", &b);
+    EXPECT_EQ(a.id(), b.id());
+    EXPECT_EQ(a.nlink, 2u);
+    ASSERT_EQ(p.Unlink("/tmp/orig"), 0);
+    std::string data;
+    int64_t fd = p.Open("/tmp/alias", kORdOnly);
+    p.Read(static_cast<int>(fd), &data, 100);
+    EXPECT_EQ(data, "payload");
+  });
+}
+
+TEST_F(SyscallTest, RenameReplacesDestination) {
+  kernel().MkFileAt("/tmp/src", "new", 0644, 0, 0, "tmp_t");
+  kernel().MkFileAt("/tmp/dst", "old", 0644, 0, 0, "tmp_t");
+  Run(RootCred(), [](Proc& p) {
+    ASSERT_EQ(p.Rename("/tmp/src", "/tmp/dst"), 0);
+    StatBuf st;
+    EXPECT_EQ(p.Stat("/tmp/src", &st), SysError(Err::kNoEnt));
+    int64_t fd = p.Open("/tmp/dst", kORdOnly);
+    std::string data;
+    p.Read(static_cast<int>(fd), &data, 100);
+    EXPECT_EQ(data, "new");
+  });
+}
+
+TEST_F(SyscallTest, ChmodChownPermissions) {
+  kernel().MkFileAt("/tmp/f", "", 0644, kAliceUid, kAliceUid, "tmp_t");
+  Run(UserCred(kMalloryUid), [](Proc& p) {
+    EXPECT_EQ(p.Chmod("/tmp/f", 0777), SysError(Err::kPerm));  // not owner
+    EXPECT_EQ(p.Chown("/tmp/f", kMalloryUid, kMalloryUid), SysError(Err::kPerm));
+  });
+  Run(UserCred(kAliceUid), [](Proc& p) { EXPECT_EQ(p.Chmod("/tmp/f", 0600), 0); });
+  Run(RootCred(), [](Proc& p) { EXPECT_EQ(p.Chown("/tmp/f", 0, 0), 0); });
+}
+
+TEST_F(SyscallTest, AccessUsesRealUid) {
+  // A setuid-root process: euid 0, real uid mallory. access() must answer
+  // for the real uid (the racy recommendation the paper criticizes).
+  Cred setuid_cred;
+  setuid_cred.uid = kMalloryUid;
+  setuid_cred.gid = kMalloryUid;
+  setuid_cred.euid = 0;
+  setuid_cred.egid = 0;
+  Run(setuid_cred, [](Proc& p) {
+    EXPECT_EQ(p.Access("/etc/shadow", AccessBit(Access::kRead)), SysError(Err::kAcces));
+    EXPECT_GE(p.Open("/etc/shadow", kORdOnly), 0) << "but open uses the effective uid";
+  });
+}
+
+TEST_F(SyscallTest, SocketBindListenConnect) {
+  Pid server = sched().Spawn({.name = "server"}, [](Proc& p) {
+    int64_t fd = p.Socket();
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(p.Bind(static_cast<int>(fd), "/tmp/sock"), 0);
+    ASSERT_EQ(p.Listen(static_cast<int>(fd)), 0);
+    p.Checkpoint("listening");
+    p.Pause();
+  });
+  ASSERT_TRUE(sched().RunUntilLabel(server, "listening"));
+  Pid client = sched().Spawn({.name = "client"}, [](Proc& p) {
+    int64_t fd = p.Socket();
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(p.Connect(static_cast<int>(fd), "/tmp/sock"), 0);
+  });
+  sched().RunUntilExit(client);
+  sched().Wake(server);
+  sched().RunUntilExit(server);
+}
+
+TEST_F(SyscallTest, BindToExistingPathIsEADDRINUSE) {
+  kernel().MkFileAt("/tmp/squatted", "", 0644, kMalloryUid, kMalloryUid, "tmp_t");
+  Run(RootCred(), [](Proc& p) {
+    int64_t fd = p.Socket();
+    EXPECT_EQ(p.Bind(static_cast<int>(fd), "/tmp/squatted"), SysError(Err::kAddrInUse));
+  });
+}
+
+TEST_F(SyscallTest, ConnectToNonSocketRefused) {
+  Run(RootCred(), [](Proc& p) {
+    int64_t fd = p.Socket();
+    EXPECT_EQ(p.Connect(static_cast<int>(fd), "/etc/passwd"),
+              SysError(Err::kConnRefused));
+  });
+}
+
+TEST_F(SyscallTest, BadFdErrors) {
+  Run(RootCred(), [](Proc& p) {
+    std::string s;
+    EXPECT_EQ(p.Read(42, &s, 1), SysError(Err::kBadF));
+    EXPECT_EQ(p.Write(42, "x"), SysError(Err::kBadF));
+    EXPECT_EQ(p.Close(42), SysError(Err::kBadF));
+    StatBuf st;
+    EXPECT_EQ(p.Fstat(42, &st), SysError(Err::kBadF));
+  });
+}
+
+TEST_F(SyscallTest, MmapMapsLibraryIntoAddressSpace) {
+  Run(RootCred(), [](Proc& p) {
+    int64_t fd = p.Open(kLibc, kORdOnly);
+    ASSERT_GE(fd, 0);
+    int64_t base = p.MmapFd(static_cast<int>(fd));
+    ASSERT_GT(base, 0);
+    const Mapping* m = p.task().mm.FindMapping(static_cast<Addr>(base) + 8);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->path, kLibc);
+  });
+}
+
+}  // namespace
+}  // namespace pf::sim

@@ -1,0 +1,104 @@
+// Base system image sanity: the tree, labels, users, binaries, and policy
+// every other test builds on.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sysimage.h"
+#include "tests/testutil.h"
+
+namespace pf::sim {
+namespace {
+
+class SysImageTest : public pf::testing::SimTest {};
+
+TEST_F(SysImageTest, StandardTreeExists) {
+  for (const char* path : {"/bin", "/lib", "/usr/bin", "/usr/lib", "/etc", "/tmp",
+                           "/var/run/dbus", "/var/www", "/home/alice", "/home/mallory"}) {
+    auto inode = kernel().LookupNoHooks(path);
+    ASSERT_NE(inode, nullptr) << path;
+    EXPECT_TRUE(inode->IsDir()) << path;
+  }
+}
+
+TEST_F(SysImageTest, TmpIsWorldWritableSticky) {
+  auto tmp = kernel().LookupNoHooks("/tmp");
+  EXPECT_EQ(tmp->mode & kModePermMask, 01777u);
+  EXPECT_TRUE(tmp->IsSticky());
+  EXPECT_EQ(kernel().labels().Name(tmp->sid), "tmp_t");
+}
+
+TEST_F(SysImageTest, SensitiveFilesLabeledAndProtected) {
+  auto shadow = kernel().LookupNoHooks("/etc/shadow");
+  ASSERT_NE(shadow, nullptr);
+  EXPECT_EQ(kernel().labels().Name(shadow->sid), "shadow_t");
+  EXPECT_EQ(shadow->mode & kModePermMask, 0600u);
+  EXPECT_EQ(shadow->uid, kRootUid);
+}
+
+TEST_F(SysImageTest, BinariesHaveImagesAndInterpreters) {
+  for (const char* bin : {kBinTrue, kBinSh, kApache, kPhp, kPython, kDbusDaemon}) {
+    auto inode = kernel().LookupNoHooks(bin);
+    ASSERT_NE(inode, nullptr) << bin;
+    ASSERT_NE(inode->binary, nullptr) << bin;
+    EXPECT_EQ(inode->binary->entry_key, bin);
+    EXPECT_EQ(inode->binary->interp, kLdso);
+    EXPECT_FALSE(inode->binary->needed.empty());
+  }
+  auto libc = kernel().LookupNoHooks(kLibc);
+  ASSERT_NE(libc->binary, nullptr);
+  EXPECT_TRUE(libc->binary->entry_key.empty()) << "libraries are not executable entries";
+}
+
+TEST_F(SysImageTest, SuidHelperIsSetuidRoot) {
+  auto helper = kernel().LookupNoHooks(kSuidHelper);
+  ASSERT_NE(helper, nullptr);
+  EXPECT_TRUE(helper->IsSetuid());
+  EXPECT_EQ(helper->uid, kRootUid);
+}
+
+TEST_F(SysImageTest, PolicyMakesTmpAdversaryWritableButNotEtc) {
+  auto& pol = kernel().policy();
+  auto& labels = kernel().labels();
+  EXPECT_TRUE(pol.AdversaryWritable(*labels.Lookup("tmp_t")));
+  EXPECT_TRUE(pol.AdversaryWritable(*labels.Lookup("user_home_t")));
+  EXPECT_FALSE(pol.AdversaryWritable(*labels.Lookup("etc_t")));
+  EXPECT_FALSE(pol.AdversaryWritable(*labels.Lookup("lib_t")));
+  EXPECT_FALSE(pol.AdversaryWritable(*labels.Lookup("shadow_t")));
+  EXPECT_TRUE(pol.AdversaryReadable(*labels.Lookup("etc_t")));
+  EXPECT_FALSE(pol.AdversaryReadable(*labels.Lookup("shadow_t")));
+}
+
+TEST_F(SysImageTest, SyshighCoversTheTcbLabels) {
+  auto& pol = kernel().policy();
+  auto& labels = kernel().labels();
+  for (const char* t : {"etc_t", "lib_t", "bin_t", "shadow_t", "ld_so_t"}) {
+    EXPECT_TRUE(pol.IsSyshighObject(*labels.Lookup(t))) << t;
+  }
+  for (const char* t : {"tmp_t", "user_home_t", "httpd_user_content_t"}) {
+    EXPECT_FALSE(pol.IsSyshighObject(*labels.Lookup(t))) << t;
+  }
+  EXPECT_FALSE(pol.IsSyshighSubject(*labels.Lookup("user_t")));
+  EXPECT_TRUE(pol.IsSyshighSubject(*labels.Lookup("httpd_t")));
+}
+
+TEST_F(SysImageTest, WebContentPresent) {
+  EXPECT_NE(kernel().LookupNoHooks("/var/www/index.html"), nullptr);
+  EXPECT_NE(kernel().LookupNoHooks("/var/www/app/index.php"), nullptr);
+  auto php = kernel().LookupNoHooks("/var/www/app/gcalendar.php");
+  ASSERT_NE(php, nullptr);
+  EXPECT_EQ(kernel().labels().Name(php->sid), "httpd_user_script_exec_t");
+}
+
+TEST_F(SysImageTest, ConfigurableScale) {
+  sim::Kernel big(9);
+  SysImageOptions opts;
+  opts.web_files = 64;
+  opts.extra_libs = 32;
+  BuildSysImage(big, opts);
+  EXPECT_NE(big.LookupNoHooks("/var/www/page63.html"), nullptr);
+  EXPECT_NE(big.LookupNoHooks("/usr/lib/lib31.so"), nullptr);
+  EXPECT_EQ(big.LookupNoHooks("/var/www/page64.html"), nullptr);
+}
+
+}  // namespace
+}  // namespace pf::sim

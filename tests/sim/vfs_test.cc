@@ -1,0 +1,101 @@
+// Superblock / VFS unit tests: inode allocation, link counting, inode-number
+// recycling (the cryogenic-sleep precondition), mounts, reverse lookup.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/vfs.h"
+
+namespace pf::sim {
+namespace {
+
+TEST(Superblock, AllocatesDistinctInodeNumbers) {
+  Vfs vfs;
+  Superblock& sb = vfs.root_sb();
+  auto a = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  auto b = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  EXPECT_NE(a->ino, b->ino);
+  EXPECT_EQ(a->dev, b->dev);
+}
+
+TEST(Superblock, RecyclesFreedInodeNumbers) {
+  Vfs vfs;
+  Superblock& sb = vfs.root_sb();
+  auto a = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  Ino ino = a->ino;
+  uint64_t gen = a->generation;
+  // nlink and open_count are zero: freeing is allowed.
+  sb.MaybeFree(a);
+  EXPECT_EQ(sb.Get(ino), nullptr);
+  auto b = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  EXPECT_EQ(b->ino, ino) << "freed inode number must be recycled (LIFO)";
+  EXPECT_NE(b->generation, gen) << "generation must distinguish recycled inodes";
+}
+
+TEST(Superblock, OpenCountPinsInodeNumber) {
+  Vfs vfs;
+  Superblock& sb = vfs.root_sb();
+  auto a = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  a->open_count = 1;  // held open
+  Ino ino = a->ino;
+  sb.MaybeFree(a);
+  EXPECT_NE(sb.Get(ino), nullptr) << "an open inode must not be freed";
+  a->open_count = 0;
+  sb.MaybeFree(a);
+  EXPECT_EQ(sb.Get(ino), nullptr);
+}
+
+TEST(Superblock, LinkCountPinsInode) {
+  Vfs vfs;
+  Superblock& sb = vfs.root_sb();
+  auto a = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  a->nlink = 2;
+  sb.MaybeFree(a);
+  EXPECT_NE(sb.Get(a->ino), nullptr);
+}
+
+TEST(Superblock, RecyclingCanBeDisabled) {
+  Vfs vfs;
+  Superblock& sb = vfs.root_sb();
+  sb.set_recycle_inodes(false);
+  auto a = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  Ino ino = a->ino;
+  sb.MaybeFree(a);
+  auto b = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  EXPECT_NE(b->ino, ino);
+}
+
+TEST(Vfs, MountRedirectsToMountedRoot) {
+  Vfs vfs;
+  Superblock& root = vfs.root_sb();
+  auto mnt = root.Alloc(InodeType::kDirectory, 0755, 0, 0, 1);
+  mnt->nlink = 1;
+  root.root()->entries["tmp"] = mnt->ino;
+  Superblock& tmpfs = vfs.CreateFs("tmpfs", 2);
+  vfs.Mount(mnt->id(), tmpfs.dev());
+  auto crossed = vfs.CrossMount(mnt);
+  EXPECT_EQ(crossed->id(), tmpfs.root()->id());
+  // Non-mountpoint directories are unchanged.
+  EXPECT_EQ(vfs.CrossMount(root.root())->id(), root.root()->id());
+}
+
+TEST(Vfs, PathOfFindsNestedInode) {
+  Vfs vfs;
+  Superblock& sb = vfs.root_sb();
+  auto dir = sb.Alloc(InodeType::kDirectory, 0755, 0, 0, 1);
+  dir->nlink = 1;
+  sb.root()->entries["etc"] = dir->ino;
+  auto file = sb.Alloc(InodeType::kRegular, 0644, 0, 0, 1);
+  file->nlink = 1;
+  dir->entries["passwd"] = file->ino;
+  EXPECT_EQ(vfs.PathOf(file->id()), "/etc/passwd");
+  EXPECT_EQ(vfs.PathOf(sb.root()->id()), "/");
+}
+
+TEST(Vfs, PathOfUnlinkedInodeReportsPlaceholder) {
+  Vfs vfs;
+  FileId bogus{1, 9999};
+  EXPECT_NE(vfs.PathOf(bogus).find("<unlinked"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pf::sim

@@ -1,0 +1,41 @@
+// Shared test fixtures: a booted simulated system (kernel + scheduler +
+// standard system image).
+#ifndef TESTS_TESTUTIL_H_
+#define TESTS_TESTUTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/kernel.h"
+#include "src/sim/sched.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::testing {
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : kernel_(std::make_unique<sim::Kernel>(0x5eed)), sched_(*kernel_) {
+    sim::BuildSysImage(*kernel_);
+  }
+
+  sim::Kernel& kernel() { return *kernel_; }
+  sim::Scheduler& sched() { return sched_; }
+
+  // Credentials helpers.
+  static sim::Cred RootCred() { return sim::Cred{}; }
+  sim::Cred UserCred(sim::Uid uid, std::string_view label = "user_t") {
+    sim::Cred c;
+    c.uid = c.euid = uid;
+    c.gid = c.egid = uid;
+    c.sid = kernel_->labels().Intern(label);
+    return c;
+  }
+
+  std::unique_ptr<sim::Kernel> kernel_;
+  sim::Scheduler sched_;
+};
+
+}  // namespace pf::testing
+
+#endif  // TESTS_TESTUTIL_H_
