@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_open_variants.dir/fig4_open_variants.cc.o"
+  "CMakeFiles/fig4_open_variants.dir/fig4_open_variants.cc.o.d"
+  "fig4_open_variants"
+  "fig4_open_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_open_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

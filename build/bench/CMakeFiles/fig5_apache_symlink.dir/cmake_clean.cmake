@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_apache_symlink.dir/fig5_apache_symlink.cc.o"
+  "CMakeFiles/fig5_apache_symlink.dir/fig5_apache_symlink.cc.o.d"
+  "fig5_apache_symlink"
+  "fig5_apache_symlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_apache_symlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

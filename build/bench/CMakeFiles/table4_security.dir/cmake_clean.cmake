@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_security.dir/table4_security.cc.o"
+  "CMakeFiles/table4_security.dir/table4_security.cc.o.d"
+  "table4_security"
+  "table4_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

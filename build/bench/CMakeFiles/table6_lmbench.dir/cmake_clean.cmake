@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_lmbench.dir/table6_lmbench.cc.o"
+  "CMakeFiles/table6_lmbench.dir/table6_lmbench.cc.o.d"
+  "table6_lmbench"
+  "table6_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

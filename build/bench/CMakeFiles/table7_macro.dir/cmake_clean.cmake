@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_macro.dir/table7_macro.cc.o"
+  "CMakeFiles/table7_macro.dir/table7_macro.cc.o.d"
+  "table7_macro"
+  "table7_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

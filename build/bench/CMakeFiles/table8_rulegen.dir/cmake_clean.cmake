@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_rulegen.dir/table8_rulegen.cc.o"
+  "CMakeFiles/table8_rulegen.dir/table8_rulegen.cc.o.d"
+  "table8_rulegen"
+  "table8_rulegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_rulegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

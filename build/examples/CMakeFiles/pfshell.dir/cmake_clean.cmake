@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfshell.dir/pfshell.cpp.o"
+  "CMakeFiles/pfshell.dir/pfshell.cpp.o.d"
+  "pfshell"
+  "pfshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfshell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_generation.dir/rule_generation.cpp.o"
+  "CMakeFiles/rule_generation.dir/rule_generation.cpp.o.d"
+  "rule_generation"
+  "rule_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

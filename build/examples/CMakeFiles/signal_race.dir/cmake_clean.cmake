@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_race.dir/signal_race.cpp.o"
+  "CMakeFiles/signal_race.dir/signal_race.cpp.o.d"
+  "signal_race"
+  "signal_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

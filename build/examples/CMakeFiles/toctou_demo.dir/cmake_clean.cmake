@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toctou_demo.dir/toctou_demo.cpp.o"
+  "CMakeFiles/toctou_demo.dir/toctou_demo.cpp.o.d"
+  "toctou_demo"
+  "toctou_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toctou_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_hardening.dir/webserver_hardening.cpp.o"
+  "CMakeFiles/webserver_hardening.dir/webserver_hardening.cpp.o.d"
+  "webserver_hardening"
+  "webserver_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

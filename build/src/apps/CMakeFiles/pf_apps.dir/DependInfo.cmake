@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dbus.cc" "src/apps/CMakeFiles/pf_apps.dir/dbus.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/dbus.cc.o.d"
+  "/root/repo/src/apps/exploits.cc" "src/apps/CMakeFiles/pf_apps.dir/exploits.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/exploits.cc.o.d"
+  "/root/repo/src/apps/interp.cc" "src/apps/CMakeFiles/pf_apps.dir/interp.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/interp.cc.o.d"
+  "/root/repo/src/apps/ldso.cc" "src/apps/CMakeFiles/pf_apps.dir/ldso.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/ldso.cc.o.d"
+  "/root/repo/src/apps/misc.cc" "src/apps/CMakeFiles/pf_apps.dir/misc.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/misc.cc.o.d"
+  "/root/repo/src/apps/programs.cc" "src/apps/CMakeFiles/pf_apps.dir/programs.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/programs.cc.o.d"
+  "/root/repo/src/apps/rule_library.cc" "src/apps/CMakeFiles/pf_apps.dir/rule_library.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/rule_library.cc.o.d"
+  "/root/repo/src/apps/safe_open.cc" "src/apps/CMakeFiles/pf_apps.dir/safe_open.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/safe_open.cc.o.d"
+  "/root/repo/src/apps/sshd.cc" "src/apps/CMakeFiles/pf_apps.dir/sshd.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/sshd.cc.o.d"
+  "/root/repo/src/apps/webserver.cc" "src/apps/CMakeFiles/pf_apps.dir/webserver.cc.o" "gcc" "src/apps/CMakeFiles/pf_apps.dir/webserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_apps.dir/dbus.cc.o"
+  "CMakeFiles/pf_apps.dir/dbus.cc.o.d"
+  "CMakeFiles/pf_apps.dir/exploits.cc.o"
+  "CMakeFiles/pf_apps.dir/exploits.cc.o.d"
+  "CMakeFiles/pf_apps.dir/interp.cc.o"
+  "CMakeFiles/pf_apps.dir/interp.cc.o.d"
+  "CMakeFiles/pf_apps.dir/ldso.cc.o"
+  "CMakeFiles/pf_apps.dir/ldso.cc.o.d"
+  "CMakeFiles/pf_apps.dir/misc.cc.o"
+  "CMakeFiles/pf_apps.dir/misc.cc.o.d"
+  "CMakeFiles/pf_apps.dir/programs.cc.o"
+  "CMakeFiles/pf_apps.dir/programs.cc.o.d"
+  "CMakeFiles/pf_apps.dir/rule_library.cc.o"
+  "CMakeFiles/pf_apps.dir/rule_library.cc.o.d"
+  "CMakeFiles/pf_apps.dir/safe_open.cc.o"
+  "CMakeFiles/pf_apps.dir/safe_open.cc.o.d"
+  "CMakeFiles/pf_apps.dir/sshd.cc.o"
+  "CMakeFiles/pf_apps.dir/sshd.cc.o.d"
+  "CMakeFiles/pf_apps.dir/webserver.cc.o"
+  "CMakeFiles/pf_apps.dir/webserver.cc.o.d"
+  "libpf_apps.a"
+  "libpf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

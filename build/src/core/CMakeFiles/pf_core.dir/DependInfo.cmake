@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/pf_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/pf_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/log.cc" "src/core/CMakeFiles/pf_core.dir/log.cc.o" "gcc" "src/core/CMakeFiles/pf_core.dir/log.cc.o.d"
+  "/root/repo/src/core/modules.cc" "src/core/CMakeFiles/pf_core.dir/modules.cc.o" "gcc" "src/core/CMakeFiles/pf_core.dir/modules.cc.o.d"
+  "/root/repo/src/core/packet.cc" "src/core/CMakeFiles/pf_core.dir/packet.cc.o" "gcc" "src/core/CMakeFiles/pf_core.dir/packet.cc.o.d"
+  "/root/repo/src/core/pftables.cc" "src/core/CMakeFiles/pf_core.dir/pftables.cc.o" "gcc" "src/core/CMakeFiles/pf_core.dir/pftables.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/core/CMakeFiles/pf_core.dir/rule.cc.o" "gcc" "src/core/CMakeFiles/pf_core.dir/rule.cc.o.d"
+  "/root/repo/src/core/ruleset.cc" "src/core/CMakeFiles/pf_core.dir/ruleset.cc.o" "gcc" "src/core/CMakeFiles/pf_core.dir/ruleset.cc.o.d"
+  "/root/repo/src/core/unwind.cc" "src/core/CMakeFiles/pf_core.dir/unwind.cc.o" "gcc" "src/core/CMakeFiles/pf_core.dir/unwind.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_core.dir/engine.cc.o"
+  "CMakeFiles/pf_core.dir/engine.cc.o.d"
+  "CMakeFiles/pf_core.dir/log.cc.o"
+  "CMakeFiles/pf_core.dir/log.cc.o.d"
+  "CMakeFiles/pf_core.dir/modules.cc.o"
+  "CMakeFiles/pf_core.dir/modules.cc.o.d"
+  "CMakeFiles/pf_core.dir/packet.cc.o"
+  "CMakeFiles/pf_core.dir/packet.cc.o.d"
+  "CMakeFiles/pf_core.dir/pftables.cc.o"
+  "CMakeFiles/pf_core.dir/pftables.cc.o.d"
+  "CMakeFiles/pf_core.dir/rule.cc.o"
+  "CMakeFiles/pf_core.dir/rule.cc.o.d"
+  "CMakeFiles/pf_core.dir/ruleset.cc.o"
+  "CMakeFiles/pf_core.dir/ruleset.cc.o.d"
+  "CMakeFiles/pf_core.dir/unwind.cc.o"
+  "CMakeFiles/pf_core.dir/unwind.cc.o.d"
+  "libpf_core.a"
+  "libpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

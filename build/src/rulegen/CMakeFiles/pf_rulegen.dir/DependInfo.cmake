@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rulegen/classify.cc" "src/rulegen/CMakeFiles/pf_rulegen.dir/classify.cc.o" "gcc" "src/rulegen/CMakeFiles/pf_rulegen.dir/classify.cc.o.d"
+  "/root/repo/src/rulegen/sting.cc" "src/rulegen/CMakeFiles/pf_rulegen.dir/sting.cc.o" "gcc" "src/rulegen/CMakeFiles/pf_rulegen.dir/sting.cc.o.d"
+  "/root/repo/src/rulegen/synthetic.cc" "src/rulegen/CMakeFiles/pf_rulegen.dir/synthetic.cc.o" "gcc" "src/rulegen/CMakeFiles/pf_rulegen.dir/synthetic.cc.o.d"
+  "/root/repo/src/rulegen/vuln.cc" "src/rulegen/CMakeFiles/pf_rulegen.dir/vuln.cc.o" "gcc" "src/rulegen/CMakeFiles/pf_rulegen.dir/vuln.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

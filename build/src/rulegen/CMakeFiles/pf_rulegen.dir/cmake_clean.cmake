@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_rulegen.dir/classify.cc.o"
+  "CMakeFiles/pf_rulegen.dir/classify.cc.o.d"
+  "CMakeFiles/pf_rulegen.dir/sting.cc.o"
+  "CMakeFiles/pf_rulegen.dir/sting.cc.o.d"
+  "CMakeFiles/pf_rulegen.dir/synthetic.cc.o"
+  "CMakeFiles/pf_rulegen.dir/synthetic.cc.o.d"
+  "CMakeFiles/pf_rulegen.dir/vuln.cc.o"
+  "CMakeFiles/pf_rulegen.dir/vuln.cc.o.d"
+  "libpf_rulegen.a"
+  "libpf_rulegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_rulegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/error.cc" "src/sim/CMakeFiles/pf_sim.dir/error.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/error.cc.o.d"
+  "/root/repo/src/sim/fdtable.cc" "src/sim/CMakeFiles/pf_sim.dir/fdtable.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/fdtable.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/pf_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/label.cc" "src/sim/CMakeFiles/pf_sim.dir/label.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/label.cc.o.d"
+  "/root/repo/src/sim/lsm.cc" "src/sim/CMakeFiles/pf_sim.dir/lsm.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/lsm.cc.o.d"
+  "/root/repo/src/sim/mac_module.cc" "src/sim/CMakeFiles/pf_sim.dir/mac_module.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/mac_module.cc.o.d"
+  "/root/repo/src/sim/mac_policy.cc" "src/sim/CMakeFiles/pf_sim.dir/mac_policy.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/mac_policy.cc.o.d"
+  "/root/repo/src/sim/mm.cc" "src/sim/CMakeFiles/pf_sim.dir/mm.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/mm.cc.o.d"
+  "/root/repo/src/sim/namei.cc" "src/sim/CMakeFiles/pf_sim.dir/namei.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/namei.cc.o.d"
+  "/root/repo/src/sim/sched.cc" "src/sim/CMakeFiles/pf_sim.dir/sched.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/sched.cc.o.d"
+  "/root/repo/src/sim/syscall_nr.cc" "src/sim/CMakeFiles/pf_sim.dir/syscall_nr.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/syscall_nr.cc.o.d"
+  "/root/repo/src/sim/syscalls_file.cc" "src/sim/CMakeFiles/pf_sim.dir/syscalls_file.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/syscalls_file.cc.o.d"
+  "/root/repo/src/sim/syscalls_proc.cc" "src/sim/CMakeFiles/pf_sim.dir/syscalls_proc.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/syscalls_proc.cc.o.d"
+  "/root/repo/src/sim/syscalls_signal.cc" "src/sim/CMakeFiles/pf_sim.dir/syscalls_signal.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/syscalls_signal.cc.o.d"
+  "/root/repo/src/sim/syscalls_socket.cc" "src/sim/CMakeFiles/pf_sim.dir/syscalls_socket.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/syscalls_socket.cc.o.d"
+  "/root/repo/src/sim/sysimage.cc" "src/sim/CMakeFiles/pf_sim.dir/sysimage.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/sysimage.cc.o.d"
+  "/root/repo/src/sim/vfs.cc" "src/sim/CMakeFiles/pf_sim.dir/vfs.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_classes_test.dir/apps/attack_classes_test.cc.o"
+  "CMakeFiles/attack_classes_test.dir/apps/attack_classes_test.cc.o.d"
+  "attack_classes_test"
+  "attack_classes_test.pdb"
+  "attack_classes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_classes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdtable_test.dir/sim/fdtable_test.cc.o"
+  "CMakeFiles/fdtable_test.dir/sim/fdtable_test.cc.o.d"
+  "fdtable_test"
+  "fdtable_test.pdb"
+  "fdtable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

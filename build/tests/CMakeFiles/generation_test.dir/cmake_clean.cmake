@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generation_test.dir/core/generation_test.cc.o"
+  "CMakeFiles/generation_test.dir/core/generation_test.cc.o.d"
+  "generation_test"
+  "generation_test.pdb"
+  "generation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_dbus_test.dir/apps/interp_dbus_test.cc.o"
+  "CMakeFiles/interp_dbus_test.dir/apps/interp_dbus_test.cc.o.d"
+  "interp_dbus_test"
+  "interp_dbus_test.pdb"
+  "interp_dbus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_dbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldso_test.dir/apps/ldso_test.cc.o"
+  "CMakeFiles/ldso_test.dir/apps/ldso_test.cc.o.d"
+  "ldso_test"
+  "ldso_test.pdb"
+  "ldso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namei_property_test.dir/props/namei_property_test.cc.o"
+  "CMakeFiles/namei_property_test.dir/props/namei_property_test.cc.o.d"
+  "namei_property_test"
+  "namei_property_test.pdb"
+  "namei_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namei_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namei_test.dir/sim/namei_test.cc.o"
+  "CMakeFiles/namei_test.dir/sim/namei_test.cc.o.d"
+  "namei_test"
+  "namei_test.pdb"
+  "namei_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namei_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

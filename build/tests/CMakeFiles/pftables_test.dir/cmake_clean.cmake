@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftables_test.dir/core/pftables_test.cc.o"
+  "CMakeFiles/pftables_test.dir/core/pftables_test.cc.o.d"
+  "pftables_test"
+  "pftables_test.pdb"
+  "pftables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_library_test.dir/apps/rule_library_test.cc.o"
+  "CMakeFiles/rule_library_test.dir/apps/rule_library_test.cc.o.d"
+  "rule_library_test"
+  "rule_library_test.pdb"
+  "rule_library_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_open_test.dir/apps/safe_open_test.cc.o"
+  "CMakeFiles/safe_open_test.dir/apps/safe_open_test.cc.o.d"
+  "safe_open_test"
+  "safe_open_test.pdb"
+  "safe_open_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_open_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_restore_test.dir/core/save_restore_test.cc.o"
+  "CMakeFiles/save_restore_test.dir/core/save_restore_test.cc.o.d"
+  "save_restore_test"
+  "save_restore_test.pdb"
+  "save_restore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_restore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

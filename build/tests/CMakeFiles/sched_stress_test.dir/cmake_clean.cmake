@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_stress_test.dir/sim/sched_stress_test.cc.o"
+  "CMakeFiles/sched_stress_test.dir/sim/sched_stress_test.cc.o.d"
+  "sched_stress_test"
+  "sched_stress_test.pdb"
+  "sched_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_test.dir/rulegen/sting_test.cc.o"
+  "CMakeFiles/sting_test.dir/rulegen/sting_test.cc.o.d"
+  "sting_test"
+  "sting_test.pdb"
+  "sting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscalls_test.dir/sim/syscalls_test.cc.o"
+  "CMakeFiles/syscalls_test.dir/sim/syscalls_test.cc.o.d"
+  "syscalls_test"
+  "syscalls_test.pdb"
+  "syscalls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscalls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysimage_test.dir/sim/sysimage_test.cc.o"
+  "CMakeFiles/sysimage_test.dir/sim/sysimage_test.cc.o.d"
+  "sysimage_test"
+  "sysimage_test.pdb"
+  "sysimage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysimage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

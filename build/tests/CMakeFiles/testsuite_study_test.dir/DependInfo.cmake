@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rulegen/testsuite_study_test.cc" "tests/CMakeFiles/testsuite_study_test.dir/rulegen/testsuite_study_test.cc.o" "gcc" "tests/CMakeFiles/testsuite_study_test.dir/rulegen/testsuite_study_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rulegen/CMakeFiles/pf_rulegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

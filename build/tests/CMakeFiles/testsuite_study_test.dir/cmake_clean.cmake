@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testsuite_study_test.dir/rulegen/testsuite_study_test.cc.o"
+  "CMakeFiles/testsuite_study_test.dir/rulegen/testsuite_study_test.cc.o.d"
+  "testsuite_study_test"
+  "testsuite_study_test.pdb"
+  "testsuite_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testsuite_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

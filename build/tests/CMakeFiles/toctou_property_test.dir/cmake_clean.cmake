@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toctou_property_test.dir/props/toctou_property_test.cc.o"
+  "CMakeFiles/toctou_property_test.dir/props/toctou_property_test.cc.o.d"
+  "toctou_property_test"
+  "toctou_property_test.pdb"
+  "toctou_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toctou_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unwind_fuzz_test.dir/props/unwind_fuzz_test.cc.o"
+  "CMakeFiles/unwind_fuzz_test.dir/props/unwind_fuzz_test.cc.o.d"
+  "unwind_fuzz_test"
+  "unwind_fuzz_test.pdb"
+  "unwind_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unwind_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

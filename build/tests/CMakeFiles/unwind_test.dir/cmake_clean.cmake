@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unwind_test.dir/core/unwind_test.cc.o"
+  "CMakeFiles/unwind_test.dir/core/unwind_test.cc.o.d"
+  "unwind_test"
+  "unwind_test.pdb"
+  "unwind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unwind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

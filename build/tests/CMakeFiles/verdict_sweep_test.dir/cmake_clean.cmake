@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verdict_sweep_test.dir/core/verdict_sweep_test.cc.o"
+  "CMakeFiles/verdict_sweep_test.dir/core/verdict_sweep_test.cc.o.d"
+  "verdict_sweep_test"
+  "verdict_sweep_test.pdb"
+  "verdict_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verdict_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

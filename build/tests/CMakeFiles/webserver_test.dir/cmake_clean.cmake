@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_test.dir/apps/webserver_test.cc.o"
+  "CMakeFiles/webserver_test.dir/apps/webserver_test.cc.o.d"
+  "webserver_test"
+  "webserver_test.pdb"
+  "webserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
