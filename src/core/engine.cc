@@ -9,17 +9,9 @@ constexpr int kMaxChainDepth = 8;
 constexpr CtxMask kAllCtx = CtxBit(Ctx::kObject) | CtxBit(Ctx::kLinkTarget) |
                             CtxBit(Ctx::kAdversaryAccess) | CtxBit(Ctx::kEntrypoint) |
                             CtxBit(Ctx::kUserStack) | CtxBit(Ctx::kInterpStack);
-}  // namespace
 
-Engine::Engine(sim::Kernel& kernel, EngineConfig config)
-    : kernel_(kernel), config_(config) {
-  chain_input_ = ruleset_.filter().Find("input");
-  chain_output_ = ruleset_.filter().Find("output");
-  chain_create_ = ruleset_.filter().Find("create");
-  chain_syscallbegin_ = ruleset_.filter().Find("syscallbegin");
-}
+constexpr auto kRelaxed = std::memory_order_relaxed;
 
-namespace {
 // Operations by which the process *affects* resources (mediated by the
 // output chain in addition to input); reads/deliveries are input-only.
 bool IsOutputOp(sim::Op op) {
@@ -39,6 +31,59 @@ bool IsOutputOp(sim::Op op) {
 }
 }  // namespace
 
+size_t WorkerIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, kRelaxed);
+  return index;
+}
+
+// --- TaskStateStore ----------------------------------------------------------
+
+PfTaskState& TaskStateStore::GetOrCreate(sim::Pid pid) {
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.map[pid];
+  if (!slot) {
+    slot = std::make_shared<PfTaskState>();
+  }
+  return *slot;
+}
+
+std::shared_ptr<PfTaskState> TaskStateStore::Find(sim::Pid pid) {
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(pid);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+void TaskStateStore::Put(sim::Pid pid, std::shared_ptr<PfTaskState> state) {
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map[pid] = std::move(state);
+}
+
+void TaskStateStore::Erase(sim::Pid pid) {
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.erase(pid);
+}
+
+size_t TaskStateStore::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+// --- Engine wiring -----------------------------------------------------------
+
+Engine::Engine(sim::Kernel& kernel, EngineConfig config)
+    : kernel_(kernel), config_(config) {
+  CommitRuleset();  // publish generation 1 (the empty builtin chains)
+}
+
 Engine* InstallProcessFirewall(sim::Kernel& kernel, EngineConfig config) {
   auto engine = std::make_unique<Engine>(kernel, config);
   Engine* raw = engine.get();
@@ -47,33 +92,113 @@ Engine* InstallProcessFirewall(sim::Kernel& kernel, EngineConfig config) {
   return raw;
 }
 
-PfTaskState& Engine::TaskState(sim::Task& task) {
-  auto& blob = task.security[slot_];
-  if (!blob) {
-    blob = std::make_shared<PfTaskState>();
-  }
-  // No shared_ptr copy on the fast path (no refcount traffic).
-  return *static_cast<PfTaskState*>(blob.get());
+void Engine::CommitRuleset() {
+  auto snap = std::make_shared<CompiledRuleset>();
+  snap->rules = ruleset_;  // shares the Rule objects, copies chain structure
+  snap->input = snap->rules.filter().Find("input");
+  snap->output = snap->rules.filter().Find("output");
+  snap->create = snap->rules.filter().Find("create");
+  snap->syscallbegin = snap->rules.filter().Find("syscallbegin");
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  snap->generation = generation_.load(kRelaxed) + 1;
+  published_ = std::move(snap);
+  generation_.store(published_->generation, std::memory_order_release);
 }
 
-void Engine::OnTaskExit(sim::Task& task) { task.security[slot_].reset(); }
+const CompiledRuleset& Engine::PinRuleset(std::shared_ptr<const CompiledRuleset>* hold) {
+  const size_t index = WorkerIndex();
+  if (index < kMaxWorkers) {
+    WorkerSlot& w = workers_[index];
+    if (w.generation != generation_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(commit_mu_);
+      w.snap = published_;
+      w.generation = w.snap->generation;
+      StatsLocal().ruleset_refreshes.fetch_add(1, kRelaxed);
+    }
+    return *w.snap;
+  }
+  // Workers beyond the slot capacity fall back to pinning via `hold`.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  *hold = published_;
+  return **hold;
+}
+
+EngineStatsBlock& Engine::StatsLocal() {
+  return stats_blocks_[WorkerIndex() & (kStatsBlocks - 1)];
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  for (const EngineStatsBlock& b : stats_blocks_) {
+    out.invocations += b.invocations.load(kRelaxed);
+    out.drops += b.drops.load(kRelaxed);
+    out.audited_drops += b.audited_drops.load(kRelaxed);
+    out.rules_evaluated += b.rules_evaluated.load(kRelaxed);
+    out.ept_chain_hits += b.ept_chain_hits.load(kRelaxed);
+    out.unwinds += b.unwinds.load(kRelaxed);
+    out.unwind_cache_hits += b.unwind_cache_hits.load(kRelaxed);
+    out.ruleset_refreshes += b.ruleset_refreshes.load(kRelaxed);
+    for (size_t i = 0; i < out.ctx_fetches.size(); ++i) {
+      out.ctx_fetches[i] += b.ctx_fetches[i].load(kRelaxed);
+    }
+  }
+  return out;
+}
+
+void Engine::ResetStats() {
+  for (EngineStatsBlock& b : stats_blocks_) {
+    b.invocations.store(0, kRelaxed);
+    b.drops.store(0, kRelaxed);
+    b.audited_drops.store(0, kRelaxed);
+    b.rules_evaluated.store(0, kRelaxed);
+    b.ept_chain_hits.store(0, kRelaxed);
+    b.unwinds.store(0, kRelaxed);
+    b.unwind_cache_hits.store(0, kRelaxed);
+    b.ruleset_refreshes.store(0, kRelaxed);
+    for (auto& c : b.ctx_fetches) {
+      c.store(0, kRelaxed);
+    }
+  }
+}
+
+// --- per-task state ----------------------------------------------------------
+
+PfTaskState& Engine::TaskState(sim::Task& task) { return states_.GetOrCreate(task.pid); }
+
+void Engine::OnTaskExit(sim::Task& task) { states_.Erase(task.pid); }
 
 void Engine::OnTaskFork(sim::Task& parent, sim::Task& child) {
   // The STATE dictionary follows the process across fork (context caches do
   // not: the child's first access re-unwinds its own stack).
-  auto& blob = parent.security[slot_];
-  if (!blob) {
+  auto parent_state = states_.Find(parent.pid);
+  if (!parent_state) {
     return;
   }
   auto state = std::make_shared<PfTaskState>();
-  state->dict = std::static_pointer_cast<PfTaskState>(blob)->dict;
-  child.security[slot_] = std::move(state);
+  {
+    std::lock_guard<std::mutex> lock(parent_state->mu);
+    state->dict = parent_state->dict;
+  }
+  states_.Put(child.pid, std::move(state));
+}
+
+void Engine::OnTaskExec(sim::Task& task) {
+  // execve replaces the image: cached unwinds describe a dead address space.
+  // (The serial check would also reject them on the next syscall; dropping
+  // them here keeps even same-syscall hooks from seeing pre-exec frames.)
+  auto state = states_.Find(task.pid);
+  if (!state) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->stack.reset();
+  state->interp.reset();
 }
 
 // --- context modules ---------------------------------------------------------
 
 void Engine::FetchObject(Packet& pkt) {
-  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kObject)];
+  StatsLocal().ctx_fetches[static_cast<size_t>(Ctx::kObject)].fetch_add(1, kRelaxed);
   sim::AccessRequest& req = *pkt.req;
   if (req.inode != nullptr) {
     pkt.has_object = true;
@@ -86,7 +211,7 @@ void Engine::FetchObject(Packet& pkt) {
 }
 
 void Engine::FetchLinkTarget(Packet& pkt) {
-  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kLinkTarget)];
+  StatsLocal().ctx_fetches[static_cast<size_t>(Ctx::kLinkTarget)].fetch_add(1, kRelaxed);
   sim::AccessRequest& req = *pkt.req;
   if (req.op == sim::Op::kLnkFileRead && req.inode != nullptr) {
     pkt.link_owner = req.inode->uid;
@@ -104,7 +229,8 @@ void Engine::FetchAdversaryAccess(Packet& pkt) {
   if (!pkt.Has(Ctx::kObject)) {
     FetchObject(pkt);
   }
-  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kAdversaryAccess)];
+  StatsLocal().ctx_fetches[static_cast<size_t>(Ctx::kAdversaryAccess)].fetch_add(1,
+                                                                                kRelaxed);
   if (pkt.has_object) {
     const sim::MacPolicy& pol = kernel_.policy();
     pkt.adversary_writable = pol.AdversaryWritable(pkt.object_sid);
@@ -114,46 +240,65 @@ void Engine::FetchAdversaryAccess(Packet& pkt) {
 }
 
 void Engine::FetchStack(Packet& pkt) {
-  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kEntrypoint)];
+  EngineStatsBlock& sb = StatsLocal();
+  sb.ctx_fetches[static_cast<size_t>(Ctx::kEntrypoint)].fetch_add(1, kRelaxed);
   sim::Task& task = *pkt.req->task;
   PfTaskState& state = TaskState(task);
-  const bool cache_ok = config_.cache_context && state.stack_cached &&
-                        state.stack_serial == task.syscall_count;
-  if (cache_ok) {
-    ++stats_.unwind_cache_hits;
+  std::shared_ptr<const StackSnapshot> snap;
+  if (config_.cache_context) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.stack && state.stack->serial == task.syscall_count) {
+      snap = state.stack;
+    }
+  }
+  if (snap) {
+    sb.unwind_cache_hits.fetch_add(1, kRelaxed);
   } else {
-    ++stats_.unwinds;
+    sb.unwinds.fetch_add(1, kRelaxed);
     UnwindResult res = UnwindUserStack(task);
-    state.stack = std::move(res.frames);
-    state.stack_status = res.status;
-    state.stack_cached = true;
-    state.stack_serial = task.syscall_count;
+    auto fresh = std::make_shared<StackSnapshot>();
+    fresh->serial = task.syscall_count;
+    fresh->frames = std::move(res.frames);
+    fresh->status = res.status;
+    snap = std::move(fresh);
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.stack = snap;
   }
-  pkt.stack = &state.stack;
-  pkt.stack_status = state.stack_status;
-  if (state.stack_status != UnwindStatus::kAborted && !state.stack.empty()) {
+  pkt.stack = &snap->frames;
+  pkt.stack_status = snap->status;
+  if (snap->status != UnwindStatus::kAborted && !snap->frames.empty()) {
     pkt.entrypoint_valid = true;
-    pkt.entrypoint = state.stack.front();
+    pkt.entrypoint = snap->frames.front();
   }
+  pkt.stack_hold = std::move(snap);
   pkt.Mark(Ctx::kEntrypoint);
   pkt.Mark(Ctx::kUserStack);
 }
 
 void Engine::FetchInterp(Packet& pkt) {
-  ++stats_.ctx_fetches[static_cast<size_t>(Ctx::kInterpStack)];
+  StatsLocal().ctx_fetches[static_cast<size_t>(Ctx::kInterpStack)].fetch_add(1, kRelaxed);
   sim::Task& task = *pkt.req->task;
   PfTaskState& state = TaskState(task);
-  const bool cache_ok = config_.cache_context && state.interp_cached &&
-                        state.interp_serial == task.syscall_count;
-  if (!cache_ok) {
-    InterpUnwindResult res = UnwindInterpStack(task);
-    state.interp = std::move(res.frames);
-    state.interp_status = res.status;
-    state.interp_cached = true;
-    state.interp_serial = task.syscall_count;
+  std::shared_ptr<const InterpSnapshot> snap;
+  if (config_.cache_context) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.interp && state.interp->serial == task.syscall_count) {
+      snap = state.interp;
+    }
   }
-  pkt.interp = &state.interp;
-  pkt.interp_status = state.interp_status;
+  if (!snap) {
+    InterpUnwindResult res = UnwindInterpStack(task);
+    auto fresh = std::make_shared<InterpSnapshot>();
+    fresh->serial = task.syscall_count;
+    fresh->frames = std::move(res.frames);
+    fresh->status = res.status;
+    snap = std::move(fresh);
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.interp = snap;
+  }
+  pkt.interp = &snap->frames;
+  pkt.interp_status = snap->status;
+  pkt.interp_hold = std::move(snap);
   pkt.Mark(Ctx::kInterpStack);
 }
 
@@ -253,9 +398,10 @@ bool Engine::DefaultMatches(const Rule& rule, Packet& pkt) {
   return true;
 }
 
-Engine::Verdict Engine::EvalRule(const Rule& rule, Packet& pkt, int depth) {
-  ++stats_.rules_evaluated;
-  ++rule.evals;
+Engine::Verdict Engine::EvalRule(const CompiledRuleset& rs, const Rule& rule, Packet& pkt,
+                                 int depth) {
+  StatsLocal().rules_evaluated.fetch_add(1, kRelaxed);
+  rule.evals.fetch_add(1, kRelaxed);
   if (!DefaultMatches(rule, pkt)) {
     return Verdict::kFallthrough;
   }
@@ -265,7 +411,7 @@ Engine::Verdict Engine::EvalRule(const Rule& rule, Packet& pkt, int depth) {
       return Verdict::kFallthrough;
     }
   }
-  ++rule.hits;
+  rule.hits.fetch_add(1, kRelaxed);
   EnsureContext(pkt, rule.target->Needs());
   switch (rule.target->Fire(pkt, *this)) {
     case TargetKind::kAccept:
@@ -277,9 +423,9 @@ Engine::Verdict Engine::EvalRule(const Rule& rule, Packet& pkt, int depth) {
     case TargetKind::kReturn:
       return Verdict::kReturn;  // ends this chain; caller continues
     case TargetKind::kJump: {
-      const Chain* next = ruleset_.filter().Find(rule.target->jump_chain());
+      const Chain* next = rs.rules.filter().Find(rule.target->jump_chain());
       if (next != nullptr && depth < kMaxChainDepth) {
-        Verdict v = TraverseChain(*next, pkt, depth + 1);
+        Verdict v = TraverseChain(rs, *next, pkt, depth + 1);
         if (v == Verdict::kAccept || v == Verdict::kDrop) {
           return v;
         }
@@ -290,10 +436,11 @@ Engine::Verdict Engine::EvalRule(const Rule& rule, Packet& pkt, int depth) {
   return Verdict::kFallthrough;
 }
 
-Engine::Verdict Engine::EvalRules(const std::vector<const Rule*>& rules, Packet& pkt,
+Engine::Verdict Engine::EvalRules(const CompiledRuleset& rs,
+                                  const std::vector<const Rule*>& rules, Packet& pkt,
                                   int depth) {
   for (const Rule* rule : rules) {
-    Verdict v = EvalRule(*rule, pkt, depth);
+    Verdict v = EvalRule(rs, *rule, pkt, depth);
     if (v != Verdict::kFallthrough) {
       return v;  // accept, drop, or RETURN to the calling chain
     }
@@ -301,10 +448,11 @@ Engine::Verdict Engine::EvalRules(const std::vector<const Rule*>& rules, Packet&
   return Verdict::kFallthrough;
 }
 
-Engine::Verdict Engine::EvalRulesLinear(const std::vector<Rule>& rules, Packet& pkt,
-                                        int depth) {
-  for (const Rule& rule : rules) {
-    Verdict v = EvalRule(rule, pkt, depth);
+Engine::Verdict Engine::EvalRulesLinear(const CompiledRuleset& rs,
+                                        const std::vector<std::shared_ptr<Rule>>& rules,
+                                        Packet& pkt, int depth) {
+  for (const auto& rule : rules) {
+    Verdict v = EvalRule(rs, *rule, pkt, depth);
     if (v != Verdict::kFallthrough) {
       return v;
     }
@@ -312,14 +460,15 @@ Engine::Verdict Engine::EvalRulesLinear(const std::vector<Rule>& rules, Packet& 
   return Verdict::kFallthrough;
 }
 
-Engine::Verdict Engine::TraverseChain(const Chain& chain, Packet& pkt, int depth) {
+Engine::Verdict Engine::TraverseChain(const CompiledRuleset& rs, const Chain& chain,
+                                      Packet& pkt, int depth) {
   if (depth >= kMaxChainDepth) {
     return Verdict::kFallthrough;
   }
   if (config_.ept_chains && chain.index_built()) {
     // Non-entrypoint rules first (paper §4.3), then the hash-selected
     // entrypoint chain.
-    Verdict v = EvalRules(chain.plain_rules(), pkt, depth);
+    Verdict v = EvalRules(rs, chain.plain_rules(), pkt, depth);
     if (v != Verdict::kFallthrough) {
       return v;
     }
@@ -329,34 +478,37 @@ Engine::Verdict Engine::TraverseChain(const Chain& chain, Packet& pkt, int depth
         const auto* rules =
             chain.EptRules(EptKey{pkt.entrypoint.image, pkt.entrypoint.offset});
         if (rules != nullptr) {
-          ++stats_.ept_chain_hits;
-          return EvalRules(*rules, pkt, depth);
+          StatsLocal().ept_chain_hits.fetch_add(1, kRelaxed);
+          return EvalRules(rs, *rules, pkt, depth);
         }
       }
     }
     return Verdict::kFallthrough;
   }
   // Linear traversal.
-  return EvalRulesLinear(chain.rules(), pkt, depth);
+  return EvalRulesLinear(rs, chain.rules(), pkt, depth);
 }
 
 int64_t Engine::Authorize(sim::AccessRequest& req) {
   if (!config_.enabled || req.task == nullptr) {
     return 0;
   }
-  ++stats_.invocations;
+  EngineStatsBlock& sb = StatsLocal();
+  sb.invocations.fetch_add(1, kRelaxed);
+  std::shared_ptr<const CompiledRuleset> hold;
+  const CompiledRuleset& rs = PinRuleset(&hold);
   Packet pkt;
   pkt.req = &req;
   if (!config_.lazy_context) {
     EnsureContext(pkt, kAllCtx);
   }
   PfTaskState& state = TaskState(*req.task);
-  ++state.traversal_depth;
+  state.traversal_depth.fetch_add(1, kRelaxed);
   Verdict verdict = Verdict::kFallthrough;
 
   // Runs one builtin chain and applies its default policy on fallthrough.
   auto run_builtin = [&](const Chain& chain) -> Verdict {
-    Verdict v = TraverseChain(chain, pkt, 0);
+    Verdict v = TraverseChain(rs, chain, pkt, 0);
     if (v == Verdict::kReturn) {
       v = Verdict::kFallthrough;
     }
@@ -367,39 +519,37 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
   };
 
   if (req.op == sim::Op::kSyscallBegin) {
-    if (chain_syscallbegin_->size() > 0 ||
-        chain_syscallbegin_->policy() == Chain::Policy::kDrop) {
-      verdict = run_builtin(*chain_syscallbegin_);
+    if (rs.syscallbegin->size() > 0 ||
+        rs.syscallbegin->policy() == Chain::Policy::kDrop) {
+      verdict = run_builtin(*rs.syscallbegin);
     }
   } else {
     // Creation operations consult the create chain first (template T2).
     if (req.op == sim::Op::kFileCreate || req.op == sim::Op::kDirAddName ||
         req.op == sim::Op::kSocketBind) {
-      if (chain_create_->size() > 0 ||
-          chain_create_->policy() == Chain::Policy::kDrop) {
-        verdict = run_builtin(*chain_create_);
+      if (rs.create->size() > 0 || rs.create->policy() == Chain::Policy::kDrop) {
+        verdict = run_builtin(*rs.create);
       }
     }
     // Write-type operations additionally traverse the output chain.
     if (verdict == Verdict::kFallthrough && IsOutputOp(req.op) &&
-        (chain_output_->size() > 0 ||
-         chain_output_->policy() == Chain::Policy::kDrop)) {
-      verdict = run_builtin(*chain_output_);
+        (rs.output->size() > 0 || rs.output->policy() == Chain::Policy::kDrop)) {
+      verdict = run_builtin(*rs.output);
     }
     if (verdict == Verdict::kFallthrough &&
-        (chain_input_->size() > 0 || chain_input_->policy() == Chain::Policy::kDrop)) {
-      verdict = run_builtin(*chain_input_);
+        (rs.input->size() > 0 || rs.input->policy() == Chain::Policy::kDrop)) {
+      verdict = run_builtin(*rs.input);
     }
   }
-  --state.traversal_depth;
+  state.traversal_depth.fetch_sub(1, kRelaxed);
   if (verdict == Verdict::kDrop) {
     if (config_.audit_only) {
       // Permissive deployment: log what enforcement would have denied.
-      ++stats_.audited_drops;
+      sb.audited_drops.fetch_add(1, kRelaxed);
       EmitLog(pkt, "audit-drop");
       return 0;
     }
-    ++stats_.drops;
+    sb.drops.fetch_add(1, kRelaxed);
     return sim::SysError(sim::Err::kAcces);
   }
   return 0;  // default allow

@@ -12,16 +12,34 @@
 //   LAZYCON  = {lazy_context=true,  cache_context=true,  ept_chains=false}
 //   EPTSPC   = {lazy_context=true,  cache_context=true,  ept_chains=true}
 //
-// Per-task state (the STATE dictionary, context caches, traversal depth)
-// hangs off the task structure, so the engine is re-entrant without
-// disabling "interrupts" (paper §5.1).
+// Concurrency model (paper §5.1 makes the hooks re-entrant "without
+// disabling interrupts"; here the same property is carried to real worker
+// threads — see DESIGN.md "Concurrency model"):
+//
+//   * Per-task state (the STATE dictionary, context caches) lives in a
+//     lock-striped shard table keyed by task id. Each PfTaskState carries a
+//     small mutex guarding its dictionary and cache slots; context caches
+//     are immutable snapshots published by shared_ptr, so a reader never
+//     observes a torn unwind.
+//   * Statistics are per-worker ("per-CPU") cache-line-aligned counter
+//     blocks bumped with relaxed atomics and aggregated on read — there is
+//     no shared hot counter.
+//   * The compiled rule base is published RCU-style: each pftables commit
+//     copies the staging RuleSet into an immutable CompiledRuleset snapshot
+//     and bumps a generation counter. Hook-side readers pin the snapshot
+//     through a per-worker epoch cache (one relaxed/acquire load on the fast
+//     path; the commit mutex is taken only when the generation moved), so
+//     rule reloads never block evaluation.
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
 #include <array>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "src/core/log.h"
 #include "src/core/packet.h"
@@ -41,6 +59,8 @@ struct EngineConfig {
   bool audit_only = false;
 };
 
+// Aggregated engine statistics (a consistent-enough snapshot: each counter
+// is the sum of the per-worker blocks at read time).
 struct EngineStats {
   uint64_t invocations = 0;
   uint64_t drops = 0;
@@ -49,28 +69,99 @@ struct EngineStats {
   uint64_t ept_chain_hits = 0;
   uint64_t unwinds = 0;
   uint64_t unwind_cache_hits = 0;
+  uint64_t ruleset_refreshes = 0;  // per-worker snapshot re-pins
   std::array<uint64_t, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
-
-  void Reset() { *this = EngineStats{}; }
 };
 
-// Per-task Process Firewall state (struct task_struct extension).
+// One per-worker ("per-CPU") counter block. The atomics are only ever
+// contended when more threads than blocks exist (indices wrap); the common
+// case is an uncontended relaxed add on a worker-private cache line.
+struct alignas(64) EngineStatsBlock {
+  std::atomic<uint64_t> invocations{0};
+  std::atomic<uint64_t> drops{0};
+  std::atomic<uint64_t> audited_drops{0};
+  std::atomic<uint64_t> rules_evaluated{0};
+  std::atomic<uint64_t> ept_chain_hits{0};
+  std::atomic<uint64_t> unwinds{0};
+  std::atomic<uint64_t> unwind_cache_hits{0};
+  std::atomic<uint64_t> ruleset_refreshes{0};
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
+};
+
+// Stable index of the calling worker thread (monotonic per thread, assigned
+// on first use). Shared by every engine instance in the process.
+size_t WorkerIndex();
+
+// An immutable unwind snapshot, valid while `serial` matches the task's
+// syscall count. Published by shared_ptr so concurrent hook evaluations on
+// one task can pin it while a newer syscall refreshes the cache.
+struct StackSnapshot {
+  uint64_t serial = 0;
+  std::vector<BinFrame> frames;
+  UnwindStatus status = UnwindStatus::kAborted;
+};
+
+struct InterpSnapshot {
+  uint64_t serial = 0;
+  std::vector<InterpRec> frames;
+  UnwindStatus status = UnwindStatus::kAborted;
+};
+
+// Per-task Process Firewall state (the struct task_struct extension of the
+// paper, held in the engine's shard table keyed by task id).
 struct PfTaskState {
+  // Guards dict and the cache slots. Held only for pointer-sized critical
+  // sections; unwinding itself runs outside the lock.
+  std::mutex mu;
+
   // STATE match/target dictionary.
   std::map<std::string, int64_t> dict;
 
-  // Context caches, valid while serial == task.syscall_count.
-  uint64_t stack_serial = 0;
-  bool stack_cached = false;
-  std::vector<BinFrame> stack;
-  UnwindStatus stack_status = UnwindStatus::kAborted;
+  // Context caches (null until first fill; reset on execve).
+  std::shared_ptr<const StackSnapshot> stack;
+  std::shared_ptr<const InterpSnapshot> interp;
 
-  uint64_t interp_serial = 0;
-  bool interp_cached = false;
-  std::vector<InterpRec> interp;
-  UnwindStatus interp_status = UnwindStatus::kAborted;
+  std::atomic<int> traversal_depth{0};
+};
 
-  int traversal_depth = 0;
+// Lock-striped per-task state table. Striping bounds contention when many
+// workers fault in or look up state for different tasks concurrently.
+class TaskStateStore {
+ public:
+  static constexpr size_t kShards = 16;  // power of two
+
+  PfTaskState& GetOrCreate(sim::Pid pid);
+  std::shared_ptr<PfTaskState> Find(sim::Pid pid);
+  void Put(sim::Pid pid, std::shared_ptr<PfTaskState> state);
+  void Erase(sim::Pid pid);
+  size_t size() const;
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<sim::Pid, std::shared_ptr<PfTaskState>> map;
+  };
+
+  Shard& ShardFor(sim::Pid pid) { return shards_[Mix(pid) & (kShards - 1)]; }
+  const Shard& ShardFor(sim::Pid pid) const { return shards_[Mix(pid) & (kShards - 1)]; }
+  static size_t Mix(sim::Pid pid) {
+    uint64_t x = static_cast<uint64_t>(pid) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(x >> 32);
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+// One published generation of the rule base: a structural copy of the
+// staging RuleSet (sharing the heap-allocated Rule objects) with the builtin
+// chains resolved once.
+struct CompiledRuleset {
+  RuleSet rules;
+  uint64_t generation = 0;
+  const Chain* input = nullptr;
+  const Chain* output = nullptr;
+  const Chain* create = nullptr;
+  const Chain* syscallbegin = nullptr;
 };
 
 class Engine : public sim::SecurityModule {
@@ -82,19 +173,34 @@ class Engine : public sim::SecurityModule {
   int64_t Authorize(sim::AccessRequest& req) override;
   void OnTaskExit(sim::Task& task) override;
   void OnTaskFork(sim::Task& parent, sim::Task& child) override;
+  void OnTaskExec(sim::Task& task) override;
 
   // --- configuration / data ---
   EngineConfig& config() { return config_; }
+  // The staging rule base, edited by pftables. Structural edits are not seen
+  // by hook evaluation until CommitRuleset() publishes a snapshot.
   RuleSet& ruleset() { return ruleset_; }
   LogSink& log() { return log_; }
-  EngineStats& stats() { return stats_; }
   sim::Kernel& kernel() { return kernel_; }
   sim::MacPolicy& policy() { return kernel_.policy(); }
   void set_slot(size_t slot) { slot_ = slot; }
   size_t slot() const { return slot_; }
 
-  // Per-task state, created on demand.
+  // Aggregates the per-worker counter blocks.
+  EngineStats stats() const;
+  void ResetStats();
+
+  // Publishes the staging rule base as a new immutable generation. Called by
+  // Pftables after every successful mutating command; safe to call while
+  // worker threads evaluate.
+  void CommitRuleset();
+  uint64_t ruleset_generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // Per-task state, created on demand in the shard table.
   PfTaskState& TaskState(sim::Task& task);
+  size_t task_state_count() const { return states_.size(); }
 
   // Context-module dispatch: collects every field in `mask` not yet in the
   // packet. Fields that cannot be collected are marked collected-but-absent
@@ -107,10 +213,20 @@ class Engine : public sim::SecurityModule {
  private:
   enum class Verdict { kAccept, kDrop, kFallthrough, kReturn };
 
-  Verdict TraverseChain(const Chain& chain, Packet& pkt, int depth);
-  Verdict EvalRules(const std::vector<const Rule*>& rules, Packet& pkt, int depth);
-  Verdict EvalRulesLinear(const std::vector<Rule>& rules, Packet& pkt, int depth);
-  Verdict EvalRule(const Rule& rule, Packet& pkt, int depth);
+  // Pins the current ruleset generation for this worker. `hold` keeps the
+  // snapshot alive for callers beyond the per-worker slot capacity.
+  const CompiledRuleset& PinRuleset(std::shared_ptr<const CompiledRuleset>* hold);
+
+  EngineStatsBlock& StatsLocal();
+
+  Verdict TraverseChain(const CompiledRuleset& rs, const Chain& chain, Packet& pkt,
+                        int depth);
+  Verdict EvalRules(const CompiledRuleset& rs, const std::vector<const Rule*>& rules,
+                    Packet& pkt, int depth);
+  Verdict EvalRulesLinear(const CompiledRuleset& rs,
+                          const std::vector<std::shared_ptr<Rule>>& rules, Packet& pkt,
+                          int depth);
+  Verdict EvalRule(const CompiledRuleset& rs, const Rule& rule, Packet& pkt, int depth);
   bool DefaultMatches(const Rule& rule, Packet& pkt);
 
   void FetchObject(Packet& pkt);
@@ -121,17 +237,26 @@ class Engine : public sim::SecurityModule {
 
   sim::Kernel& kernel_;
   EngineConfig config_;
-  RuleSet ruleset_;
+  RuleSet ruleset_;  // staging copy (control plane)
   LogSink log_;
-  EngineStats stats_;
   size_t slot_ = 0;
 
-  // Builtin chains, resolved once (std::map nodes are pointer-stable); this
-  // keeps string-keyed lookups off the per-operation fast path.
-  const Chain* chain_input_ = nullptr;
-  const Chain* chain_output_ = nullptr;
-  const Chain* chain_create_ = nullptr;
-  const Chain* chain_syscallbegin_ = nullptr;
+  TaskStateStore states_;
+
+  // --- RCU-style ruleset publication ---
+  static constexpr size_t kMaxWorkers = 64;
+  struct alignas(64) WorkerSlot {
+    std::shared_ptr<const CompiledRuleset> snap;
+    uint64_t generation = ~0ull;
+  };
+  mutable std::mutex commit_mu_;  // guards published_ swaps
+  std::shared_ptr<const CompiledRuleset> published_;
+  std::atomic<uint64_t> generation_{0};
+  std::array<WorkerSlot, kMaxWorkers> workers_;
+
+  // Per-worker stats blocks (indices wrap; see EngineStatsBlock).
+  static constexpr size_t kStatsBlocks = 64;
+  std::array<EngineStatsBlock, kStatsBlocks> stats_blocks_;
 };
 
 // Creates an Engine, registers it with the kernel, and wires its per-task

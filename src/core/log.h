@@ -6,6 +6,7 @@
 #define SRC_CORE_LOG_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -44,11 +45,23 @@ struct LogRecord {
   static std::optional<LogRecord> FromJson(std::string_view line);
 };
 
+// Appends are serialized so LOG-target rules can fire from concurrent hook
+// evaluations; records() exposes the backing vector and is only meaningful
+// after the appending threads have quiesced (tests join workers first).
 class LogSink {
  public:
-  void Append(LogRecord record) { records_.push_back(std::move(record)); }
-  void Clear() { records_.clear(); }
-  size_t size() const { return records_.size(); }
+  void Append(LogRecord record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(record));
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
   const std::vector<LogRecord>& records() const { return records_; }
 
   // Serializes all records, one JSON object per line.
@@ -59,6 +72,7 @@ class LogSink {
   size_t FromJsonLines(std::string_view dump);
 
  private:
+  mutable std::mutex mu_;
   std::vector<LogRecord> records_;
 };
 

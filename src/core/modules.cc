@@ -1,6 +1,7 @@
 #include "src/core/modules.h"
 
 #include <charconv>
+#include <mutex>
 #include <sstream>
 
 #include "src/core/engine.h"
@@ -152,6 +153,7 @@ CtxMask StateMatch::Needs() const { return cmp ? cmp->Needs() : 0; }
 
 bool StateMatch::Matches(Packet& pkt, Engine& engine) const {
   PfTaskState& state = engine.TaskState(*pkt.req->task);
+  std::lock_guard<std::mutex> lock(state.mu);
   auto it = state.dict.find(key);
   if (it == state.dict.end()) {
     return false;  // absent key never matches (even with --nequal)
@@ -385,6 +387,7 @@ Status StateTarget::Create(const std::vector<std::string>& opts,
 
 TargetKind StateTarget::Fire(Packet& pkt, Engine& engine) const {
   PfTaskState& state = engine.TaskState(*pkt.req->task);
+  std::lock_guard<std::mutex> lock(state.mu);
   if (unset) {
     state.dict.erase(key);
     return TargetKind::kContinue;

@@ -11,6 +11,7 @@
 #define SRC_CORE_PACKET_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -80,12 +81,18 @@ struct Packet {
   // --- kEntrypoint / kUserStack ---
   bool entrypoint_valid = false;
   BinFrame entrypoint;            // innermost frame
-  const std::vector<BinFrame>* stack = nullptr;  // owned by the context cache
+  const std::vector<BinFrame>* stack = nullptr;  // owned by stack_hold
   UnwindStatus stack_status = UnwindStatus::kAborted;
 
   // --- kInterpStack ---
-  const std::vector<InterpRec>* interp = nullptr;
+  const std::vector<InterpRec>* interp = nullptr;  // owned by interp_hold
   UnwindStatus interp_status = UnwindStatus::kAborted;
+
+  // Pins for the unwind snapshots backing `stack`/`interp`: the per-task
+  // context cache may be refreshed by a concurrent hook evaluation, so the
+  // packet keeps its own reference for the duration of the traversal.
+  std::shared_ptr<const void> stack_hold;
+  std::shared_ptr<const void> interp_hold;
 
   bool Has(Ctx c) const { return (have & CtxBit(c)) != 0; }
   void Mark(Ctx c) { have |= CtxBit(c); }

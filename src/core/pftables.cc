@@ -370,6 +370,7 @@ Status Pftables::Exec(const std::string& command) {
         return Status::Error("no such chain: " + chain_name);
       }
       ReindexAll(*table);
+      engine_->CommitRuleset();
       return Status::Ok();
     }
     case Cmd::kList:
@@ -393,6 +394,7 @@ Status Pftables::Exec(const std::string& command) {
       } else {
         return Status::Error("-P requires ACCEPT or DROP");
       }
+      engine_->CommitRuleset();
       return Status::Ok();
     }
     case Cmd::kDelete: {
@@ -404,13 +406,14 @@ Status Pftables::Exec(const std::string& command) {
         return Status::Error("no rule at position");
       }
       ReindexAll(*table);
+      engine_->CommitRuleset();
       return Status::Ok();
     }
     case Cmd::kInsert:
     case Cmd::kAppend: {
-      Rule rule;
-      rule.source = command;
-      if (Status s = ParseRule(tokens, i, &rule); !s.ok()) {
+      auto rule = std::make_shared<Rule>();
+      rule->source = command;
+      if (Status s = ParseRule(tokens, i, rule.get()); !s.ok()) {
         return s;
       }
       Chain& chain = table->GetOrCreate(chain_name);
@@ -420,6 +423,7 @@ Status Pftables::Exec(const std::string& command) {
         chain.Append(std::move(rule));
       }
       ReindexAll(*table);
+      engine_->CommitRuleset();
       return Status::Ok();
     }
   }
@@ -476,9 +480,9 @@ std::string Pftables::List(const std::string& table_name) const {
     oss << "Chain " << name << " (" << chain.size() << " rules"
         << (chain.builtin() ? ", builtin" : "") << ")\n";
     size_t idx = 1;
-    for (const Rule& r : chain.rules()) {
-      oss << "  " << idx++ << ". " << RenderRuleSpec(r, labels);
-      oss << "  [evals=" << r.evals << " hits=" << r.hits << "]\n";
+    for (const auto& r : chain.rules()) {
+      oss << "  " << idx++ << ". " << RenderRuleSpec(*r, labels);
+      oss << "  [evals=" << r->evals.load() << " hits=" << r->hits.load() << "]\n";
     }
   }
   return oss.str();
@@ -500,9 +504,9 @@ std::string Pftables::Save(const std::string& table_name) const {
     }
   }
   for (const auto& [name, chain] : table->chains()) {
-    for (const Rule& r : chain.rules()) {
+    for (const auto& r : chain.rules()) {
       oss << "pftables -t " << table_name << " -A " << name << " "
-          << RenderRuleSpec(r, labels) << "\n";
+          << RenderRuleSpec(*r, labels) << "\n";
     }
   }
   return oss.str();
@@ -529,9 +533,11 @@ Status Pftables::Restore(const std::string& dump) {
 void Pftables::ZeroCounters() {
   for (Table* table : {&engine_->ruleset().filter(), &engine_->ruleset().mangle()}) {
     for (auto& [name, chain] : table->chains()) {
-      for (Rule& r : chain.rules()) {
-        r.evals = 0;
-        r.hits = 0;
+      for (const auto& r : chain.rules()) {
+        // Counters are shared with every published snapshot, so zeroing the
+        // staging rules zeroes the live ones too — no commit needed.
+        r->evals.store(0, std::memory_order_relaxed);
+        r->hits.store(0, std::memory_order_relaxed);
       }
     }
   }

@@ -8,6 +8,7 @@
 #ifndef SRC_CORE_RULE_H_
 #define SRC_CORE_RULE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -91,10 +92,12 @@ struct Rule {
   // Context requirements of all parts (computed once at install).
   CtxMask needs = 0;
 
-  // Diagnostics / counters.
+  // Diagnostics / counters. Relaxed atomics: rules are evaluated from many
+  // worker threads concurrently, and the counters are shared between the
+  // staging rule base and every published snapshot (ruleset.h).
   std::string source;      // original rule text
-  mutable uint64_t evals = 0;
-  mutable uint64_t hits = 0;
+  mutable std::atomic<uint64_t> evals{0};
+  mutable std::atomic<uint64_t> hits{0};
 
   bool has_program() const { return program_file.ino != sim::kInvalidIno; }
   bool IndexableByEntrypoint() const { return has_program() && entrypoint.has_value(); }

@@ -2,7 +2,7 @@
 
 namespace pf::core {
 
-void Chain::Insert(Rule rule, size_t pos) {
+void Chain::Insert(std::shared_ptr<Rule> rule, size_t pos) {
   if (pos > rules_.size()) {
     pos = rules_.size();
   }
@@ -10,7 +10,7 @@ void Chain::Insert(Rule rule, size_t pos) {
   InvalidateIndex();
 }
 
-void Chain::Append(Rule rule) {
+void Chain::Append(std::shared_ptr<Rule> rule) {
   rules_.push_back(std::move(rule));
   InvalidateIndex();
 }
@@ -37,11 +37,11 @@ void Chain::InvalidateIndex() {
 
 void Chain::BuildIndex() {
   InvalidateIndex();
-  for (const Rule& r : rules_) {
-    if (r.IndexableByEntrypoint()) {
-      by_ept_[EptKey{r.program_file, *r.entrypoint}].push_back(&r);
+  for (const auto& r : rules_) {
+    if (r->IndexableByEntrypoint()) {
+      by_ept_[EptKey{r->program_file, *r->entrypoint}].push_back(r.get());
     } else {
-      plain_.push_back(&r);
+      plain_.push_back(r.get());
     }
   }
   index_built_ = true;

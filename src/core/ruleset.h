@@ -3,10 +3,18 @@
 // with a specific entrypoint, rules indexable by (program, entrypoint) are
 // grouped into per-entrypoint chains and looked up by hash, while the
 // remaining rules are scanned first.
+//
+// Rules are held by shared_ptr so a Chain (and therefore a Table / RuleSet)
+// is cheaply copyable: a copy shares the immutable Rule objects and their
+// counters. The engine exploits this for its RCU-style ruleset swap — each
+// pftables commit publishes a copied snapshot while hook-side readers keep
+// traversing the generation they pinned (see engine.h, "Concurrency model"
+// in DESIGN.md).
 #ifndef SRC_CORE_RULESET_H_
 #define SRC_CORE_RULESET_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,13 +51,13 @@ class Chain {
   Policy policy() const { return policy_; }
   void set_policy(Policy p) { policy_ = p; }
 
-  void Insert(Rule rule, size_t pos);  // pos clamped to [0, size]
-  void Append(Rule rule);
+  void Insert(std::shared_ptr<Rule> rule, size_t pos);  // pos clamped to [0, size]
+  void Append(std::shared_ptr<Rule> rule);
   bool Delete(size_t pos);
   void Flush();
 
-  const std::vector<Rule>& rules() const { return rules_; }
-  std::vector<Rule>& rules() { return rules_; }
+  const std::vector<std::shared_ptr<Rule>>& rules() const { return rules_; }
+  const Rule& rule_at(size_t i) const { return *rules_[i]; }
   size_t size() const { return rules_.size(); }
 
   // --- entrypoint index ---
@@ -65,8 +73,10 @@ class Chain {
   std::string name_;
   bool builtin_ = false;
   Policy policy_ = Policy::kAccept;
-  std::vector<Rule> rules_;
+  std::vector<std::shared_ptr<Rule>> rules_;
 
+  // Index entries point at the shared heap-allocated Rule objects, so a
+  // copied Chain's index stays valid without a rebuild.
   bool index_built_ = false;
   std::vector<const Rule*> plain_;
   std::unordered_map<EptKey, std::vector<const Rule*>, EptKeyHash> by_ept_;
@@ -113,7 +123,9 @@ class RuleSet {
     return nullptr;
   }
   Table& filter() { return filter_; }
+  const Table& filter() const { return filter_; }
   Table& mangle() { return mangle_; }
+  const Table& mangle() const { return mangle_; }
   size_t total_rules() const { return filter_.total_rules() + mangle_.total_rules(); }
 
  private:

@@ -96,6 +96,9 @@ class SecurityModule {
     (void)parent;
     (void)child;
   }
+  // Fired after execve replaces the task image (the old address space and
+  // interpreter state are gone; cached unwind context must be dropped).
+  virtual void OnTaskExec(Task& task) { (void)task; }
 };
 
 }  // namespace pf::sim

@@ -4,6 +4,7 @@ namespace pf::sim {
 
 void MacPolicy::Allow(Sid subject, Sid object, uint32_t perms) {
   rules_[Key{subject, object}] |= perms;
+  std::lock_guard<std::mutex> lock(adversary_mu_);
   adversary_cache_.clear();
 }
 
@@ -13,6 +14,7 @@ void MacPolicy::Allow(std::string_view subject, std::string_view object, uint32_
 
 void MacPolicy::MarkUntrusted(Sid subject) {
   untrusted_.insert(subject);
+  std::lock_guard<std::mutex> lock(adversary_mu_);
   adversary_cache_.clear();
 }
 
@@ -40,11 +42,16 @@ constexpr uint8_t kCachedReadable = 1u << 1;
 constexpr uint8_t kCachedValid = 1u << 2;
 }  // namespace
 
-bool MacPolicy::AdversaryWritable(Sid object) const {
-  auto it = adversary_cache_.find(object);
-  if (it != adversary_cache_.end() && (it->second & kCachedValid)) {
-    return (it->second & kCachedWritable) != 0;
+uint8_t MacPolicy::AdversaryBits(Sid object) const {
+  {
+    std::lock_guard<std::mutex> lock(adversary_mu_);
+    auto it = adversary_cache_.find(object);
+    if (it != adversary_cache_.end() && (it->second & kCachedValid)) {
+      return it->second;
+    }
   }
+  // Compute outside the lock: rules_/untrusted_ only mutate on the control
+  // plane, and a duplicate computation stores the same bits.
   uint8_t bits = kCachedValid;
   for (Sid adversary : untrusted_) {
     uint32_t perms = PermsFor(adversary, object);
@@ -55,13 +62,17 @@ bool MacPolicy::AdversaryWritable(Sid object) const {
       bits |= kCachedReadable;
     }
   }
+  std::lock_guard<std::mutex> lock(adversary_mu_);
   adversary_cache_[object] = bits;
-  return (bits & kCachedWritable) != 0;
+  return bits;
+}
+
+bool MacPolicy::AdversaryWritable(Sid object) const {
+  return (AdversaryBits(object) & kCachedWritable) != 0;
 }
 
 bool MacPolicy::AdversaryReadable(Sid object) const {
-  AdversaryWritable(object);  // populates the cache entry
-  return (adversary_cache_[object] & kCachedReadable) != 0;
+  return (AdversaryBits(object) & kCachedReadable) != 0;
 }
 
 bool MacPolicy::IsSyshighSubject(Sid subject) const { return !IsUntrusted(subject); }

@@ -20,6 +20,7 @@
 #define SRC_SIM_MAC_POLICY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -101,11 +102,16 @@ class MacPolicy {
 
   uint32_t PermsFor(Sid subject, Sid object) const;
 
+  uint8_t AdversaryBits(Sid object) const;
+
   LabelRegistry* labels_;
   std::unordered_map<Key, uint32_t, KeyHash> rules_;
   std::unordered_set<Sid> untrusted_;
   bool enforcing_ = false;
-  // Caches for the derived queries; invalidated on policy mutation.
+  // Caches for the derived queries; invalidated on policy mutation. The
+  // mutex makes the lazily-filled cache safe to query from concurrent hook
+  // evaluations (policy mutation stays a control-plane-only operation).
+  mutable std::mutex adversary_mu_;
   mutable std::unordered_map<Sid, uint8_t> adversary_cache_;
 };
 

@@ -166,6 +166,9 @@ int64_t Kernel::SysExecve(Proc& proc, const std::string& path, std::vector<std::
     if (map != nullptr) {
       task.mm.PushFrame(map->base + kEntryOffset, 0, !map->has_frame_pointers);
     }
+    for (auto& m : modules_) {
+      m->OnTaskExec(task);
+    }
   }
   // Run the new program outside the execve scope (it makes its own calls).
   int code = (*entry)(proc);

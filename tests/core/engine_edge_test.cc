@@ -131,7 +131,7 @@ TEST_F(EngineEdgeTest, MacDenialPreemptsTheFirewall) {
 
 TEST_F(EngineEdgeTest, StatsAccounting) {
   ASSERT_TRUE(pft_.Exec("pftables -o FILE_OPEN -d shadow_t -j DROP").ok());
-  engine_->stats().Reset();
+  engine_->ResetStats();
   Run([](Proc& p) {
     p.Open("/etc/shadow", sim::kORdOnly);
     p.Open("/etc/passwd", sim::kORdOnly);
@@ -168,6 +168,81 @@ TEST_F(EngineEdgeTest, RuleOnMangleTableIsInertForNow) {
     EXPECT_GE(p.Open("/etc/passwd", sim::kORdOnly), 0)
         << "only the filter table carries verdicts";
   });
+}
+
+TEST_F(EngineEdgeTest, ForkChildDoesNotInheritUnwindCaches) {
+  // An entrypoint rule forces a stack unwind (and cache fill) on open.
+  ASSERT_TRUE(pft_.Exec("pftables -p /bin/true -i 0x100 -o FILE_OPEN -j DROP").ok());
+  Pid pid = sched().Spawn({.name = "edge", .exe = sim::kBinTrue}, [&](Proc& p) {
+    p.Open("/etc/passwd", sim::kORdOnly);
+    PfTaskState& parent = engine_->TaskState(p.task());
+    parent.dict["k"] = 7;
+    if (parent.stack == nullptr) {
+      p.Exit(3);  // precondition failed: the open did not fill the cache
+      return;
+    }
+    int64_t child = p.Fork([&](Proc& c) {
+      PfTaskState& st = engine_->TaskState(c.task());
+      bool fresh = st.stack == nullptr && st.interp == nullptr;
+      bool inherited = st.dict.count("k") == 1 && st.dict["k"] == 7;
+      c.Exit(fresh ? (inherited ? 0 : 2) : 1);
+    });
+    int status = -1;
+    p.Waitpid(static_cast<Pid>(child), &status);
+    p.Exit(status);
+  });
+  EXPECT_EQ(sched().RunUntilExit(pid), 0)
+      << "1 = stale cache inherited, 2 = dict lost, 3 = cache never filled";
+}
+
+TEST_F(EngineEdgeTest, ExecHookDropsContextCaches) {
+  // Unit-level check of the OnTaskExec contract: the old image's unwind
+  // snapshots must not survive into the new image.
+  ASSERT_TRUE(pft_.Exec("pftables -p /bin/true -i 0x200 -o FILE_OPEN -j DROP").ok());
+  sim::Task task;
+  task.pid = 4141;
+  task.comm = "raw";
+  task.exe = sim::kBinTrue;
+  task.cred.sid = kernel().labels().Intern("staff_t");
+  task.cwd = kernel().vfs().root()->id();
+  task.mm.Reset(kernel().AslrStackBase());
+  kernel().MapImage(task, kernel().LookupNoHooks(sim::kBinTrue), sim::kBinTrue);
+  const sim::Mapping* map = task.mm.FindMappingByPath(sim::kBinTrue);
+  ASSERT_NE(map, nullptr);
+  task.mm.PushFrame(map->base + 0x200, 16, false);
+
+  auto inode = kernel().LookupNoHooks("/etc/passwd");
+  sim::AccessRequest req;
+  req.task = &task;
+  req.op = sim::Op::kFileOpen;
+  req.inode = inode.get();
+  req.id = inode->id();
+  req.syscall_nr = sim::SyscallNr::kOpen;
+  ++task.syscall_count;
+  EXPECT_EQ(engine_->Authorize(req), sim::SysError(sim::Err::kAcces));
+
+  PfTaskState& state = engine_->TaskState(task);
+  ASSERT_NE(state.stack, nullptr) << "the entrypoint rule must fill the cache";
+  engine_->OnTaskExec(task);
+  EXPECT_EQ(state.stack, nullptr);
+  EXPECT_EQ(state.interp, nullptr);
+}
+
+TEST_F(EngineEdgeTest, KernelNotifiesModulesOnExecve) {
+  struct ExecProbe : sim::SecurityModule {
+    int execs = 0;
+    std::string_view ModuleName() const override { return "probe"; }
+    int64_t Authorize(sim::AccessRequest&) override { return 0; }
+    void OnTaskExec(sim::Task&) override { ++execs; }
+  };
+  auto probe = std::make_unique<ExecProbe>();
+  ExecProbe* probe_raw = probe.get();
+  kernel().AddModule(std::move(probe));
+  Pid pid = sched().Spawn({.name = "edge", .exe = sim::kBinSh}, [](Proc& p) {
+    p.Execve(sim::kBinTrue, {sim::kBinTrue}, {});
+  });
+  sched().RunUntilExit(pid);
+  EXPECT_EQ(probe_raw->execs, 1) << "image replacement must fire OnTaskExec once";
 }
 
 }  // namespace

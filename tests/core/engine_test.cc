@@ -213,7 +213,7 @@ TEST_F(EngineTest, DisabledEngineAllowsEverything) {
 
 TEST_F(EngineTest, ContextCacheReusesUnwindsWithinSyscall) {
   ASSERT_TRUE(pft_.Exec("pftables -p /bin/true -i 0x1 -o DIR_SEARCH -j CONTINUE").ok());
-  engine_->stats().Reset();
+  engine_->ResetStats();
   RunTrue([](Proc& p) {
     UserFrame f(p, sim::kBinTrue, 0x1);
     // Deep path: one open triggers several DIR_SEARCH hook invocations.
@@ -261,7 +261,7 @@ TEST_F(EngineTest, EptChainsReduceRuleEvaluations) {
   }
   auto measure = [&](bool ept) {
     engine_->config().ept_chains = ept;
-    engine_->stats().Reset();
+    engine_->ResetStats();
     RunTrue([](Proc& p) {
       UserFrame f(p, sim::kBinTrue, 0x9999);
       p.Open("/etc/passwd", sim::kORdOnly);

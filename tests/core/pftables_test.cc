@@ -31,7 +31,7 @@ TEST_F(PftablesTest, AppendsToInputByDefault) {
   ASSERT_TRUE(pft_.Exec("pftables -t filter -o LNK_FILE_READ -d tmp_t -j DROP").ok());
   const Chain* input = engine_->ruleset().filter().Find("input");
   ASSERT_EQ(input->size(), 1u);
-  const Rule& r = input->rules()[0];
+  const Rule& r = *input->rules()[0];
   EXPECT_EQ(r.op, sim::Op::kLnkFileRead);
   EXPECT_FALSE(r.object.wildcard);
   EXPECT_FALSE(r.object.negate);
@@ -42,7 +42,7 @@ TEST_F(PftablesTest, AppendsToInputByDefault) {
 
 TEST_F(PftablesTest, ParsesNegatedLabelSets) {
   ASSERT_TRUE(pft_.Exec("pftables -d ~{lib_t|textrel_shlib_t|httpd_modules_t} -j DROP").ok());
-  const Rule& r = engine_->ruleset().filter().Find("input")->rules()[0];
+  const Rule& r = *engine_->ruleset().filter().Find("input")->rules()[0];
   EXPECT_TRUE(r.object.negate);
   EXPECT_EQ(r.object.sids.size(), 3u);
   EXPECT_FALSE(r.object.syshigh);
@@ -50,7 +50,7 @@ TEST_F(PftablesTest, ParsesNegatedLabelSets) {
 
 TEST_F(PftablesTest, ParsesSyshigh) {
   ASSERT_TRUE(pft_.Exec("pftables -s SYSHIGH -d ~{SYSHIGH} -j DROP").ok());
-  const Rule& r = engine_->ruleset().filter().Find("input")->rules()[0];
+  const Rule& r = *engine_->ruleset().filter().Find("input")->rules()[0];
   EXPECT_TRUE(r.subject.syshigh);
   EXPECT_FALSE(r.subject.negate);
   EXPECT_TRUE(r.object.syshigh);
@@ -60,7 +60,7 @@ TEST_F(PftablesTest, ParsesSyshigh) {
 TEST_F(PftablesTest, CompilesProgramToInode) {
   ASSERT_TRUE(
       pft_.Exec("pftables -p /lib/ld-2.15.so -i 0x596b -o FILE_OPEN -j DROP").ok());
-  const Rule& r = engine_->ruleset().filter().Find("input")->rules()[0];
+  const Rule& r = *engine_->ruleset().filter().Find("input")->rules()[0];
   EXPECT_TRUE(r.has_program());
   EXPECT_EQ(r.program_file, kernel().LookupNoHooks(sim::kLdso)->id());
   EXPECT_EQ(r.entrypoint, 0x596bu);
@@ -86,10 +86,10 @@ TEST_F(PftablesTest, InsertDeleteFlushChainCommands) {
   ASSERT_TRUE(pft_.Exec("pftables -I input -o FILE_READ -j DROP").ok());
   const Chain* input = engine_->ruleset().filter().Find("input");
   ASSERT_EQ(input->size(), 2u);
-  EXPECT_EQ(input->rules()[0].op, sim::Op::kFileRead) << "-I inserts at the front";
+  EXPECT_EQ(input->rules()[0]->op, sim::Op::kFileRead) << "-I inserts at the front";
   ASSERT_TRUE(pft_.Exec("pftables -D input 1").ok());
   ASSERT_EQ(input->size(), 1u);
-  EXPECT_EQ(input->rules()[0].op, sim::Op::kFileOpen);
+  EXPECT_EQ(input->rules()[0]->op, sim::Op::kFileOpen);
   ASSERT_TRUE(pft_.Exec("pftables -F input").ok());
   EXPECT_EQ(input->size(), 0u);
   EXPECT_FALSE(pft_.Exec("pftables -D input 1").ok());
@@ -100,7 +100,7 @@ TEST_F(PftablesTest, NewChainAndJump) {
   EXPECT_FALSE(pft_.Exec("pftables -N signal_chain").ok()) << "duplicate chain";
   ASSERT_TRUE(
       pft_.Exec("pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN").ok());
-  const Rule& r = engine_->ruleset().filter().Find("input")->rules()[0];
+  const Rule& r = *engine_->ruleset().filter().Find("input")->rules()[0];
   EXPECT_EQ(r.target->jump_chain(), "signal_chain") << "chain names are case-insensitive";
 }
 
@@ -113,9 +113,9 @@ TEST_F(PftablesTest, StateMatchAndTargetOptions) {
                   .ok());
   const Chain* input = engine_->ruleset().filter().Find("input");
   ASSERT_EQ(input->size(), 2u);
-  EXPECT_EQ(input->rules()[0].target->Name(), "STATE");
-  ASSERT_EQ(input->rules()[1].matches.size(), 1u);
-  EXPECT_EQ(input->rules()[1].matches[0]->Name(), "STATE");
+  EXPECT_EQ(input->rules()[0]->target->Name(), "STATE");
+  ASSERT_EQ(input->rules()[1]->matches.size(), 1u);
+  EXPECT_EQ(input->rules()[1]->matches[0]->Name(), "STATE");
 }
 
 TEST_F(PftablesTest, BadModuleOptionsRejected) {

@@ -63,7 +63,7 @@ TEST_F(SaveRestoreTest, ZeroCountersResets) {
   Pid pid = sched().Spawn({.exe = sim::kBinTrue},
                           [](Proc& p) { p.Open("/etc/passwd", sim::kORdOnly); });
   sched().RunUntilExit(pid);
-  const Rule& rule = engine_->ruleset().filter().Find("input")->rules()[0];
+  const Rule& rule = *engine_->ruleset().filter().Find("input")->rules()[0];
   EXPECT_GT(rule.evals, 0u);
   EXPECT_GT(rule.hits, 0u);
   pft_.ZeroCounters();
