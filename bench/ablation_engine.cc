@@ -5,6 +5,8 @@
 //   * linear rule scan vs. entrypoint-indexed chains, over rule-base size
 //   * user-stack unwinding vs. call depth, and the per-syscall context cache
 //   * lazy vs. eager context retrieval
+//   * the verdict cache: steady-state hit path vs. full traversal, with
+//     hit/miss/bypass rates reported as counters
 //   * pftables rule compilation throughput
 
 #include <benchmark/benchmark.h>
@@ -25,6 +27,9 @@ struct EngineFixture {
       sys.InstallRules(SyntheticRuleBase(rules));
     }
     sys.engine->config().ept_chains = indexed;
+    // Off by default so each ablation measures its own mechanism; the
+    // BM_AuthorizeVerdictCache benchmarks opt back in.
+    sys.engine->config().verdict_cache = false;
     task.pid = 77;
     task.comm = "bench";
     task.exe = sim::kBinTrue;
@@ -118,6 +123,54 @@ void BM_LazyVsEagerContext(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LazyVsEagerContext)->Arg(0)->Arg(1);
+
+void ReportVcacheRates(benchmark::State& state, const core::EngineStats& s) {
+  double total =
+      static_cast<double>(s.vcache_hits + s.vcache_misses + s.vcache_bypasses);
+  if (total <= 0) {
+    total = 1;
+  }
+  state.counters["hit_rate"] = static_cast<double>(s.vcache_hits) / total;
+  state.counters["miss_rate"] = static_cast<double>(s.vcache_misses) / total;
+  state.counters["bypass_rate"] = static_cast<double>(s.vcache_bypasses) / total;
+}
+
+// The hot-path payoff: identical repeated access against the paper-sized
+// rule base, cache off (full traversal each time) vs. on (key hash + one
+// shard probe). Arg(1) should report hit_rate ~= 1.
+void BM_AuthorizeVerdictCache(benchmark::State& state) {
+  const bool vcache = state.range(0) != 0;
+  EngineFixture fx(/*frames=*/2, /*rules=*/1218, /*indexed=*/true);
+  fx.sys.engine->config().verdict_cache = vcache;
+  sim::AccessRequest req = fx.OpenRequest();
+  fx.sys.engine->ResetStats();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  ReportVcacheRates(state, fx.sys.engine->stats());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizeVerdictCache)->Arg(0)->Arg(1);
+
+// Stateful rules force the bypass path: the cacheability analysis must pin
+// the whole bucket, so bypass_rate reports 1 and the cache adds only the
+// per-request cacheability check.
+void BM_AuthorizeVerdictCacheStateful(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/64, /*indexed=*/true);
+  core::Pftables pft(fx.sys.engine);
+  pft.Exec("pftables -o FILE_OPEN -d etc_t -j STATE --set --key seen --value 1");
+  fx.sys.engine->config().verdict_cache = true;
+  sim::AccessRequest req = fx.OpenRequest();
+  fx.sys.engine->ResetStats();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  ReportVcacheRates(state, fx.sys.engine->stats());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizeVerdictCacheStateful);
 
 void BM_PftablesCompile(benchmark::State& state) {
   System sys;

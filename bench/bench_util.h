@@ -125,6 +125,68 @@ inline void Caption(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+// Returns the value after "--json" in argv, or nullptr. Benches pass the
+// result to JsonWriter::WriteTo so bench/run_bench.sh can collect
+// machine-readable results (BENCH_engine.json) without scraping tables.
+inline const char* JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+// Minimal nested-object JSON emitter (string keys, double values). Keys are
+// plain identifiers/benchmarks names here, so no escaping is needed.
+class JsonWriter {
+ public:
+  void BeginObject(const std::string& key) {
+    Indent();
+    out_ += '"' + key + "\": {\n";
+    ++depth_;
+    first_in_scope_ = true;
+  }
+  void EndObject() {
+    --depth_;
+    out_ += '\n';
+    out_.append(static_cast<size_t>(depth_ + 1) * 2, ' ');
+    out_ += '}';
+    first_in_scope_ = false;
+  }
+  void Number(const std::string& key, double value) {
+    Indent();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"%s\": %.6f", key.c_str(), value);
+    out_ += buf;
+    first_in_scope_ = false;
+  }
+  void WriteTo(const char* path) {
+    if (path == nullptr) {
+      return;
+    }
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return;
+    }
+    std::fprintf(f, "{\n%s\n}\n", out_.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  void Indent() {
+    if (!first_in_scope_ && !out_.empty()) {
+      out_ += ",\n";
+    }
+    out_.append(static_cast<size_t>(depth_ + 1) * 2, ' ');
+  }
+
+  std::string out_;
+  int depth_ = 0;
+  bool first_in_scope_ = true;
+};
+
 }  // namespace pf::bench
 
 #endif  // BENCH_BENCH_UTIL_H_

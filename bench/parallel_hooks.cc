@@ -211,10 +211,13 @@ int Main(int argc, char** argv) {
     core::EngineConfig cfg;
   };
   std::vector<NamedConfig> configs;
-  core::EngineConfig eptspc;  // defaults: lazy+cache+ept all on
+  core::EngineConfig vcache;  // defaults: lazy+cache+ept+verdict cache all on
+  configs.push_back({"VCACHE", vcache});
+  core::EngineConfig eptspc = vcache;
+  eptspc.verdict_cache = false;
   configs.push_back({"EPTSPC", eptspc});
   if (all_configs) {
-    core::EngineConfig full;
+    core::EngineConfig full = eptspc;
     full.lazy_context = false;
     full.cache_context = false;
     full.ept_chains = false;

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Runs the engine-focused benchmarks and folds their machine-readable
+# outputs into one BENCH_engine.json:
+#
+#   table6_lmbench   us/op for every (syscall, config) cell, incl. VCACHE
+#   table7_macro     macro means + PF Full verdict-cache hit/miss/bypass
+#   ablation_engine  BM_AuthorizeVerdictCache* (ns/op + rate counters)
+#
+# Usage: bench/run_bench.sh [build-dir] [output.json]
+# (run from the repository root; build the default preset first:
+#  cmake --preset default && cmake --build build -j)
+set -eu
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_engine.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/table6_lmbench" --json "$TMP/table6.json"
+"$BUILD/bench/table7_macro" --json "$TMP/table7.json"
+"$BUILD/bench/ablation_engine" \
+  --benchmark_filter='BM_AuthorizeVerdictCache' \
+  --benchmark_out="$TMP/ablation.json" --benchmark_out_format=json
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json, sys, os
+
+tmp, out_path = sys.argv[1], sys.argv[2]
+out = {}
+for name in ("table6", "table7"):
+    with open(os.path.join(tmp, name + ".json")) as f:
+        out.update(json.load(f))
+
+with open(os.path.join(tmp, "ablation.json")) as f:
+    ab = json.load(f)
+out["ablation_engine"] = {
+    b["name"]: {
+        "ns_per_op": b["real_time"],
+        **{k: b[k] for k in ("hit_rate", "miss_rate", "bypass_rate") if k in b},
+    }
+    for b in ab.get("benchmarks", [])
+    if b.get("run_type") != "aggregate"
+}
+
+# Headline acceptance numbers, precomputed for easy inspection.
+t6 = out["table6"]
+out["summary"] = {
+    "stat_full_us": t6["stat"]["FULL"],
+    "stat_eptspc_us": t6["stat"]["EPTSPC"],
+    "stat_vcache_us": t6["stat"]["VCACHE"],
+    "open_close_full_us": t6["open+close"]["FULL"],
+    "open_close_eptspc_us": t6["open+close"]["EPTSPC"],
+    "open_close_vcache_us": t6["open+close"]["VCACHE"],
+    "macro_vcache_hit_rate": out["table7"]["vcache"]["hit_rate"],
+}
+
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+print(json.dumps(out["summary"], indent=2))
+EOF

@@ -8,10 +8,15 @@
 //   CONCACHE  + context caching (reuse unwinds across hooks in a syscall)
 //   LAZYCON   + lazy context retrieval (fetch only what rules need)
 //   EPTSPC    + entrypoint-specific chains (hash lookup instead of scan)
+//   VCACHE    + AVC-style verdict cache (repeat accesses skip traversal)
 //
 // The paper's shape: resource-access syscalls (stat/open) suffer most
 // unoptimized (~110%) and drop to ~10% with all optimizations; non-resource
-// syscalls stay under a few percent.
+// syscalls stay under a few percent. The verdict cache goes beyond the
+// paper's ladder: steady-state repeat accesses skip rule traversal entirely.
+//
+// With --json PATH, machine-readable results (us per op for every cell) are
+// also written to PATH for bench/run_bench.sh to fold into BENCH_engine.json.
 
 #include "bench/bench_util.h"
 
@@ -32,17 +37,28 @@ struct Config {
   core::EngineConfig engine;
 };
 
+// Every rung below VCACHE pins verdict_cache off (it defaults on) so each
+// column still isolates exactly one optimization.
 const Config kConfigs[] = {
     {"DISABLED", false, false, {}},
-    {"BASE", true, false, {.lazy_context = true, .cache_context = true, .ept_chains = true}},
+    {"BASE", true, false,
+     {.lazy_context = true, .cache_context = true, .ept_chains = true,
+      .verdict_cache = false}},
     {"FULL", true, true,
-     {.lazy_context = false, .cache_context = false, .ept_chains = false}},
+     {.lazy_context = false, .cache_context = false, .ept_chains = false,
+      .verdict_cache = false}},
     {"CONCACHE", true, true,
-     {.lazy_context = false, .cache_context = true, .ept_chains = false}},
+     {.lazy_context = false, .cache_context = true, .ept_chains = false,
+      .verdict_cache = false}},
     {"LAZYCON", true, true,
-     {.lazy_context = true, .cache_context = true, .ept_chains = false}},
+     {.lazy_context = true, .cache_context = true, .ept_chains = false,
+      .verdict_cache = false}},
     {"EPTSPC", true, true,
-     {.lazy_context = true, .cache_context = true, .ept_chains = true}},
+     {.lazy_context = true, .cache_context = true, .ept_chains = true,
+      .verdict_cache = false}},
+    {"VCACHE", true, true,
+     {.lazy_context = true, .cache_context = true, .ept_chains = true,
+      .verdict_cache = true}},
 };
 
 struct Workload {
@@ -169,7 +185,7 @@ double MeasureUs(const Config& config, const Workload& work) {
 
 }  // namespace
 
-void Run() {
+void Run(const char* json_path) {
   Caption("Table 6: lmbench microbenchmarks (us per operation; % overhead vs DISABLED)");
   std::printf("%-12s", "syscall");
   for (const Config& c : kConfigs) {
@@ -177,11 +193,15 @@ void Run() {
   }
   std::printf("\n");
 
+  JsonWriter json;
+  json.BeginObject("table6");
   for (const Workload& work : Workloads()) {
     double base = 0;
     std::printf("%-12s", work.name);
+    json.BeginObject(work.name);
     for (const Config& config : kConfigs) {
       double us = MeasureUs(config, work);
+      json.Number(config.name, us);
       if (&config == &kConfigs[0]) {
         base = us;
         std::printf(" %12.3f    ", us);
@@ -190,16 +210,20 @@ void Run() {
       }
       std::fflush(stdout);
     }
+    json.EndObject();
     std::printf("\n");
   }
+  json.EndObject();
+  json.WriteTo(json_path);
   std::printf("\nExpected shape (paper): FULL hits resource syscalls hardest (stat ~110%%),\n"
               "each optimization reduces it, and EPTSPC lands near BASE (<11%% on any\n"
-              "one syscall; <3%% for syscalls not performing resource access).\n");
+              "one syscall; <3%% for syscalls not performing resource access). VCACHE\n"
+              "should pull repeat-access syscalls (stat, open+close) below EPTSPC.\n");
 }
 
 }  // namespace pf::bench
 
-int main() {
-  pf::bench::Run();
+int main(int argc, char** argv) {
+  pf::bench::Run(pf::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

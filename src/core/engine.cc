@@ -92,6 +92,15 @@ Engine* InstallProcessFirewall(sim::Kernel& kernel, EngineConfig config) {
   return raw;
 }
 
+const CompiledChain* CompiledRuleset::FindCompiled(const std::string& chain) const {
+  const Chain* c = rules.filter().Find(chain);
+  if (c == nullptr) {
+    return nullptr;
+  }
+  auto it = compiled.find(c);
+  return it == compiled.end() ? nullptr : &it->second;
+}
+
 void Engine::CommitRuleset() {
   auto snap = std::make_shared<CompiledRuleset>();
   snap->rules = ruleset_;  // shares the Rule objects, copies chain structure
@@ -99,10 +108,79 @@ void Engine::CommitRuleset() {
   snap->output = snap->rules.filter().Find("output");
   snap->create = snap->rules.filter().Find("create");
   snap->syscallbegin = snap->rules.filter().Find("syscallbegin");
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  snap->generation = generation_.load(kRelaxed) + 1;
-  published_ = std::move(snap);
-  generation_.store(published_->generation, std::memory_order_release);
+
+  // --- commit-time compilation ---
+  // Pass 1: per-(chain, op) dispatch buckets with each bucket's own rules'
+  // context-mask union and purity.
+  Table& filter = snap->rules.filter();
+  for (auto& [name, chain] : filter.chains()) {
+    CompiledChain& cc = snap->compiled[&chain];
+    cc.chain = &chain;
+    for (size_t op = 0; op < sim::kOpCount; ++op) {
+      OpBucket& b = cc.ops[op];
+      for (const auto& rule : chain.rules()) {
+        if (rule->op && static_cast<size_t>(*rule->op) != op) {
+          continue;  // the op precheck can never pass; drop at compile time
+        }
+        b.all.push_back(rule.get());
+        b.needs |= rule->needs;
+        b.cacheable = b.cacheable && rule->CacheableByKey();
+        if (chain.index_built() && rule->IndexableByEntrypoint()) {
+          b.has_indexed = true;
+        } else {
+          b.plain.push_back(rule.get());
+        }
+      }
+      if (!b.all.empty()) {
+        cc.op_mask |= 1ull << op;
+      }
+    }
+  }
+  // Pass 2: close needs/cacheable over JUMP edges to a monotone fixpoint.
+  // Iteration (rather than DFS memoization) keeps mutually-recursive chains
+  // correct: a bucket's final value folds every reachable rule, exactly the
+  // set the depth-limited runtime can evaluate.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [chain_ptr, cc] : snap->compiled) {
+      for (size_t op = 0; op < sim::kOpCount; ++op) {
+        OpBucket& b = cc.ops[op];
+        for (const Rule* rule : b.all) {
+          const std::string& jump = rule->target->jump_chain();
+          if (jump.empty()) {
+            continue;
+          }
+          const Chain* next = filter.Find(jump);
+          if (next == nullptr) {
+            continue;
+          }
+          const OpBucket& nb = snap->compiled[next].ops[op];
+          CtxMask needs = b.needs | nb.needs;
+          bool cacheable = b.cacheable && nb.cacheable;
+          if (needs != b.needs || cacheable != b.cacheable) {
+            b.needs = needs;
+            b.cacheable = cacheable;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  snap->cc_input = snap->FindCompiled("input");
+  snap->cc_output = snap->FindCompiled("output");
+  snap->cc_create = snap->FindCompiled("create");
+  snap->cc_syscallbegin = snap->FindCompiled("syscallbegin");
+
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    snap->generation = generation_.load(kRelaxed) + 1;
+    published_ = std::move(snap);
+    generation_.store(published_->generation, std::memory_order_release);
+  }
+  // Entries of dead generations are unreachable by key; clear them out so
+  // frequent commits do not pin stale verdicts in memory.
+  vcache_.Clear();
 }
 
 const CompiledRuleset& Engine::PinRuleset(std::shared_ptr<const CompiledRuleset>* hold) {
@@ -123,6 +201,43 @@ const CompiledRuleset& Engine::PinRuleset(std::shared_ptr<const CompiledRuleset>
   return **hold;
 }
 
+// --- VerdictCache ------------------------------------------------------------
+
+std::optional<bool> VerdictCache::Lookup(const VerdictKey& key, size_t hash) const {
+  const Shard& shard = shards_[hash & (kShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void VerdictCache::Insert(const VerdictKey& key, size_t hash, bool drop) {
+  Shard& shard = shards_[hash & (kShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMaxPerShard) {
+    shard.map.clear();  // memo, not truth: dump the shard and let it refill
+  }
+  shard.map[key] = drop;
+}
+
+void VerdictCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+size_t VerdictCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
 EngineStatsBlock& Engine::StatsLocal() {
   return stats_blocks_[WorkerIndex() & (kStatsBlocks - 1)];
 }
@@ -138,6 +253,9 @@ EngineStats Engine::stats() const {
     out.unwinds += b.unwinds.load(kRelaxed);
     out.unwind_cache_hits += b.unwind_cache_hits.load(kRelaxed);
     out.ruleset_refreshes += b.ruleset_refreshes.load(kRelaxed);
+    out.vcache_hits += b.vcache_hits.load(kRelaxed);
+    out.vcache_misses += b.vcache_misses.load(kRelaxed);
+    out.vcache_bypasses += b.vcache_bypasses.load(kRelaxed);
     for (size_t i = 0; i < out.ctx_fetches.size(); ++i) {
       out.ctx_fetches[i] += b.ctx_fetches[i].load(kRelaxed);
     }
@@ -155,6 +273,9 @@ void Engine::ResetStats() {
     b.unwinds.store(0, kRelaxed);
     b.unwind_cache_hits.store(0, kRelaxed);
     b.ruleset_refreshes.store(0, kRelaxed);
+    b.vcache_hits.store(0, kRelaxed);
+    b.vcache_misses.store(0, kRelaxed);
+    b.vcache_bypasses.store(0, kRelaxed);
     for (auto& c : b.ctx_fetches) {
       c.store(0, kRelaxed);
     }
@@ -190,9 +311,8 @@ void Engine::OnTaskExec(sim::Task& task) {
   if (!state) {
     return;
   }
-  std::lock_guard<std::mutex> lock(state->mu);
-  state->stack.reset();
-  state->interp.reset();
+  state->stack.store(nullptr, std::memory_order_release);
+  state->interp.store(nullptr, std::memory_order_release);
 }
 
 // --- context modules ---------------------------------------------------------
@@ -246,9 +366,9 @@ void Engine::FetchStack(Packet& pkt) {
   PfTaskState& state = TaskState(task);
   std::shared_ptr<const StackSnapshot> snap;
   if (config_.cache_context) {
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (state.stack && state.stack->serial == task.syscall_count) {
-      snap = state.stack;
+    snap = state.stack.load(std::memory_order_acquire);
+    if (snap && snap->serial != task.syscall_count) {
+      snap = nullptr;  // stale: belongs to an earlier system call
     }
   }
   if (snap) {
@@ -261,8 +381,9 @@ void Engine::FetchStack(Packet& pkt) {
     fresh->frames = std::move(res.frames);
     fresh->status = res.status;
     snap = std::move(fresh);
-    std::lock_guard<std::mutex> lock(state.mu);
-    state.stack = snap;
+    // Single publication (no check/unlock/relock round-trip): a concurrent
+    // refresh for the same syscall stores an equally-valid snapshot.
+    state.stack.store(snap, std::memory_order_release);
   }
   pkt.stack = &snap->frames;
   pkt.stack_status = snap->status;
@@ -281,9 +402,9 @@ void Engine::FetchInterp(Packet& pkt) {
   PfTaskState& state = TaskState(task);
   std::shared_ptr<const InterpSnapshot> snap;
   if (config_.cache_context) {
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (state.interp && state.interp->serial == task.syscall_count) {
-      snap = state.interp;
+    snap = state.interp.load(std::memory_order_acquire);
+    if (snap && snap->serial != task.syscall_count) {
+      snap = nullptr;
     }
   }
   if (!snap) {
@@ -293,8 +414,7 @@ void Engine::FetchInterp(Packet& pkt) {
     fresh->frames = std::move(res.frames);
     fresh->status = res.status;
     snap = std::move(fresh);
-    std::lock_guard<std::mutex> lock(state.mu);
-    state.interp = snap;
+    state.interp.store(snap, std::memory_order_release);
   }
   pkt.interp = &snap->frames;
   pkt.interp_status = snap->status;
@@ -402,17 +522,28 @@ Engine::Verdict Engine::EvalRule(const CompiledRuleset& rs, const Rule& rule, Pa
                                  int depth) {
   StatsLocal().rules_evaluated.fetch_add(1, kRelaxed);
   rule.evals.fetch_add(1, kRelaxed);
+  const sim::AccessRequest& req = *pkt.req;
+  // Contextless prechecks first, then one context round-trip: rule.needs is
+  // the install-time union of the default matches, every -m module, and the
+  // target, so the EnsureContext calls inside DefaultMatches and the modules
+  // all short-circuit on the bitmask.
+  if (rule.op && *rule.op != req.op) {
+    return Verdict::kFallthrough;
+  }
+  if (!rule.subject.wildcard &&
+      !rule.subject.MatchesSubject(req.task->cred.sid, kernel_.policy())) {
+    return Verdict::kFallthrough;
+  }
+  EnsureContext(pkt, rule.needs);
   if (!DefaultMatches(rule, pkt)) {
     return Verdict::kFallthrough;
   }
   for (const auto& match : rule.matches) {
-    EnsureContext(pkt, match->Needs());
     if (!match->Matches(pkt, *this)) {
       return Verdict::kFallthrough;
     }
   }
   rule.hits.fetch_add(1, kRelaxed);
-  EnsureContext(pkt, rule.target->Needs());
   switch (rule.target->Fire(pkt, *this)) {
     case TargetKind::kAccept:
       return Verdict::kAccept;
@@ -423,7 +554,7 @@ Engine::Verdict Engine::EvalRule(const CompiledRuleset& rs, const Rule& rule, Pa
     case TargetKind::kReturn:
       return Verdict::kReturn;  // ends this chain; caller continues
     case TargetKind::kJump: {
-      const Chain* next = rs.rules.filter().Find(rule.target->jump_chain());
+      const CompiledChain* next = rs.FindCompiled(rule.target->jump_chain());
       if (next != nullptr && depth < kMaxChainDepth) {
         Verdict v = TraverseChain(rs, *next, pkt, depth + 1);
         if (v == Verdict::kAccept || v == Verdict::kDrop) {
@@ -448,31 +579,22 @@ Engine::Verdict Engine::EvalRules(const CompiledRuleset& rs,
   return Verdict::kFallthrough;
 }
 
-Engine::Verdict Engine::EvalRulesLinear(const CompiledRuleset& rs,
-                                        const std::vector<std::shared_ptr<Rule>>& rules,
-                                        Packet& pkt, int depth) {
-  for (const auto& rule : rules) {
-    Verdict v = EvalRule(rs, *rule, pkt, depth);
-    if (v != Verdict::kFallthrough) {
-      return v;
-    }
-  }
-  return Verdict::kFallthrough;
-}
-
-Engine::Verdict Engine::TraverseChain(const CompiledRuleset& rs, const Chain& chain,
+Engine::Verdict Engine::TraverseChain(const CompiledRuleset& rs, const CompiledChain& cc,
                                       Packet& pkt, int depth) {
   if (depth >= kMaxChainDepth) {
     return Verdict::kFallthrough;
   }
+  const Chain& chain = *cc.chain;
+  const OpBucket& bucket = cc.ops[static_cast<size_t>(pkt.req->op)];
   if (config_.ept_chains && chain.index_built()) {
     // Non-entrypoint rules first (paper §4.3), then the hash-selected
-    // entrypoint chain.
-    Verdict v = EvalRules(rs, chain.plain_rules(), pkt, depth);
+    // entrypoint chain. The per-op bucket already excludes rules whose -o
+    // operand cannot match.
+    Verdict v = EvalRules(rs, bucket.plain, pkt, depth);
     if (v != Verdict::kFallthrough) {
       return v;
     }
-    if (chain.indexed_entrypoints() > 0) {
+    if (bucket.has_indexed) {
       EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
       if (pkt.entrypoint_valid) {
         const auto* rules =
@@ -485,8 +607,21 @@ Engine::Verdict Engine::TraverseChain(const CompiledRuleset& rs, const Chain& ch
     }
     return Verdict::kFallthrough;
   }
-  // Linear traversal.
-  return EvalRulesLinear(rs, chain.rules(), pkt, depth);
+  // Linear traversal of the op's bucket (chain order preserved).
+  return EvalRules(rs, bucket.all, pkt, depth);
+}
+
+// Runs one builtin chain and applies its default policy on fallthrough.
+Engine::Verdict Engine::RunBuiltin(const CompiledRuleset& rs, const CompiledChain& cc,
+                                   Packet& pkt) {
+  Verdict v = TraverseChain(rs, cc, pkt, 0);
+  if (v == Verdict::kReturn) {
+    v = Verdict::kFallthrough;
+  }
+  if (v == Verdict::kFallthrough && cc.chain->policy() == Chain::Policy::kDrop) {
+    v = Verdict::kDrop;
+  }
+  return v;
 }
 
 int64_t Engine::Authorize(sim::AccessRequest& req) {
@@ -497,52 +632,107 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
   sb.invocations.fetch_add(1, kRelaxed);
   std::shared_ptr<const CompiledRuleset> hold;
   const CompiledRuleset& rs = PinRuleset(&hold);
+
+  // Builtin chains this operation traverses, in order (create -> output ->
+  // input, paper template T2). The commit-time op-coverage mask skips chains
+  // with no rule that can match this op — when none remain, the default
+  // allow costs neither a Packet nor any per-task state.
+  const size_t op_index = static_cast<size_t>(req.op);
+  const CompiledChain* applicable[3];
+  size_t num_applicable = 0;
+  auto consider = [&](const CompiledChain* cc) {
+    if (cc != nullptr && (((cc->op_mask >> op_index) & 1) != 0 ||
+                          cc->chain->policy() == Chain::Policy::kDrop)) {
+      applicable[num_applicable++] = cc;
+    }
+  };
+  if (req.op == sim::Op::kSyscallBegin) {
+    consider(rs.cc_syscallbegin);
+  } else {
+    // Creation operations consult the create chain first (template T2),
+    // write-type operations additionally the output chain, then everything
+    // falls through to input.
+    if (req.op == sim::Op::kFileCreate || req.op == sim::Op::kDirAddName ||
+        req.op == sim::Op::kSocketBind) {
+      consider(rs.cc_create);
+    }
+    if (IsOutputOp(req.op)) {
+      consider(rs.cc_output);
+    }
+    consider(rs.cc_input);
+  }
+  if (num_applicable == 0) {
+    return 0;
+  }
+
   Packet pkt;
   pkt.req = &req;
   if (!config_.lazy_context) {
     EnsureContext(pkt, kAllCtx);
   }
-  PfTaskState& state = TaskState(*req.task);
-  state.traversal_depth.fetch_add(1, kRelaxed);
-  Verdict verdict = Verdict::kFallthrough;
 
-  // Runs one builtin chain and applies its default policy on fallthrough.
-  auto run_builtin = [&](const Chain& chain) -> Verdict {
-    Verdict v = TraverseChain(rs, chain, pkt, 0);
-    if (v == Verdict::kReturn) {
-      v = Verdict::kFallthrough;
+  // Verdict-cache probe: only when every applicable bucket is pure — its
+  // verdict a function of the key alone. Stateful chains (STATE, LOG,
+  // SYSCALL_ARGS, signal/interp/stack readers) bypass the cache entirely.
+  bool cacheable = config_.verdict_cache;
+  CtxMask needs = 0;
+  for (size_t i = 0; i < num_applicable; ++i) {
+    const OpBucket& bucket = applicable[i]->ops[op_index];
+    cacheable = cacheable && bucket.cacheable;
+    needs |= bucket.needs;
+  }
+  VerdictKey key;
+  size_t key_hash = 0;
+  bool insert_on_miss = false;
+  bool drop = false;
+  bool decided = false;
+  if (cacheable) {
+    key.generation = rs.generation;
+    key.mac_epoch = kernel_.policy().epoch();
+    key.op = static_cast<uint32_t>(req.op);
+    key.subject_sid = req.task->cred.sid;
+    if (req.inode != nullptr) {
+      key.flags |= VerdictKey::kHasObject;
+      key.object = req.id;
+      key.object_generation = req.inode->generation;
+      key.object_sid = req.inode->sid;
     }
-    if (v == Verdict::kFallthrough && chain.policy() == Chain::Policy::kDrop) {
-      v = Verdict::kDrop;
-    }
-    return v;
-  };
-
-  if (req.op == sim::Op::kSyscallBegin) {
-    if (rs.syscallbegin->size() > 0 ||
-        rs.syscallbegin->policy() == Chain::Policy::kDrop) {
-      verdict = run_builtin(*rs.syscallbegin);
-    }
-  } else {
-    // Creation operations consult the create chain first (template T2).
-    if (req.op == sim::Op::kFileCreate || req.op == sim::Op::kDirAddName ||
-        req.op == sim::Op::kSocketBind) {
-      if (rs.create->size() > 0 || rs.create->policy() == Chain::Policy::kDrop) {
-        verdict = run_builtin(*rs.create);
+    if ((needs & (CtxBit(Ctx::kEntrypoint) | CtxBit(Ctx::kUserStack))) != 0) {
+      // Some applicable rule reads the entrypoint, so it is a verdict input;
+      // fetch it (cached across hooks of this syscall) and key on it.
+      key.flags |= VerdictKey::kEptInKey;
+      EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
+      if (pkt.entrypoint_valid) {
+        key.flags |= VerdictKey::kEptValid;
+        key.ept_image = pkt.entrypoint.image;
+        key.ept_offset = pkt.entrypoint.offset;
       }
     }
-    // Write-type operations additionally traverse the output chain.
-    if (verdict == Verdict::kFallthrough && IsOutputOp(req.op) &&
-        (rs.output->size() > 0 || rs.output->policy() == Chain::Policy::kDrop)) {
-      verdict = run_builtin(*rs.output);
+    key_hash = VerdictKeyHash()(key);
+    if (std::optional<bool> cached = vcache_.Lookup(key, key_hash)) {
+      sb.vcache_hits.fetch_add(1, kRelaxed);
+      drop = *cached;
+      decided = true;
+    } else {
+      sb.vcache_misses.fetch_add(1, kRelaxed);
+      insert_on_miss = true;
     }
-    if (verdict == Verdict::kFallthrough &&
-        (rs.input->size() > 0 || rs.input->policy() == Chain::Policy::kDrop)) {
-      verdict = run_builtin(*rs.input);
+  } else if (config_.verdict_cache) {
+    sb.vcache_bypasses.fetch_add(1, kRelaxed);
+  }
+
+  if (!decided) {
+    Verdict verdict = Verdict::kFallthrough;
+    for (size_t i = 0; i < num_applicable && verdict == Verdict::kFallthrough; ++i) {
+      verdict = RunBuiltin(rs, *applicable[i], pkt);
+    }
+    drop = verdict == Verdict::kDrop;
+    if (insert_on_miss) {
+      vcache_.Insert(key, key_hash, drop);
     }
   }
-  state.traversal_depth.fetch_sub(1, kRelaxed);
-  if (verdict == Verdict::kDrop) {
+
+  if (drop) {
     if (config_.audit_only) {
       // Permissive deployment: log what enforcement would have denied.
       sb.audited_drops.fetch_add(1, kRelaxed);

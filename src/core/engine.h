@@ -11,6 +11,9 @@
 //   CONCACHE = {lazy_context=false, cache_context=true,  ept_chains=false}
 //   LAZYCON  = {lazy_context=true,  cache_context=true,  ept_chains=false}
 //   EPTSPC   = {lazy_context=true,  cache_context=true,  ept_chains=true}
+//   VCACHE   = EPTSPC + verdict_cache (commit-time compilation + AVC-style
+//              verdict cache; see DESIGN.md "Verdict cache and commit-time
+//              compilation")
 //
 // Concurrency model (paper §5.1 makes the hooks re-entrant "without
 // disabling interrupts"; here the same property is carried to real worker
@@ -38,6 +41,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -53,6 +57,11 @@ struct EngineConfig {
   bool lazy_context = true;   // fetch context only when a rule needs it
   bool cache_context = true;  // reuse unwinds across hooks within a syscall
   bool ept_chains = true;     // entrypoint-specific chain index
+  // AVC-style verdict cache: requests whose applicable chains are pure
+  // (commit-time classification) are served from a sharded hash of final
+  // verdicts instead of re-traversing the rule base. Chains with stateful or
+  // side-effecting rules (STATE, LOG, SYSCALL_ARGS, ...) bypass the cache.
+  bool verdict_cache = true;
   // Audit mode: evaluate rules and count/log would-be denials, but allow
   // everything. This is how an OS distributor shakes out false positives
   // before enforcing a generated rule base (paper §6.3.2).
@@ -70,6 +79,9 @@ struct EngineStats {
   uint64_t unwinds = 0;
   uint64_t unwind_cache_hits = 0;
   uint64_t ruleset_refreshes = 0;  // per-worker snapshot re-pins
+  uint64_t vcache_hits = 0;        // verdicts served without traversal
+  uint64_t vcache_misses = 0;      // traversed, then inserted
+  uint64_t vcache_bypasses = 0;    // stateful chains: never cached
   std::array<uint64_t, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
 };
 
@@ -85,6 +97,9 @@ struct alignas(64) EngineStatsBlock {
   std::atomic<uint64_t> unwinds{0};
   std::atomic<uint64_t> unwind_cache_hits{0};
   std::atomic<uint64_t> ruleset_refreshes{0};
+  std::atomic<uint64_t> vcache_hits{0};
+  std::atomic<uint64_t> vcache_misses{0};
+  std::atomic<uint64_t> vcache_bypasses{0};
   std::array<std::atomic<uint64_t>, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
 };
 
@@ -108,20 +123,22 @@ struct InterpSnapshot {
 };
 
 // Per-task Process Firewall state (the struct task_struct extension of the
-// paper, held in the engine's shard table keyed by task id).
+// paper, held in the engine's shard table keyed by task id). Created lazily:
+// only tasks that actually hit a stateful rule or a context unwind get one —
+// the authorization fast path never touches the shard table.
 struct PfTaskState {
-  // Guards dict and the cache slots. Held only for pointer-sized critical
-  // sections; unwinding itself runs outside the lock.
+  // Guards dict only. Held for pointer-sized critical sections.
   std::mutex mu;
 
   // STATE match/target dictionary.
   std::map<std::string, int64_t> dict;
 
-  // Context caches (null until first fill; reset on execve).
-  std::shared_ptr<const StackSnapshot> stack;
-  std::shared_ptr<const InterpSnapshot> interp;
-
-  std::atomic<int> traversal_depth{0};
+  // Context caches (null until first fill; reset on execve). Atomic
+  // shared_ptr slots: a cache hit is one acquire load, a miss publishes its
+  // snapshot with one release store — no lock round-trips on either path,
+  // and a racing refresh simply wins with its own equally-valid snapshot.
+  std::atomic<std::shared_ptr<const StackSnapshot>> stack;
+  std::atomic<std::shared_ptr<const InterpSnapshot>> interp;
 };
 
 // Lock-striped per-task state table. Striping bounds contention when many
@@ -152,9 +169,34 @@ class TaskStateStore {
   std::array<Shard, kShards> shards_;
 };
 
+// Per-(chain, op) dispatch bucket, computed once per commit. `all` holds the
+// chain's rules that can match the op (rules whose -o operand is absent or
+// equal), in chain order; `plain` is the non-entrypoint-indexable subset used
+// when the chain's entrypoint index is active. `needs` and `cacheable` are
+// transitive over JUMP targets: the union of every reachable rule's context
+// mask, and whether every reachable rule is a pure function of the
+// verdict-cache key.
+struct OpBucket {
+  std::vector<const Rule*> all;
+  std::vector<const Rule*> plain;
+  CtxMask needs = 0;
+  bool cacheable = true;
+  bool has_indexed = false;  // some entrypoint-indexed rule can match the op
+};
+
+// A chain plus its per-op dispatch table. `op_mask` bit i is set when
+// ops[i].all is non-empty, so Authorize can skip a whole chain with one
+// bit test.
+struct CompiledChain {
+  const Chain* chain = nullptr;
+  uint64_t op_mask = 0;
+  std::array<OpBucket, sim::kOpCount> ops;
+};
+
 // One published generation of the rule base: a structural copy of the
 // staging RuleSet (sharing the heap-allocated Rule objects) with the builtin
-// chains resolved once.
+// chains resolved once and the commit-time compilation results (per-op
+// dispatch tables, transitive purity) attached.
 struct CompiledRuleset {
   RuleSet rules;
   uint64_t generation = 0;
@@ -162,6 +204,84 @@ struct CompiledRuleset {
   const Chain* output = nullptr;
   const Chain* create = nullptr;
   const Chain* syscallbegin = nullptr;
+
+  // Compilation results for every filter-table chain, keyed by the chain
+  // object inside `rules` (std::map gives the chains stable addresses).
+  std::map<const Chain*, CompiledChain> compiled;
+  const CompiledChain* cc_input = nullptr;
+  const CompiledChain* cc_output = nullptr;
+  const CompiledChain* cc_create = nullptr;
+  const CompiledChain* cc_syscallbegin = nullptr;
+
+  const CompiledChain* FindCompiled(const std::string& chain) const;
+};
+
+// Verdict-cache key: every input a *pure* traversal can read. The ruleset
+// generation covers rule commits, the MAC epoch covers policy/label mutation
+// (adversary accessibility, SYSHIGH), the object generation covers inode
+// recycling, and relabels move object_sid. Entrypoint fields participate
+// only when some applicable rule needs entrypoint context (kEptInKey), so
+// pure non-entrypoint rulesets never force an unwind. Per-task state is
+// never an input to a pure traversal, and the task-varying inputs that are
+// (subject sid, entrypoint) sit in the key — so execve/exit need no sweep.
+struct VerdictKey {
+  enum Flags : uint32_t {
+    kHasObject = 1u << 0,
+    kEptInKey = 1u << 1,
+    kEptValid = 1u << 2,
+  };
+
+  uint64_t generation = 0;
+  uint64_t mac_epoch = 0;
+  uint32_t op = 0;
+  uint32_t flags = 0;
+  sim::Sid subject_sid = sim::kInvalidSid;
+  sim::Sid object_sid = sim::kInvalidSid;
+  sim::FileId object;
+  uint64_t object_generation = 0;
+  sim::FileId ept_image;
+  uint64_t ept_offset = 0;
+
+  bool operator==(const VerdictKey&) const = default;
+};
+
+struct VerdictKeyHash {
+  size_t operator()(const VerdictKey& k) const {
+    size_t h = std::hash<uint64_t>()(k.generation);
+    h = HashCombine(h, std::hash<uint64_t>()(k.mac_epoch));
+    h = HashCombine(h, std::hash<uint64_t>()((static_cast<uint64_t>(k.op) << 32) | k.flags));
+    h = HashCombine(h, std::hash<uint64_t>()((static_cast<uint64_t>(k.subject_sid) << 32) |
+                                             k.object_sid));
+    h = HashCombine(h, sim::FileIdHash()(k.object));
+    h = HashCombine(h, std::hash<uint64_t>()(k.object_generation));
+    h = HashCombine(h, sim::FileIdHash()(k.ept_image));
+    h = HashCombine(h, std::hash<uint64_t>()(k.ept_offset));
+    return h;
+  }
+};
+
+// Sharded, lock-striped verdict cache (the SELinux AVC analogue). Stores the
+// final accept/drop of pure traversals; invalidation is by key construction
+// (see VerdictKey), so the only maintenance is clearing dead generations on
+// commit and dumping a shard that grows past its cap — the cache is a memo,
+// never a source of truth.
+class VerdictCache {
+ public:
+  static constexpr size_t kShards = 16;        // power of two
+  static constexpr size_t kMaxPerShard = 4096; // dump-and-refill threshold
+
+  std::optional<bool> Lookup(const VerdictKey& key, size_t hash) const;
+  void Insert(const VerdictKey& key, size_t hash, bool drop);
+  void Clear();
+  size_t size() const;
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<VerdictKey, bool, VerdictKeyHash> map;
+  };
+
+  std::array<Shard, kShards> shards_;
 };
 
 class Engine : public sim::SecurityModule {
@@ -219,13 +339,11 @@ class Engine : public sim::SecurityModule {
 
   EngineStatsBlock& StatsLocal();
 
-  Verdict TraverseChain(const CompiledRuleset& rs, const Chain& chain, Packet& pkt,
+  Verdict RunBuiltin(const CompiledRuleset& rs, const CompiledChain& cc, Packet& pkt);
+  Verdict TraverseChain(const CompiledRuleset& rs, const CompiledChain& cc, Packet& pkt,
                         int depth);
   Verdict EvalRules(const CompiledRuleset& rs, const std::vector<const Rule*>& rules,
                     Packet& pkt, int depth);
-  Verdict EvalRulesLinear(const CompiledRuleset& rs,
-                          const std::vector<std::shared_ptr<Rule>>& rules, Packet& pkt,
-                          int depth);
   Verdict EvalRule(const CompiledRuleset& rs, const Rule& rule, Packet& pkt, int depth);
   bool DefaultMatches(const Rule& rule, Packet& pkt);
 
@@ -242,6 +360,7 @@ class Engine : public sim::SecurityModule {
   size_t slot_ = 0;
 
   TaskStateStore states_;
+  VerdictCache vcache_;
 
   // --- RCU-style ruleset publication ---
   static constexpr size_t kMaxWorkers = 64;

@@ -118,6 +118,26 @@ CtxMask Operand::Needs() const {
   return 0;
 }
 
+bool Operand::CoveredByVerdictKey() const {
+  if (!is_var) {
+    return true;
+  }
+  switch (var) {
+    case CtxVar::kIno:
+    case CtxVar::kGen:
+    case CtxVar::kDev:
+    case CtxVar::kSid:
+      // Object identity fields; all present in the verdict-cache key, and
+      // relabels / inode replacement move the key with them.
+      return true;
+    default:
+      // C_DAC_OWNER changes under chown without moving any key component;
+      // symlink-target fields are re-resolved per access (TOCTTOU window);
+      // pid/uid/sig/syscall vary per request outside the key.
+      return false;
+  }
+}
+
 std::string Operand::Render() const {
   if (is_var) {
     return std::string(CtxVarName(var));

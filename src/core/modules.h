@@ -25,6 +25,12 @@ struct Operand {
   static std::optional<Operand> Parse(const std::string& token);
   std::optional<int64_t> Eval(const Packet& pkt) const;
   CtxMask Needs() const;
+  // Whether the operand's value is determined by the engine's verdict-cache
+  // key: literals and the object-identity variables (C_INO, C_GEN, C_DEV,
+  // C_SID). Owner uids (chown does not move any key component), symlink
+  // targets (re-resolved per access), and process/syscall/signal variables
+  // are not covered.
+  bool CoveredByVerdictKey() const;
   std::string Render() const;
 };
 
@@ -77,6 +83,9 @@ class CompareMatch : public MatchModule {
                        std::unique_ptr<MatchModule>* out);
   std::string_view Name() const override { return "COMPARE"; }
   CtxMask Needs() const override { return v1.Needs() | v2.Needs(); }
+  bool CacheableByKey() const override {
+    return v1.CoveredByVerdictKey() && v2.CoveredByVerdictKey();
+  }
   bool Matches(Packet& pkt, Engine& engine) const override;
   std::string Render() const override;
 
@@ -106,6 +115,7 @@ class VerdictTarget : public TargetModule {
  public:
   explicit VerdictTarget(TargetKind kind) : kind_(kind) {}
   std::string_view Name() const override;
+  bool CacheableByKey() const override { return true; }  // pure verdict
   TargetKind Fire(Packet& pkt, Engine& engine) const override;
   std::string Render() const override { return std::string(Name()); }
 
@@ -117,6 +127,9 @@ class JumpTarget : public TargetModule {
  public:
   explicit JumpTarget(std::string chain) : chain_(std::move(chain)) {}
   std::string_view Name() const override { return "JUMP"; }
+  // The jump itself is pure; the reachable chain's purity is folded in by
+  // the commit-time transitive closure.
+  bool CacheableByKey() const override { return true; }
   TargetKind Fire(Packet&, Engine&) const override { return TargetKind::kJump; }
   const std::string& jump_chain() const override { return chain_; }
   std::string Render() const override { return chain_; }

@@ -29,9 +29,16 @@ struct EptKey {
   bool operator==(const EptKey&) const = default;
 };
 
+// Boost-style hash combine. A plain XOR of the two component hashes made
+// every `offset == 0` key hash to FileIdHash(file) ^ hash(0) — all
+// call-site-less keys of one binary collapsed into a single bucket chain.
+inline size_t HashCombine(size_t h1, size_t h2) {
+  return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+}
+
 struct EptKeyHash {
   size_t operator()(const EptKey& k) const {
-    return sim::FileIdHash()(k.file) ^ std::hash<uint64_t>()(k.offset * 0x9e3779b97f4a7c15ULL);
+    return HashCombine(sim::FileIdHash()(k.file), std::hash<uint64_t>()(k.offset));
   }
 };
 

@@ -4,6 +4,7 @@ namespace pf::sim {
 
 void MacPolicy::Allow(Sid subject, Sid object, uint32_t perms) {
   rules_[Key{subject, object}] |= perms;
+  BumpEpoch();
   std::lock_guard<std::mutex> lock(adversary_mu_);
   adversary_cache_.clear();
 }
@@ -14,6 +15,7 @@ void MacPolicy::Allow(std::string_view subject, std::string_view object, uint32_
 
 void MacPolicy::MarkUntrusted(Sid subject) {
   untrusted_.insert(subject);
+  BumpEpoch();
   std::lock_guard<std::mutex> lock(adversary_mu_);
   adversary_cache_.clear();
 }

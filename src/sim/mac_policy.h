@@ -19,6 +19,7 @@
 #ifndef SRC_SIM_MAC_POLICY_H_
 #define SRC_SIM_MAC_POLICY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string_view>
@@ -60,8 +61,18 @@ class MacPolicy {
 
   // Whether MAC denials are enforced; when false the policy is permissive
   // and only label bookkeeping and derived queries are active.
-  void set_enforcing(bool on) { enforcing_ = on; }
+  void set_enforcing(bool on) {
+    enforcing_ = on;
+    BumpEpoch();
+  }
   bool enforcing() const { return enforcing_; }
+
+  // Monotonic mutation counter, bumped on every policy change (allow rules,
+  // untrusted set, enforcing mode). Derived queries such as adversary
+  // accessibility and SYSHIGH membership can only change when the epoch
+  // moves, so caches keyed on the epoch (the engine's verdict cache) are
+  // invalidated by construction.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   // Enforcement query (subject to `enforcing()`, root is not exempt in MAC).
   bool Check(Sid subject, Sid object, uint32_t perms) const;
@@ -104,6 +115,8 @@ class MacPolicy {
 
   uint8_t AdversaryBits(Sid object) const;
 
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
+
   LabelRegistry* labels_;
   std::unordered_map<Key, uint32_t, KeyHash> rules_;
   std::unordered_set<Sid> untrusted_;
@@ -113,6 +126,7 @@ class MacPolicy {
   // evaluations (policy mutation stays a control-plane-only operation).
   mutable std::mutex adversary_mu_;
   mutable std::unordered_map<Sid, uint8_t> adversary_cache_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace pf::sim

@@ -1,8 +1,9 @@
-// Ablation equivalence: the three engine optimizations (context caching,
-// lazy context, entrypoint chains) are performance knobs, not semantics.
-// All four Table-6 configurations must produce byte-identical verdict
-// sequences — and identical per-task STATE dictionaries — on a randomized
-// workload of opens, binds, signal deliveries, and syscall entries.
+// Ablation equivalence: the engine optimizations (context caching, lazy
+// context, entrypoint chains, and the verdict cache) are performance knobs,
+// not semantics. All Table-6 configurations must produce byte-identical
+// verdict sequences — and identical per-task STATE dictionaries — on a
+// randomized workload of opens, binds, signal deliveries, and syscall
+// entries.
 
 #include <gtest/gtest.h>
 
@@ -24,15 +25,17 @@ constexpr int kOps = 10000;
 constexpr int kTasks = 3;
 constexpr uint64_t kWorkloadSeed = 0xab1a7e5eedull;
 
-EngineConfig MakeConfig(bool lazy, bool cache, bool ept) {
+EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool vcache = false) {
   EngineConfig cfg;
   cfg.lazy_context = lazy;
   cfg.cache_context = cache;
   cfg.ept_chains = ept;
+  cfg.verdict_cache = vcache;
   return cfg;
 }
 
-// The Table-6 ablation ladder.
+// The Table-6 ablation ladder (the lower rungs pin verdict_cache off so each
+// rung isolates exactly one optimization).
 const struct {
   const char* name;
   EngineConfig cfg;
@@ -41,6 +44,7 @@ const struct {
     {"CONCACHE", MakeConfig(false, true, false)},
     {"LAZYCON", MakeConfig(true, true, false)},
     {"EPTSPC", MakeConfig(true, true, true)},
+    {"VCACHE", MakeConfig(true, true, true, true)},
 };
 
 // A rule base mixing every decision source: entrypoint-indexed drops (some

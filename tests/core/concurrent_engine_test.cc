@@ -230,6 +230,85 @@ TEST(ConcurrentEngineTest, ConcurrentRunMatchesSerialReplay) {
   }
 }
 
+TEST(ConcurrentEngineTest, VerdictCacheConsistentUnderCommitAndPolicyChurn) {
+  // The verdict cache (on by default) under the worst invalidation churn we
+  // can produce: one thread commits rule reloads (generation bumps + cache
+  // clears), another mutates the MAC policy (epoch bumps). Both kinds of
+  // churn only touch an unreferenced chain / unreferenced labels, so every
+  // verdict stays exactly what the rule base dictates — any stale or torn
+  // cache entry shows up as a wrong verdict.
+  Rig rig;
+  ASSERT_TRUE(rig.engine->config().verdict_cache);
+  auto shadow = rig.kernel.LookupNoHooks("/etc/shadow");
+  auto passwd = rig.kernel.LookupNoHooks("/etc/passwd");
+  std::vector<std::unique_ptr<sim::Task>> tasks;
+  for (int i = 0; i < kThreads; ++i) {
+    tasks.push_back(rig.MakeTask(i));
+  }
+  rig.engine->ResetStats();
+
+  std::vector<std::vector<int64_t>> verdicts(kThreads);
+  std::atomic<bool> stop{false};
+  std::thread committer([&] {
+    for (int i = 0; i < kReloads && !stop.load(); ++i) {
+      ASSERT_TRUE(
+          rig.pft->Exec("pftables -A scratch -o FILE_OPEN -j ACCEPT").ok());
+      ASSERT_TRUE(rig.pft->Exec("pftables -F scratch").ok());
+    }
+  });
+  std::thread policy_churn([&] {
+    // rogue_t/rogue_obj_t appear in no rule and label no inode: the epoch
+    // moves on every mutation, verdicts never do.
+    sim::Sid rogue = rig.kernel.labels().Intern("rogue_t");
+    sim::Sid rogue_obj = rig.kernel.labels().Intern("rogue_obj_t");
+    while (!stop.load()) {
+      rig.kernel.policy().Allow(rogue, rogue_obj, sim::kMacRead);
+      rig.kernel.policy().MarkUntrusted(rogue);
+    }
+  });
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        verdicts[t] = Hammer(rig, *tasks[t], shadow.get(), passwd.get(),
+                             kItersPerThread, /*bump_syscall=*/true);
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  stop.store(true);
+  committer.join();
+  policy_churn.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(verdicts[t].size(), static_cast<size_t>(kItersPerThread));
+    for (int i = 0; i < kItersPerThread; ++i) {
+      int64_t want = i % 2 == 0 ? sim::SysError(sim::Err::kAcces) : 0;
+      ASSERT_EQ(verdicts[t][i], want) << "thread " << t << " op " << i;
+    }
+  }
+
+  // Every FILE_OPEN here runs a fully cacheable bucket, so each invocation
+  // is accounted a hit or a miss — no torn counters, no bypasses.
+  EngineStats stats = rig.engine->stats();
+  uint64_t total = static_cast<uint64_t>(kThreads) * kItersPerThread;
+  EXPECT_EQ(stats.invocations, total);
+  EXPECT_EQ(stats.vcache_hits + stats.vcache_misses, total);
+  EXPECT_EQ(stats.vcache_bypasses, 0u);
+  EXPECT_EQ(stats.drops, total / 2);
+
+  // Once the churn quiesces the cache must converge, not stay poisoned.
+  sim::AccessRequest deny = rig.OpenRequest(*tasks[0], shadow.get());
+  sim::AccessRequest allow = rig.OpenRequest(*tasks[0], passwd.get());
+  for (int i = 0; i < 8; ++i) {
+    ++tasks[0]->syscall_count;
+    EXPECT_EQ(rig.engine->Authorize(deny), sim::SysError(sim::Err::kAcces));
+    EXPECT_EQ(rig.engine->Authorize(allow), 0);
+  }
+}
+
 TEST(ConcurrentEngineTest, StateDictSafeUnderSharedTaskWrites) {
   // STATE-setting rules from many threads against one task: the dictionary
   // must end in a consistent state (the mutex serializes writers) and the

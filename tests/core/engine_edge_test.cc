@@ -177,13 +177,13 @@ TEST_F(EngineEdgeTest, ForkChildDoesNotInheritUnwindCaches) {
     p.Open("/etc/passwd", sim::kORdOnly);
     PfTaskState& parent = engine_->TaskState(p.task());
     parent.dict["k"] = 7;
-    if (parent.stack == nullptr) {
+    if (parent.stack.load() == nullptr) {
       p.Exit(3);  // precondition failed: the open did not fill the cache
       return;
     }
     int64_t child = p.Fork([&](Proc& c) {
       PfTaskState& st = engine_->TaskState(c.task());
-      bool fresh = st.stack == nullptr && st.interp == nullptr;
+      bool fresh = st.stack.load() == nullptr && st.interp.load() == nullptr;
       bool inherited = st.dict.count("k") == 1 && st.dict["k"] == 7;
       c.Exit(fresh ? (inherited ? 0 : 2) : 1);
     });
@@ -222,10 +222,10 @@ TEST_F(EngineEdgeTest, ExecHookDropsContextCaches) {
   EXPECT_EQ(engine_->Authorize(req), sim::SysError(sim::Err::kAcces));
 
   PfTaskState& state = engine_->TaskState(task);
-  ASSERT_NE(state.stack, nullptr) << "the entrypoint rule must fill the cache";
+  ASSERT_NE(state.stack.load(), nullptr) << "the entrypoint rule must fill the cache";
   engine_->OnTaskExec(task);
-  EXPECT_EQ(state.stack, nullptr);
-  EXPECT_EQ(state.interp, nullptr);
+  EXPECT_EQ(state.stack.load(), nullptr);
+  EXPECT_EQ(state.interp.load(), nullptr);
 }
 
 TEST_F(EngineEdgeTest, KernelNotifiesModulesOnExecve) {

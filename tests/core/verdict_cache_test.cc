@@ -1,0 +1,442 @@
+// Verdict cache semantics: hits must be invisible, misses must be honest.
+//
+// The AVC-style verdict cache (src/core/engine.h) keys on everything a pure
+// rule may read — ruleset generation, MAC-policy epoch, op, subject sid,
+// object identity (FileId + inode generation) and, when entrypoint-indexed
+// rules apply, the caller's entrypoint. These tests pin down the contract:
+//
+//  * repeated identical accesses are served from the cache (one miss, then
+//    hits) with verdicts identical to a cold evaluation;
+//  * every event that could change a verdict — ruleset commit, MAC policy
+//    mutation, inode recycling (generation bump), execve — invalidates the
+//    relevant entries by construction, never by explicit flush bookkeeping;
+//  * stateful chains (STATE, LOG) bypass the cache entirely, so their side
+//    effects fire on every access;
+//  * a seeded 10k-op workload with live commits, MAC mutation, an execve and
+//    inode recycling produces bit-identical verdicts with the cache on/off.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/apps/programs.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::core {
+namespace {
+
+EngineConfig CacheConfig(bool vcache) {
+  EngineConfig cfg;
+  cfg.lazy_context = true;
+  cfg.cache_context = true;
+  cfg.ept_chains = true;
+  cfg.verdict_cache = vcache;
+  return cfg;
+}
+
+// A kernel + engine + one raw task mapped to /bin/true with a single stack
+// frame at image offset 0x100 (so "-p /bin/true -i 0x100" rules match).
+struct Rig {
+  sim::Kernel kernel{0x5eed};
+  Engine* engine = nullptr;
+  sim::Task task;
+  std::vector<std::shared_ptr<sim::Inode>> pins;  // keep request inodes alive
+
+  explicit Rig(const EngineConfig& cfg = CacheConfig(true)) {
+    sim::BuildSysImage(kernel);
+    apps::InstallPrograms(kernel);
+    engine = InstallProcessFirewall(kernel, cfg);
+    task.pid = 100;
+    task.comm = "vcache";
+    task.exe = sim::kBinTrue;
+    task.cred.sid = kernel.labels().Intern("staff_t");
+    task.cwd = kernel.vfs().root()->id();
+    task.mm.Reset(kernel.AslrStackBase());
+    kernel.MapImage(task, kernel.LookupNoHooks(sim::kBinTrue), sim::kBinTrue);
+    const sim::Mapping* map = task.mm.FindMappingByPath(sim::kBinTrue);
+    task.mm.PushFrame(map->base + 0x100, 16, false);
+  }
+
+  Status Install(const std::vector<std::string>& rules) {
+    Pftables pft(engine);
+    return pft.ExecAll(rules);
+  }
+
+  sim::AccessRequest Request(sim::Op op, const char* path, sim::SyscallNr nr) {
+    auto inode = kernel.LookupNoHooks(path);
+    sim::AccessRequest req;
+    req.task = &task;
+    req.op = op;
+    req.inode = inode.get();
+    req.id = inode->id();
+    req.syscall_nr = nr;
+    pins.push_back(std::move(inode));
+    return req;
+  }
+
+  // Authorizes `path` for FILE_OPEN as a fresh syscall.
+  int64_t Open(const char* path) {
+    ++task.syscall_count;
+    sim::AccessRequest req = Request(sim::Op::kFileOpen, path, sim::SyscallNr::kOpen);
+    return engine->Authorize(req);
+  }
+};
+
+TEST(VerdictCacheTest, RepeatedAccessIsServedFromCache) {
+  Rig rig;
+  ASSERT_TRUE(rig.Install({"pftables -o FILE_OPEN -d shadow_t -j DROP"}).ok());
+  rig.engine->ResetStats();
+
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_LT(rig.Open("/etc/shadow"), 0) << "iteration " << i;
+  }
+  EngineStats s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 1u);
+  EXPECT_EQ(s.vcache_hits, 63u);
+  EXPECT_EQ(s.vcache_bypasses, 0u);
+
+  // A different object is a different key: one more miss, then hits again.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(rig.Open("/etc/passwd"), 0) << "iteration " << i;
+  }
+  s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 2u);
+  EXPECT_EQ(s.vcache_hits, 126u);
+}
+
+TEST(VerdictCacheTest, RulesetCommitInvalidates) {
+  Rig rig;
+  ASSERT_TRUE(rig.Install({"pftables -o FILE_OPEN -d shadow_t -j DROP"}).ok());
+  EXPECT_EQ(rig.Open("/etc/passwd"), 0);
+  EXPECT_EQ(rig.Open("/etc/passwd"), 0);
+  EngineStats s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 1u);
+  EXPECT_EQ(s.vcache_hits, 1u);
+
+  // Committing a new ruleset bumps the generation (part of the key) and
+  // clears the cache: the cached allow must not survive.
+  ASSERT_TRUE(rig.Install({"pftables -o FILE_OPEN -d etc_t -j DROP"}).ok());
+  EXPECT_LT(rig.Open("/etc/passwd"), 0) << "stale allow served after commit";
+  s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 2u);
+}
+
+TEST(VerdictCacheTest, MacPolicyMutationInvalidatesByEpoch) {
+  Rig rig;
+  ASSERT_TRUE(rig.Install({"pftables -o FILE_OPEN -d shadow_t -j DROP"}).ok());
+  EXPECT_LT(rig.Open("/etc/shadow"), 0);
+  EXPECT_LT(rig.Open("/etc/shadow"), 0);
+  EngineStats s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 1u);
+  EXPECT_EQ(s.vcache_hits, 1u);
+
+  // Any policy mutation moves the epoch, so cached verdicts stop matching
+  // even when the mutation is unrelated to the rules (conservative by
+  // design: SYSHIGH / adversary-accessibility can depend on any edge).
+  rig.kernel.policy().MarkUntrusted(rig.kernel.labels().Intern("rogue_t"));
+  EXPECT_LT(rig.Open("/etc/shadow"), 0);
+  s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 2u);
+  EXPECT_EQ(s.vcache_hits, 1u);
+}
+
+TEST(VerdictCacheTest, SyshighFlipsWithPolicyWithoutStaleHits) {
+  Rig rig;
+  // etc_t has no untrusted writer in the base image, so it is a SYSHIGH
+  // object and writes are dropped — until the policy grants user_t (already
+  // untrusted) write access, at which point etc_t leaves SYSHIGH.
+  ASSERT_TRUE(rig.Install({"pftables -o FILE_WRITE -d SYSHIGH -j DROP"}).ok());
+  auto write = [&] {
+    ++rig.task.syscall_count;
+    sim::AccessRequest req =
+        rig.Request(sim::Op::kFileWrite, "/etc/passwd", sim::SyscallNr::kWrite);
+    return rig.engine->Authorize(req);
+  };
+  EXPECT_LT(write(), 0);
+  EXPECT_LT(write(), 0);
+  rig.kernel.policy().Allow("user_t", "etc_t", sim::kMacWrite);
+  EXPECT_EQ(write(), 0) << "SYSHIGH membership changed; cached drop is stale";
+}
+
+TEST(VerdictCacheTest, InodeGenerationChangeMisses) {
+  Rig rig;
+  auto tmp = rig.kernel.MkFileAt("/tmp/t", "x", 0666, 0, 0, "tmp_t");
+  ASSERT_NE(tmp, nullptr);
+  uint64_t gen0 = tmp->generation;
+  char rule[128];
+  std::snprintf(rule, sizeof(rule),
+                "pftables -o FILE_OPEN -d tmp_t -m COMPARE --v1 C_GEN --v2 %llu "
+                "-j DROP",
+                static_cast<unsigned long long>(gen0));
+  ASSERT_TRUE(rig.Install({rule}).ok());
+
+  EXPECT_LT(rig.Open("/tmp/t"), 0);
+  EXPECT_LT(rig.Open("/tmp/t"), 0);
+  EngineStats s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 1u);
+  EXPECT_EQ(s.vcache_hits, 1u);
+
+  // Simulated recycling: same FileId, new generation. The generation is part
+  // of the key, so the cached drop cannot be (wrongly) served.
+  ++tmp->generation;
+  EXPECT_EQ(rig.Open("/tmp/t"), 0) << "generation moved; COMPARE must re-run";
+  s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 2u);
+}
+
+TEST(VerdictCacheTest, ExecCannotReuseEntrypointVerdicts) {
+  Rig rig;
+  ASSERT_TRUE(
+      rig.Install({"pftables -p /bin/true -i 0x100 -o FILE_OPEN -d etc_t -j DROP"})
+          .ok());
+  EXPECT_LT(rig.Open("/etc/passwd"), 0);
+  EXPECT_LT(rig.Open("/etc/passwd"), 0);
+  EngineStats s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_misses, 1u);
+  EXPECT_EQ(s.vcache_hits, 1u);
+
+  // Exec into a different image with the same image-relative entrypoint
+  // offset. The key carries (image, offset), not just the offset, so the
+  // cached drop for /bin/true's entrypoint does not leak to /bin/sh's.
+  rig.engine->OnTaskExec(rig.task);
+  rig.task.exe = sim::kBinSh;
+  rig.task.mm.Reset(rig.kernel.AslrStackBase());
+  rig.kernel.MapImage(rig.task, rig.kernel.LookupNoHooks(sim::kBinSh), sim::kBinSh);
+  const sim::Mapping* map = rig.task.mm.FindMappingByPath(sim::kBinSh);
+  ASSERT_NE(map, nullptr);
+  rig.task.mm.PushFrame(map->base + 0x100, 16, false);
+
+  EXPECT_EQ(rig.Open("/etc/passwd"), 0)
+      << "the rule names /bin/true; /bin/sh at the same offset must not hit it";
+}
+
+TEST(VerdictCacheTest, StatefulChainsBypassTheCache) {
+  Rig rig;
+  auto tmp = rig.kernel.MkFileAt("/tmp/t", "x", 0666, 0, 0, "tmp_t");
+  ASSERT_NE(tmp, nullptr);
+  ASSERT_TRUE(rig.Install({
+                     "pftables -o FILE_OPEN -d tmp_t -j STATE --set --key seen "
+                     "--value 1",
+                     "pftables -o FILE_OPEN -d tmp_t -j LOG --prefix vc",
+                 })
+                  .ok());
+  rig.engine->ResetStats();
+
+  constexpr int kReps = 16;
+  for (int i = 0; i < kReps; ++i) {
+    EXPECT_EQ(rig.Open("/tmp/t"), 0);
+  }
+  EngineStats s = rig.engine->stats();
+  EXPECT_EQ(s.vcache_hits, 0u) << "stateful verdicts must never come from cache";
+  EXPECT_EQ(s.vcache_misses, 0u) << "stateful verdicts must not be inserted";
+  EXPECT_EQ(s.vcache_bypasses, static_cast<uint64_t>(kReps));
+  // Side effects fired on every repetition, not just the first.
+  EXPECT_EQ(rig.engine->log().size(), static_cast<size_t>(kReps));
+  EXPECT_EQ(rig.engine->TaskState(rig.task).dict.at("seen"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Live-event equivalence: a seeded workload interleaved with a ruleset
+// commit, a MAC policy mutation, an execve and an inode recycling must be
+// bit-identical with the cache on and off.
+
+constexpr int kLiveOps = 10000;
+constexpr int kLiveTasks = 3;
+
+struct LiveWorkload {
+  sim::Kernel kernel{0x5eed};
+  Engine* engine = nullptr;
+  std::vector<std::unique_ptr<sim::Task>> tasks;
+  std::vector<std::shared_ptr<sim::Inode>> pins;
+  std::shared_ptr<sim::Inode> tmp;
+
+  explicit LiveWorkload(const EngineConfig& cfg) {
+    sim::BuildSysImage(kernel);
+    apps::InstallPrograms(kernel);
+    engine = InstallProcessFirewall(kernel, cfg);
+    tmp = kernel.MkFileAt("/tmp/t", "x", 0666, 0, 0, "tmp_t");
+    char gen_rule[128];
+    std::snprintf(gen_rule, sizeof(gen_rule),
+                  "pftables -o FILE_OPEN -d tmp_t -m COMPARE --v1 C_GEN --v2 %llu "
+                  "-j DROP",
+                  static_cast<unsigned long long>(tmp->generation));
+    Pftables pft(engine);
+    Status s = pft.ExecAll({
+        "pftables -o FILE_OPEN -d shadow_t -j DROP",
+        "pftables -o FILE_WRITE -d SYSHIGH -j DROP",
+        "pftables -o SOCKET_BIND -j STATE --set --key b --value 1",
+        "pftables -o PROCESS_SIGNAL_DELIVERY -m STATE --key b --cmp 1 -j DROP",
+        gen_rule,
+        "pftables -p /bin/true -i 0x100 -o FILE_OPEN -d etc_t -j DROP",
+    });
+    if (!s.ok()) {
+      ADD_FAILURE() << "rule install failed: " << s.message();
+    }
+    for (int i = 0; i < kLiveTasks; ++i) {
+      auto task = std::make_unique<sim::Task>();
+      task->pid = static_cast<sim::Pid>(100 + i);
+      task->comm = "live";
+      task->exe = sim::kBinTrue;
+      task->cred.sid = kernel.labels().Intern("staff_t");
+      task->cwd = kernel.vfs().root()->id();
+      task->mm.Reset(kernel.AslrStackBase());
+      kernel.MapImage(*task, kernel.LookupNoHooks(sim::kBinTrue), sim::kBinTrue);
+      const sim::Mapping* map = task->mm.FindMappingByPath(sim::kBinTrue);
+      task->mm.PushFrame(map->base + 0x100, 16, false);
+      tasks.push_back(std::move(task));
+    }
+  }
+
+  // Every live event starts a fresh syscall on all tasks so the per-syscall
+  // context cache cannot straddle the event (identically in both configs).
+  void SyscallBarrier() {
+    for (auto& t : tasks) {
+      ++t->syscall_count;
+    }
+  }
+
+  void ApplyEvent(int index) {
+    switch (index) {
+      case 2500: {  // live commit: binds become drops
+        Pftables pft(engine);
+        Status s = pft.ExecAll({"pftables -o SOCKET_BIND -j DROP"});
+        if (!s.ok()) {
+          ADD_FAILURE() << "live commit failed: " << s.message();
+        }
+        break;
+      }
+      case 5000:  // MAC mutation: etc_t leaves SYSHIGH, writes flip to allow
+        kernel.policy().Allow("user_t", "etc_t", sim::kMacWrite);
+        break;
+      case 6000: {  // execve: task 0 moves to /bin/sh, entrypoint rule unhooks
+        sim::Task& t = *tasks[0];
+        engine->OnTaskExec(t);
+        t.exe = sim::kBinSh;
+        t.mm.Reset(kernel.AslrStackBase());
+        kernel.MapImage(t, kernel.LookupNoHooks(sim::kBinSh), sim::kBinSh);
+        const sim::Mapping* map = t.mm.FindMappingByPath(sim::kBinSh);
+        ASSERT_NE(map, nullptr);
+        t.mm.PushFrame(map->base + 0x100, 16, false);
+        break;
+      }
+      case 7000:  // inode recycling: the C_GEN rule stops matching /tmp/t
+        ++tmp->generation;
+        break;
+      default:
+        return;
+    }
+    SyscallBarrier();
+  }
+
+  sim::AccessRequest OpenRequest(sim::Task& task, const char* path) {
+    auto inode = kernel.LookupNoHooks(path);
+    sim::AccessRequest req;
+    req.task = &task;
+    req.op = sim::Op::kFileOpen;
+    req.inode = inode.get();
+    req.id = inode->id();
+    req.syscall_nr = sim::SyscallNr::kOpen;
+    pins.push_back(std::move(inode));
+    return req;
+  }
+};
+
+std::vector<int64_t> ReplayLive(bool vcache, EngineStats* stats_out,
+                                std::vector<std::map<std::string, int64_t>>* dicts) {
+  LiveWorkload w(CacheConfig(vcache));
+  std::vector<int64_t> verdicts;
+  verdicts.reserve(kLiveOps);
+  std::mt19937_64 rng(0xcac4e5eedull);
+  const char* paths[] = {"/etc/passwd", "/etc/shadow", "/tmp/t"};
+  for (int i = 0; i < kLiveOps; ++i) {
+    w.ApplyEvent(i);
+    sim::Task& task = *w.tasks[rng() % kLiveTasks];
+    if (rng() % 4 != 0) {
+      ++task.syscall_count;
+    }
+    sim::AccessRequest req;
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        req = w.OpenRequest(task, paths[rng() % 3]);
+        break;
+      case 4: {
+        req = w.OpenRequest(task, "/etc/passwd");
+        req.op = sim::Op::kFileWrite;
+        req.syscall_nr = sim::SyscallNr::kWrite;
+        break;
+      }
+      case 5: {
+        req.task = &task;
+        req.op = sim::Op::kSocketBind;
+        req.name = "/tmp/sock";
+        req.syscall_nr = sim::SyscallNr::kBind;
+        break;
+      }
+      case 6: {
+        req.task = &task;
+        req.op = sim::Op::kSignalDeliver;
+        req.sig = sim::kSigUsr1;
+        req.sig_sender = 1;
+        req.syscall_nr = sim::SyscallNr::kKill;
+        break;
+      }
+      default: {
+        req.task = &task;
+        req.op = sim::Op::kSyscallBegin;
+        req.syscall_nr = sim::SyscallNr::kNull;
+        break;
+      }
+    }
+    verdicts.push_back(w.engine->Authorize(req));
+  }
+  if (stats_out != nullptr) {
+    *stats_out = w.engine->stats();
+  }
+  if (dicts != nullptr) {
+    dicts->clear();
+    for (auto& task : w.tasks) {
+      dicts->push_back(w.engine->TaskState(*task).dict);
+    }
+  }
+  return verdicts;
+}
+
+TEST(VerdictCacheTest, LiveWorkloadIsBitIdenticalWithCacheOnAndOff) {
+  std::vector<std::map<std::string, int64_t>> base_dicts;
+  std::vector<int64_t> base = ReplayLive(false, nullptr, &base_dicts);
+  ASSERT_EQ(base.size(), static_cast<size_t>(kLiveOps));
+  size_t denies = 0;
+  for (int64_t v : base) {
+    denies += v < 0;
+  }
+  EXPECT_GT(denies, 100u) << "workload produced too few denials to be meaningful";
+  EXPECT_LT(denies, static_cast<size_t>(kLiveOps)) << "workload must also allow";
+
+  EngineStats cached_stats;
+  std::vector<std::map<std::string, int64_t>> cached_dicts;
+  std::vector<int64_t> cached = ReplayLive(true, &cached_stats, &cached_dicts);
+  ASSERT_EQ(cached.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    ASSERT_EQ(cached[i], base[i]) << "cache-on diverged from cache-off at op " << i;
+  }
+  EXPECT_EQ(cached_dicts, base_dicts) << "final STATE dicts differ";
+
+  // The cache must actually be load-bearing on this workload: a handful of
+  // (task, op, object) combinations repeat thousands of times.
+  EXPECT_GT(cached_stats.vcache_hits, 3000u);
+  EXPECT_GT(cached_stats.vcache_bypasses, 0u)
+      << "binds/signals run stateful rules and must bypass";
+}
+
+}  // namespace
+}  // namespace pf::core
