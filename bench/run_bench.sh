@@ -5,6 +5,7 @@
 #   table6_lmbench   us/op for every (syscall, config) cell, incl. VCACHE
 #   table7_macro     macro means + PF Full verdict-cache hit/miss/bypass
 #   ablation_engine  BM_AuthorizeVerdictCache* (ns/op + rate counters)
+#   pfcheck          static-analyzer wall time over the shipped rule base
 #
 # Usage: bench/run_bench.sh [build-dir] [output.json]
 # (run from the repository root; build the default preset first:
@@ -21,6 +22,7 @@ trap 'rm -rf "$TMP"' EXIT
 "$BUILD/bench/ablation_engine" \
   --benchmark_filter='BM_AuthorizeVerdictCache' \
   --benchmark_out="$TMP/ablation.json" --benchmark_out_format=json
+"$BUILD/src/apps/pfcheck" --library --json > "$TMP/pfcheck.json"
 
 python3 - "$TMP" "$OUT" <<'EOF'
 import json, sys, os
@@ -42,9 +44,13 @@ out["ablation_engine"] = {
     if b.get("run_type") != "aggregate"
 }
 
+with open(os.path.join(tmp, "pfcheck.json")) as f:
+    out["pfcheck"] = json.load(f)["pfcheck"]
+
 # Headline acceptance numbers, precomputed for easy inspection.
 t6 = out["table6"]
 out["summary"] = {
+    "analyzer_us": out["pfcheck"]["analysis_us"],
     "stat_full_us": t6["stat"]["FULL"],
     "stat_eptspc_us": t6["stat"]["EPTSPC"],
     "stat_vcache_us": t6["stat"]["VCACHE"],

@@ -1,0 +1,773 @@
+#include "src/analysis/analyzer.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/modules.h"
+
+namespace pf::analysis {
+
+namespace {
+
+using core::Chain;
+using core::CompiledRuleset;
+using core::Ctx;
+using core::CtxBit;
+using core::CtxMask;
+using core::CtxVar;
+using core::Rule;
+using core::Table;
+using core::TargetKind;
+
+std::string CtxName(Ctx c) {
+  switch (c) {
+    case Ctx::kObject:
+      return "object";
+    case Ctx::kLinkTarget:
+      return "link-target";
+    case Ctx::kAdversaryAccess:
+      return "adversary-access";
+    case Ctx::kEntrypoint:
+      return "entrypoint";
+    case Ctx::kUserStack:
+      return "user-stack";
+    case Ctx::kInterpStack:
+      return "interp-stack";
+    case Ctx::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string CtxNames(CtxMask mask) {
+  std::string out;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Ctx::kCount); ++i) {
+    if ((mask & (1u << i)) != 0) {
+      if (!out.empty()) {
+        out += "+";
+      }
+      out += CtxName(static_cast<Ctx>(i));
+    }
+  }
+  return out.empty() ? "nothing" : out;
+}
+
+// Context the verdict-cache key does NOT cover (see engine.h VerdictKey):
+// symlink targets are re-resolved per access, and only the innermost user
+// frame — not the full stack or the interpreter backtrace — participates in
+// the key. A module that reads these and still claims CacheableByKey() lets
+// the cache serve stale verdicts.
+constexpr CtxMask kNonKeyedCtx =
+    CtxBit(Ctx::kLinkTarget) | CtxBit(Ctx::kUserStack) | CtxBit(Ctx::kInterpStack);
+
+RuleLocus Locus(const std::string& chain, size_t pos0) {
+  return RuleLocus{"filter", chain, pos0 + 1};
+}
+
+RuleLocus ChainLocus(const std::string& chain) { return RuleLocus{"filter", chain, 0}; }
+
+// --- per-op available context -------------------------------------------------
+
+// Whether the kernel supplies an object inode with this operation (signal
+// delivery, syscall entry, and fork mediate subject-side events only).
+bool OpHasObject(sim::Op op) {
+  switch (op) {
+    case sim::Op::kSignalDeliver:
+    case sim::Op::kSyscallBegin:
+    case sim::Op::kFork:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Context fields a rule evaluated at `op` could ever observe as present.
+// Process-side context (entrypoint, stacks) is always fetchable; object-side
+// context needs an object; link-target context exists only while following a
+// symlink.
+CtxMask AvailableCtx(sim::Op op) {
+  CtxMask m = CtxBit(Ctx::kEntrypoint) | CtxBit(Ctx::kUserStack) |
+              CtxBit(Ctx::kInterpStack);
+  if (OpHasObject(op)) {
+    m |= CtxBit(Ctx::kObject) | CtxBit(Ctx::kAdversaryAccess);
+  }
+  if (op == sim::Op::kLnkFileRead) {
+    m |= CtxBit(Ctx::kLinkTarget);
+  }
+  return m;
+}
+
+// Whether Packet::Resolve can ever produce a value for this operand at `op`
+// (mirrors the per-op guards in packet.cc).
+bool OperandAvailable(const core::Operand& v, sim::Op op) {
+  if (!v.is_var) {
+    return true;
+  }
+  switch (v.var) {
+    case CtxVar::kIno:
+    case CtxVar::kGen:
+    case CtxVar::kDev:
+    case CtxVar::kSid:
+    case CtxVar::kDacOwner:
+      return OpHasObject(op);
+    case CtxVar::kTgtDacOwner:
+    case CtxVar::kTgtSid:
+      return op == sim::Op::kLnkFileRead;
+    case CtxVar::kSig:
+      return op == sim::Op::kSignalDeliver;
+    case CtxVar::kPid:
+    case CtxVar::kUid:
+    case CtxVar::kEuid:
+    case CtxVar::kSyscall:
+      return true;
+  }
+  return true;
+}
+
+// --- rule summaries -----------------------------------------------------------
+
+// Dense bitvector over the interned-label universe: the concrete expansion
+// of one LabelSet (negation and SYSHIGH resolved against the MAC policy).
+struct SidSet {
+  std::vector<bool> bits;
+
+  bool Any() const {
+    return std::find(bits.begin(), bits.end(), true) != bits.end();
+  }
+  bool SupersetOf(const SidSet& o) const {
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (o.bits[i] && !bits[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct RuleInfo {
+  const Rule* rule = nullptr;
+  size_t pos0 = 0;
+  SidSet subject;          // expansion of -s over all interned sids
+  SidSet object;           // expansion of -d (all-true when wildcard)
+  bool requires_object = false;
+  std::optional<TargetKind> static_kind;
+};
+
+SidSet ExpandSubject(const core::LabelSet& ls, const sim::MacPolicy& policy,
+                     size_t universe) {
+  SidSet s;
+  s.bits.resize(universe);
+  for (size_t sid = 0; sid < universe; ++sid) {
+    s.bits[sid] = ls.MatchesSubject(static_cast<sim::Sid>(sid), policy);
+  }
+  return s;
+}
+
+SidSet ExpandObject(const core::LabelSet& ls, const sim::MacPolicy& policy,
+                    size_t universe) {
+  SidSet s;
+  s.bits.resize(universe);
+  for (size_t sid = 0; sid < universe; ++sid) {
+    s.bits[sid] = ls.MatchesObject(static_cast<sim::Sid>(sid), policy);
+  }
+  return s;
+}
+
+RuleInfo Summarize(const Rule& rule, size_t pos0, const sim::MacPolicy& policy,
+                   size_t universe) {
+  RuleInfo info;
+  info.rule = &rule;
+  info.pos0 = pos0;
+  info.subject = ExpandSubject(rule.subject, policy, universe);
+  info.object = ExpandObject(rule.object, policy, universe);
+  info.requires_object = !rule.object.wildcard || rule.ino.has_value();
+  if (rule.target != nullptr) {
+    info.static_kind = rule.target->StaticKind();
+  }
+  return info;
+}
+
+bool IsTerminal(std::optional<TargetKind> k) {
+  return k == TargetKind::kAccept || k == TargetKind::kDrop || k == TargetKind::kReturn;
+}
+
+// True when every packet rule `b` matches is also matched by rule `a`
+// (match-space containment). Sound under the engine's traversal: the
+// default-match comparisons mirror DefaultMatches field by field, and -m
+// modules compare through MatchModule::Subsumes. Note the entrypoint index
+// cannot reorder a subsuming pair past each other: `a` carrying a program or
+// entrypoint constraint forces `b` to carry the same one, so the pair always
+// lands in the same (plain or per-entrypoint) partition.
+bool Subsumes(const RuleInfo& a, const RuleInfo& b) {
+  const Rule& ra = *a.rule;
+  const Rule& rb = *b.rule;
+  if (ra.op && (!rb.op || *rb.op != *ra.op)) {
+    return false;
+  }
+  if (!a.subject.SupersetOf(b.subject)) {
+    return false;
+  }
+  if (a.requires_object) {
+    if (!b.requires_object) {
+      return false;  // b also matches object-less requests
+    }
+    if (ra.ino && (!rb.ino || *rb.ino != *ra.ino)) {
+      return false;
+    }
+    if (!a.object.SupersetOf(b.object)) {
+      return false;
+    }
+  }
+  if (ra.has_program() &&
+      (!rb.has_program() || !(rb.program_file == ra.program_file))) {
+    return false;
+  }
+  if (ra.entrypoint && (!rb.entrypoint || *rb.entrypoint != *ra.entrypoint)) {
+    return false;
+  }
+  for (const auto& ma : ra.matches) {
+    bool covered = false;
+    for (const auto& mb : rb.matches) {
+      if (ma->Subsumes(*mb)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Severity DropAware(std::optional<TargetKind> kind) {
+  return kind == TargetKind::kDrop ? Severity::kError : Severity::kWarning;
+}
+
+// Why `info.rule` can never match at `op`, or "" when it can. Mirrors the
+// runtime behavior: DefaultMatches fails when a required object is absent,
+// SIGNAL_MATCH pins the op, and STATE/COMPARE operands resolve per op.
+std::string BlockReason(const RuleInfo& info, sim::Op op) {
+  const Rule& rule = *info.rule;
+  const std::string opname = std::string(sim::OpName(op));
+  if (info.requires_object && !OpHasObject(op)) {
+    return "-d/--ino require an object and -o " + opname + " carries none";
+  }
+  for (const auto& m : rule.matches) {
+    CtxMask missing = m->Needs() & ~AvailableCtx(op);
+    if (missing != 0) {
+      return "-m " + std::string(m->Name()) + " needs " + CtxNames(missing) +
+             " context, which -o " + opname + " never supplies";
+    }
+    if (dynamic_cast<const core::SignalMatch*>(m.get()) != nullptr &&
+        op != sim::Op::kSignalDeliver) {
+      return "-m SIGNAL_MATCH matches only -o PROCESS_SIGNAL_DELIVERY";
+    }
+    if (const auto* sm = dynamic_cast<const core::StateMatch*>(m.get());
+        sm != nullptr && sm->cmp && !OperandAvailable(*sm->cmp, op)) {
+      return "-m STATE --cmp " + sm->cmp->Render() + " never resolves at -o " + opname;
+    }
+    if (const auto* cm = dynamic_cast<const core::CompareMatch*>(m.get())) {
+      for (const core::Operand* v : {&cm->v1, &cm->v2}) {
+        if (!OperandAvailable(*v, op)) {
+          return "-m COMPARE operand " + v->Render() + " never resolves at -o " +
+                 opname;
+        }
+      }
+    }
+  }
+  return "";
+}
+
+// --- analysis passes ----------------------------------------------------------
+
+struct Analysis {
+  const CompiledRuleset& rs;
+  const sim::MacPolicy& policy;
+  const AnalyzerOptions& opts;
+  AnalysisReport* report;
+
+  // Per-chain rule summaries, keyed like rs.compiled.
+  std::map<const Chain*, std::vector<RuleInfo>> infos;
+  // Chains reachable per op via the engine's root selection + JUMP edges.
+  std::array<std::set<const Chain*>, sim::kOpCount> reach;
+  // Chains reachable from any root, op-agnostic (for unreachable-chain).
+  std::set<const Chain*> reach_any;
+  // Minimum JUMP depth a chain is entered at (roots = 0).
+  std::map<const Chain*, int> min_depth;
+  bool has_cycle = false;
+
+  void Run();
+
+ private:
+  const Chain* JumpTargetChain(const Rule& rule) const {
+    const std::string& jump = rule.target != nullptr ? rule.target->jump_chain() : "";
+    return jump.empty() ? nullptr : rs.rules.filter().Find(jump);
+  }
+
+  void BuildSummaries();
+  void BuildReachability();
+  void CheckShadowing();
+  void CheckJumpGraph();
+  void CheckRuleLiveness();
+  void CheckStateProtocol();
+  void CheckCacheability();
+};
+
+void Analysis::BuildSummaries() {
+  const size_t universe = policy.labels().size();
+  for (const auto& [name, chain] : rs.rules.filter().chains()) {
+    std::vector<RuleInfo>& v = infos[&chain];
+    v.reserve(chain.size());
+    for (size_t i = 0; i < chain.size(); ++i) {
+      v.push_back(Summarize(chain.rule_at(i), i, policy, universe));
+    }
+  }
+}
+
+void Analysis::BuildReachability() {
+  // Mirror Engine::Authorize's root-chain selection per op, then close over
+  // JUMP edges using the per-op dispatch buckets (a rule whose -o precheck
+  // cannot pass is not in the bucket, so its jump does not extend reach).
+  for (size_t opi = 0; opi < sim::kOpCount; ++opi) {
+    const sim::Op op = static_cast<sim::Op>(opi);
+    std::vector<const Chain*> roots;
+    if (op == sim::Op::kSyscallBegin) {
+      roots.push_back(rs.syscallbegin);
+    } else {
+      if (core::IsCreateOp(op)) {
+        roots.push_back(rs.create);
+      }
+      if (core::IsOutputOp(op)) {
+        roots.push_back(rs.output);
+      }
+      roots.push_back(rs.input);
+    }
+    std::deque<const Chain*> queue;
+    for (const Chain* root : roots) {
+      if (root != nullptr && reach[opi].insert(root).second) {
+        queue.push_back(root);
+      }
+    }
+    while (!queue.empty()) {
+      const Chain* chain = queue.front();
+      queue.pop_front();
+      auto cc = rs.compiled.find(chain);
+      if (cc == rs.compiled.end()) {
+        continue;
+      }
+      for (const Rule* rule : cc->second.ops[opi].all) {
+        const Chain* next = JumpTargetChain(*rule);
+        if (next != nullptr && reach[opi].insert(next).second) {
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+
+  // Op-agnostic reachability with entry depths (BFS = minimum JUMP depth).
+  std::deque<const Chain*> queue;
+  for (const Chain* root : {rs.input, rs.output, rs.create, rs.syscallbegin}) {
+    if (root != nullptr && reach_any.insert(root).second) {
+      min_depth[root] = 0;
+      queue.push_back(root);
+    }
+  }
+  while (!queue.empty()) {
+    const Chain* chain = queue.front();
+    queue.pop_front();
+    for (const auto& rule : chain->rules()) {
+      const Chain* next = JumpTargetChain(*rule);
+      if (next != nullptr && reach_any.insert(next).second) {
+        min_depth[next] = min_depth[chain] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+}
+
+void Analysis::CheckShadowing() {
+  for (const auto& [name, chain] : rs.rules.filter().chains()) {
+    const std::vector<RuleInfo>& v = infos[&chain];
+    for (size_t j = 1; j < v.size(); ++j) {
+      // Empty-expansion rules are reported by CheckRuleLiveness; a shadow
+      // diagnostic on top of "matches nothing" would be noise.
+      if (!v[j].subject.Any() || (v[j].requires_object && !v[j].object.Any())) {
+        continue;
+      }
+      for (size_t i = 0; i < j; ++i) {
+        if (!IsTerminal(v[i].static_kind)) {
+          continue;  // non-terminal (or unknown) rules let traversal continue
+        }
+        if (!Subsumes(v[i], v[j])) {
+          continue;
+        }
+        std::string kind =
+            v[i].static_kind == TargetKind::kDrop     ? "DROP"
+            : v[i].static_kind == TargetKind::kAccept ? "ACCEPT"
+                                                      : "RETURN";
+        report->Add(DropAware(v[j].static_kind), "shadowed-rule", Locus(name, j),
+                    "rule can never fire: every packet it matches is consumed by the "
+                    "earlier terminal " +
+                        kind + " rule at position " + std::to_string(i + 1),
+                    Locus(name, i));
+        break;  // one shadow finding per rule
+      }
+    }
+  }
+}
+
+void Analysis::CheckJumpGraph() {
+  const Table& filter = rs.rules.filter();
+
+  // Undefined targets + RETURN in a root chain.
+  for (const auto& [name, chain] : filter.chains()) {
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const Rule& rule = chain.rule_at(i);
+      const std::string& jump =
+          rule.target != nullptr ? rule.target->jump_chain() : std::string();
+      if (!jump.empty() && filter.Find(jump) == nullptr) {
+        report->Add(Severity::kError, "undefined-chain", Locus(name, i),
+                    "JUMP to undefined chain '" + jump + "'");
+      }
+      if (chain.builtin() && rule.target != nullptr &&
+          rule.target->StaticKind() == TargetKind::kReturn) {
+        report->Add(Severity::kWarning, "return-from-root", Locus(name, i),
+                    "RETURN in builtin chain '" + name +
+                        "' skips the remaining rules of the chain and falls through "
+                        "to the default policy");
+      }
+    }
+  }
+
+  // Cycle detection: iterative DFS over jump edges, every chain a start
+  // node (cycles among unreachable chains still hang a future reload).
+  enum class Color { kWhite, kGrey, kBlack };
+  std::map<const Chain*, Color> color;
+  for (const auto& [name, chain] : filter.chains()) {
+    color[&chain] = Color::kWhite;
+  }
+  // Each stack frame: (chain, next rule index to expand).
+  for (const auto& [name, chain] : filter.chains()) {
+    if (color[&chain] != Color::kWhite) {
+      continue;
+    }
+    std::vector<std::pair<const Chain*, size_t>> stack;
+    stack.emplace_back(&chain, 0);
+    color[&chain] = Color::kGrey;
+    while (!stack.empty()) {
+      auto& [cur, idx] = stack.back();
+      if (idx >= cur->size()) {
+        color[cur] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const size_t rule_idx = idx++;
+      const Chain* next = JumpTargetChain(cur->rule_at(rule_idx));
+      if (next == nullptr) {
+        continue;
+      }
+      if (color[next] == Color::kGrey) {
+        has_cycle = true;
+        // Render the cycle: the segment of the DFS stack from `next` down
+        // to the jumping rule.
+        std::string path = next->name();
+        bool in_cycle = false;
+        for (const auto& frame : stack) {
+          if (frame.first == next) {
+            in_cycle = true;
+            continue;
+          }
+          if (in_cycle) {
+            path += " -> " + frame.first->name();
+          }
+        }
+        path += " -> " + next->name();
+        report->Add(Severity::kError, "jump-cycle", Locus(cur->name(), rule_idx),
+                    "JUMP cycle: " + path);
+      } else if (color[next] == Color::kWhite) {
+        color[next] = Color::kGrey;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+
+  // Unreachable chains + the depth bound.
+  for (const auto& [name, chain] : filter.chains()) {
+    if (reach_any.count(&chain) == 0) {
+      report->Add(Severity::kWarning, "unreachable-chain", ChainLocus(name),
+                  "no JUMP from a builtin chain reaches this chain; its " +
+                      std::to_string(chain.size()) + " rule(s) are never evaluated");
+      continue;
+    }
+    auto depth = min_depth.find(&chain);
+    if (depth != min_depth.end() && depth->second >= opts.max_depth) {
+      report->Add(Severity::kError, "depth-exceeded", ChainLocus(name),
+                  "chain is first entered at JUMP depth " +
+                      std::to_string(depth->second) + " >= the traversal bound " +
+                      std::to_string(opts.max_depth) + "; its rules never run");
+    }
+  }
+
+  // On an acyclic jump graph, also flag chains whose *deepest* entry path
+  // crosses the bound: some JUMP silently evaluates nothing.
+  if (!has_cycle) {
+    // Longest entry depth per chain: relax jump edges to a fixpoint (the
+    // graph is acyclic here and tiny — chains count in the tens).
+    std::map<const Chain*, int> max_depth_in;
+    for (const Chain* root : {rs.input, rs.output, rs.create, rs.syscallbegin}) {
+      if (root != nullptr) {
+        max_depth_in[root] = 0;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, chain] : filter.chains()) {
+        auto from = max_depth_in.find(&chain);
+        if (from == max_depth_in.end()) {
+          continue;
+        }
+        for (const auto& rule : chain.rules()) {
+          const Chain* next = JumpTargetChain(*rule);
+          if (next == nullptr) {
+            continue;
+          }
+          int d = from->second + 1;
+          auto [it, inserted] = max_depth_in.try_emplace(next, d);
+          if (!inserted && it->second < d) {
+            it->second = d;
+            changed = true;
+          } else if (inserted) {
+            changed = true;
+          }
+        }
+      }
+    }
+    for (const auto& [name, chain] : filter.chains()) {
+      auto deep = max_depth_in.find(&chain);
+      auto shallow = min_depth.find(&chain);
+      if (deep != max_depth_in.end() && shallow != min_depth.end() &&
+          shallow->second < opts.max_depth && deep->second >= opts.max_depth) {
+        report->Add(Severity::kWarning, "deep-jump", ChainLocus(name),
+                    "some JUMP path enters this chain at depth " +
+                        std::to_string(deep->second) + " >= the traversal bound " +
+                        std::to_string(opts.max_depth) +
+                        "; the chain is silently skipped on that path");
+      }
+    }
+  }
+}
+
+void Analysis::CheckRuleLiveness() {
+  for (const auto& [name, chain] : rs.rules.filter().chains()) {
+    const bool chain_reachable = reach_any.count(&chain) != 0;
+    const std::vector<RuleInfo>& v = infos[&chain];
+    for (const RuleInfo& info : v) {
+      const Rule& rule = *info.rule;
+
+      // Empty label-set expansions are dead regardless of reachability.
+      if (!info.subject.Any()) {
+        report->Add(DropAware(info.static_kind), "empty-match", Locus(name, info.pos0),
+                    "-s " + rule.subject.Render(policy.labels()) +
+                        " expands to the empty label set under the current MAC "
+                        "policy; the rule matches nothing");
+        continue;
+      }
+      if (info.requires_object && !rule.object.wildcard && !info.object.Any()) {
+        report->Add(DropAware(info.static_kind), "empty-match", Locus(name, info.pos0),
+                    "-d " + rule.object.Render(policy.labels()) +
+                        " expands to the empty label set under the current MAC "
+                        "policy; the rule matches nothing");
+        continue;
+      }
+
+      if (!chain_reachable) {
+        continue;  // covered by the chain-level unreachable-chain finding
+      }
+
+      // Ops that both reach this chain and pass the rule's -o precheck.
+      std::vector<sim::Op> rops;
+      for (size_t opi = 0; opi < sim::kOpCount; ++opi) {
+        const sim::Op op = static_cast<sim::Op>(opi);
+        if (rule.op && *rule.op != op) {
+          continue;
+        }
+        if (reach[opi].count(&chain) != 0) {
+          rops.push_back(op);
+        }
+      }
+      if (rops.empty()) {
+        std::string why =
+            rule.op ? "chain '" + name + "' is never traversed for -o " +
+                          std::string(sim::OpName(*rule.op))
+                    : "no mediated operation traverses chain '" + name + "'";
+        report->Add(DropAware(info.static_kind), "unreachable-rule",
+                    Locus(name, info.pos0), "rule is never evaluated: " + why);
+        continue;
+      }
+
+      // Context satisfiability: some reaching op must be able to supply
+      // everything the rule's matches read.
+      std::vector<sim::Op> live;
+      std::string first_reason;
+      for (sim::Op op : rops) {
+        std::string reason = BlockReason(info, op);
+        if (reason.empty()) {
+          live.push_back(op);
+        } else if (first_reason.empty()) {
+          first_reason = std::move(reason);
+        }
+      }
+      if (live.empty()) {
+        report->Add(DropAware(info.static_kind), "context-unavailable",
+                    Locus(name, info.pos0),
+                    "rule can never match: on every operation that reaches it, " +
+                        first_reason);
+        continue;
+      }
+
+      // Target-side context: a STATE --set whose value never resolves fires
+      // but stores nothing.
+      const auto* st = dynamic_cast<const core::StateTarget*>(rule.target.get());
+      if (st != nullptr && !st->unset && st->value.is_var) {
+        bool resolvable = false;
+        for (sim::Op op : live) {
+          if (OperandAvailable(st->value, op)) {
+            resolvable = true;
+            break;
+          }
+        }
+        if (!resolvable) {
+          report->Add(Severity::kWarning, "target-context-unavailable",
+                      Locus(name, info.pos0),
+                      "STATE --set value " + st->value.Render() +
+                          " never resolves on any operation that reaches this rule; "
+                          "the target fires but stores nothing");
+        }
+      }
+    }
+  }
+}
+
+void Analysis::CheckStateProtocol() {
+  struct KeyUse {
+    std::vector<std::pair<RuleLocus, const RuleInfo*>> checks;
+    std::vector<RuleLocus> sets;
+    std::vector<RuleLocus> unsets;
+  };
+  std::map<std::string, KeyUse> keys;
+
+  for (const auto& [name, chain] : rs.rules.filter().chains()) {
+    const std::vector<RuleInfo>& v = infos[&chain];
+    for (const RuleInfo& info : v) {
+      const Rule& rule = *info.rule;
+      for (const auto& m : rule.matches) {
+        if (const auto* sm = dynamic_cast<const core::StateMatch*>(m.get())) {
+          keys[sm->key].checks.emplace_back(Locus(name, info.pos0), &info);
+        }
+      }
+      if (const auto* st = dynamic_cast<const core::StateTarget*>(rule.target.get())) {
+        if (st->unset) {
+          keys[st->key].unsets.push_back(Locus(name, info.pos0));
+        } else {
+          keys[st->key].sets.push_back(Locus(name, info.pos0));
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, use] : keys) {
+    if (use.sets.empty()) {
+      // An absent key never matches a STATE check (even --nequal), so every
+      // check of a never-set key deadens its rule.
+      for (const auto& [locus, info] : use.checks) {
+        report->Add(DropAware(info->static_kind), "state-never-set", locus,
+                    "STATE --key " + key +
+                        " is checked here but no rule ever sets it; the match can "
+                        "never succeed");
+      }
+      for (const RuleLocus& locus : use.unsets) {
+        report->Add(Severity::kInfo, "state-unset-never-set", locus,
+                    "STATE --unset of key " + key + " which no rule ever sets");
+      }
+    }
+    if (use.checks.empty() && !use.sets.empty()) {
+      for (const RuleLocus& locus : use.sets) {
+        report->Add(Severity::kWarning, "state-never-checked", locus,
+                    "STATE --set of key " + key +
+                        " is never checked by any STATE match; the stored state "
+                        "protects nothing");
+      }
+    }
+  }
+}
+
+void Analysis::CheckCacheability() {
+  for (const auto& [name, chain] : rs.rules.filter().chains()) {
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const Rule& rule = chain.rule_at(i);
+      for (const auto& m : rule.matches) {
+        CtxMask bad = m->CacheableByKey() ? (m->Needs() & kNonKeyedCtx) : 0;
+        if (bad != 0) {
+          report->Add(Severity::kError, "false-cacheable", Locus(name, i),
+                      "-m " + std::string(m->Name()) +
+                          " claims CacheableByKey() but reads " + CtxNames(bad) +
+                          ", which the verdict-cache key does not cover; cached "
+                          "verdicts would go stale");
+        }
+      }
+      if (rule.target != nullptr) {
+        CtxMask bad =
+            rule.target->CacheableByKey() ? (rule.target->Needs() & kNonKeyedCtx) : 0;
+        if (bad != 0) {
+          report->Add(Severity::kError, "false-cacheable", Locus(name, i),
+                      "-j " + std::string(rule.target->Name()) +
+                          " claims CacheableByKey() but reads " + CtxNames(bad) +
+                          ", which the verdict-cache key does not cover; cached "
+                          "verdicts would go stale");
+        }
+      }
+    }
+  }
+}
+
+void Analysis::Run() {
+  BuildSummaries();
+  BuildReachability();
+  if (opts.jump_graph) {
+    CheckJumpGraph();
+  }
+  if (opts.shadowing) {
+    CheckShadowing();
+    CheckRuleLiveness();
+  }
+  if (opts.state_protocol) {
+    CheckStateProtocol();
+  }
+  if (opts.cacheability) {
+    CheckCacheability();
+  }
+}
+
+}  // namespace
+
+AnalysisReport AnalyzeRuleset(const core::CompiledRuleset& rs,
+                              const sim::MacPolicy& policy,
+                              const AnalyzerOptions& opts) {
+  AnalysisReport report;
+  Analysis analysis{rs, policy, opts, &report};
+  analysis.Run();
+  report.Sort();
+  return report;
+}
+
+AnalysisReport AnalyzeEngine(core::Engine& engine, const AnalyzerOptions& opts) {
+  return AnalyzeRuleset(*engine.CompileRuleset(), engine.policy(), opts);
+}
+
+}  // namespace pf::analysis

@@ -1,0 +1,185 @@
+// Diagnostics framework for the rule-base static analyzer.
+//
+// A Diagnostic pins one finding to a rule locus (`table/chain:pos`, 1-based
+// like pftables -L / -D numbering) or to a whole chain (`table/chain`), with
+// a severity, a stable machine-readable code, and a human message. An
+// AnalysisReport collects the findings of one analyzer run and renders them
+// as text (for pfcheck and pftables -L) or JSON (for pfcheck --json and the
+// bench harness).
+//
+// This header is standalone on purpose: pftables.h embeds an AnalysisReport
+// (the result of the last --check run) without pulling in the analyzer.
+#ifndef SRC_ANALYSIS_DIAGNOSTICS_H_
+#define SRC_ANALYSIS_DIAGNOSTICS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pf::analysis {
+
+enum class Severity {
+  kInfo,     // stylistic / informational
+  kWarning,  // likely-unintended but cannot void an invariant by itself
+  kError,    // the rule base does not do what it says (dead deny, bad JUMP,
+             // unsound cache claim); --check=error refuses to commit these
+};
+
+inline const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+// Where a finding lives: a rule (`filter/input:3`) or, when pos == 0, a
+// whole chain (`filter/weird_chain`). Positions are 1-based to match the
+// numbering pftables -L prints and -I/-D consume.
+struct RuleLocus {
+  std::string table = "filter";
+  std::string chain;
+  size_t pos = 0;  // 1-based rule position; 0 = the chain itself
+
+  std::string Render() const {
+    std::string out = table + "/" + chain;
+    if (pos != 0) {
+      out += ":" + std::to_string(pos);
+    }
+    return out;
+  }
+
+  bool operator==(const RuleLocus&) const = default;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string code;  // stable kebab-case id, e.g. "shadowed-rule"
+  RuleLocus locus;
+  std::string message;
+  // Optional second locus (the shadowing rule, the jump source, ...);
+  // empty chain = none.
+  RuleLocus related;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+class AnalysisReport {
+ public:
+  void Add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void Add(Severity sev, std::string code, RuleLocus locus, std::string message,
+           RuleLocus related = {}) {
+    diags_.push_back(Diagnostic{sev, std::move(code), std::move(locus),
+                                std::move(message), std::move(related)});
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  size_t size() const { return diags_.size(); }
+
+  size_t Count(Severity sev) const {
+    return static_cast<size_t>(
+        std::count_if(diags_.begin(), diags_.end(),
+                      [sev](const Diagnostic& d) { return d.severity == sev; }));
+  }
+  size_t errors() const { return Count(Severity::kError); }
+  size_t warnings() const { return Count(Severity::kWarning); }
+  bool HasErrors() const { return errors() != 0; }
+
+  // Orders findings by locus for stable output, severest first within a
+  // locus. Rendering does not sort implicitly; callers that want determinism
+  // across analyzer-pass ordering call this once.
+  void Sort() {
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       if (a.locus.chain != b.locus.chain) {
+                         return a.locus.chain < b.locus.chain;
+                       }
+                       if (a.locus.pos != b.locus.pos) {
+                         return a.locus.pos < b.locus.pos;
+                       }
+                       return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+                     });
+  }
+
+  // One finding per line:
+  //   error[shadowed-rule] filter/input:3: ... (see filter/input:1)
+  std::string RenderText() const {
+    std::ostringstream oss;
+    for (const Diagnostic& d : diags_) {
+      oss << SeverityName(d.severity) << "[" << d.code << "] " << d.locus.Render()
+          << ": " << d.message;
+      if (!d.related.chain.empty()) {
+        oss << " (see " << d.related.Render() << ")";
+      }
+      oss << "\n";
+    }
+    return oss.str();
+  }
+
+  // JSON array of diagnostic objects (stable field order, no trailing
+  // whitespace) — the machine half of the pfcheck output.
+  std::string RenderJson() const {
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < diags_.size(); ++i) {
+      const Diagnostic& d = diags_[i];
+      if (i != 0) {
+        oss << ",";
+      }
+      oss << "{\"severity\":\"" << SeverityName(d.severity) << "\",\"code\":\""
+          << JsonEscape(d.code) << "\",\"locus\":\"" << JsonEscape(d.locus.Render())
+          << "\"";
+      if (!d.related.chain.empty()) {
+        oss << ",\"related\":\"" << JsonEscape(d.related.Render()) << "\"";
+      }
+      oss << ",\"message\":\"" << JsonEscape(d.message) << "\"}";
+    }
+    oss << "]";
+    return oss.str();
+  }
+
+ private:
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace pf::analysis
+
+#endif  // SRC_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,143 @@
+// pfcheck: static analyzer for Process Firewall rule bases.
+//
+// Loads a rule base onto a booted simulated system (so label names and
+// program paths resolve exactly as they would at install time), compiles
+// it the way the engine's commit path does, and runs the full analysis
+// suite: shadowing/dead rules, JUMP-graph sanity, STATE protocol lints,
+// and cacheability lints.
+//
+//   pfcheck --library              analyze the shipped paper rule base
+//   pfcheck file.rules ...         analyze pftables-save format dumps
+//   pfcheck --json ...             machine-readable report (with timing)
+//
+// Exit status: 0 clean (or warnings only), 1 error-severity diagnostics,
+// 2 the rule base failed to load at all.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/apps/programs.h"
+#include "src/apps/rule_library.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+
+namespace {
+
+void PrintUsage(std::FILE* to) {
+  std::fputs(
+      "usage: pfcheck [--json] [--library] [rule-file...]\n"
+      "\n"
+      "Static analysis of Process Firewall rule bases: shadowed and dead\n"
+      "rules, JUMP-graph defects (undefined chains, cycles, depth), STATE\n"
+      "protocol mismatches, and cacheability violations.\n"
+      "\n"
+      "  --library   analyze the shipped paper rule base (R1-R12 + link rules)\n"
+      "  --json      emit a JSON report with analysis timing\n"
+      "  rule-file   a pftables-save format dump (as produced by Save())\n",
+      to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool library = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--library") {
+      library = true;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pfcheck: unknown flag %s\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (!library && files.empty()) {
+    library = true;  // nothing else to analyze; default to the shipped base
+  }
+
+  using pf::core::Status;
+
+  // Boot the simulated system so rule installation resolves label names and
+  // program paths against the same image the engine authorizes against.
+  pf::sim::Kernel kernel(0x5eed);
+  pf::sim::BuildSysImage(kernel);
+  pf::apps::InstallPrograms(kernel);
+  pf::core::Engine* engine = pf::core::InstallProcessFirewall(kernel);
+  pf::core::Pftables pftables(engine);
+
+  if (library) {
+    Status s = pftables.ExecAll(pf::apps::RuleLibrary::DefaultRuleBase());
+    if (!s.ok()) {
+      std::fprintf(stderr, "pfcheck: loading shipped library failed: %s\n",
+                   s.message().c_str());
+      return 2;
+    }
+  }
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "pfcheck: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream dump;
+    dump << in.rdbuf();
+    Status s = pftables.Restore(dump.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "pfcheck: %s: %s\n", path.c_str(), s.message().c_str());
+      return 2;
+    }
+  }
+
+  // Compile once (the commit path's staging compile) and analyze. Timing is
+  // averaged over a few runs so the JSON number is stable enough for the
+  // benchmark harness to track.
+  auto compiled = engine->CompileRuleset();
+  pf::analysis::AnalysisReport report;
+  constexpr int kTimingIters = 10;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTimingIters; ++i) {
+    report = pf::analysis::AnalyzeRuleset(*compiled, engine->policy());
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  const double analysis_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kTimingIters;
+
+  const pf::core::Table& filter = engine->ruleset().filter();
+  const std::size_t rules = filter.total_rules();
+  const std::size_t nchains = filter.chains().size();
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\"pfcheck\": {\"rules\": " << rules
+        << ", \"chains\": " << nchains
+        << ", \"analysis_us\": " << analysis_us
+        << ", \"errors\": " << report.errors()
+        << ", \"warnings\": " << report.warnings()
+        << ", \"diagnostics\": " << report.RenderJson() << "}}\n";
+    std::fputs(out.str().c_str(), stdout);
+  } else {
+    if (!report.empty()) {
+      std::fputs(report.RenderText().c_str(), stdout);
+    }
+    std::printf("pfcheck: %zu rule(s) in %zu chain(s): %zu error(s), %zu warning(s) [%.1f us]\n",
+                rules, nchains, report.errors(), report.warnings(),
+                analysis_us);
+  }
+  return report.HasErrors() ? 1 : 0;
+}

@@ -5,15 +5,13 @@
 namespace pf::core {
 
 namespace {
-constexpr int kMaxChainDepth = 8;
 constexpr CtxMask kAllCtx = CtxBit(Ctx::kObject) | CtxBit(Ctx::kLinkTarget) |
                             CtxBit(Ctx::kAdversaryAccess) | CtxBit(Ctx::kEntrypoint) |
                             CtxBit(Ctx::kUserStack) | CtxBit(Ctx::kInterpStack);
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
 
-// Operations by which the process *affects* resources (mediated by the
-// output chain in addition to input); reads/deliveries are input-only.
 bool IsOutputOp(sim::Op op) {
   switch (op) {
     case sim::Op::kFileWrite:
@@ -29,7 +27,11 @@ bool IsOutputOp(sim::Op op) {
       return false;
   }
 }
-}  // namespace
+
+bool IsCreateOp(sim::Op op) {
+  return op == sim::Op::kFileCreate || op == sim::Op::kDirAddName ||
+         op == sim::Op::kSocketBind;
+}
 
 size_t WorkerIndex() {
   static std::atomic<size_t> next{0};
@@ -101,7 +103,7 @@ const CompiledChain* CompiledRuleset::FindCompiled(const std::string& chain) con
   return it == compiled.end() ? nullptr : &it->second;
 }
 
-void Engine::CommitRuleset() {
+std::shared_ptr<CompiledRuleset> Engine::CompileRuleset() const {
   auto snap = std::make_shared<CompiledRuleset>();
   snap->rules = ruleset_;  // shares the Rule objects, copies chain structure
   snap->input = snap->rules.filter().Find("input");
@@ -171,7 +173,11 @@ void Engine::CommitRuleset() {
   snap->cc_output = snap->FindCompiled("output");
   snap->cc_create = snap->FindCompiled("create");
   snap->cc_syscallbegin = snap->FindCompiled("syscallbegin");
+  return snap;
+}
 
+void Engine::CommitRuleset() {
+  std::shared_ptr<CompiledRuleset> snap = CompileRuleset();
   {
     std::lock_guard<std::mutex> lock(commit_mu_);
     snap->generation = generation_.load(kRelaxed) + 1;
@@ -652,8 +658,7 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
     // Creation operations consult the create chain first (template T2),
     // write-type operations additionally the output chain, then everything
     // falls through to input.
-    if (req.op == sim::Op::kFileCreate || req.op == sim::Op::kDirAddName ||
-        req.op == sim::Op::kSocketBind) {
+    if (IsCreateOp(req.op)) {
       consider(rs.cc_create);
     }
     if (IsOutputOp(req.op)) {

@@ -52,6 +52,19 @@
 
 namespace pf::core {
 
+// Maximum JUMP nesting depth. A chain entered at this depth is not
+// evaluated (TraverseChain falls through), so rules only reachable beyond
+// the bound are dead — the static analyzer (src/analysis) flags them.
+inline constexpr int kMaxChainDepth = 8;
+
+// Operations by which the process *affects* resources (mediated by the
+// output chain in addition to input); reads/deliveries are input-only.
+bool IsOutputOp(sim::Op op);
+
+// Creation operations, which consult the `create` chain first (paper
+// template T2) before output/input.
+bool IsCreateOp(sim::Op op);
+
 struct EngineConfig {
   bool enabled = true;
   bool lazy_context = true;   // fetch context only when a rule needs it
@@ -314,6 +327,13 @@ class Engine : public sim::SecurityModule {
   // Pftables after every successful mutating command; safe to call while
   // worker threads evaluate.
   void CommitRuleset();
+
+  // Compiles the staging rule base into a CompiledRuleset snapshot without
+  // publishing it (generation stays 0). This is what the static analyzer
+  // (src/analysis) and the pftables --check gate run over: analysis sees
+  // exactly the structures hook evaluation would, including uncommitted
+  // staging edits, with no effect on the live generation.
+  std::shared_ptr<CompiledRuleset> CompileRuleset() const;
   uint64_t ruleset_generation() const {
     return generation_.load(std::memory_order_acquire);
   }

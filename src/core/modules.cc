@@ -350,6 +350,22 @@ bool InterpMatch::Matches(Packet& pkt, Engine&) const {
   return true;
 }
 
+bool InterpMatch::Subsumes(const MatchModule& other) const {
+  const auto* o = dynamic_cast<const InterpMatch*>(&other);
+  if (o == nullptr) {
+    return false;
+  }
+  if (lang && (!o->lang || *o->lang != *lang)) {
+    return false;
+  }
+  // Every script path ending in o's (longer) suffix also ends in ours.
+  if (script_suffix.size() > o->script_suffix.size()) {
+    return false;
+  }
+  return o->script_suffix.compare(o->script_suffix.size() - script_suffix.size(),
+                                  std::string::npos, script_suffix) == 0;
+}
+
 std::string InterpMatch::Render() const {
   std::ostringstream oss;
   oss << "INTERP";

@@ -103,6 +103,10 @@ class InterpMatch : public MatchModule {
   std::string_view Name() const override { return "INTERP"; }
   CtxMask Needs() const override { return CtxBit(Ctx::kInterpStack); }
   bool Matches(Packet& pkt, Engine& engine) const override;
+  // A shorter suffix accepts every script a longer one does (and --lang
+  // unset accepts every language), so INTERP matches form a partial order
+  // the shadowing analysis can exploit.
+  bool Subsumes(const MatchModule& other) const override;
   std::string Render() const override;
 
   std::string script_suffix;
@@ -116,6 +120,7 @@ class VerdictTarget : public TargetModule {
   explicit VerdictTarget(TargetKind kind) : kind_(kind) {}
   std::string_view Name() const override;
   bool CacheableByKey() const override { return true; }  // pure verdict
+  std::optional<TargetKind> StaticKind() const override { return kind_; }
   TargetKind Fire(Packet& pkt, Engine& engine) const override;
   std::string Render() const override { return std::string(Name()); }
 
@@ -130,6 +135,7 @@ class JumpTarget : public TargetModule {
   // The jump itself is pure; the reachable chain's purity is folded in by
   // the commit-time transitive closure.
   bool CacheableByKey() const override { return true; }
+  std::optional<TargetKind> StaticKind() const override { return TargetKind::kJump; }
   TargetKind Fire(Packet&, Engine&) const override { return TargetKind::kJump; }
   const std::string& jump_chain() const override { return chain_; }
   std::string Render() const override { return chain_; }
@@ -146,6 +152,7 @@ class StateTarget : public TargetModule {
                        std::unique_ptr<TargetModule>* out);
   std::string_view Name() const override { return "STATE"; }
   CtxMask Needs() const override { return value.Needs(); }
+  std::optional<TargetKind> StaticKind() const override { return TargetKind::kContinue; }
   TargetKind Fire(Packet& pkt, Engine& engine) const override;
   std::string Render() const override;
 
@@ -165,6 +172,7 @@ class LogTarget : public TargetModule {
   CtxMask Needs() const override {
     return CtxBit(Ctx::kObject) | CtxBit(Ctx::kAdversaryAccess) | CtxBit(Ctx::kEntrypoint);
   }
+  std::optional<TargetKind> StaticKind() const override { return TargetKind::kContinue; }
   TargetKind Fire(Packet& pkt, Engine& engine) const override;
   std::string Render() const override;
 

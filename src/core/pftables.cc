@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
+#include <optional>
 #include <sstream>
 
+#include "src/analysis/analyzer.h"
 #include "src/core/modules.h"
 
 namespace pf::core {
@@ -74,8 +77,8 @@ TargetFactory FindTargetFactory(const std::string& name) {
 
 }  // namespace
 
-std::vector<std::string> Pftables::Tokenize(const std::string& line) {
-  std::vector<std::string> out;
+Status Pftables::Tokenize(const std::string& line, std::vector<std::string>* out) {
+  out->clear();
   std::string cur;
   char quote = 0;
   for (char c : line) {
@@ -93,17 +96,21 @@ std::vector<std::string> Pftables::Tokenize(const std::string& line) {
     }
     if (c == ' ' || c == '\t' || c == '\n') {
       if (!cur.empty()) {
-        out.push_back(std::move(cur));
+        out->push_back(std::move(cur));
         cur.clear();
       }
       continue;
     }
     cur.push_back(c);
   }
-  if (!cur.empty()) {
-    out.push_back(std::move(cur));
+  if (quote != 0) {
+    return Status::Error(std::string("unterminated ") +
+                         (quote == '\'' ? "single" : "double") + " quote in: " + line);
   }
-  return out;
+  if (!cur.empty()) {
+    out->push_back(std::move(cur));
+  }
+  return Status::Ok();
 }
 
 Status Pftables::ParseLabelSet(const std::string& token, LabelSet* out) {
@@ -298,7 +305,10 @@ void Pftables::ReindexAll(Table& table) {
 }
 
 Status Pftables::Exec(const std::string& command) {
-  std::vector<std::string> tokens = Tokenize(command);
+  std::vector<std::string> tokens;
+  if (Status s = Tokenize(command, &tokens); !s.ok()) {
+    return s;
+  }
   size_t i = 0;
   if (tokens.empty() || tokens[0][0] == '#' || tokens[0][0] == '*') {
     return Status::Ok();  // comment / annotation line
@@ -307,14 +317,36 @@ Status Pftables::Exec(const std::string& command) {
     ++i;
   }
 
+  // Global flags (--check and -t in either order) before the chain command.
   std::string table_name = "filter";
-  if (i + 1 < tokens.size() && tokens[i] == "-t") {
-    table_name = tokens[i + 1];
-    i += 2;
+  CheckMode check = CheckMode::kOff;
+  while (i < tokens.size()) {
+    const std::string& t = tokens[i];
+    if (t == "-t" && i + 1 < tokens.size()) {
+      table_name = tokens[i + 1];
+      i += 2;
+    } else if (t == "--check" || t.rfind("--check=", 0) == 0) {
+      if (t == "--check" || t == "--check=error") {
+        check = CheckMode::kError;
+      } else if (t == "--check=warn") {
+        check = CheckMode::kWarn;
+      } else {
+        return Status::Error("--check mode must be 'error' or 'warn'");
+      }
+      ++i;
+    } else {
+      break;
+    }
   }
   Table* table = engine_->ruleset().FindTable(table_name);
   if (table == nullptr) {
     return Status::Error("unknown table '" + table_name + "'");
+  }
+  // Rollback copy for the --check=error gate, taken before any mutation
+  // (cheap: chains copy structurally, the Rule objects are shared).
+  std::optional<RuleSet> backup;
+  if (check != CheckMode::kOff) {
+    backup = engine_->ruleset();
   }
 
   // Chain command (default: append to input).
@@ -354,12 +386,16 @@ Status Pftables::Exec(const std::string& command) {
     }
   }
 
+  // Mutating commands defer CommitRuleset until after the --check gate has
+  // seen (and possibly vetoed) the staged edit, so a rejected command never
+  // publishes a generation.
+  bool need_commit = false;
   switch (cmd) {
     case Cmd::kNew: {
       if (!table->NewChain(chain_name)) {
         return Status::Error("chain exists: " + chain_name);
       }
-      return Status::Ok();
+      break;  // -N never committed eagerly: an empty chain changes nothing
     }
     case Cmd::kFlush: {
       if (!chain_given) {
@@ -370,8 +406,8 @@ Status Pftables::Exec(const std::string& command) {
         return Status::Error("no such chain: " + chain_name);
       }
       ReindexAll(*table);
-      engine_->CommitRuleset();
-      return Status::Ok();
+      need_commit = true;
+      break;
     }
     case Cmd::kList:
       return Status::Ok();  // use List() for output
@@ -394,8 +430,8 @@ Status Pftables::Exec(const std::string& command) {
       } else {
         return Status::Error("-P requires ACCEPT or DROP");
       }
-      engine_->CommitRuleset();
-      return Status::Ok();
+      need_commit = true;
+      break;
     }
     case Cmd::kDelete: {
       Chain* chain = table->Find(chain_name);
@@ -406,8 +442,8 @@ Status Pftables::Exec(const std::string& command) {
         return Status::Error("no rule at position");
       }
       ReindexAll(*table);
-      engine_->CommitRuleset();
-      return Status::Ok();
+      need_commit = true;
+      break;
     }
     case Cmd::kInsert:
     case Cmd::kAppend: {
@@ -423,11 +459,28 @@ Status Pftables::Exec(const std::string& command) {
         chain.Append(std::move(rule));
       }
       ReindexAll(*table);
-      engine_->CommitRuleset();
-      return Status::Ok();
+      need_commit = true;
+      break;
     }
   }
-  return Status::Error("unreachable");
+
+  if (check != CheckMode::kOff) {
+    last_check_ = analysis::AnalyzeEngine(*engine_);
+    if (check == CheckMode::kError && last_check_.HasErrors()) {
+      engine_->ruleset() = std::move(*backup);
+      ReindexAll(engine_->ruleset().filter());
+      return Status::Error("--check rejected the command: " +
+                           std::to_string(last_check_.errors()) +
+                           " error(s)\n" + last_check_.RenderText());
+    }
+    if (!last_check_.empty()) {
+      std::fputs(("pftables --check:\n" + last_check_.RenderText()).c_str(), stderr);
+    }
+  }
+  if (need_commit) {
+    engine_->CommitRuleset();
+  }
+  return Status::Ok();
 }
 
 Status Pftables::ExecAll(const std::vector<std::string>& commands) {
@@ -485,6 +538,20 @@ std::string Pftables::List(const std::string& table_name) const {
       oss << "  [evals=" << r->evals.load() << " hits=" << r->hits.load() << "]\n";
     }
   }
+  // Annotate the listing with the analyzer's findings (the engine only
+  // traverses the filter table, so only its listing is analyzed).
+  if (table_name == "filter") {
+    analysis::AnalysisReport report = analysis::AnalyzeEngine(*engine_);
+    if (!report.empty()) {
+      oss << "# analyzer: " << report.errors() << " error(s), " << report.warnings()
+          << " warning(s)\n";
+      std::istringstream lines(report.RenderText());
+      std::string line;
+      while (std::getline(lines, line)) {
+        oss << "# " << line << "\n";
+      }
+    }
+  }
   return oss.str();
 }
 
@@ -512,7 +579,20 @@ std::string Pftables::Save(const std::string& table_name) const {
   return oss.str();
 }
 
-Status Pftables::Restore(const std::string& dump) {
+Status Pftables::Restore(const std::string& dump, CheckMode check) {
+  // With a check mode the dump is one transaction: any failure below rolls
+  // the staging rule base back to this copy and republishes it (lines
+  // commit individually as they execute, so the rollback must commit too).
+  std::optional<RuleSet> backup;
+  if (check != CheckMode::kOff) {
+    backup = engine_->ruleset();
+  }
+  auto roll_back = [&]() {
+    engine_->ruleset() = std::move(*backup);
+    ReindexAll(engine_->ruleset().filter());
+    engine_->CommitRuleset();
+  };
+
   size_t i = 0;
   while (i < dump.size()) {
     size_t j = dump.find('\n', i);
@@ -523,9 +603,25 @@ Status Pftables::Restore(const std::string& dump) {
     // Skip -N failures for chains that already exist (idempotent restore).
     Status s = Exec(line);
     if (!s.ok() && line.find(" -N ") == std::string::npos) {
+      if (backup) {
+        roll_back();
+      }
       return Status::Error(s.message() + " in: " + line);
     }
     i = j + 1;
+  }
+
+  if (check != CheckMode::kOff) {
+    last_check_ = analysis::AnalyzeEngine(*engine_);
+    if (check == CheckMode::kError && last_check_.HasErrors()) {
+      roll_back();
+      return Status::Error("--check rejected the restore: " +
+                           std::to_string(last_check_.errors()) +
+                           " error(s)\n" + last_check_.RenderText());
+    }
+    if (!last_check_.empty()) {
+      std::fputs(("pftables --check:\n" + last_check_.RenderText()).c_str(), stderr);
+    }
   }
   return Status::Ok();
 }

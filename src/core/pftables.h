@@ -20,10 +20,18 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/core/engine.h"
 #include "src/core/status.h"
 
 namespace pf::core {
+
+// Commit-time static-analysis gate (`pftables --check[=error|warn] ...`).
+// kError refuses to apply a command whose resulting rule base carries any
+// error-severity diagnostic (the staging rule base is rolled back and
+// nothing is published); kWarn applies the command but logs the findings;
+// kOff (the default) skips analysis entirely.
+enum class CheckMode { kOff, kWarn, kError };
 
 // Extension factories: the "userspace half" of a match/target module that
 // parses rule-language options into a module instance (the instance itself
@@ -48,30 +56,41 @@ class Pftables {
 
   // Executes one pftables command line (the leading "pftables" word is
   // optional). Lines that are empty or start with '#'/'*' are ignored, so
-  // annotated rule files can be fed line by line.
+  // annotated rule files can be fed line by line. A `--check[=error|warn]`
+  // flag before the chain command runs the static analyzer over the
+  // resulting rule base; see CheckMode.
   Status Exec(const std::string& command);
 
   // Executes many commands; stops at the first error.
   Status ExecAll(const std::vector<std::string>& commands);
 
-  // Renders a table's chains, rules, and counters.
+  // Renders a table's chains, rules, and counters; for the filter table the
+  // static analyzer's findings are appended as '# ...' annotation lines.
   std::string List(const std::string& table = "filter") const;
 
   // Serializes the rule base as re-installable commands (pftables-save).
   // Round trip: Restore(Save()) reproduces the rule base.
   std::string Save(const std::string& table = "filter") const;
 
-  // Executes a Save()-format dump line by line (pftables-restore).
-  Status Restore(const std::string& dump);
+  // Executes a Save()-format dump line by line (pftables-restore). With a
+  // check mode, the whole dump is gated as one unit: any line error or (in
+  // kError mode) any error-severity diagnostic rolls the rule base back to
+  // its pre-restore state.
+  Status Restore(const std::string& dump, CheckMode check = CheckMode::kOff);
 
   // Zeroes all rule counters (-Z).
   void ZeroCounters();
 
   Engine& engine() { return *engine_; }
 
+  // The report of the most recent --check / checked Restore on this
+  // front-end (empty until one runs).
+  const analysis::AnalysisReport& last_check() const { return last_check_; }
+
   // Tokenizes a command line (exposed for tests): whitespace-separated,
-  // honoring single and double quotes.
-  static std::vector<std::string> Tokenize(const std::string& line);
+  // honoring single and double quotes. An unterminated quote is a parse
+  // error — silently swallowing the rest of the line once hid rule tails.
+  static Status Tokenize(const std::string& line, std::vector<std::string>* out);
 
  private:
   Status ParseLabelSet(const std::string& token, LabelSet* out);
@@ -81,6 +100,7 @@ class Pftables {
   Engine* engine_;
   std::map<std::string, MatchFactoryFn> custom_matches_;
   std::map<std::string, TargetFactoryFn> custom_targets_;
+  analysis::AnalysisReport last_check_;
 };
 
 }  // namespace pf::core

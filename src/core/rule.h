@@ -58,6 +58,15 @@ class MatchModule {
   // the conservative default of false, or stale cached verdicts could be
   // served after the un-keyed input changes.
   virtual bool CacheableByKey() const { return false; }
+  // Subsumption hook for the static analyzer (src/analysis): true when this
+  // module's accepted packet set is a superset of `other`'s — every packet
+  // `other` matches, this module matches too. The default — exact equality
+  // of module name and rendered options — is always sound; modules whose
+  // option space has a partial order (e.g. INTERP script suffixes) override
+  // it to prove more shadowing.
+  virtual bool Subsumes(const MatchModule& other) const {
+    return Name() == other.Name() && Render() == other.Render();
+  }
   virtual std::string Render() const = 0;
 };
 
@@ -80,6 +89,12 @@ class TargetModule {
   // would silently skip them); JUMP is cacheable itself — the jumped-to
   // chain is folded in transitively by Engine::CommitRuleset.
   virtual bool CacheableByKey() const { return false; }
+  // The verdict kind Fire() produces, when it is statically determinable
+  // (ACCEPT/DROP/RETURN/JUMP and side-effect-only targets always return the
+  // same kind). Custom targets with data-dependent verdicts keep the nullopt
+  // default and the static analyzer treats them conservatively — they
+  // neither shadow later rules nor count as dead when shadowed.
+  virtual std::optional<TargetKind> StaticKind() const { return std::nullopt; }
   // Fires the target; for kJump the chain name is in jump_chain().
   virtual TargetKind Fire(Packet& pkt, Engine& engine) const = 0;
   virtual const std::string& jump_chain() const {

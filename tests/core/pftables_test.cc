@@ -21,10 +21,25 @@ class PftablesTest : public pf::testing::SimTest {
 };
 
 TEST_F(PftablesTest, TokenizerHandlesQuotes) {
-  auto t = Pftables::Tokenize("a 'b c' \"d e\"  f");
+  std::vector<std::string> t;
+  ASSERT_TRUE(Pftables::Tokenize("a 'b c' \"d e\"  f", &t).ok());
   ASSERT_EQ(t.size(), 4u);
   EXPECT_EQ(t[1], "b c");
   EXPECT_EQ(t[2], "d e");
+}
+
+TEST_F(PftablesTest, TokenizerRejectsUnterminatedQuote) {
+  std::vector<std::string> t;
+  Status s = Pftables::Tokenize("-j LOG --msg 'half open", &t);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unterminated single quote"), std::string::npos);
+
+  s = Pftables::Tokenize("-j LOG --msg \"half open", &t);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unterminated double quote"), std::string::npos);
+
+  // And an Exec of such a line fails instead of silently dropping the tail.
+  EXPECT_FALSE(pft_.Exec("pftables -o FILE_READ -j LOG --msg 'oops").ok());
 }
 
 TEST_F(PftablesTest, AppendsToInputByDefault) {
