@@ -28,8 +28,10 @@ struct EngineFixture {
     }
     sys.engine->config().ept_chains = indexed;
     // Off by default so each ablation measures its own mechanism; the
-    // BM_AuthorizeVerdictCache benchmarks opt back in.
+    // BM_AuthorizeVerdictCache benchmarks opt back in, and the
+    // BM_AuthorizeCompiled* benchmarks re-enable the program evaluator.
     sys.engine->config().verdict_cache = false;
+    sys.engine->config().compiled_eval = false;
     task.pid = 77;
     task.comm = "bench";
     task.exe = sim::kBinTrue;
@@ -81,6 +83,52 @@ void BM_AuthorizeIndexedChains(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AuthorizeIndexedChains)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
+
+// The arena-program evaluator against the legacy tree walker, on the same
+// cache-miss Authorize path (verdict cache off, fresh syscall every
+// iteration). Compare against BM_AuthorizeLinearScan / BM_AuthorizeIndexedChains
+// at equal rule counts: the delta is pure dispatch cost.
+void BM_AuthorizeCompiledScan(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
+                   /*indexed=*/false);
+  fx.sys.engine->config().compiled_eval = true;
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizeCompiledScan)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
+
+void BM_AuthorizeCompiledIndexed(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
+                   /*indexed=*/true);
+  fx.sys.engine->config().compiled_eval = true;
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizeCompiledIndexed)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
+
+// Commit-time cost of the whole compilation pipeline (bucket build + arena
+// lowering) over the staging rule base — the price paid once per pftables
+// mutation, amortized over every subsequent hook.
+void BM_CompileProgram(benchmark::State& state) {
+  System sys;
+  sys.InstallRules(SyntheticRuleBase(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto snap = sys.engine->CompileRuleset();
+    benchmark::DoNotOptimize(snap->program.arena.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["arena_words"] = static_cast<double>(
+      sys.engine->CompileRuleset()->program.arena.size());
+}
+BENCHMARK(BM_CompileProgram)->Arg(128)->Arg(1218)->Arg(2048);
 
 void BM_UnwindDepth(benchmark::State& state) {
   EngineFixture fx(/*frames=*/static_cast<int>(state.range(0)));

@@ -4,7 +4,8 @@
 #
 #   table6_lmbench   us/op for every (syscall, config) cell, incl. VCACHE
 #   table7_macro     macro means + PF Full verdict-cache hit/miss/bypass
-#   ablation_engine  BM_AuthorizeVerdictCache* (ns/op + rate counters)
+#   ablation_engine  BM_AuthorizeVerdictCache* (ns/op + rate counters),
+#                    BM_AuthorizeCompiled* vs legacy walker, BM_CompileProgram
 #   pfcheck          static-analyzer wall time over the shipped rule base
 #
 # Usage: bench/run_bench.sh [build-dir] [output.json]
@@ -20,7 +21,7 @@ trap 'rm -rf "$TMP"' EXIT
 "$BUILD/bench/table6_lmbench" --json "$TMP/table6.json"
 "$BUILD/bench/table7_macro" --json "$TMP/table7.json"
 "$BUILD/bench/ablation_engine" \
-  --benchmark_filter='BM_AuthorizeVerdictCache' \
+  --benchmark_filter='BM_AuthorizeVerdictCache|BM_AuthorizeCompiled|BM_AuthorizeIndexedChains|BM_CompileProgram' \
   --benchmark_out="$TMP/ablation.json" --benchmark_out_format=json
 "$BUILD/src/apps/pfcheck" --library --json > "$TMP/pfcheck.json"
 
@@ -38,7 +39,8 @@ with open(os.path.join(tmp, "ablation.json")) as f:
 out["ablation_engine"] = {
     b["name"]: {
         "ns_per_op": b["real_time"],
-        **{k: b[k] for k in ("hit_rate", "miss_rate", "bypass_rate") if k in b},
+        **{k: b[k] for k in ("hit_rate", "miss_rate", "bypass_rate", "arena_words")
+           if k in b},
     }
     for b in ab.get("benchmarks", [])
     if b.get("run_type") != "aggregate"
@@ -49,15 +51,27 @@ with open(os.path.join(tmp, "pfcheck.json")) as f:
 
 # Headline acceptance numbers, precomputed for easy inspection.
 t6 = out["table6"]
+ae = out["ablation_engine"]
+legacy_1218 = ae.get("BM_AuthorizeIndexedChains/1218", {}).get("ns_per_op")
+compiled_1218 = ae.get("BM_AuthorizeCompiledIndexed/1218", {}).get("ns_per_op")
 out["summary"] = {
     "analyzer_us": out["pfcheck"]["analysis_us"],
     "stat_full_us": t6["stat"]["FULL"],
     "stat_eptspc_us": t6["stat"]["EPTSPC"],
+    "stat_compiled_us": t6["stat"]["COMPILED"],
     "stat_vcache_us": t6["stat"]["VCACHE"],
     "open_close_full_us": t6["open+close"]["FULL"],
     "open_close_eptspc_us": t6["open+close"]["EPTSPC"],
+    "open_close_compiled_us": t6["open+close"]["COMPILED"],
     "open_close_vcache_us": t6["open+close"]["VCACHE"],
     "macro_vcache_hit_rate": out["table7"]["vcache"]["hit_rate"],
+    # Compiled-program evaluator: cache-miss Authorize, 1218-rule base,
+    # legacy walker vs arena program (ns/op), plus the one-time lowering cost.
+    "authorize_legacy_1218_ns": legacy_1218,
+    "authorize_compiled_1218_ns": compiled_1218,
+    "compiled_speedup_1218": (legacy_1218 / compiled_1218
+                              if legacy_1218 and compiled_1218 else None),
+    "compile_program_1218_ns": ae.get("BM_CompileProgram/1218", {}).get("ns_per_op"),
 }
 
 with open(out_path, "w") as f:

@@ -37,8 +37,9 @@ struct Config {
   core::EngineConfig engine;
 };
 
-// Every rung below VCACHE pins verdict_cache off (it defaults on) so each
-// column still isolates exactly one optimization.
+// Every rung below VCACHE pins verdict_cache off, and every rung below
+// COMPILED pins compiled_eval off (both default on), so each column still
+// isolates exactly one optimization.
 const Config kConfigs[] = {
     {"DISABLED", false, false, {}},
     {"BASE", true, false,
@@ -46,19 +47,22 @@ const Config kConfigs[] = {
       .verdict_cache = false}},
     {"FULL", true, true,
      {.lazy_context = false, .cache_context = false, .ept_chains = false,
-      .verdict_cache = false}},
+      .verdict_cache = false, .compiled_eval = false}},
     {"CONCACHE", true, true,
      {.lazy_context = false, .cache_context = true, .ept_chains = false,
-      .verdict_cache = false}},
+      .verdict_cache = false, .compiled_eval = false}},
     {"LAZYCON", true, true,
      {.lazy_context = true, .cache_context = true, .ept_chains = false,
-      .verdict_cache = false}},
+      .verdict_cache = false, .compiled_eval = false}},
     {"EPTSPC", true, true,
      {.lazy_context = true, .cache_context = true, .ept_chains = true,
-      .verdict_cache = false}},
+      .verdict_cache = false, .compiled_eval = false}},
+    {"COMPILED", true, true,
+     {.lazy_context = true, .cache_context = true, .ept_chains = true,
+      .verdict_cache = false, .compiled_eval = true}},
     {"VCACHE", true, true,
      {.lazy_context = true, .cache_context = true, .ept_chains = true,
-      .verdict_cache = true}},
+      .verdict_cache = true, .compiled_eval = true}},
 };
 
 struct Workload {
@@ -217,8 +221,10 @@ void Run(const char* json_path) {
   json.WriteTo(json_path);
   std::printf("\nExpected shape (paper): FULL hits resource syscalls hardest (stat ~110%%),\n"
               "each optimization reduces it, and EPTSPC lands near BASE (<11%% on any\n"
-              "one syscall; <3%% for syscalls not performing resource access). VCACHE\n"
-              "should pull repeat-access syscalls (stat, open+close) below EPTSPC.\n");
+              "one syscall; <3%% for syscalls not performing resource access). COMPILED\n"
+              "replaces the tree walker with the arena program evaluator and should\n"
+              "shave EPTSPC further on resource syscalls; VCACHE should pull\n"
+              "repeat-access syscalls (stat, open+close) below both.\n");
 }
 
 }  // namespace pf::bench

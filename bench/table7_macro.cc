@@ -34,11 +34,12 @@ using sim::Proc;
 constexpr int kRepeats = 9;
 constexpr uint64_t kSyscallCostNs = 6000;  // calibrated kernel-entry cost
 
-enum class Mode { kWithoutPf, kPfBase, kPfFull };
+enum class Mode { kWithoutPf, kPfBase, kPfLegacy, kPfFull };
 const char* ModeName(Mode m) {
   switch (m) {
     case Mode::kWithoutPf: return "Without PF";
     case Mode::kPfBase: return "PF Base";
+    case Mode::kPfLegacy: return "PF Legacy";
     default: return "PF Full";
   }
 }
@@ -52,6 +53,13 @@ std::unique_ptr<System> MakeSystem(Mode mode) {
       break;
     case Mode::kPfBase:
       break;  // enabled, empty rule base
+    case Mode::kPfLegacy:
+      // Full rule base on the legacy tree walker: the compiled-program
+      // column's baseline.
+      sys->engine->config().compiled_eval = false;
+      sys->InstallRules(apps::RuleLibrary::DefaultRuleBase());
+      sys->InstallRules(SyntheticRuleBase(1200));
+      break;
     case Mode::kPfFull:
       sys->InstallRules(apps::RuleLibrary::DefaultRuleBase());
       sys->InstallRules(SyntheticRuleBase(1200));
@@ -276,9 +284,9 @@ struct VcacheTotals {
   }
 };
 
-void PrintRow(const char* name, const char* unit, const Sample (&cells)[3]) {
+void PrintRow(const char* name, const char* unit, const Sample (&cells)[4]) {
   std::printf("%-18s", name);
-  for (int m = 0; m < 3; ++m) {
+  for (int m = 0; m < 4; ++m) {
     double pct = OverheadPct(cells[0].mean, cells[m].mean);
     // For throughput, positive overhead means fewer Kb/s.
     if (m == 0) {
@@ -290,11 +298,12 @@ void PrintRow(const char* name, const char* unit, const Sample (&cells)[3]) {
   std::printf(" %s\n", unit);
 }
 
-void EmitRow(JsonWriter& json, const std::string& name, const Sample (&cells)[3]) {
+void EmitRow(JsonWriter& json, const std::string& name, const Sample (&cells)[4]) {
   json.BeginObject(name);
   json.Number("without_pf", cells[0].mean);
   json.Number("pf_base", cells[1].mean);
-  json.Number("pf_full", cells[2].mean);
+  json.Number("pf_legacy", cells[2].mean);
+  json.Number("pf_full", cells[3].mean);
   json.EndObject();
 }
 
@@ -302,10 +311,10 @@ void EmitRow(JsonWriter& json, const std::string& name, const Sample (&cells)[3]
 
 void Run(const char* json_path) {
   Caption("Table 7: macrobenchmarks (mean ± 95% CI; % overhead vs Without PF)");
-  std::printf("%-18s  %16s        %16s        %16s\n", "benchmark", "Without PF",
-              "PF Base", "PF Full");
+  std::printf("%-18s  %16s        %16s        %16s        %16s\n", "benchmark",
+              "Without PF", "PF Base", "PF Legacy", "PF Full");
 
-  const Mode modes[] = {Mode::kWithoutPf, Mode::kPfBase, Mode::kPfFull};
+  const Mode modes[] = {Mode::kWithoutPf, Mode::kPfBase, Mode::kPfLegacy, Mode::kPfFull};
   (void)ModeName;
   VcacheTotals vcache;
   JsonWriter json;
@@ -313,8 +322,8 @@ void Run(const char* json_path) {
 
   // Apache Build.
   {
-    Sample cells[3];
-    for (int m = 0; m < 3; ++m) {
+    Sample cells[4];
+    for (int m = 0; m < 4; ++m) {
       std::vector<double> runs;
       for (int r = 0; r < kRepeats; ++r) {
         auto sys = MakeSystem(modes[m]);
@@ -330,8 +339,8 @@ void Run(const char* json_path) {
   }
   // Boot.
   {
-    Sample cells[3];
-    for (int m = 0; m < 3; ++m) {
+    Sample cells[4];
+    for (int m = 0; m < 4; ++m) {
       std::vector<double> runs;
       for (int r = 0; r < kRepeats; ++r) {
         auto sys = MakeSystem(modes[m]);
@@ -347,8 +356,8 @@ void Run(const char* json_path) {
   }
   // Web.
   for (int clients : {1, 1000}) {
-    Sample lat[3], thr[3];
-    for (int m = 0; m < 3; ++m) {
+    Sample lat[4], thr[4];
+    for (int m = 0; m < 4; ++m) {
       std::vector<double> lat_runs, thr_runs;
       for (int r = 0; r < kRepeats; ++r) {
         auto sys = MakeSystem(modes[m]);
@@ -391,8 +400,9 @@ void Run(const char* json_path) {
   json.EndObject();
   json.WriteTo(json_path);
   std::printf("\nExpected shape (paper): PF Base within ~1%%, PF Full within ~4%% on\n"
-              "every macrobenchmark. The verdict cache should serve the majority of\n"
-              "PF Full decisions (hit rate >= 50%%).\n");
+              "every macrobenchmark (PF Legacy = full rules on the legacy tree walker;\n"
+              "PF Full adds the compiled evaluator + verdict cache). The verdict cache\n"
+              "should serve the majority of PF Full decisions (hit rate >= 50%%).\n");
 }
 
 }  // namespace pf::bench

@@ -7,6 +7,7 @@
 // Commands:
 //   rule <pftables spec...>    install a rule (the word "pftables" optional)
 //   list                       show tables/chains/rules with counters
+//   list --compiled            disassemble the committed arena program
 //   save                       dump the rule base in restore format
 //   open <path> [uid]          try an open as root or the given uid
 //   log [n]                    show the last n LOG records (default 5)
@@ -30,8 +31,8 @@ namespace {
 
 void PrintHelp() {
   std::printf(
-      "commands: rule <spec> | list | save | open <path> [uid] | log [n] | stats |\n"
-      "          audit on|off | help | quit\n");
+      "commands: rule <spec> | list [--compiled] | save | open <path> [uid] |\n"
+      "          log [n] | stats | audit on|off | help | quit\n");
 }
 
 }  // namespace
@@ -64,7 +65,10 @@ int main() {
       core::Status s = pftables.Exec("pftables " + rest);
       std::printf("%s\n", s.ok() ? "ok" : s.message().c_str());
     } else if (cmd == "list") {
-      std::printf("%s", pftables.List().c_str());
+      std::string arg;
+      iss >> arg;
+      std::printf("%s", arg == "--compiled" ? pftables.ListCompiled().c_str()
+                                            : pftables.List().c_str());
     } else if (cmd == "save") {
       std::printf("%s", pftables.Save().c_str());
     } else if (cmd == "open") {

@@ -13,14 +13,16 @@ namespace pf::analysis {
 
 namespace {
 
-using core::Chain;
 using core::CompiledRuleset;
 using core::Ctx;
 using core::CtxBit;
 using core::CtxMask;
 using core::CtxVar;
+using core::PfOp;
+using core::PfProgram;
+using core::ProgramChain;
 using core::Rule;
-using core::Table;
+using core::RuleRecord;
 using core::TargetKind;
 
 std::string CtxName(Ctx c) {
@@ -177,17 +179,21 @@ SidSet ExpandObject(const core::LabelSet& ls, const sim::MacPolicy& policy,
   return s;
 }
 
-RuleInfo Summarize(const Rule& rule, size_t pos0, const sim::MacPolicy& policy,
+// Summaries are built from the program's rule records: the static verdict
+// kind is the one the lowering pass computed (so analyzer and evaluator
+// agree by construction), while the label-set expansion goes through the
+// record's side pointer — the arena stores interned sid slices, not the MAC
+// policy they expand against.
+RuleInfo Summarize(const RuleRecord& rec, size_t pos0, const sim::MacPolicy& policy,
                    size_t universe) {
+  const Rule& rule = *rec.rule;
   RuleInfo info;
   info.rule = &rule;
   info.pos0 = pos0;
   info.subject = ExpandSubject(rule.subject, policy, universe);
   info.object = ExpandObject(rule.object, policy, universe);
   info.requires_object = !rule.object.wildcard || rule.ino.has_value();
-  if (rule.target != nullptr) {
-    info.static_kind = rule.target->StaticKind();
-  }
+  info.static_kind = rec.static_kind;
   return info;
 }
 
@@ -285,30 +291,34 @@ std::string BlockReason(const RuleInfo& info, sim::Op op) {
 
 // --- analysis passes ----------------------------------------------------------
 
+// Every pass runs over the program form (rs.program): chain ids index the
+// per-chain tables, JUMP edges and static verdict kinds come from the
+// lowered RuleRecords, and the per-op reachability closure walks the same
+// entry-table slices the compiled evaluator dispatches over — what is
+// analyzed is literally what executes. The RuleRecord side pointers into the
+// shared Rule objects supply the parts the arena intentionally does not
+// encode: label-set expansion against the MAC policy, module subsumption,
+// and context-needs classification.
 struct Analysis {
   const CompiledRuleset& rs;
   const sim::MacPolicy& policy;
   const AnalyzerOptions& opts;
   AnalysisReport* report;
+  const PfProgram& prog;
 
-  // Per-chain rule summaries, keyed like rs.compiled.
-  std::map<const Chain*, std::vector<RuleInfo>> infos;
+  // Per-chain rule summaries, indexed by program chain id.
+  std::vector<std::vector<RuleInfo>> infos;
   // Chains reachable per op via the engine's root selection + JUMP edges.
-  std::array<std::set<const Chain*>, sim::kOpCount> reach;
+  std::array<std::vector<char>, sim::kOpCount> reach;
   // Chains reachable from any root, op-agnostic (for unreachable-chain).
-  std::set<const Chain*> reach_any;
-  // Minimum JUMP depth a chain is entered at (roots = 0).
-  std::map<const Chain*, int> min_depth;
+  std::vector<char> reach_any;
+  // Minimum JUMP depth a chain is entered at (roots = 0; -1 = unreachable).
+  std::vector<int> min_depth;
   bool has_cycle = false;
 
   void Run();
 
  private:
-  const Chain* JumpTargetChain(const Rule& rule) const {
-    const std::string& jump = rule.target != nullptr ? rule.target->jump_chain() : "";
-    return jump.empty() ? nullptr : rs.rules.filter().Find(jump);
-  }
-
   void BuildSummaries();
   void BuildReachability();
   void CheckShadowing();
@@ -320,79 +330,91 @@ struct Analysis {
 
 void Analysis::BuildSummaries() {
   const size_t universe = policy.labels().size();
-  for (const auto& [name, chain] : rs.rules.filter().chains()) {
-    std::vector<RuleInfo>& v = infos[&chain];
-    v.reserve(chain.size());
-    for (size_t i = 0; i < chain.size(); ++i) {
-      v.push_back(Summarize(chain.rule_at(i), i, policy, universe));
+  infos.resize(prog.chains.size());
+  for (size_t id = 0; id < prog.chains.size(); ++id) {
+    const ProgramChain& pc = prog.chains[id];
+    infos[id].reserve(pc.rules.size());
+    for (size_t i = 0; i < pc.rules.size(); ++i) {
+      infos[id].push_back(Summarize(prog.rules[pc.rules[i]], i, policy, universe));
     }
   }
 }
 
 void Analysis::BuildReachability() {
   // Mirror Engine::Authorize's root-chain selection per op, then close over
-  // JUMP edges using the per-op dispatch buckets (a rule whose -o precheck
-  // cannot pass is not in the bucket, so its jump does not extend reach).
+  // JUMP edges using the program's per-op bucket slices (a rule whose -o
+  // precheck cannot pass is not in the bucket, so its jump does not extend
+  // reach).
+  for (auto& r : reach) {
+    r.assign(prog.chains.size(), 0);
+  }
+  reach_any.assign(prog.chains.size(), 0);
+  min_depth.assign(prog.chains.size(), -1);
+
   for (size_t opi = 0; opi < sim::kOpCount; ++opi) {
     const sim::Op op = static_cast<sim::Op>(opi);
-    std::vector<const Chain*> roots;
+    std::vector<int32_t> roots;
     if (op == sim::Op::kSyscallBegin) {
-      roots.push_back(rs.syscallbegin);
+      roots.push_back(prog.root_syscallbegin);
     } else {
       if (core::IsCreateOp(op)) {
-        roots.push_back(rs.create);
+        roots.push_back(prog.root_create);
       }
       if (core::IsOutputOp(op)) {
-        roots.push_back(rs.output);
+        roots.push_back(prog.root_output);
       }
-      roots.push_back(rs.input);
+      roots.push_back(prog.root_input);
     }
-    std::deque<const Chain*> queue;
-    for (const Chain* root : roots) {
-      if (root != nullptr && reach[opi].insert(root).second) {
+    std::deque<int32_t> queue;
+    for (int32_t root : roots) {
+      if (root >= 0 && reach[opi][static_cast<size_t>(root)] == 0) {
+        reach[opi][static_cast<size_t>(root)] = 1;
         queue.push_back(root);
       }
     }
     while (!queue.empty()) {
-      const Chain* chain = queue.front();
+      const int32_t id = queue.front();
       queue.pop_front();
-      auto cc = rs.compiled.find(chain);
-      if (cc == rs.compiled.end()) {
-        continue;
-      }
-      for (const Rule* rule : cc->second.ops[opi].all) {
-        const Chain* next = JumpTargetChain(*rule);
-        if (next != nullptr && reach[opi].insert(next).second) {
-          queue.push_back(next);
+      const core::ProgramBucket& bucket = prog.chains[static_cast<size_t>(id)].ops[opi];
+      for (uint32_t i = 0; i < bucket.all_len; ++i) {
+        const RuleRecord& rec = prog.rules[prog.entries[bucket.all_off + i]];
+        if (rec.jump_chain >= 0 && reach[opi][static_cast<size_t>(rec.jump_chain)] == 0) {
+          reach[opi][static_cast<size_t>(rec.jump_chain)] = 1;
+          queue.push_back(rec.jump_chain);
         }
       }
     }
   }
 
   // Op-agnostic reachability with entry depths (BFS = minimum JUMP depth).
-  std::deque<const Chain*> queue;
-  for (const Chain* root : {rs.input, rs.output, rs.create, rs.syscallbegin}) {
-    if (root != nullptr && reach_any.insert(root).second) {
-      min_depth[root] = 0;
+  std::deque<int32_t> queue;
+  for (int32_t root :
+       {prog.root_input, prog.root_output, prog.root_create, prog.root_syscallbegin}) {
+    if (root >= 0 && reach_any[static_cast<size_t>(root)] == 0) {
+      reach_any[static_cast<size_t>(root)] = 1;
+      min_depth[static_cast<size_t>(root)] = 0;
       queue.push_back(root);
     }
   }
   while (!queue.empty()) {
-    const Chain* chain = queue.front();
+    const int32_t id = queue.front();
     queue.pop_front();
-    for (const auto& rule : chain->rules()) {
-      const Chain* next = JumpTargetChain(*rule);
-      if (next != nullptr && reach_any.insert(next).second) {
-        min_depth[next] = min_depth[chain] + 1;
-        queue.push_back(next);
+    for (uint32_t rec_idx : prog.chains[static_cast<size_t>(id)].rules) {
+      const RuleRecord& rec = prog.rules[rec_idx];
+      if (rec.jump_chain >= 0 && reach_any[static_cast<size_t>(rec.jump_chain)] == 0) {
+        reach_any[static_cast<size_t>(rec.jump_chain)] = 1;
+        min_depth[static_cast<size_t>(rec.jump_chain)] =
+            min_depth[static_cast<size_t>(id)] + 1;
+        queue.push_back(rec.jump_chain);
       }
     }
   }
 }
 
 void Analysis::CheckShadowing() {
-  for (const auto& [name, chain] : rs.rules.filter().chains()) {
-    const std::vector<RuleInfo>& v = infos[&chain];
+  for (size_t id = 0; id < prog.chains.size(); ++id) {
+    const std::string& name = prog.chains[id].name;
+    const std::vector<RuleInfo>& v = infos[id];
     for (size_t j = 1; j < v.size(); ++j) {
       // Empty-expansion rules are reported by CheckRuleLiveness; a shadow
       // diagnostic on top of "matches nothing" would be noise.
@@ -422,22 +444,20 @@ void Analysis::CheckShadowing() {
 }
 
 void Analysis::CheckJumpGraph() {
-  const Table& filter = rs.rules.filter();
-
-  // Undefined targets + RETURN in a root chain.
-  for (const auto& [name, chain] : filter.chains()) {
-    for (size_t i = 0; i < chain.size(); ++i) {
-      const Rule& rule = chain.rule_at(i);
-      const std::string& jump =
-          rule.target != nullptr ? rule.target->jump_chain() : std::string();
-      if (!jump.empty() && filter.Find(jump) == nullptr) {
-        report->Add(Severity::kError, "undefined-chain", Locus(name, i),
-                    "JUMP to undefined chain '" + jump + "'");
+  // Undefined targets + RETURN in a root chain, straight off the rule
+  // records: an undefined JUMP is a record with a declared target name but
+  // no resolved chain id.
+  for (size_t id = 0; id < prog.chains.size(); ++id) {
+    const ProgramChain& pc = prog.chains[id];
+    for (size_t i = 0; i < pc.rules.size(); ++i) {
+      const RuleRecord& rec = prog.rules[pc.rules[i]];
+      if (rec.jump_name != core::kPfNoIndex && rec.jump_chain < 0) {
+        report->Add(Severity::kError, "undefined-chain", Locus(pc.name, i),
+                    "JUMP to undefined chain '" + prog.strings[rec.jump_name] + "'");
       }
-      if (chain.builtin() && rule.target != nullptr &&
-          rule.target->StaticKind() == TargetKind::kReturn) {
-        report->Add(Severity::kWarning, "return-from-root", Locus(name, i),
-                    "RETURN in builtin chain '" + name +
+      if (pc.builtin && rec.static_kind == TargetKind::kReturn) {
+        report->Add(Severity::kWarning, "return-from-root", Locus(pc.name, i),
+                    "RETURN in builtin chain '" + pc.name +
                         "' skips the remaining rules of the chain and falls through "
                         "to the default policy");
       }
@@ -447,35 +467,33 @@ void Analysis::CheckJumpGraph() {
   // Cycle detection: iterative DFS over jump edges, every chain a start
   // node (cycles among unreachable chains still hang a future reload).
   enum class Color { kWhite, kGrey, kBlack };
-  std::map<const Chain*, Color> color;
-  for (const auto& [name, chain] : filter.chains()) {
-    color[&chain] = Color::kWhite;
-  }
-  // Each stack frame: (chain, next rule index to expand).
-  for (const auto& [name, chain] : filter.chains()) {
-    if (color[&chain] != Color::kWhite) {
+  std::vector<Color> color(prog.chains.size(), Color::kWhite);
+  // Each stack frame: (chain id, next rule index to expand).
+  for (size_t start = 0; start < prog.chains.size(); ++start) {
+    if (color[start] != Color::kWhite) {
       continue;
     }
-    std::vector<std::pair<const Chain*, size_t>> stack;
-    stack.emplace_back(&chain, 0);
-    color[&chain] = Color::kGrey;
+    std::vector<std::pair<int32_t, size_t>> stack;
+    stack.emplace_back(static_cast<int32_t>(start), 0);
+    color[start] = Color::kGrey;
     while (!stack.empty()) {
       auto& [cur, idx] = stack.back();
-      if (idx >= cur->size()) {
-        color[cur] = Color::kBlack;
+      const ProgramChain& pc = prog.chains[static_cast<size_t>(cur)];
+      if (idx >= pc.rules.size()) {
+        color[static_cast<size_t>(cur)] = Color::kBlack;
         stack.pop_back();
         continue;
       }
       const size_t rule_idx = idx++;
-      const Chain* next = JumpTargetChain(cur->rule_at(rule_idx));
-      if (next == nullptr) {
+      const int32_t next = prog.rules[pc.rules[rule_idx]].jump_chain;
+      if (next < 0) {
         continue;
       }
-      if (color[next] == Color::kGrey) {
+      if (color[static_cast<size_t>(next)] == Color::kGrey) {
         has_cycle = true;
         // Render the cycle: the segment of the DFS stack from `next` down
         // to the jumping rule.
-        std::string path = next->name();
+        std::string path = prog.chains[static_cast<size_t>(next)].name;
         bool in_cycle = false;
         for (const auto& frame : stack) {
           if (frame.first == next) {
@@ -483,33 +501,33 @@ void Analysis::CheckJumpGraph() {
             continue;
           }
           if (in_cycle) {
-            path += " -> " + frame.first->name();
+            path += " -> " + prog.chains[static_cast<size_t>(frame.first)].name;
           }
         }
-        path += " -> " + next->name();
-        report->Add(Severity::kError, "jump-cycle", Locus(cur->name(), rule_idx),
+        path += " -> " + prog.chains[static_cast<size_t>(next)].name;
+        report->Add(Severity::kError, "jump-cycle", Locus(pc.name, rule_idx),
                     "JUMP cycle: " + path);
-      } else if (color[next] == Color::kWhite) {
-        color[next] = Color::kGrey;
+      } else if (color[static_cast<size_t>(next)] == Color::kWhite) {
+        color[static_cast<size_t>(next)] = Color::kGrey;
         stack.emplace_back(next, 0);
       }
     }
   }
 
   // Unreachable chains + the depth bound.
-  for (const auto& [name, chain] : filter.chains()) {
-    if (reach_any.count(&chain) == 0) {
-      report->Add(Severity::kWarning, "unreachable-chain", ChainLocus(name),
+  for (size_t id = 0; id < prog.chains.size(); ++id) {
+    const ProgramChain& pc = prog.chains[id];
+    if (reach_any[id] == 0) {
+      report->Add(Severity::kWarning, "unreachable-chain", ChainLocus(pc.name),
                   "no JUMP from a builtin chain reaches this chain; its " +
-                      std::to_string(chain.size()) + " rule(s) are never evaluated");
+                      std::to_string(pc.rules.size()) + " rule(s) are never evaluated");
       continue;
     }
-    auto depth = min_depth.find(&chain);
-    if (depth != min_depth.end() && depth->second >= opts.max_depth) {
-      report->Add(Severity::kError, "depth-exceeded", ChainLocus(name),
-                  "chain is first entered at JUMP depth " +
-                      std::to_string(depth->second) + " >= the traversal bound " +
-                      std::to_string(opts.max_depth) + "; its rules never run");
+    if (min_depth[id] >= opts.max_depth) {
+      report->Add(Severity::kError, "depth-exceeded", ChainLocus(pc.name),
+                  "chain is first entered at JUMP depth " + std::to_string(min_depth[id]) +
+                      " >= the traversal bound " + std::to_string(opts.max_depth) +
+                      "; its rules never run");
     }
   }
 
@@ -518,44 +536,39 @@ void Analysis::CheckJumpGraph() {
   if (!has_cycle) {
     // Longest entry depth per chain: relax jump edges to a fixpoint (the
     // graph is acyclic here and tiny — chains count in the tens).
-    std::map<const Chain*, int> max_depth_in;
-    for (const Chain* root : {rs.input, rs.output, rs.create, rs.syscallbegin}) {
-      if (root != nullptr) {
-        max_depth_in[root] = 0;
+    std::vector<int> max_depth_in(prog.chains.size(), -1);
+    for (int32_t root :
+         {prog.root_input, prog.root_output, prog.root_create, prog.root_syscallbegin}) {
+      if (root >= 0) {
+        max_depth_in[static_cast<size_t>(root)] = 0;
       }
     }
     bool changed = true;
     while (changed) {
       changed = false;
-      for (const auto& [name, chain] : filter.chains()) {
-        auto from = max_depth_in.find(&chain);
-        if (from == max_depth_in.end()) {
+      for (size_t id = 0; id < prog.chains.size(); ++id) {
+        if (max_depth_in[id] < 0) {
           continue;
         }
-        for (const auto& rule : chain.rules()) {
-          const Chain* next = JumpTargetChain(*rule);
-          if (next == nullptr) {
+        for (uint32_t rec_idx : prog.chains[id].rules) {
+          const int32_t next = prog.rules[rec_idx].jump_chain;
+          if (next < 0) {
             continue;
           }
-          int d = from->second + 1;
-          auto [it, inserted] = max_depth_in.try_emplace(next, d);
-          if (!inserted && it->second < d) {
-            it->second = d;
-            changed = true;
-          } else if (inserted) {
+          const int d = max_depth_in[id] + 1;
+          if (max_depth_in[static_cast<size_t>(next)] < d) {
+            max_depth_in[static_cast<size_t>(next)] = d;
             changed = true;
           }
         }
       }
     }
-    for (const auto& [name, chain] : filter.chains()) {
-      auto deep = max_depth_in.find(&chain);
-      auto shallow = min_depth.find(&chain);
-      if (deep != max_depth_in.end() && shallow != min_depth.end() &&
-          shallow->second < opts.max_depth && deep->second >= opts.max_depth) {
-        report->Add(Severity::kWarning, "deep-jump", ChainLocus(name),
+    for (size_t id = 0; id < prog.chains.size(); ++id) {
+      if (reach_any[id] != 0 && min_depth[id] < opts.max_depth &&
+          max_depth_in[id] >= opts.max_depth) {
+        report->Add(Severity::kWarning, "deep-jump", ChainLocus(prog.chains[id].name),
                     "some JUMP path enters this chain at depth " +
-                        std::to_string(deep->second) + " >= the traversal bound " +
+                        std::to_string(max_depth_in[id]) + " >= the traversal bound " +
                         std::to_string(opts.max_depth) +
                         "; the chain is silently skipped on that path");
       }
@@ -564,9 +577,10 @@ void Analysis::CheckJumpGraph() {
 }
 
 void Analysis::CheckRuleLiveness() {
-  for (const auto& [name, chain] : rs.rules.filter().chains()) {
-    const bool chain_reachable = reach_any.count(&chain) != 0;
-    const std::vector<RuleInfo>& v = infos[&chain];
+  for (size_t id = 0; id < prog.chains.size(); ++id) {
+    const std::string& name = prog.chains[id].name;
+    const bool chain_reachable = reach_any[id] != 0;
+    const std::vector<RuleInfo>& v = infos[id];
     for (const RuleInfo& info : v) {
       const Rule& rule = *info.rule;
 
@@ -597,7 +611,7 @@ void Analysis::CheckRuleLiveness() {
         if (rule.op && *rule.op != op) {
           continue;
         }
-        if (reach[opi].count(&chain) != 0) {
+        if (reach[opi][id] != 0) {
           rops.push_back(op);
         }
       }
@@ -662,20 +676,29 @@ void Analysis::CheckStateProtocol() {
   };
   std::map<std::string, KeyUse> keys;
 
-  for (const auto& [name, chain] : rs.rules.filter().chains()) {
-    const std::vector<RuleInfo>& v = infos[&chain];
-    for (const RuleInfo& info : v) {
-      const Rule& rule = *info.rule;
-      for (const auto& m : rule.matches) {
-        if (const auto* sm = dynamic_cast<const core::StateMatch*>(m.get())) {
-          keys[sm->key].checks.emplace_back(Locus(name, info.pos0), &info);
-        }
-      }
-      if (const auto* st = dynamic_cast<const core::StateTarget*>(rule.target.get())) {
-        if (st->unset) {
-          keys[st->key].unsets.push_back(Locus(name, info.pos0));
-        } else {
-          keys[st->key].sets.push_back(Locus(name, info.pos0));
+  // Scan the instruction stream rather than dynamic_cast the module tree:
+  // every STATE match and STATE target lowers to a dedicated arena op with
+  // its key interned in the string pool, so the protocol pass sees exactly
+  // what the compiled evaluator will execute.
+  for (size_t id = 0; id < prog.chains.size(); ++id) {
+    const ProgramChain& pc = prog.chains[id];
+    for (size_t i = 0; i < pc.rules.size(); ++i) {
+      const RuleRecord& rec = prog.rules[pc.rules[i]];
+      for (uint32_t p = rec.entry; p < rec.end; p += core::kPfInsnWords) {
+        const core::PfInsn insn = prog.Fetch(p);
+        switch (static_cast<PfOp>(insn.op)) {
+          case PfOp::kMatchState:
+            keys[prog.strings[insn.a]].checks.emplace_back(Locus(pc.name, i),
+                                                           &infos[id][i]);
+            break;
+          case PfOp::kStateSet:
+            keys[prog.strings[insn.a]].sets.push_back(Locus(pc.name, i));
+            break;
+          case PfOp::kStateUnset:
+            keys[prog.strings[insn.a]].unsets.push_back(Locus(pc.name, i));
+            break;
+          default:
+            break;
         }
       }
     }
@@ -708,9 +731,11 @@ void Analysis::CheckStateProtocol() {
 }
 
 void Analysis::CheckCacheability() {
-  for (const auto& [name, chain] : rs.rules.filter().chains()) {
-    for (size_t i = 0; i < chain.size(); ++i) {
-      const Rule& rule = chain.rule_at(i);
+  for (size_t id = 0; id < prog.chains.size(); ++id) {
+    const ProgramChain& pc = prog.chains[id];
+    const std::string& name = pc.name;
+    for (size_t i = 0; i < pc.rules.size(); ++i) {
+      const Rule& rule = *prog.rules[pc.rules[i]].rule;
       for (const auto& m : rule.matches) {
         CtxMask bad = m->CacheableByKey() ? (m->Needs() & kNonKeyedCtx) : 0;
         if (bad != 0) {
@@ -760,7 +785,7 @@ AnalysisReport AnalyzeRuleset(const core::CompiledRuleset& rs,
                               const sim::MacPolicy& policy,
                               const AnalyzerOptions& opts) {
   AnalysisReport report;
-  Analysis analysis{rs, policy, opts, &report};
+  Analysis analysis{rs, policy, opts, &report, rs.program};
   analysis.Run();
   report.Sort();
   return report;

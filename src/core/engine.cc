@@ -173,6 +173,9 @@ std::shared_ptr<CompiledRuleset> Engine::CompileRuleset() const {
   snap->cc_output = snap->FindCompiled("output");
   snap->cc_create = snap->FindCompiled("create");
   snap->cc_syscallbegin = snap->FindCompiled("syscallbegin");
+  // Pass 3: lower the whole generation into the arena-packed program form
+  // (compile.cc) — re-points the buckets just built at entry-table slices.
+  LowerProgram(*snap);
   return snap;
 }
 
@@ -630,6 +633,275 @@ Engine::Verdict Engine::RunBuiltin(const CompiledRuleset& rs, const CompiledChai
   return v;
 }
 
+// --- compiled evaluator ----------------------------------------------------------
+//
+// The program-form twin of EvalRule/EvalRules/TraverseChain/RunBuiltin: one
+// switch-dispatch loop over the arena. Every case replicates its legacy
+// counterpart bit for bit — same counter bumps in the same order, same
+// EnsureContext calls (each guard op fetches exactly what the tree walker's
+// DefaultMatches would), same side effects — which the COMPILED ablation
+// rung and the differential fuzz test enforce. Builtin matches and targets
+// execute inline from pool operands; kMatchNative/kTargetNative escape into
+// the extension module's virtual Matches()/Fire().
+
+Engine::Verdict Engine::ExecRule(const CompiledRuleset& rs, const RuleRecord& rec,
+                                 uint32_t start, Packet& pkt, int depth) {
+  const PfProgram& prog = rs.program;
+  const sim::AccessRequest& req = *pkt.req;
+  // kRuleBegin's accounting, hoisted: callers enter past it (at rec.body or
+  // rec.entry + kPfInsnWords), saving one dispatch per rule.
+  StatsLocal().rules_evaluated.fetch_add(1, kRelaxed);
+  rec.rule->evals.fetch_add(1, kRelaxed);
+  for (uint32_t pc = start; pc < rec.end; pc += kPfInsnWords) {
+    const PfInsn insn = prog.Fetch(pc);
+    switch (static_cast<PfOp>(insn.op)) {
+      case PfOp::kRuleBegin:
+        break;  // accounting hoisted into the prologue above
+      case PfOp::kCheckOp:
+        if (static_cast<sim::Op>(insn.a) != req.op) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      case PfOp::kMatchSubject:
+        if (!prog.SubjectMatches(insn.a, req.task->cred.sid, kernel_.policy())) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      case PfOp::kEnsureCtx:
+        EnsureContext(pkt, insn.a);
+        break;
+      case PfOp::kCheckProgram:
+        EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
+        if (!pkt.entrypoint_valid || pkt.entrypoint.image.dev != insn.b ||
+            pkt.entrypoint.image.ino != insn.c) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      case PfOp::kCheckEptOff:
+        EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
+        if (!pkt.entrypoint_valid || pkt.entrypoint.offset != insn.b) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      case PfOp::kCheckIno:
+        EnsureContext(pkt, CtxBit(Ctx::kObject));
+        if (!pkt.has_object || pkt.object_id.ino != insn.b) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      case PfOp::kMatchObject:
+        EnsureContext(pkt, CtxBit(Ctx::kObject));
+        if (!pkt.has_object) {
+          return Verdict::kFallthrough;
+        }
+        if (prog.labelsets[insn.a].syshigh != 0) {
+          EnsureContext(pkt, CtxBit(Ctx::kAdversaryAccess));
+        }
+        if (!prog.ObjectMatches(insn.a, pkt.object_sid, kernel_.policy())) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      case PfOp::kMatchState: {
+        PfTaskState& state = TaskState(*req.task);
+        std::lock_guard<std::mutex> lock(state.mu);
+        auto it = state.dict.find(prog.strings[insn.a]);
+        if (it == state.dict.end()) {
+          return Verdict::kFallthrough;  // absent key never matches
+        }
+        if ((insn.flags & kPfHasCmp) != 0) {
+          auto want = prog.operands[static_cast<uint32_t>(insn.b)].Eval(pkt);
+          if (!want) {
+            return Verdict::kFallthrough;
+          }
+          const bool equal = it->second == *want;
+          if (((insn.flags & kPfNegate) != 0) ? equal : !equal) {
+            return Verdict::kFallthrough;
+          }
+        }
+        break;
+      }
+      case PfOp::kMatchSignal:
+        if (req.op != sim::Op::kSignalDeliver || !req.task->signals.HasHandler(req.sig) ||
+            sim::IsUnblockable(req.sig)) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      case PfOp::kMatchSyscallArg: {
+        const int64_t actual = insn.aux == 0
+                                   ? static_cast<int64_t>(req.syscall_nr)
+                                   : req.args[static_cast<size_t>(insn.aux - 1)];
+        const bool equal = actual == static_cast<int64_t>(insn.b);
+        if (((insn.flags & kPfNegate) != 0) ? equal : !equal) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      }
+      case PfOp::kMatchCompare: {
+        auto lhs = prog.operands[static_cast<uint32_t>(insn.b)].Eval(pkt);
+        auto rhs = prog.operands[static_cast<uint32_t>(insn.c)].Eval(pkt);
+        if (!lhs || !rhs) {
+          return Verdict::kFallthrough;  // missing context: cannot claim a match
+        }
+        const bool equal = *lhs == *rhs;
+        if (((insn.flags & kPfNegate) != 0) ? equal : !equal) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      }
+      case PfOp::kMatchInterp: {
+        if (pkt.interp == nullptr || pkt.interp_status == UnwindStatus::kAborted ||
+            pkt.interp->empty()) {
+          return Verdict::kFallthrough;
+        }
+        const InterpRec& top = pkt.interp->front();
+        if (insn.aux != 0 && static_cast<uint16_t>(top.lang) + 1 != insn.aux) {
+          return Verdict::kFallthrough;
+        }
+        const std::string& suffix = prog.strings[insn.a];
+        if (!suffix.empty()) {
+          const std::string& path = top.script_path;
+          if (path.size() < suffix.size() ||
+              path.compare(path.size() - suffix.size(), std::string::npos, suffix) != 0) {
+            return Verdict::kFallthrough;
+          }
+        }
+        break;
+      }
+      case PfOp::kMatchNative:
+        if (!prog.native_matches[insn.a]->Matches(pkt, *this)) {
+          return Verdict::kFallthrough;
+        }
+        break;
+      case PfOp::kAccept:
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        return Verdict::kAccept;
+      case PfOp::kDrop:
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        return Verdict::kDrop;
+      case PfOp::kReturn:
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        return Verdict::kReturn;
+      case PfOp::kContinue:
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        return Verdict::kFallthrough;
+      case PfOp::kJump: {
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        if (insn.a != kPfNoIndex && depth < kMaxChainDepth) {
+          Verdict v = ExecChain(rs, prog.chains[insn.a], pkt, depth + 1);
+          if (v == Verdict::kAccept || v == Verdict::kDrop) {
+            return v;
+          }
+        }
+        return Verdict::kFallthrough;
+      }
+      case PfOp::kStateSet: {
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        PfTaskState& state = TaskState(*req.task);
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (auto v = prog.operands[static_cast<uint32_t>(insn.b)].Eval(pkt)) {
+          state.dict[prog.strings[insn.a]] = *v;
+        }
+        return Verdict::kFallthrough;
+      }
+      case PfOp::kStateUnset: {
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        PfTaskState& state = TaskState(*req.task);
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.dict.erase(prog.strings[insn.a]);
+        return Verdict::kFallthrough;
+      }
+      case PfOp::kLog:
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        EmitLog(pkt, prog.strings[insn.a]);
+        return Verdict::kFallthrough;
+      case PfOp::kTargetNative: {
+        rec.rule->hits.fetch_add(1, kRelaxed);
+        const TargetModule* target = prog.native_targets[insn.a];
+        switch (target->Fire(pkt, *this)) {
+          case TargetKind::kAccept:
+            return Verdict::kAccept;
+          case TargetKind::kDrop:
+            return Verdict::kDrop;
+          case TargetKind::kContinue:
+            return Verdict::kFallthrough;
+          case TargetKind::kReturn:
+            return Verdict::kReturn;
+          case TargetKind::kJump: {
+            const int32_t id = prog.FindChain(target->jump_chain());
+            if (id >= 0 && depth < kMaxChainDepth) {
+              Verdict v = ExecChain(rs, prog.chains[id], pkt, depth + 1);
+              if (v == Verdict::kAccept || v == Verdict::kDrop) {
+                return v;
+              }
+            }
+            return Verdict::kFallthrough;
+          }
+        }
+        return Verdict::kFallthrough;
+      }
+    }
+  }
+  return Verdict::kFallthrough;
+}
+
+Engine::Verdict Engine::ExecEntries(const CompiledRuleset& rs, uint32_t off, uint32_t len,
+                                    bool op_checked, Packet& pkt, int depth) {
+  const PfProgram& prog = rs.program;
+  for (uint32_t i = 0; i < len; ++i) {
+    const RuleRecord& rec = prog.rules[prog.entries[off + i]];
+    // Bucket lists are op-filtered at compile time, so the kCheckOp guard is
+    // a tautology there and evaluation enters past it; entrypoint-index
+    // lists keep it (they are selected by (image, offset), not by op).
+    const uint32_t start = op_checked ? rec.body : rec.entry + kPfInsnWords;
+    Verdict v = ExecRule(rs, rec, start, pkt, depth);
+    if (v != Verdict::kFallthrough) {
+      return v;  // accept, drop, or RETURN to the calling chain
+    }
+  }
+  return Verdict::kFallthrough;
+}
+
+Engine::Verdict Engine::ExecChain(const CompiledRuleset& rs, const ProgramChain& pc,
+                                  Packet& pkt, int depth) {
+  if (depth >= kMaxChainDepth) {
+    return Verdict::kFallthrough;
+  }
+  const ProgramBucket& bucket = pc.ops[static_cast<size_t>(pkt.req->op)];
+  if (config_.ept_chains && pc.index_built) {
+    Verdict v = ExecEntries(rs, bucket.plain_off, bucket.plain_len,
+                            /*op_checked=*/true, pkt, depth);
+    if (v != Verdict::kFallthrough) {
+      return v;
+    }
+    if (bucket.has_indexed) {
+      EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
+      if (pkt.entrypoint_valid) {
+        auto it = pc.ept.find(EptKey{pkt.entrypoint.image, pkt.entrypoint.offset});
+        if (it != pc.ept.end()) {
+          StatsLocal().ept_chain_hits.fetch_add(1, kRelaxed);
+          return ExecEntries(rs, it->second.first, it->second.second,
+                             /*op_checked=*/false, pkt, depth);
+        }
+      }
+    }
+    return Verdict::kFallthrough;
+  }
+  return ExecEntries(rs, bucket.all_off, bucket.all_len, /*op_checked=*/true, pkt,
+                     depth);
+}
+
+Engine::Verdict Engine::RunBuiltinCompiled(const CompiledRuleset& rs,
+                                           const ProgramChain& pc, Packet& pkt) {
+  Verdict v = ExecChain(rs, pc, pkt, 0);
+  if (v == Verdict::kReturn) {
+    v = Verdict::kFallthrough;
+  }
+  if (v == Verdict::kFallthrough && pc.policy_drop) {
+    v = Verdict::kDrop;
+  }
+  return v;
+}
+
 int64_t Engine::Authorize(sim::AccessRequest& req) {
   if (!config_.enabled || req.task == nullptr) {
     return 0;
@@ -729,7 +1001,12 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
   if (!decided) {
     Verdict verdict = Verdict::kFallthrough;
     for (size_t i = 0; i < num_applicable && verdict == Verdict::kFallthrough; ++i) {
-      verdict = RunBuiltin(rs, *applicable[i], pkt);
+      const CompiledChain* cc = applicable[i];
+      if (config_.compiled_eval && cc->program_chain >= 0) {
+        verdict = RunBuiltinCompiled(rs, rs.program.chains[cc->program_chain], pkt);
+      } else {
+        verdict = RunBuiltin(rs, *cc, pkt);
+      }
     }
     drop = verdict == Verdict::kDrop;
     if (insert_on_miss) {

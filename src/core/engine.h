@@ -11,7 +11,9 @@
 //   CONCACHE = {lazy_context=false, cache_context=true,  ept_chains=false}
 //   LAZYCON  = {lazy_context=true,  cache_context=true,  ept_chains=false}
 //   EPTSPC   = {lazy_context=true,  cache_context=true,  ept_chains=true}
-//   VCACHE   = EPTSPC + verdict_cache (commit-time compilation + AVC-style
+//   COMPILED = EPTSPC + compiled_eval (arena-packed program evaluator; see
+//              DESIGN.md "Compiled PF programs")
+//   VCACHE   = COMPILED + verdict_cache (commit-time compilation + AVC-style
 //              verdict cache; see DESIGN.md "Verdict cache and commit-time
 //              compilation")
 //
@@ -47,6 +49,7 @@
 
 #include "src/core/log.h"
 #include "src/core/packet.h"
+#include "src/core/program.h"
 #include "src/core/ruleset.h"
 #include "src/sim/kernel.h"
 
@@ -75,6 +78,12 @@ struct EngineConfig {
   // verdicts instead of re-traversing the rule base. Chains with stateful or
   // side-effecting rules (STATE, LOG, SYSCALL_ARGS, ...) bypass the cache.
   bool verdict_cache = true;
+  // Evaluate hooks with the switch-dispatch interpreter over the commit-time
+  // arena-packed program (program.h) instead of the legacy shared_ptr<Rule>
+  // tree walker. Both produce bit-identical verdicts, stats, and side
+  // effects (enforced by the COMPILED ablation rung and the differential
+  // fuzz test); the flag exists for the ablation ladder and as a fallback.
+  bool compiled_eval = true;
   // Audit mode: evaluate rules and count/log would-be denials, but allow
   // everything. This is how an OS distributor shakes out false positives
   // before enforcing a generated rule base (paper §6.3.2).
@@ -204,6 +213,7 @@ struct CompiledChain {
   const Chain* chain = nullptr;
   uint64_t op_mask = 0;
   std::array<OpBucket, sim::kOpCount> ops;
+  int32_t program_chain = -1;  // id of this chain in CompiledRuleset::program
 };
 
 // One published generation of the rule base: a structural copy of the
@@ -225,6 +235,11 @@ struct CompiledRuleset {
   const CompiledChain* cc_output = nullptr;
   const CompiledChain* cc_create = nullptr;
   const CompiledChain* cc_syscallbegin = nullptr;
+
+  // The arena-packed program form of the same generation (see program.h):
+  // lowered by LowerProgram at the end of compilation, consumed by the
+  // compiled evaluator, the static analyzer, and `pftables -L --compiled`.
+  PfProgram program;
 
   const CompiledChain* FindCompiled(const std::string& chain) const;
 };
@@ -366,6 +381,21 @@ class Engine : public sim::SecurityModule {
                     Packet& pkt, int depth);
   Verdict EvalRule(const CompiledRuleset& rs, const Rule& rule, Packet& pkt, int depth);
   bool DefaultMatches(const Rule& rule, Packet& pkt);
+
+  // Compiled-program twins of the traversal above (engine.cc "compiled
+  // evaluator"): a switch-dispatch loop over the arena, no virtual calls on
+  // the builtin-module path. Selected by EngineConfig::compiled_eval.
+  Verdict RunBuiltinCompiled(const CompiledRuleset& rs, const ProgramChain& pc,
+                             Packet& pkt);
+  Verdict ExecChain(const CompiledRuleset& rs, const ProgramChain& pc, Packet& pkt,
+                    int depth);
+  // op_checked: the entry list came from a per-op bucket (op-filtered by
+  // construction), so rule bodies enter past their kCheckOp guard; the
+  // entrypoint index's lists are not op-filtered and keep the guard.
+  Verdict ExecEntries(const CompiledRuleset& rs, uint32_t off, uint32_t len,
+                      bool op_checked, Packet& pkt, int depth);
+  Verdict ExecRule(const CompiledRuleset& rs, const RuleRecord& rec, uint32_t start,
+                   Packet& pkt, int depth);
 
   void FetchObject(Packet& pkt);
   void FetchLinkTarget(Packet& pkt);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/core/engine.h"
+#include "src/core/program.h"
 #include "src/sim/syscall_nr.h"
 #include "src/sim/task.h"
 
@@ -460,6 +461,119 @@ TargetKind LogTarget::Fire(Packet& pkt, Engine& engine) const {
 
 std::string LogTarget::Render() const {
   return prefix.empty() ? "LOG" : "LOG --prefix " + prefix;
+}
+
+// --- lowering ----------------------------------------------------------------------
+//
+// Each builtin module compiles to exactly one inline-operand instruction whose
+// evaluator case (engine.cc ExecRule) replicates Matches()/Fire() bit for bit.
+// Extension modules keep the base-class default and run through the
+// kMatchNative/kTargetNative escapes instead.
+
+bool StateMatch::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kMatchState);
+  insn.a = b.InternString(key);
+  if (cmp) {
+    insn.flags |= kPfHasCmp;
+    insn.b = b.InternOperand(*cmp);
+  }
+  if (negate) {
+    insn.flags |= kPfNegate;
+  }
+  b.Emit(insn);
+  return true;
+}
+
+bool SignalMatch::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kMatchSignal);
+  b.Emit(insn);
+  return true;
+}
+
+bool SyscallArgsMatch::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kMatchSyscallArg);
+  insn.aux = static_cast<uint16_t>(arg);
+  insn.b = static_cast<uint64_t>(value);
+  if (negate) {
+    insn.flags |= kPfNegate;
+  }
+  b.Emit(insn);
+  return true;
+}
+
+bool CompareMatch::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kMatchCompare);
+  insn.b = b.InternOperand(v1);
+  insn.c = b.InternOperand(v2);
+  if (negate) {
+    insn.flags |= kPfNegate;
+  }
+  b.Emit(insn);
+  return true;
+}
+
+bool InterpMatch::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kMatchInterp);
+  insn.a = b.InternString(script_suffix);
+  insn.aux = lang ? static_cast<uint16_t>(*lang) + 1 : 0;
+  b.Emit(insn);
+  return true;
+}
+
+bool VerdictTarget::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  switch (kind_) {
+    case TargetKind::kAccept:
+      insn.op = static_cast<uint8_t>(PfOp::kAccept);
+      break;
+    case TargetKind::kDrop:
+      insn.op = static_cast<uint8_t>(PfOp::kDrop);
+      break;
+    case TargetKind::kReturn:
+      insn.op = static_cast<uint8_t>(PfOp::kReturn);
+      break;
+    default:
+      insn.op = static_cast<uint8_t>(PfOp::kContinue);
+      break;
+  }
+  b.Emit(insn);
+  return true;
+}
+
+bool JumpTarget::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kJump);
+  int32_t id = b.ChainId(chain_);
+  insn.a = id < 0 ? kPfNoIndex : static_cast<uint32_t>(id);
+  insn.b = b.InternString(chain_);  // keeps undefined targets printable
+  b.Emit(insn);
+  return true;
+}
+
+bool StateTarget::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  insn.a = b.InternString(key);
+  if (unset) {
+    insn.op = static_cast<uint8_t>(PfOp::kStateUnset);
+  } else {
+    insn.op = static_cast<uint8_t>(PfOp::kStateSet);
+    insn.b = b.InternOperand(value);
+  }
+  b.Emit(insn);
+  return true;
+}
+
+bool LogTarget::Lower(ProgramBuilder& b) const {
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kLog);
+  insn.a = b.InternString(prefix);
+  b.Emit(insn);
+  return true;
 }
 
 }  // namespace pf::core

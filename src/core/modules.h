@@ -44,6 +44,7 @@ class StateMatch : public MatchModule {
   std::string_view Name() const override { return "STATE"; }
   CtxMask Needs() const override;
   bool Matches(Packet& pkt, Engine& engine) const override;
+  bool Lower(ProgramBuilder& b) const override;
   std::string Render() const override;
 
   std::string key;
@@ -58,6 +59,7 @@ class SignalMatch : public MatchModule {
                        std::unique_ptr<MatchModule>* out);
   std::string_view Name() const override { return "SIGNAL_MATCH"; }
   bool Matches(Packet& pkt, Engine& engine) const override;
+  bool Lower(ProgramBuilder& b) const override;
   std::string Render() const override;
 };
 
@@ -69,6 +71,7 @@ class SyscallArgsMatch : public MatchModule {
                        std::unique_ptr<MatchModule>* out);
   std::string_view Name() const override { return "SYSCALL_ARGS"; }
   bool Matches(Packet& pkt, Engine& engine) const override;
+  bool Lower(ProgramBuilder& b) const override;
   std::string Render() const override;
 
   int arg = 0;
@@ -87,6 +90,7 @@ class CompareMatch : public MatchModule {
     return v1.CoveredByVerdictKey() && v2.CoveredByVerdictKey();
   }
   bool Matches(Packet& pkt, Engine& engine) const override;
+  bool Lower(ProgramBuilder& b) const override;
   std::string Render() const override;
 
   Operand v1;
@@ -107,6 +111,7 @@ class InterpMatch : public MatchModule {
   // unset accepts every language), so INTERP matches form a partial order
   // the shadowing analysis can exploit.
   bool Subsumes(const MatchModule& other) const override;
+  bool Lower(ProgramBuilder& b) const override;
   std::string Render() const override;
 
   std::string script_suffix;
@@ -121,6 +126,7 @@ class VerdictTarget : public TargetModule {
   std::string_view Name() const override;
   bool CacheableByKey() const override { return true; }  // pure verdict
   std::optional<TargetKind> StaticKind() const override { return kind_; }
+  bool Lower(ProgramBuilder& b) const override;
   TargetKind Fire(Packet& pkt, Engine& engine) const override;
   std::string Render() const override { return std::string(Name()); }
 
@@ -136,6 +142,7 @@ class JumpTarget : public TargetModule {
   // the commit-time transitive closure.
   bool CacheableByKey() const override { return true; }
   std::optional<TargetKind> StaticKind() const override { return TargetKind::kJump; }
+  bool Lower(ProgramBuilder& b) const override;
   TargetKind Fire(Packet&, Engine&) const override { return TargetKind::kJump; }
   const std::string& jump_chain() const override { return chain_; }
   std::string Render() const override { return chain_; }
@@ -153,6 +160,7 @@ class StateTarget : public TargetModule {
   std::string_view Name() const override { return "STATE"; }
   CtxMask Needs() const override { return value.Needs(); }
   std::optional<TargetKind> StaticKind() const override { return TargetKind::kContinue; }
+  bool Lower(ProgramBuilder& b) const override;
   TargetKind Fire(Packet& pkt, Engine& engine) const override;
   std::string Render() const override;
 
@@ -173,6 +181,7 @@ class LogTarget : public TargetModule {
     return CtxBit(Ctx::kObject) | CtxBit(Ctx::kAdversaryAccess) | CtxBit(Ctx::kEntrypoint);
   }
   std::optional<TargetKind> StaticKind() const override { return TargetKind::kContinue; }
+  bool Lower(ProgramBuilder& b) const override;
   TargetKind Fire(Packet& pkt, Engine& engine) const override;
   std::string Render() const override;
 

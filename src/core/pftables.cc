@@ -368,6 +368,9 @@ Status Pftables::Exec(const std::string& command) {
           : c == "-F" ? Cmd::kFlush
           : c == "-P" ? Cmd::kPolicy
                       : Cmd::kList;
+    if (cmd == Cmd::kList && i < tokens.size() && tokens[i] == "--compiled") {
+      ++i;  // -L --compiled: listing itself comes from ListCompiled()
+    }
     if (i < tokens.size() && !IsTopLevelFlag(tokens[i])) {
       chain_name = NormalizeChain(tokens[i++]);
       chain_given = true;
@@ -553,6 +556,11 @@ std::string Pftables::List(const std::string& table_name) const {
     }
   }
   return oss.str();
+}
+
+std::string Pftables::ListCompiled() const {
+  return DisassemblePfProgram(engine_->CompileRuleset()->program,
+                              engine_->kernel().labels());
 }
 
 std::string Pftables::Save(const std::string& table_name) const {

@@ -68,6 +68,14 @@ class Pftables {
   // static analyzer's findings are appended as '# ...' annotation lines.
   std::string List(const std::string& table = "filter") const;
 
+  // Renders the committed program form (`pftables -L --compiled`): the
+  // commit-time lowering of the filter table disassembled chain by chain —
+  // arena instructions with pool operands resolved to label/string values,
+  // per-op dispatch masks, and the entrypoint index. Deterministic across
+  // kernel instances: Restore(Save()) into a fresh kernel disassembles
+  // byte-identically.
+  std::string ListCompiled() const;
+
   // Serializes the rule base as re-installable commands (pftables-save).
   // Round trip: Restore(Save()) reproduces the rule base.
   std::string Save(const std::string& table = "filter") const;

@@ -21,6 +21,7 @@
 namespace pf::core {
 
 class Engine;
+class ProgramBuilder;  // program.h
 
 using CtxMask = uint32_t;
 
@@ -67,6 +68,11 @@ class MatchModule {
   virtual bool Subsumes(const MatchModule& other) const {
     return Name() == other.Name() && Render() == other.Render();
   }
+  // Lowering hook for the compiled-program form (program.h): emit the
+  // instruction(s) equivalent to Matches() and return true. The default —
+  // return false — makes the lowering pass emit a kMatchNative escape that
+  // dispatches back into this object, so extension modules work unmodified.
+  virtual bool Lower(ProgramBuilder&) const { return false; }
   virtual std::string Render() const = 0;
 };
 
@@ -95,6 +101,10 @@ class TargetModule {
   // default and the static analyzer treats them conservatively — they
   // neither shadow later rules nor count as dead when shadowed.
   virtual std::optional<TargetKind> StaticKind() const { return std::nullopt; }
+  // Lowering hook, mirroring MatchModule::Lower: emit the terminal/effect
+  // instruction(s) for Fire() and return true, or keep the default and the
+  // lowering pass emits a kTargetNative escape.
+  virtual bool Lower(ProgramBuilder&) const { return false; }
   // Fires the target; for kJump the chain name is in jump_chain().
   virtual TargetKind Fire(Packet& pkt, Engine& engine) const = 0;
   virtual const std::string& jump_chain() const {

@@ -73,6 +73,11 @@ class Chain {
   const std::vector<const Rule*>& plain_rules() const { return plain_; }
   const std::vector<const Rule*>* EptRules(const EptKey& key) const;
   size_t indexed_entrypoints() const { return by_ept_.size(); }
+  // Whole-index view for the commit-time lowering pass (program.h), which
+  // re-points every per-entrypoint rule list at entry-table slices.
+  const std::unordered_map<EptKey, std::vector<const Rule*>, EptKeyHash>& ept_index() const {
+    return by_ept_;
+  }
 
  private:
   void InvalidateIndex();

@@ -25,17 +25,19 @@ constexpr int kOps = 10000;
 constexpr int kTasks = 3;
 constexpr uint64_t kWorkloadSeed = 0xab1a7e5eedull;
 
-EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool vcache = false) {
+EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
+                        bool vcache = false) {
   EngineConfig cfg;
   cfg.lazy_context = lazy;
   cfg.cache_context = cache;
   cfg.ept_chains = ept;
+  cfg.compiled_eval = compiled;
   cfg.verdict_cache = vcache;
   return cfg;
 }
 
-// The Table-6 ablation ladder (the lower rungs pin verdict_cache off so each
-// rung isolates exactly one optimization).
+// The Table-6 ablation ladder (the lower rungs pin compiled_eval and
+// verdict_cache off so each rung isolates exactly one optimization).
 const struct {
   const char* name;
   EngineConfig cfg;
@@ -44,7 +46,8 @@ const struct {
     {"CONCACHE", MakeConfig(false, true, false)},
     {"LAZYCON", MakeConfig(true, true, false)},
     {"EPTSPC", MakeConfig(true, true, true)},
-    {"VCACHE", MakeConfig(true, true, true, true)},
+    {"COMPILED", MakeConfig(true, true, true, true)},
+    {"VCACHE", MakeConfig(true, true, true, true, true)},
 };
 
 // A rule base mixing every decision source: entrypoint-indexed drops (some

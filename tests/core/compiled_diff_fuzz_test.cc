@@ -1,0 +1,332 @@
+// Differential fuzzing of the compiled evaluator against the legacy tree
+// walker: seeded random rule bases (including extension modules that lower
+// through the native escape ops) replayed over seeded random operation
+// streams, with EngineConfig::compiled_eval as the only difference between
+// the two runs. Everything observable must be bit-identical — the verdict
+// sequence, per-task STATE dictionaries, LOG records, rule counters (via the
+// List() rendering), and the engine statistics, including the context-fetch
+// counters that would expose a divergent EnsureContext order.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/apps/programs.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::core {
+namespace {
+
+constexpr int kOps = 2000;
+constexpr int kTasks = 3;
+constexpr int kRandomRules = 30;
+
+// --- extension modules (exercise the kMatchNative / kTargetNative escapes) --
+
+// Matches objects with an odd inode number.
+class OddInoMatch : public MatchModule {
+ public:
+  std::string_view Name() const override { return "ODD_INO"; }
+  CtxMask Needs() const override { return CtxBit(Ctx::kObject); }
+  bool Matches(Packet& pkt, Engine&) const override {
+    return pkt.has_object && pkt.object_id.ino % 2 == 1;
+  }
+  std::string Render() const override { return "ODD_INO"; }
+};
+
+// Counts fires and continues.
+class CountTarget : public TargetModule {
+ public:
+  explicit CountTarget(uint64_t* counter) : counter_(counter) {}
+  std::string_view Name() const override { return "COUNT"; }
+  TargetKind Fire(Packet&, Engine&) const override {
+    ++*counter_;
+    return TargetKind::kContinue;
+  }
+  std::string Render() const override { return "COUNT"; }
+
+ private:
+  uint64_t* counter_;
+};
+
+// --- random rule bases ------------------------------------------------------
+
+// Builds a random but always-installable rule base: a user chain fed from
+// input, rules spread over every builtin chain, every builtin module and
+// target, entrypoint-indexed rules (some matching the workload tasks' real
+// frames in /bin/true, some chaff), and the two extension modules above.
+std::vector<std::string> RandomRules(std::mt19937_64& rng) {
+  const char* kLabels[] = {"etc_t", "tmp_t", "shadow_t", "bin_t", "user_t"};
+  const char* kOpsPool[] = {"FILE_OPEN", "SOCKET_BIND", "PROCESS_SIGNAL_DELIVERY",
+                            "FILE_GETATTR"};
+  const char* kChains[] = {"input", "input", "input", "output", "create",
+                           "syscallbegin", "fz"};
+  const char* kKeys[] = {"k0", "k1", "k2"};
+  const char* kBins[] = {"/bin/true", "/usr/bin/apache2", "/bin/sh"};
+
+  std::vector<std::string> rules = {"pftables -N fz",
+                                    "pftables -A input -s staff_t -j fz"};
+  for (int i = 0; i < kRandomRules; ++i) {
+    std::string r = "pftables -A ";
+    r += kChains[rng() % std::size(kChains)];
+    if (rng() % 2 == 0) {
+      r += std::string(" -o ") + kOpsPool[rng() % std::size(kOpsPool)];
+    }
+    switch (rng() % 4) {
+      case 0:
+        r += std::string(" -s ") + kLabels[rng() % std::size(kLabels)];
+        break;
+      case 1:
+        r += std::string(" -s ~") + kLabels[rng() % std::size(kLabels)];
+        break;
+      case 2:
+        r += std::string(" -s {") + kLabels[rng() % std::size(kLabels)] + "|" +
+             kLabels[rng() % std::size(kLabels)] + "}";
+        break;
+      default:
+        break;  // wildcard subject
+    }
+    if (rng() % 3 == 0) {
+      r += std::string(" -d ") + kLabels[rng() % std::size(kLabels)];
+    }
+    if (rng() % 4 == 0) {
+      char ept[64];
+      std::snprintf(ept, sizeof(ept), " -p %s -i 0x%x",
+                    kBins[rng() % std::size(kBins)],
+                    rng() % 3 == 0 ? 0x100 * (1 + static_cast<int>(rng() % 3))
+                                   : 0x8000 + static_cast<int>(rng() % 8) * 0x40);
+      r += ept;
+    }
+    switch (rng() % 6) {
+      case 0:
+        r += std::string(" -m STATE --key ") + kKeys[rng() % std::size(kKeys)];
+        break;
+      case 1:
+        r += std::string(" -m STATE --key ") + kKeys[rng() % std::size(kKeys)] +
+             " --cmp " + std::to_string(rng() % 3) + (rng() % 2 ? " --nequal" : "");
+        break;
+      case 2:
+        r += " -m SYSCALL_ARGS --arg 0 --equal " + std::to_string(rng() % 8);
+        break;
+      case 3:
+        r += " -m COMPARE --v1 C_UID --v2 " + std::to_string(rng() % 2) +
+             (rng() % 2 ? " --nequal" : "");
+        break;
+      case 4:
+        r += " -m ODD_INO";
+        break;
+      default:
+        break;  // no module
+    }
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+        r += " -j DROP";
+        break;
+      case 2:
+        r += " -j ACCEPT";
+        break;
+      case 3:
+        r += " -j RETURN";
+        break;
+      case 4:
+        r += std::string(" -j STATE --set --key ") + kKeys[rng() % std::size(kKeys)] +
+             " --value " + std::to_string(rng() % 3);
+        break;
+      case 5:
+        r += std::string(" -j STATE --unset --key ") + kKeys[rng() % std::size(kKeys)];
+        break;
+      case 6:
+        r += " -j LOG --prefix fz" + std::to_string(rng() % 3);
+        break;
+      default:
+        r += " -j COUNT";
+        break;
+    }
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+// --- workload ----------------------------------------------------------------
+
+struct FuzzRun {
+  std::vector<int64_t> verdicts;
+  std::vector<std::map<std::string, int64_t>> dicts;
+  std::string log_lines;
+  std::string listing;
+  uint64_t count_fires = 0;
+  EngineStats stats;
+};
+
+// Builds a kernel (fixed sim seed: both runs see identical inode numbers and
+// labels), installs the rule base, and replays the seeded operation stream.
+FuzzRun Replay(uint64_t seed, bool compiled, bool ept) {
+  EngineConfig cfg;
+  cfg.compiled_eval = compiled;
+  cfg.ept_chains = ept;
+  cfg.verdict_cache = false;  // the cache would hide traversal differences
+
+  FuzzRun out;
+  sim::Kernel kernel{0x5eed};
+  sim::BuildSysImage(kernel);
+  apps::InstallPrograms(kernel);
+  Engine* engine = InstallProcessFirewall(kernel, cfg);
+  Pftables pft(engine);
+  pft.RegisterMatch("ODD_INO", [](const std::vector<std::string>& opts,
+                                  std::unique_ptr<MatchModule>* m) {
+    if (!opts.empty()) {
+      return Status::Error("ODD_INO takes no options");
+    }
+    *m = std::make_unique<OddInoMatch>();
+    return Status::Ok();
+  });
+  pft.RegisterTarget("COUNT", [&out](const std::vector<std::string>& opts,
+                                     std::unique_ptr<TargetModule>* t) {
+    if (!opts.empty()) {
+      return Status::Error("COUNT takes no options");
+    }
+    *t = std::make_unique<CountTarget>(&out.count_fires);
+    return Status::Ok();
+  });
+
+  std::mt19937_64 rule_rng(seed);
+  Status s = pft.ExecAll(RandomRules(rule_rng));
+  if (!s.ok()) {
+    ADD_FAILURE() << "rule install failed: " << s.message();
+    return out;
+  }
+
+  kernel.MkFileAt("/tmp/t", "x", 0666, 0, 0, "tmp_t");
+  std::vector<std::unique_ptr<sim::Task>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    auto task = std::make_unique<sim::Task>();
+    task->pid = static_cast<sim::Pid>(200 + i);
+    task->comm = "fuzz";
+    task->exe = sim::kBinTrue;
+    task->cred.sid = kernel.labels().Intern(i == 0 ? "staff_t" : "user_t");
+    task->cwd = kernel.vfs().root()->id();
+    task->mm.Reset(kernel.AslrStackBase());
+    kernel.MapImage(*task, kernel.LookupNoHooks(sim::kBinTrue), sim::kBinTrue);
+    const sim::Mapping* map = task->mm.FindMappingByPath(sim::kBinTrue);
+    for (int f = 0; f <= i; ++f) {
+      task->mm.PushFrame(map->base + 0x100 * static_cast<uint64_t>(f + 1), 16, false);
+    }
+    tasks.push_back(std::move(task));
+  }
+
+  std::vector<std::shared_ptr<sim::Inode>> pins;
+  const char* kPaths[] = {"/etc/passwd", "/etc/shadow", "/tmp/t", "/bin/true"};
+  std::mt19937_64 rng(seed ^ 0x0bdeadbeefULL);
+  out.verdicts.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    sim::Task& task = *tasks[rng() % kTasks];
+    if (rng() % 4 != 0) {
+      ++task.syscall_count;
+    }
+    sim::AccessRequest req;
+    req.task = &task;
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2: {
+        auto inode = kernel.LookupNoHooks(kPaths[rng() % std::size(kPaths)]);
+        req.op = sim::Op::kFileOpen;
+        req.inode = inode.get();
+        req.id = inode->id();
+        req.syscall_nr = sim::SyscallNr::kOpen;
+        pins.push_back(std::move(inode));
+        break;
+      }
+      case 3: {
+        auto inode = kernel.LookupNoHooks(kPaths[rng() % std::size(kPaths)]);
+        req.op = sim::Op::kFileGetattr;
+        req.inode = inode.get();
+        req.id = inode->id();
+        req.syscall_nr = sim::SyscallNr::kStat;
+        pins.push_back(std::move(inode));
+        break;
+      }
+      case 4:
+        req.op = sim::Op::kSocketBind;
+        req.name = "/tmp/sock";
+        req.syscall_nr = sim::SyscallNr::kBind;
+        break;
+      case 5:
+        req.op = sim::Op::kSignalDeliver;
+        req.sig = sim::kSigUsr1;
+        req.sig_sender = 1;
+        req.syscall_nr = sim::SyscallNr::kKill;
+        break;
+      default:
+        req.op = sim::Op::kSyscallBegin;
+        req.syscall_nr = static_cast<sim::SyscallNr>(rng() % 8);
+        break;
+    }
+    out.verdicts.push_back(engine->Authorize(req));
+  }
+
+  for (auto& task : tasks) {
+    out.dicts.push_back(engine->TaskState(*task).dict);
+  }
+  out.log_lines = engine->log().ToJsonLines();
+  out.listing = pft.List();
+  out.stats = engine->stats();
+  return out;
+}
+
+void ExpectBitEquivalent(const FuzzRun& legacy, const FuzzRun& compiled,
+                         const std::string& what) {
+  ASSERT_EQ(legacy.verdicts.size(), compiled.verdicts.size()) << what;
+  for (size_t i = 0; i < legacy.verdicts.size(); ++i) {
+    ASSERT_EQ(compiled.verdicts[i], legacy.verdicts[i])
+        << what << ": verdicts diverge at op " << i;
+  }
+  EXPECT_EQ(compiled.dicts, legacy.dicts) << what << ": STATE dicts diverge";
+  EXPECT_EQ(compiled.log_lines, legacy.log_lines) << what << ": LOG records diverge";
+  EXPECT_EQ(compiled.count_fires, legacy.count_fires)
+      << what << ": native target fire counts diverge";
+  EXPECT_EQ(compiled.listing, legacy.listing)
+      << what << ": List() rendering (rule evals/hits counters) diverges";
+
+  const EngineStats& a = legacy.stats;
+  const EngineStats& b = compiled.stats;
+  EXPECT_EQ(b.invocations, a.invocations) << what;
+  EXPECT_EQ(b.drops, a.drops) << what;
+  EXPECT_EQ(b.audited_drops, a.audited_drops) << what;
+  EXPECT_EQ(b.rules_evaluated, a.rules_evaluated) << what << ": eval counts diverge";
+  EXPECT_EQ(b.ept_chain_hits, a.ept_chain_hits) << what;
+  EXPECT_EQ(b.unwinds, a.unwinds) << what;
+  EXPECT_EQ(b.unwind_cache_hits, a.unwind_cache_hits) << what;
+  EXPECT_EQ(b.ctx_fetches, a.ctx_fetches) << what << ": context fetch order diverges";
+}
+
+TEST(CompiledDiffFuzzTest, CompiledMatchesLegacyAcrossSeeds) {
+  for (uint64_t seed : {0x11aaULL, 0x22bbULL, 0x33ccULL, 0x44ddULL}) {
+    for (bool ept : {true, false}) {
+      FuzzRun legacy = Replay(seed, /*compiled=*/false, ept);
+      FuzzRun compiled = Replay(seed, /*compiled=*/true, ept);
+      ExpectBitEquivalent(legacy, compiled,
+                          "seed=" + std::to_string(seed) +
+                              (ept ? " ept=on" : " ept=off"));
+    }
+  }
+}
+
+TEST(CompiledDiffFuzzTest, ReplayIsDeterministic) {
+  FuzzRun a = Replay(0x55eeULL, /*compiled=*/true, /*ept=*/true);
+  FuzzRun b = Replay(0x55eeULL, /*compiled=*/true, /*ept=*/true);
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.log_lines, b.log_lines);
+  EXPECT_EQ(a.listing, b.listing);
+}
+
+}  // namespace
+}  // namespace pf::core
