@@ -7,6 +7,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <numeric>
@@ -19,6 +21,8 @@
 #include "src/core/pftables.h"
 #include "src/sim/sched.h"
 #include "src/sim/sysimage.h"
+#include "src/trace/export.h"
+#include "src/trace/hub.h"
 
 namespace pf::bench {
 
@@ -46,6 +50,29 @@ struct System {
     }
   }
 };
+
+// Drains an engine's trace rings and writes a Chrome trace_event file to
+// traces/<name> under the current directory (build/traces/ when the benches
+// run from the build tree, as run_bench.sh does). Load the file in
+// chrome://tracing or ui.perfetto.dev. No-op when tracing is compiled out.
+inline void DumpChromeTrace(System& sys, const char* name) {
+  if (!trace::kTraceCompiledIn) {
+    return;
+  }
+  std::vector<trace::TraceRecord> records = sys.engine->trace().Drain();
+  std::error_code ec;
+  std::filesystem::create_directories("traces", ec);
+  const std::string path = std::string("traces/") + name;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  trace::NameTable names{&sys.kernel->labels()};
+  out << trace::RenderChromeTrace(records, names);
+  std::fprintf(stderr, "wrote %zu trace record(s) to %s\n", records.size(),
+               path.c_str());
+}
 
 // Generates a synthetic distributor rule base of `count` entrypoint rules
 // spread over the standard binaries (the paper's PF Full configuration uses

@@ -122,6 +122,24 @@ void Run() {
   std::printf("\nExpected shape (paper): the PF rule serves more requests than the\n"
               "program checks, with the gain growing with path length (3%% at n=1\n"
               "to ~8%% at n=9 for 200 clients).\n");
+
+  // Observability showcase (outside the timed measurements): one R8-guarded
+  // request run with every tracepoint live, dumped as a Chrome trace so the
+  // per-component link checks inside pathname resolution are visible on a
+  // timeline (build/traces/fig5_symlink.json).
+  {
+    System sys;
+    sys.InstallRules({apps::RuleLibrary::ApacheSymlinkOwnerRule()});
+    std::string url = BuildContent(*sys.kernel, 3);
+    apps::WebConfig cfg;
+    cfg.request_work = 250;
+    cfg.access_log = true;
+    cfg.symlinks_if_owner_match = false;
+    sys.engine->trace().Enable();
+    MeasureRps(sys, cfg, url, 1);
+    sys.engine->trace().Disable();
+    DumpChromeTrace(sys, "fig5_symlink.json");
+  }
 }
 
 }  // namespace pf::bench

@@ -74,6 +74,16 @@ out["summary"] = {
     "compile_program_1218_ns": ae.get("BM_CompileProgram/1218", {}).get("ns_per_op"),
 }
 
+# Tracing tax (DESIGN.md §5e): full tracepoint streams on vs. off, measured
+# by the table6 trace rider. The acceptance bound is stat/FULL < +15%.
+tt = out.get("table6_trace", {})
+out["summary"]["trace_overhead_pct"] = (
+    tt.get("stat", {}).get("FULL", {}).get("overhead_pct"))
+out["summary"]["trace_overhead_vcache_pct"] = (
+    tt.get("stat", {}).get("VCACHE", {}).get("overhead_pct"))
+traced_1218 = ae.get("BM_AuthorizeCompiledTraced/1218", {}).get("ns_per_op")
+out["summary"]["authorize_traced_1218_ns"] = traced_1218
+
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")

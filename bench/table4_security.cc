@@ -25,7 +25,18 @@ void Run() {
     {
       System sys(0x2000 + index);
       sys.InstallRules(apps::RuleLibrary::DefaultRuleBase());
+      // The first blocked attack doubles as the observability showcase: its
+      // enforcement run is traced end to end and dumped as a Chrome trace
+      // (build/traces/) so the denial is visible decision by decision.
+      const bool traced = index == 0;
+      if (traced) {
+        sys.engine->trace().Enable();
+      }
       on = exploit.run(*sys.kernel, *sys.sched);
+      if (traced) {
+        sys.engine->trace().Disable();
+        DumpChromeTrace(sys, "table4_attack.json");
+      }
     }
     bool good = off.attack_succeeded && !on.attack_succeeded && on.victim_functional;
     all_good = all_good && good;

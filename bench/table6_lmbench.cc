@@ -159,7 +159,7 @@ const std::vector<Workload>& Workloads() {
   return kWorkloads;
 }
 
-double MeasureUs(const Config& config, const Workload& work) {
+double MeasureUs(const Config& config, const Workload& work, bool traced = false) {
   std::vector<double> runs;
   for (int r = 0; r < kRepeats; ++r) {
     System sys;
@@ -172,6 +172,9 @@ double MeasureUs(const Config& config, const Workload& work) {
     if (config.rules) {
       sys.InstallRules(apps::RuleLibrary::DefaultRuleBase());
       sys.InstallRules(SyntheticRuleBase(1200));
+    }
+    if (traced) {
+      sys.engine->trace().Enable();
     }
     double us = 0;
     Pid pid = sys.sched->Spawn({.name = "lmbench", .exe = sim::kBinTrue}, [&](Proc& p) {
@@ -216,6 +219,47 @@ void Run(const char* json_path) {
     }
     json.EndObject();
     std::printf("\n");
+  }
+  json.EndObject();
+
+  // Trace-overhead rider (DESIGN.md §5e): the two resource syscalls the
+  // paper's table stresses, re-measured with every tracepoint stream live
+  // (decision + rule + ctx + vcache records into the rings, plus latency
+  // histograms). The ISSUE's acceptance bound: tracing-enabled stat on the
+  // FULL rung stays under +15% vs. the same rung untraced.
+  Caption("Trace overhead: full tracepoint streams enabled vs. disabled");
+  std::printf("%-12s %12s %12s %10s\n", "syscall/rung", "untraced_us", "traced_us",
+              "overhead");
+  json.BeginObject("table6_trace");
+  const char* kTraceRungs[] = {"FULL", "VCACHE"};
+  const char* kTraceWorkloads[] = {"stat", "open+close"};
+  for (const char* wname : kTraceWorkloads) {
+    const Workload* work = nullptr;
+    for (const Workload& w : Workloads()) {
+      if (std::string(w.name) == wname) {
+        work = &w;
+      }
+    }
+    json.BeginObject(wname);
+    for (const char* rname : kTraceRungs) {
+      const Config* config = nullptr;
+      for (const Config& c : kConfigs) {
+        if (std::string(c.name) == rname) {
+          config = &c;
+        }
+      }
+      const double off = MeasureUs(*config, *work, /*traced=*/false);
+      const double on = MeasureUs(*config, *work, /*traced=*/true);
+      json.BeginObject(rname);
+      json.Number("untraced_us", off);
+      json.Number("traced_us", on);
+      json.Number("overhead_pct", OverheadPct(off, on));
+      json.EndObject();
+      std::printf("%-6s %-5s %12.3f %12.3f %8.1f%%\n", wname, rname, off, on,
+                  OverheadPct(off, on));
+      std::fflush(stdout);
+    }
+    json.EndObject();
   }
   json.EndObject();
   json.WriteTo(json_path);

@@ -7,11 +7,15 @@
 // Commands:
 //   rule <pftables spec...>    install a rule (the word "pftables" optional)
 //   list                       show tables/chains/rules with counters
+//   list -v                    verbose: per-rule time + per-chain totals
 //   list --compiled            disassemble the committed arena program
 //   save                       dump the rule base in restore format
 //   open <path> [uid]          try an open as root or the given uid
 //   log [n]                    show the last n LOG records (default 5)
 //   stats                      engine statistics
+//   stats --prom               Prometheus text exposition (Engine::MetricsText)
+//   zero [chain]               zero rule counters (pftables -Z)
+//   trace on|off               toggle decision tracing on the engine
 //   audit on|off               toggle audit (permissive) mode
 //   help                       this text
 
@@ -31,8 +35,9 @@ namespace {
 
 void PrintHelp() {
   std::printf(
-      "commands: rule <spec> | list [--compiled] | save | open <path> [uid] |\n"
-      "          log [n] | stats | audit on|off | help | quit\n");
+      "commands: rule <spec> | list [-v|--compiled] | save | open <path> [uid] |\n"
+      "          log [n] | stats [--prom] | zero [chain] | trace on|off |\n"
+      "          audit on|off | help | quit\n");
 }
 
 }  // namespace
@@ -67,8 +72,9 @@ int main() {
     } else if (cmd == "list") {
       std::string arg;
       iss >> arg;
-      std::printf("%s", arg == "--compiled" ? pftables.ListCompiled().c_str()
-                                            : pftables.List().c_str());
+      std::printf("%s", arg == "--compiled"
+                            ? pftables.ListCompiled().c_str()
+                            : pftables.List("filter", arg == "-v").c_str());
     } else if (cmd == "save") {
       std::printf("%s", pftables.Save().c_str());
     } else if (cmd == "open") {
@@ -112,6 +118,12 @@ int main() {
         std::printf("(no LOG records; install a '-j LOG' rule first)\n");
       }
     } else if (cmd == "stats") {
+      std::string arg;
+      iss >> arg;
+      if (arg == "--prom") {
+        std::printf("%s", engine->MetricsText().c_str());
+        continue;
+      }
       const core::EngineStats& s = engine->stats();
       std::printf("invocations=%llu drops=%llu audited=%llu rules_evaluated=%llu "
                   "unwinds=%llu cache_hits=%llu\n",
@@ -121,6 +133,21 @@ int main() {
                   static_cast<unsigned long long>(s.rules_evaluated),
                   static_cast<unsigned long long>(s.unwinds),
                   static_cast<unsigned long long>(s.unwind_cache_hits));
+    } else if (cmd == "zero") {
+      std::string chain;
+      iss >> chain;
+      core::Status s = pftables.ZeroCounters(chain);
+      std::printf("%s\n", s.ok() ? "ok" : s.message().c_str());
+    } else if (cmd == "trace") {
+      std::string mode;
+      iss >> mode;
+      if (mode == "on") {
+        engine->trace().Enable();
+      } else {
+        engine->trace().Disable();
+      }
+      std::printf("tracing %s%s\n", engine->trace().enabled() ? "on" : "off",
+                  pf::trace::kTraceCompiledIn ? "" : " (compiled out: PF_NO_TRACE)");
     } else if (cmd == "audit") {
       std::string mode;
       iss >> mode;

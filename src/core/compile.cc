@@ -135,6 +135,9 @@ void LowerProgram(CompiledRuleset& snap) {
     for (const auto& rule : chain.rules()) {
       const uint32_t rec_idx = static_cast<uint32_t>(prog.rules.size());
       prog.rules.push_back(LowerRule(b, *rule, rec_idx));
+      RuleRecord& rec = prog.rules.back();
+      rec.chain_id = prog.chain_ids.at(name);
+      rec.chain_index = static_cast<uint32_t>(pc.rules.size());
       rec_of.emplace(rule.get(), rec_idx);
       pc.rules.push_back(rec_idx);
     }

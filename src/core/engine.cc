@@ -10,6 +10,25 @@ constexpr CtxMask kAllCtx = CtxBit(Ctx::kObject) | CtxBit(Ctx::kLinkTarget) |
                             CtxBit(Ctx::kUserStack) | CtxBit(Ctx::kInterpStack);
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Per-decision tracing scratch, installed on the stack by Authorize and
+// published through a thread-local pointer so the stages it calls into
+// (EnsureContext, the compiled evaluator) can attribute their cost without
+// any signature changes. Null whenever the current decision is not being
+// traced — every tracepoint below gates on that single TLS load, and the
+// whole mechanism compiles out under PF_NO_TRACE.
+struct DecisionScratch {
+  uint64_t ctx_ns = 0;       // summed EnsureContext time of this decision
+  int32_t chain_id = -1;     // verdict-producing rule, compiled path only
+  int32_t rule_index = -1;
+  uint16_t worker = 0;
+  uint8_t op = 0;
+  bool trace_rules = false;      // emit Event::kRule per verdict + rule ns
+  bool trace_ctx = false;        // emit Event::kCtxFetch per fetch
+  pf::trace::TraceHub* hub = nullptr;
+};
+
+thread_local DecisionScratch* g_scratch = nullptr;
 }  // namespace
 
 bool IsOutputOp(sim::Op op) {
@@ -253,6 +272,7 @@ EngineStatsBlock& Engine::StatsLocal() {
 
 EngineStats Engine::stats() const {
   EngineStats out;
+  const uint64_t gen_before = stats_gen_.load(std::memory_order_acquire);
   for (const EngineStatsBlock& b : stats_blocks_) {
     out.invocations += b.invocations.load(kRelaxed);
     out.drops += b.drops.load(kRelaxed);
@@ -269,10 +289,16 @@ EngineStats Engine::stats() const {
       out.ctx_fetches[i] += b.ctx_fetches[i].load(kRelaxed);
     }
   }
+  out.trace_records = trace_.records();
+  out.trace_drops = trace_.drops();
+  const uint64_t gen_after = stats_gen_.load(std::memory_order_acquire);
+  out.stats_generation = gen_after;
+  out.torn = (gen_after & 1) != 0 || gen_after != gen_before;
   return out;
 }
 
 void Engine::ResetStats() {
+  BeginCounterMutation();
   for (EngineStatsBlock& b : stats_blocks_) {
     b.invocations.store(0, kRelaxed);
     b.drops.store(0, kRelaxed);
@@ -289,6 +315,7 @@ void Engine::ResetStats() {
       c.store(0, kRelaxed);
     }
   }
+  EndCounterMutation();
 }
 
 // --- per-task state ----------------------------------------------------------
@@ -436,6 +463,14 @@ void Engine::EnsureContext(Packet& pkt, CtxMask mask) {
   if (missing == 0) {
     return;
   }
+  // Context-fetch tracepoint: only decisions being traced carry a scratch,
+  // so the untraced hot path pays one thread-local load past this point.
+  uint64_t t0 = 0;
+  if constexpr (trace::kTraceCompiledIn) {
+    if (g_scratch != nullptr) {
+      t0 = trace::NowNs();
+    }
+  }
   if (missing & CtxBit(Ctx::kObject)) {
     FetchObject(pkt);
   }
@@ -450,6 +485,23 @@ void Engine::EnsureContext(Packet& pkt, CtxMask mask) {
   }
   if (missing & CtxBit(Ctx::kInterpStack)) {
     FetchInterp(pkt);
+  }
+  if constexpr (trace::kTraceCompiledIn) {
+    if (DecisionScratch* ds = g_scratch) {
+      const uint64_t dt = trace::NowNs() - t0;
+      ds->ctx_ns += dt;
+      if (ds->trace_ctx) {
+        trace::TraceRecord rec;
+        rec.ts_ns = trace::NowNs();
+        rec.worker = ds->worker;
+        rec.op = ds->op;
+        rec.event = static_cast<uint8_t>(trace::Event::kCtxFetch);
+        rec.subject_sid = pkt.req->task->cred.sid;
+        rec.chain_id = static_cast<int32_t>(missing);  // fetched CtxMask
+        rec.eval_ns = trace::ClampNs(dt);
+        ds->hub->Emit(rec);
+      }
+    }
   }
 }
 
@@ -847,14 +899,52 @@ Engine::Verdict Engine::ExecRule(const CompiledRuleset& rs, const RuleRecord& re
 Engine::Verdict Engine::ExecEntries(const CompiledRuleset& rs, uint32_t off, uint32_t len,
                                     bool op_checked, Packet& pkt, int depth) {
   const PfProgram& prog = rs.program;
+  DecisionScratch* ds = nullptr;
+  if constexpr (trace::kTraceCompiledIn) {
+    ds = g_scratch;
+  }
   for (uint32_t i = 0; i < len; ++i) {
     const RuleRecord& rec = prog.rules[prog.entries[off + i]];
     // Bucket lists are op-filtered at compile time, so the kCheckOp guard is
     // a tautology there and evaluation enters past it; entrypoint-index
     // lists keep it (they are selected by (image, offset), not by op).
     const uint32_t start = op_checked ? rec.body : rec.entry + kPfInsnWords;
-    Verdict v = ExecRule(rs, rec, start, pkt, depth);
+    Verdict v;
+    if (ds != nullptr && ds->trace_rules) {
+      // Per-rule attribution: inclusive time (a JUMP rule's span covers the
+      // jumped-to chain), accumulated into the rule's eval_ns counter, plus
+      // one kRule record whenever the rule produced a verdict.
+      const uint64_t t0 = trace::NowNs();
+      v = ExecRule(rs, rec, start, pkt, depth);
+      const uint64_t dt = trace::NowNs() - t0;
+      rec.rule->eval_ns.fetch_add(dt, kRelaxed);
+      if (v != Verdict::kFallthrough) {
+        trace::TraceRecord tr;
+        tr.ts_ns = trace::NowNs();
+        tr.worker = ds->worker;
+        tr.op = ds->op;
+        tr.event = static_cast<uint8_t>(trace::Event::kRule);
+        tr.subject_sid = pkt.req->task->cred.sid;
+        tr.chain_id = rec.chain_id;
+        tr.rule_index = static_cast<int32_t>(rec.chain_index);
+        tr.eval_ns = trace::ClampNs(dt);
+        if (v == Verdict::kDrop) {
+          tr.flags |= trace::kFlagDrop;
+        }
+        ds->hub->Emit(tr);
+      }
+    } else {
+      v = ExecRule(rs, rec, start, pkt, depth);
+    }
     if (v != Verdict::kFallthrough) {
+      // First accept/drop wins attribution: with JUMPs the innermost rule
+      // that actually decided sets it, and the enclosing JUMP rules (whose
+      // ExecRule propagates that verdict) find it already claimed.
+      if (ds != nullptr && ds->chain_id < 0 &&
+          (v == Verdict::kAccept || v == Verdict::kDrop)) {
+        ds->chain_id = rec.chain_id;
+        ds->rule_index = static_cast<int32_t>(rec.chain_index);
+      }
       return v;  // accept, drop, or RETURN to the calling chain
     }
   }
@@ -939,7 +1029,40 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
     consider(rs.cc_input);
   }
   if (num_applicable == 0) {
-    return 0;
+    return 0;  // fast-path allow: never traced (no Packet, no rule base work)
+  }
+
+  // --- decision tracepoint, prologue. Disabled tracing costs one relaxed
+  // load of the event mask here; PF_NO_TRACE removes even that.
+  DecisionScratch scratch;
+  DecisionScratch* prev_scratch = nullptr;
+  bool trace_decision = false;
+  bool trace_vcache = false;
+  bool trace_active = false;
+  uint64_t t_start = 0;
+  [[maybe_unused]] trace::Path path = trace::Path::kVcache;
+  [[maybe_unused]] uint8_t cache_outcome = trace::kCacheNone;
+  if constexpr (trace::kTraceCompiledIn) {
+    const uint32_t ev = trace_.events();
+    if (ev != 0 && ((trace_.op_filter() >> (static_cast<uint32_t>(req.op) &
+                                            (trace::TraceHub::kMaxOps - 1))) &
+                    1) != 0) {
+      trace_decision = (ev & trace::EventBit(trace::Event::kDecision)) != 0;
+      trace_vcache = (ev & trace::EventBit(trace::Event::kVcache)) != 0;
+      scratch.trace_rules = (ev & trace::EventBit(trace::Event::kRule)) != 0;
+      scratch.trace_ctx = (ev & trace::EventBit(trace::Event::kCtxFetch)) != 0;
+      trace_active =
+          trace_decision || trace_vcache || scratch.trace_rules || scratch.trace_ctx;
+      if (trace_active) {
+        scratch.worker =
+            static_cast<uint16_t>(WorkerIndex() & (trace::TraceHub::kMaxWorkers - 1));
+        scratch.op = static_cast<uint8_t>(req.op);
+        scratch.hub = &trace_;
+        prev_scratch = g_scratch;
+        g_scratch = &scratch;
+        t_start = trace::NowNs();
+      }
+    }
   }
 
   Packet pkt;
@@ -988,14 +1111,29 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
     key_hash = VerdictKeyHash()(key);
     if (std::optional<bool> cached = vcache_.Lookup(key, key_hash)) {
       sb.vcache_hits.fetch_add(1, kRelaxed);
+      cache_outcome = trace::kCacheHit;
       drop = *cached;
       decided = true;
     } else {
       sb.vcache_misses.fetch_add(1, kRelaxed);
+      cache_outcome = trace::kCacheMiss;
       insert_on_miss = true;
     }
   } else if (config_.verdict_cache) {
     sb.vcache_bypasses.fetch_add(1, kRelaxed);
+    cache_outcome = trace::kCacheBypass;
+  }
+  if constexpr (trace::kTraceCompiledIn) {
+    if (trace_vcache && cache_outcome != trace::kCacheNone) {
+      trace::TraceRecord rec;
+      rec.ts_ns = trace::NowNs();
+      rec.worker = scratch.worker;
+      rec.op = scratch.op;
+      rec.event = static_cast<uint8_t>(trace::Event::kVcache);
+      rec.subject_sid = req.task->cred.sid;
+      rec.cache = cache_outcome;
+      trace_.Emit(rec);
+    }
   }
 
   if (!decided) {
@@ -1003,14 +1141,56 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
     for (size_t i = 0; i < num_applicable && verdict == Verdict::kFallthrough; ++i) {
       const CompiledChain* cc = applicable[i];
       if (config_.compiled_eval && cc->program_chain >= 0) {
+        path = trace::Path::kCompiled;
         verdict = RunBuiltinCompiled(rs, rs.program.chains[cc->program_chain], pkt);
       } else {
+        path = trace::Path::kFull;
         verdict = RunBuiltin(rs, *cc, pkt);
       }
     }
     drop = verdict == Verdict::kDrop;
     if (insert_on_miss) {
       vcache_.Insert(key, key_hash, drop);
+    }
+  }
+
+  // --- decision tracepoint, epilogue: histogram sample + one kDecision
+  // record covering context fetch, probe, and traversal of this request.
+  if constexpr (trace::kTraceCompiledIn) {
+    if (trace_active) {
+      g_scratch = prev_scratch;
+      const uint64_t total = trace::NowNs() - t_start;
+      if (trace_decision) {
+        trace_.RecordLatency(static_cast<uint32_t>(req.op), path, total);
+        trace::TraceRecord rec;
+        rec.ts_ns = trace::NowNs();
+        rec.worker = scratch.worker;
+        rec.op = scratch.op;
+        rec.event = static_cast<uint8_t>(trace::Event::kDecision);
+        rec.path = static_cast<uint8_t>(path);
+        rec.cache = cache_outcome;
+        rec.subject_sid = req.task->cred.sid;
+        rec.object_sid = pkt.has_object ? pkt.object_sid : sim::kInvalidSid;
+        rec.chain_id = scratch.chain_id;
+        rec.rule_index = scratch.rule_index;
+        rec.ctx_ns = trace::ClampNs(scratch.ctx_ns);
+        rec.total_ns = trace::ClampNs(total);
+        rec.eval_ns =
+            trace::ClampNs(total >= scratch.ctx_ns ? total - scratch.ctx_ns : 0);
+        if (drop) {
+          rec.flags |= trace::kFlagDrop;
+          if (config_.audit_only) {
+            rec.flags |= trace::kFlagAudited;
+          }
+        }
+        if (pkt.entrypoint_valid) {
+          rec.flags |= trace::kFlagEptValid;
+          rec.ept_dev = pkt.entrypoint.image.dev;
+          rec.ept_ino = pkt.entrypoint.image.ino;
+          rec.ept_offset = pkt.entrypoint.offset;
+        }
+        trace_.Emit(rec);
+      }
     }
   }
 

@@ -52,6 +52,7 @@
 #include "src/core/program.h"
 #include "src/core/ruleset.h"
 #include "src/sim/kernel.h"
+#include "src/trace/hub.h"
 
 namespace pf::core {
 
@@ -91,7 +92,8 @@ struct EngineConfig {
 };
 
 // Aggregated engine statistics (a consistent-enough snapshot: each counter
-// is the sum of the per-worker blocks at read time).
+// is the sum of the per-worker blocks at read time; see Engine::stats() for
+// the exact tearing contract).
 struct EngineStats {
   uint64_t invocations = 0;
   uint64_t drops = 0;
@@ -104,7 +106,15 @@ struct EngineStats {
   uint64_t vcache_hits = 0;        // verdicts served without traversal
   uint64_t vcache_misses = 0;      // traversed, then inserted
   uint64_t vcache_bypasses = 0;    // stateful chains: never cached
+  uint64_t trace_records = 0;      // TraceRecords ever emitted
+  uint64_t trace_drops = 0;        // records lost to full rings
   std::array<uint64_t, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
+  // Counter-mutation generation at read time (see Engine::stats()). Odd, or
+  // different before/after aggregation, means a reset/zeroing ran while this
+  // snapshot was summed: `torn` is set and the values may mix pre- and
+  // post-reset counts.
+  uint64_t stats_generation = 0;
+  bool torn = false;
 };
 
 // One per-worker ("per-CPU") counter block. The atomics are only ever
@@ -335,8 +345,38 @@ class Engine : public sim::SecurityModule {
   size_t slot() const { return slot_; }
 
   // Aggregates the per-worker counter blocks.
+  //
+  // Tearing contract: every per-worker counter is read with a relaxed load
+  // while workers keep adding, so the snapshot is not a point-in-time cut —
+  // two counters may disagree by in-flight decisions (e.g. `drops` can
+  // momentarily exceed what `invocations` implies). Each counter is
+  // individually monotone between resets, and sums converge once workers
+  // quiesce, which is all the stats consumers (benches, pfshell, metrics)
+  // need. The one non-monotone hazard is a concurrent ResetStats() or
+  // `pftables -Z`: those bump `stats_gen_` to odd for their duration, and
+  // stats() re-reads the generation after aggregating — a reader that saw an
+  // odd or moved generation gets `torn = true` in the snapshot and should
+  // retry or discard (MetricsText() and pftrace do exactly that).
   EngineStats stats() const;
   void ResetStats();
+
+  // Marks a counter-mutation window (even/odd generation) so concurrent
+  // stats() readers can detect mid-zeroing aggregation. ResetStats() and
+  // Pftables::ZeroCounters() bracket themselves with these; nesting is not
+  // supported.
+  void BeginCounterMutation() { stats_gen_.fetch_add(1, std::memory_order_acq_rel); }
+  void EndCounterMutation() { stats_gen_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // The tracing control plane and record stream for this engine (src/trace).
+  // Disabled (and nearly free) by default; compiled out under PF_NO_TRACE.
+  trace::TraceHub& trace() { return trace_; }
+  const trace::TraceHub& trace() const { return trace_; }
+
+  // Prometheus text-exposition (format 0.0.4) of the engine counters, the
+  // verdict-cache rates, the ring drop counters, and every non-empty
+  // (op, path) latency histogram. `pfshell stats --prom` and the benches
+  // serve this verbatim. Implemented in metrics.cc.
+  std::string MetricsText() const;
 
   // Publishes the staging rule base as a new immutable generation. Called by
   // Pftables after every successful mutating command; safe to call while
@@ -411,6 +451,8 @@ class Engine : public sim::SecurityModule {
 
   TaskStateStore states_;
   VerdictCache vcache_;
+  trace::TraceHub trace_;
+  std::atomic<uint64_t> stats_gen_{0};  // even: stable; odd: mutation running
 
   // --- RCU-style ruleset publication ---
   static constexpr size_t kMaxWorkers = 64;

@@ -350,7 +350,7 @@ Status Pftables::Exec(const std::string& command) {
   }
 
   // Chain command (default: append to input).
-  enum class Cmd { kInsert, kAppend, kDelete, kNew, kFlush, kList, kPolicy } cmd =
+  enum class Cmd { kInsert, kAppend, kDelete, kNew, kFlush, kList, kPolicy, kZero } cmd =
       Cmd::kAppend;
   std::string chain_name = "input";
   bool chain_given = false;
@@ -359,7 +359,7 @@ Status Pftables::Exec(const std::string& command) {
 
   if (i < tokens.size() &&
       (tokens[i] == "-I" || tokens[i] == "-A" || tokens[i] == "-D" || tokens[i] == "-N" ||
-       tokens[i] == "-F" || tokens[i] == "-L" || tokens[i] == "-P")) {
+       tokens[i] == "-F" || tokens[i] == "-L" || tokens[i] == "-P" || tokens[i] == "-Z")) {
     std::string c = tokens[i++];
     cmd = c == "-I"   ? Cmd::kInsert
           : c == "-A" ? Cmd::kAppend
@@ -367,14 +367,16 @@ Status Pftables::Exec(const std::string& command) {
           : c == "-N" ? Cmd::kNew
           : c == "-F" ? Cmd::kFlush
           : c == "-P" ? Cmd::kPolicy
+          : c == "-Z" ? Cmd::kZero
                       : Cmd::kList;
-    if (cmd == Cmd::kList && i < tokens.size() && tokens[i] == "--compiled") {
-      ++i;  // -L --compiled: listing itself comes from ListCompiled()
+    while (cmd == Cmd::kList && i < tokens.size() &&
+           (tokens[i] == "--compiled" || tokens[i] == "-v")) {
+      ++i;  // display modifiers: listing itself comes from List()/ListCompiled()
     }
     if (i < tokens.size() && !IsTopLevelFlag(tokens[i])) {
       chain_name = NormalizeChain(tokens[i++]);
       chain_given = true;
-    } else if (cmd != Cmd::kFlush && cmd != Cmd::kList) {
+    } else if (cmd != Cmd::kFlush && cmd != Cmd::kList && cmd != Cmd::kZero) {
       return Status::Error("chain name required");
     }
     if (i < tokens.size() && (cmd == Cmd::kInsert || cmd == Cmd::kDelete)) {
@@ -414,6 +416,10 @@ Status Pftables::Exec(const std::string& command) {
     }
     case Cmd::kList:
       return Status::Ok();  // use List() for output
+    case Cmd::kZero:
+      // Counters are shared with every published snapshot; zeroing needs no
+      // commit and must not disturb the staged rule base.
+      return ZeroCounters(chain_given ? chain_name : std::string());
     case Cmd::kPolicy: {
       Chain* chain = table->Find(chain_name);
       if (chain == nullptr) {
@@ -525,7 +531,7 @@ std::string RenderRuleSpec(const Rule& r, const sim::LabelRegistry& labels) {
 }
 }  // namespace
 
-std::string Pftables::List(const std::string& table_name) const {
+std::string Pftables::List(const std::string& table_name, bool verbose) const {
   std::ostringstream oss;
   Table* table = engine_->ruleset().FindTable(table_name);
   if (table == nullptr) {
@@ -533,12 +539,33 @@ std::string Pftables::List(const std::string& table_name) const {
   }
   const sim::LabelRegistry& labels = engine_->kernel().labels();
   for (const auto& [name, chain] : table->chains()) {
+    uint64_t chain_evals = 0;
+    uint64_t chain_hits = 0;
+    uint64_t chain_ns = 0;
+    if (verbose) {
+      for (const auto& r : chain.rules()) {
+        chain_evals += r->evals.load();
+        chain_hits += r->hits.load();
+        chain_ns += r->eval_ns.load();
+      }
+    }
     oss << "Chain " << name << " (" << chain.size() << " rules"
-        << (chain.builtin() ? ", builtin" : "") << ")\n";
+        << (chain.builtin() ? ", builtin" : "") << ")";
+    if (verbose) {
+      oss << " [evals=" << chain_evals << " hits=" << chain_hits << " time=" << chain_ns
+          << "ns]";
+    }
+    oss << "\n";
     size_t idx = 1;
     for (const auto& r : chain.rules()) {
       oss << "  " << idx++ << ". " << RenderRuleSpec(*r, labels);
-      oss << "  [evals=" << r->evals.load() << " hits=" << r->hits.load() << "]\n";
+      oss << "  [evals=" << r->evals.load() << " hits=" << r->hits.load();
+      if (verbose) {
+        // Wall time attributed by the per-rule tracepoint (Event::kRule);
+        // zero unless rule tracing has been enabled on the engine.
+        oss << " time=" << r->eval_ns.load() << "ns";
+      }
+      oss << "]\n";
     }
   }
   // Annotate the listing with the analyzer's findings (the engine only
@@ -634,17 +661,30 @@ Status Pftables::Restore(const std::string& dump, CheckMode check) {
   return Status::Ok();
 }
 
-void Pftables::ZeroCounters() {
+Status Pftables::ZeroCounters(const std::string& chain_name) {
+  if (!chain_name.empty() && engine_->ruleset().filter().Find(chain_name) == nullptr &&
+      engine_->ruleset().mangle().Find(chain_name) == nullptr) {
+    return Status::Error("no such chain: " + chain_name);
+  }
+  // Mark the counter-mutation window (see Engine::stats() for the tearing
+  // contract): a stats() aggregation racing this zeroing reports torn=true.
+  engine_->BeginCounterMutation();
   for (Table* table : {&engine_->ruleset().filter(), &engine_->ruleset().mangle()}) {
     for (auto& [name, chain] : table->chains()) {
+      if (!chain_name.empty() && name != chain_name) {
+        continue;
+      }
       for (const auto& r : chain.rules()) {
         // Counters are shared with every published snapshot, so zeroing the
         // staging rules zeroes the live ones too — no commit needed.
         r->evals.store(0, std::memory_order_relaxed);
         r->hits.store(0, std::memory_order_relaxed);
+        r->eval_ns.store(0, std::memory_order_relaxed);
       }
     }
   }
+  engine_->EndCounterMutation();
+  return Status::Ok();
 }
 
 }  // namespace pf::core

@@ -66,7 +66,10 @@ class Pftables {
 
   // Renders a table's chains, rules, and counters; for the filter table the
   // static analyzer's findings are appended as '# ...' annotation lines.
-  std::string List(const std::string& table = "filter") const;
+  // Verbose (`-L -v`) additionally prints each rule's accumulated evaluation
+  // time (populated while per-rule tracing is enabled; see src/trace) and a
+  // per-chain totals line summing evals/hits/time over the chain's rules.
+  std::string List(const std::string& table = "filter", bool verbose = false) const;
 
   // Renders the committed program form (`pftables -L --compiled`): the
   // commit-time lowering of the filter table disassembled chain by chain —
@@ -86,8 +89,12 @@ class Pftables {
   // its pre-restore state.
   Status Restore(const std::string& dump, CheckMode check = CheckMode::kOff);
 
-  // Zeroes all rule counters (-Z).
-  void ZeroCounters();
+  // Zeroes rule counters (evals, hits, accumulated eval time) — all chains,
+  // or one chain when `chain` is non-empty (`-Z [chain]`). Transactional
+  // with respect to Engine::stats() readers: the counter-mutation generation
+  // is odd for the duration, so a concurrent aggregation reports itself as
+  // torn instead of silently mixing pre- and post-zero counts.
+  Status ZeroCounters(const std::string& chain = std::string());
 
   Engine& engine() { return *engine_; }
 

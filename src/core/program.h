@@ -120,6 +120,11 @@ struct RuleRecord {
   uint32_t body = 0;
   uint32_t jump_name = kPfNoIndex;  // string idx of the declared JUMP target
   int32_t jump_chain = -1;          // resolved chain id (-1: none/undefined)
+  // Owning chain and position within it, filled during lowering. This is the
+  // (chain, rule) attribution the tracepoints put in TraceRecords and
+  // `pftables -L -v` prints — the evaluator itself never reads them.
+  int32_t chain_id = -1;
+  uint32_t chain_index = 0;
   std::optional<TargetKind> static_kind;  // terminal kind, when static
   const Rule* rule = nullptr;
 };

@@ -132,10 +132,13 @@ struct Rule {
 
   // Diagnostics / counters. Relaxed atomics: rules are evaluated from many
   // worker threads concurrently, and the counters are shared between the
-  // staging rule base and every published snapshot (ruleset.h).
+  // staging rule base and every published snapshot (ruleset.h). `eval_ns`
+  // accumulates only while per-rule tracing (Event::kRule) is enabled on the
+  // compiled evaluator — it is attribution, not an always-on cost.
   std::string source;      // original rule text
   mutable std::atomic<uint64_t> evals{0};
   mutable std::atomic<uint64_t> hits{0};
+  mutable std::atomic<uint64_t> eval_ns{0};
 
   bool has_program() const { return program_file.ino != sim::kInvalidIno; }
   bool IndexableByEntrypoint() const { return has_program() && entrypoint.has_value(); }

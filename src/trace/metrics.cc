@@ -1,0 +1,86 @@
+#include "src/trace/metrics.h"
+
+namespace pf::trace {
+
+namespace {
+
+// Label values need \" , \\ and \n escaped per the exposition format.
+std::string LabelEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void PromWriter::Family(std::string_view name, std::string_view help, std::string_view type) {
+  out_ << "# HELP " << name << " " << help << "\n";
+  out_ << "# TYPE " << name << " " << type << "\n";
+}
+
+void PromWriter::Sample(std::string_view name, const PromLabels& labels,
+                        std::string_view value, const char* extra_label,
+                        const std::string* extra_value) {
+  out_ << name;
+  if (!labels.empty() || extra_label != nullptr) {
+    out_ << "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) {
+        out_ << ",";
+      }
+      first = false;
+      out_ << k << "=\"" << LabelEscape(v) << "\"";
+    }
+    if (extra_label != nullptr) {
+      if (!first) {
+        out_ << ",";
+      }
+      out_ << extra_label << "=\"" << LabelEscape(*extra_value) << "\"";
+    }
+    out_ << "}";
+  }
+  out_ << " " << value << "\n";
+}
+
+void PromWriter::Counter(std::string_view name, const PromLabels& labels, uint64_t value) {
+  Sample(name, labels, std::to_string(value));
+}
+
+void PromWriter::Gauge(std::string_view name, const PromLabels& labels, double value) {
+  std::ostringstream v;
+  v << value;
+  Sample(name, labels, v.str());
+}
+
+void PromWriter::Histogram(std::string_view name, const PromLabels& labels,
+                           const LatencyHistogram& h) {
+  const std::string bucket_name = std::string(name) + "_bucket";
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += h.bucket(i);
+    const std::string le = i + 1 >= LatencyHistogram::kBuckets
+                               ? std::string("+Inf")
+                               : std::to_string(LatencyHistogram::BucketBound(i));
+    Sample(bucket_name, labels, std::to_string(cumulative), "le", &le);
+  }
+  Sample(std::string(name) + "_sum", labels, std::to_string(h.sum()));
+  Sample(std::string(name) + "_count", labels, std::to_string(h.count()));
+}
+
+}  // namespace pf::trace

@@ -1,0 +1,48 @@
+// Minimal Prometheus text-exposition writer (format version 0.0.4): the
+// backing for Engine::MetricsText() and `pfshell stats --prom`. Only the
+// pieces the engine needs — counters, gauges, and cumulative histograms fed
+// from LatencyHistogram — but emitted strictly to spec (one # HELP / # TYPE
+// header per family, le labels cumulative and ending at +Inf) so any
+// Prometheus scraper or promtool check parses it.
+#ifndef SRC_TRACE_METRICS_H_
+#define SRC_TRACE_METRICS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/trace/hub.h"
+
+namespace pf::trace {
+
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+class PromWriter {
+ public:
+  // Starts a metric family. Call once per family, before its samples.
+  void Family(std::string_view name, std::string_view help, std::string_view type);
+
+  void Counter(std::string_view name, const PromLabels& labels, uint64_t value);
+  void Gauge(std::string_view name, const PromLabels& labels, double value);
+
+  // Emits a full Prometheus histogram (name_bucket le=... cumulative,
+  // name_sum, name_count) from a power-of-two LatencyHistogram. The le
+  // bounds are the histogram's bucket bounds in nanoseconds. Empty
+  // histograms are skipped by the caller, not here.
+  void Histogram(std::string_view name, const PromLabels& labels, const LatencyHistogram& h);
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Sample(std::string_view name, const PromLabels& labels, std::string_view value,
+              const char* extra_label = nullptr, const std::string* extra_value = nullptr);
+
+  std::ostringstream out_;
+};
+
+}  // namespace pf::trace
+
+#endif  // SRC_TRACE_METRICS_H_

@@ -1,0 +1,142 @@
+// Lock-free per-worker trace ring (DESIGN.md §5e).
+//
+// An ftrace-style flight recorder: one producer (the worker thread emitting
+// records) and at most one consumer (a pftrace follower or a post-run dump).
+// The producer NEVER blocks and never fails: when the ring is full it evicts
+// the oldest unread record (advancing the read cursor with a CAS against the
+// consumer) and counts the loss in `drops`. A dump therefore always holds
+// the most recent `capacity` records — the useful end of the stream — and
+// the drop counter says exactly how much history was lost, which is the
+// tracing contract the ISSUE specifies (a counter instead of blocking).
+//
+// Memory safety under concurrent eviction uses a per-slot sequence number
+// (seqlock-style, in the Vyukov bounded-queue tradition): slot i holding
+// record position `pos` carries seq = 2*pos + 2; the producer marks the slot
+// 2*pos + 1 (odd) while rewriting it. A consumer copies the payload, then
+// revalidates the sequence — if the producer lapped it mid-copy, the copy is
+// discarded and the cursor reloaded. Payload words are relaxed atomics, so
+// the validated-discard pattern is race-free by the letter of the memory
+// model (TSan-clean), not just in practice; on x86 the stores compile to
+// plain moves.
+#ifndef SRC_TRACE_RING_H_
+#define SRC_TRACE_RING_H_
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/trace/record.h"
+
+namespace pf::trace {
+
+inline constexpr size_t kDefaultRingCapacity = 4096;  // records per worker
+
+class TraceRing {
+ public:
+  // Capacity is rounded up to a power of two (index masking).
+  explicit TraceRing(size_t capacity = kDefaultRingCapacity) {
+    size_t cap = 16;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  // Producer side. Single producer; returns false when the record displaced
+  // an unread one (which is also counted in drops()).
+  bool Push(const TraceRecord& rec) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    bool evicted = false;
+    if (head - tail >= capacity_) {
+      // Full: retire the oldest unread record. The CAS races only with the
+      // consumer's own cursor advance — whichever side wins, there is room.
+      if (tail_.compare_exchange_strong(tail, tail + 1, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        evicted = true;
+      }
+    }
+    Slot& slot = slots_[head & mask_];
+    slot.seq.store(2 * head + 1, std::memory_order_release);  // writing marker
+    uint64_t words[kRecordWords];
+    std::memcpy(words, &rec, sizeof(rec));
+    for (size_t i = 0; i < kRecordWords; ++i) {
+      slot.words[i].store(words[i], std::memory_order_relaxed);
+    }
+    slot.seq.store(2 * head + 2, std::memory_order_release);  // complete
+    head_.store(head + 1, std::memory_order_release);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    return !evicted;
+  }
+
+  // Consumer side. Single consumer; returns false when the ring is empty.
+  bool Pop(TraceRecord* out) {
+    for (;;) {
+      uint64_t tail = tail_.load(std::memory_order_acquire);
+      const uint64_t head = head_.load(std::memory_order_acquire);
+      if (tail == head) {
+        return false;
+      }
+      Slot& slot = slots_[tail & mask_];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq != 2 * tail + 2) {
+        // The producer lapped this slot (and already advanced the cursor
+        // past it); reload the cursor and try the new oldest record.
+        continue;
+      }
+      uint64_t words[kRecordWords];
+      for (size_t i = 0; i < kRecordWords; ++i) {
+        words[i] = slot.words[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq) {
+        continue;  // overwritten mid-copy: the copy is garbage, discard it
+      }
+      if (tail_.compare_exchange_strong(tail, tail + 1, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        std::memcpy(out, words, sizeof(*out));
+        return true;
+      }
+      // The producer evicted the record we just copied; it counts as a drop
+      // (the producer bumped the counter), so fall through and retry.
+    }
+  }
+
+  // Records lost to eviction (never consumed).
+  uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
+  // Records ever pushed (consumed + pending + dropped).
+  uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+  // Unread records (approximate under concurrency).
+  size_t size() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? static_cast<size_t>(head - tail) : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::array<std::atomic<uint64_t>, kRecordWords> words{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+
+  // Producer-written cursor on its own line; the shared read cursor and the
+  // loss counters on another, so a follower never bounces the producer line.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> drops_{0};
+  std::atomic<uint64_t> pushed_{0};
+};
+
+}  // namespace pf::trace
+
+#endif  // SRC_TRACE_RING_H_

@@ -37,10 +37,14 @@ EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
 }
 
 // The Table-6 ablation ladder (the lower rungs pin compiled_eval and
-// verdict_cache off so each rung isolates exactly one optimization).
+// verdict_cache off so each rung isolates exactly one optimization). The
+// TRACE rung re-runs the top configuration with every tracepoint stream
+// enabled: observability must be a pure observer — verdicts, STATE dicts,
+// and the decision counters all stay byte-identical.
 const struct {
   const char* name;
   EngineConfig cfg;
+  bool traced = false;
 } kConfigs[] = {
     {"FULL", MakeConfig(false, false, false)},
     {"CONCACHE", MakeConfig(false, true, false)},
@@ -48,6 +52,7 @@ const struct {
     {"EPTSPC", MakeConfig(true, true, true)},
     {"COMPILED", MakeConfig(true, true, true, true)},
     {"VCACHE", MakeConfig(true, true, true, true, true)},
+    {"TRACE", MakeConfig(true, true, true, true, true), true},
 };
 
 // A rule base mixing every decision source: entrypoint-indexed drops (some
@@ -126,11 +131,27 @@ struct Workload {
   }
 };
 
+// The decision counters that must not notice tracing (trace_records,
+// trace_drops and stats_generation legitimately differ).
+std::vector<uint64_t> DecisionCounters(const EngineStats& s) {
+  std::vector<uint64_t> out = {s.invocations, s.drops,        s.audited_drops,
+                               s.rules_evaluated, s.ept_chain_hits, s.unwinds,
+                               s.unwind_cache_hits, s.vcache_hits, s.vcache_misses,
+                               s.vcache_bypasses};
+  out.insert(out.end(), s.ctx_fetches.begin(), s.ctx_fetches.end());
+  return out;
+}
+
 // Replays the seeded workload against one engine configuration and returns
 // the full verdict sequence plus each task's final STATE dictionary.
 std::vector<int64_t> Replay(const EngineConfig& cfg,
-                            std::vector<std::map<std::string, int64_t>>* dicts) {
+                            std::vector<std::map<std::string, int64_t>>* dicts,
+                            bool traced = false,
+                            std::vector<uint64_t>* counters = nullptr) {
   Workload w(cfg);
+  if (traced) {
+    w.engine->trace().Enable();
+  }
   std::vector<int64_t> verdicts;
   verdicts.reserve(kOps);
   std::mt19937_64 rng(kWorkloadSeed);
@@ -183,6 +204,9 @@ std::vector<int64_t> Replay(const EngineConfig& cfg,
       dicts->push_back(w.engine->TaskState(*task).dict);
     }
   }
+  if (counters != nullptr) {
+    *counters = DecisionCounters(w.engine->stats());
+  }
   return verdicts;
 }
 
@@ -200,7 +224,7 @@ TEST(AblationEquivalenceTest, AllConfigsProduceIdenticalVerdictSequences) {
 
   for (size_t c = 1; c < std::size(kConfigs); ++c) {
     std::vector<std::map<std::string, int64_t>> dicts;
-    std::vector<int64_t> got = Replay(kConfigs[c].cfg, &dicts);
+    std::vector<int64_t> got = Replay(kConfigs[c].cfg, &dicts, kConfigs[c].traced);
     ASSERT_EQ(got.size(), base.size()) << kConfigs[c].name;
     for (size_t i = 0; i < base.size(); ++i) {
       ASSERT_EQ(got[i], base[i])
@@ -208,6 +232,21 @@ TEST(AblationEquivalenceTest, AllConfigsProduceIdenticalVerdictSequences) {
     }
     EXPECT_EQ(dicts, base_dicts) << kConfigs[c].name << " final STATE dicts differ";
   }
+}
+
+TEST(AblationEquivalenceTest, TracingIsAPureObserver) {
+  // The TRACE rung of the ladder, isolated: the same configuration run with
+  // all tracepoints live must reproduce not just the verdict sequence but
+  // the decision counters bit for bit — tracing may add trace_records, but
+  // it may not perturb what the engine counted about its own decisions.
+  const EngineConfig cfg = MakeConfig(true, true, true, true, true);
+  std::vector<std::map<std::string, int64_t>> dicts_off, dicts_on;
+  std::vector<uint64_t> counters_off, counters_on;
+  std::vector<int64_t> off = Replay(cfg, &dicts_off, false, &counters_off);
+  std::vector<int64_t> on = Replay(cfg, &dicts_on, true, &counters_on);
+  EXPECT_EQ(off, on) << "tracing changed a verdict";
+  EXPECT_EQ(dicts_off, dicts_on) << "tracing changed STATE side effects";
+  EXPECT_EQ(counters_off, counters_on) << "tracing changed decision counters";
 }
 
 TEST(AblationEquivalenceTest, ReplayIsDeterministic) {
