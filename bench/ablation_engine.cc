@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/core/verify.h"
 
 namespace pf::bench {
 namespace {
@@ -101,6 +102,24 @@ void BM_AuthorizeCompiledScan(benchmark::State& state) {
 }
 BENCHMARK(BM_AuthorizeCompiledScan)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
 
+// The compiled evaluator with the computed-goto threaded dispatcher turned
+// off: the same arena program run through the portable switch loop. The
+// delta against BM_AuthorizeCompiledScan is the pure dispatch-strategy win;
+// the bench-smoke CI job asserts threaded <= switch <= legacy medians.
+void BM_AuthorizeSwitchScan(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
+                   /*indexed=*/false);
+  fx.sys.engine->config().compiled_eval = true;
+  fx.sys.engine->config().threaded_eval = false;
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizeSwitchScan)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
+
 void BM_AuthorizeCompiledIndexed(benchmark::State& state) {
   EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
                    /*indexed=*/true);
@@ -152,6 +171,21 @@ void BM_CompileProgram(benchmark::State& state) {
       sys.engine->CompileRuleset()->program.arena.size());
 }
 BENCHMARK(BM_CompileProgram)->Arg(128)->Arg(1218)->Arg(2048);
+
+// The load-time verifier pass alone, over an already-lowered program: the
+// marginal cost verification adds to every commit. The bench-smoke CI job
+// asserts it stays under 5% of BM_CompileProgram at 1218 rules.
+void BM_VerifyProgram(benchmark::State& state) {
+  System sys;
+  sys.InstallRules(SyntheticRuleBase(static_cast<int>(state.range(0))));
+  auto snap = sys.engine->CompileRuleset();
+  for (auto _ : state) {
+    core::VerifyResult vr = core::VerifyProgram(snap->program);
+    benchmark::DoNotOptimize(vr.report.empty());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VerifyProgram)->Arg(128)->Arg(1218)->Arg(2048);
 
 void BM_UnwindDepth(benchmark::State& state) {
   EngineFixture fx(/*frames=*/static_cast<int>(state.range(0)));

@@ -688,6 +688,8 @@ void Analysis::CheckStateProtocol() {
         const core::PfInsn insn = prog.Fetch(p);
         switch (static_cast<PfOp>(insn.op)) {
           case PfOp::kMatchState:
+          case PfOp::kMatchStateEq:
+          case PfOp::kMatchStateNe:
             keys[prog.strings[insn.a]].checks.emplace_back(Locus(pc.name, i),
                                                            &infos[id][i]);
             break;

@@ -122,22 +122,36 @@ int main(int argc, char** argv) {
   const std::size_t rules = filter.total_rules();
   const std::size_t nchains = filter.chains().size();
 
+  // The load-time verifier's verdict for the same compile (engine commit
+  // gate, DESIGN.md §5f) — reported separately from the analyzer lints: a
+  // verification error means the program artifact itself is unsafe to run.
+  const bool verified = compiled->verified;
+  const double verify_us = static_cast<double>(compiled->verify_ns) / 1000.0;
+
   if (json) {
     std::ostringstream out;
     out << "{\"pfcheck\": {\"rules\": " << rules
         << ", \"chains\": " << nchains
         << ", \"analysis_us\": " << analysis_us
+        << ", \"verified\": " << (verified ? "true" : "false")
+        << ", \"verify_us\": " << verify_us
+        << ", \"verifier\": " << compiled->verify_report.RenderJson()
         << ", \"errors\": " << report.errors()
         << ", \"warnings\": " << report.warnings()
         << ", \"diagnostics\": " << report.RenderJson() << "}}\n";
     std::fputs(out.str().c_str(), stdout);
   } else {
+    if (!compiled->verify_report.empty()) {
+      std::fputs(compiled->verify_report.RenderText().c_str(), stdout);
+    }
     if (!report.empty()) {
       std::fputs(report.RenderText().c_str(), stdout);
     }
-    std::printf("pfcheck: %zu rule(s) in %zu chain(s): %zu error(s), %zu warning(s) [%.1f us]\n",
-                rules, nchains, report.errors(), report.warnings(),
-                analysis_us);
+    std::printf(
+        "pfcheck: %zu rule(s) in %zu chain(s): %zu error(s), %zu warning(s) [%.1f us], "
+        "program %s [%.1f us]\n",
+        rules, nchains, report.errors(), report.warnings(), analysis_us,
+        verified ? "verified" : "REJECTED by verifier", verify_us);
   }
-  return report.HasErrors() ? 1 : 0;
+  return report.HasErrors() || !verified ? 1 : 0;
 }

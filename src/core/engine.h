@@ -47,10 +47,12 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/analysis/diagnostics.h"  // standalone by design, like pftables.h
 #include "src/core/log.h"
 #include "src/core/packet.h"
 #include "src/core/program.h"
 #include "src/core/ruleset.h"
+#include "src/core/status.h"
 #include "src/sim/kernel.h"
 #include "src/trace/hub.h"
 
@@ -79,12 +81,25 @@ struct EngineConfig {
   // verdicts instead of re-traversing the rule base. Chains with stateful or
   // side-effecting rules (STATE, LOG, SYSCALL_ARGS, ...) bypass the cache.
   bool verdict_cache = true;
-  // Evaluate hooks with the switch-dispatch interpreter over the commit-time
+  // Evaluate hooks with the instruction interpreter over the commit-time
   // arena-packed program (program.h) instead of the legacy shared_ptr<Rule>
   // tree walker. Both produce bit-identical verdicts, stats, and side
   // effects (enforced by the COMPILED ablation rung and the differential
   // fuzz test); the flag exists for the ablation ladder and as a fallback.
   bool compiled_eval = true;
+  // Dispatch the compiled evaluator through the computed-goto threaded
+  // interpreter instead of the switch loop. Both are generated from the same
+  // handler bodies (src/core/exec_insn.inc) and are bit-identical; the flag
+  // exists for A/B benchmarking and as a portability fallback. Ignored (the
+  // switch loop runs) when the build lacks computed goto — non-GNU
+  // compilers, or -DPF_THREADED_DISPATCH=OFF at configure time.
+  bool threaded_eval = true;
+  // Run the load-time PfInsn verifier (src/core/verify.h) as a mandatory
+  // pass of CompileRuleset. A program with verification errors refuses to
+  // publish: CommitRuleset returns the report as a Status error and the live
+  // generation is left untouched. A pure gate for accepted programs
+  // (enforced by the VERIFY ablation rung).
+  bool verify_programs = true;
   // Audit mode: evaluate rules and count/log would-be denials, but allow
   // everything. This is how an OS distributor shakes out false positives
   // before enforcing a generated rule base (paper §6.3.2).
@@ -251,6 +266,14 @@ struct CompiledRuleset {
   // compiled evaluator, the static analyzer, and `pftables -L --compiled`.
   PfProgram program;
 
+  // Load-time verification of `program` (src/core/verify.h), run by
+  // CompileRuleset when EngineConfig::verify_programs is on. `verified` is
+  // true iff the pass ran and proved the program safe; CommitRuleset refuses
+  // to publish otherwise. pfcheck and pftables --check surface the report.
+  analysis::AnalysisReport verify_report;
+  bool verified = false;
+  uint64_t verify_ns = 0;
+
   const CompiledChain* FindCompiled(const std::string& chain) const;
 };
 
@@ -380,8 +403,10 @@ class Engine : public sim::SecurityModule {
 
   // Publishes the staging rule base as a new immutable generation. Called by
   // Pftables after every successful mutating command; safe to call while
-  // worker threads evaluate.
-  void CommitRuleset();
+  // worker threads evaluate. When the load-time verifier rejects the
+  // compiled program (verify_programs on), nothing is published — the live
+  // generation keeps serving and the error carries the verifier's report.
+  Status CommitRuleset();
 
   // Compiles the staging rule base into a CompiledRuleset snapshot without
   // publishing it (generation stays 0). This is what the static analyzer
@@ -434,8 +459,18 @@ class Engine : public sim::SecurityModule {
   // entrypoint index's lists are not op-filtered and keep the guard.
   Verdict ExecEntries(const CompiledRuleset& rs, uint32_t off, uint32_t len,
                       bool op_checked, Packet& pkt, int depth);
+  // ExecRule picks a dispatch strategy per EngineConfig::threaded_eval. The
+  // two strategies are expansions of the same handler bodies
+  // (src/core/exec_insn.inc): ExecRuleSwitch is the portable switch loop,
+  // ExecRuleThreaded the computed-goto threaded interpreter (defined only
+  // when the toolchain supports it; the declaration is unconditional so the
+  // header stays configuration-independent).
   Verdict ExecRule(const CompiledRuleset& rs, const RuleRecord& rec, uint32_t start,
                    Packet& pkt, int depth);
+  Verdict ExecRuleSwitch(const CompiledRuleset& rs, const RuleRecord& rec, uint32_t start,
+                         Packet& pkt, int depth);
+  Verdict ExecRuleThreaded(const CompiledRuleset& rs, const RuleRecord& rec,
+                           uint32_t start, Packet& pkt, int depth);
 
   void FetchObject(Packet& pkt);
   void FetchLinkTarget(Packet& pkt);

@@ -471,12 +471,18 @@ std::string LogTarget::Render() const {
 // kMatchNative/kTargetNative escapes instead.
 
 bool StateMatch::Lower(ProgramBuilder& b) const {
+  // The comparison-sense branch is resolved at compile time: --cmp lowers to
+  // a specialized Eq/Ne form so the evaluator never tests kPfHasCmp or
+  // kPfNegate on the hot path. The flags are still set — the disassembler
+  // renders all three forms identically off the flag bits, and the generic
+  // kMatchState handler stays correct for hand-built programs.
   PfInsn insn{};
   insn.op = static_cast<uint8_t>(PfOp::kMatchState);
   insn.a = b.InternString(key);
   if (cmp) {
     insn.flags |= kPfHasCmp;
     insn.b = b.InternOperand(*cmp);
+    insn.op = static_cast<uint8_t>(negate ? PfOp::kMatchStateNe : PfOp::kMatchStateEq);
   }
   if (negate) {
     insn.flags |= kPfNegate;
@@ -493,8 +499,14 @@ bool SignalMatch::Lower(ProgramBuilder& b) const {
 }
 
 bool SyscallArgsMatch::Lower(ProgramBuilder& b) const {
+  // Resolve the arg-0-means-syscall-number convention and the negation sense
+  // at compile time; the specialized handlers read the value directly.
   PfInsn insn{};
-  insn.op = static_cast<uint8_t>(PfOp::kMatchSyscallArg);
+  if (arg == 0) {
+    insn.op = static_cast<uint8_t>(negate ? PfOp::kMatchSyscallNrNe : PfOp::kMatchSyscallNrEq);
+  } else {
+    insn.op = static_cast<uint8_t>(negate ? PfOp::kMatchSyscallArgNe : PfOp::kMatchSyscallArgEq);
+  }
   insn.aux = static_cast<uint16_t>(arg);
   insn.b = static_cast<uint64_t>(value);
   if (negate) {
@@ -506,7 +518,7 @@ bool SyscallArgsMatch::Lower(ProgramBuilder& b) const {
 
 bool CompareMatch::Lower(ProgramBuilder& b) const {
   PfInsn insn{};
-  insn.op = static_cast<uint8_t>(PfOp::kMatchCompare);
+  insn.op = static_cast<uint8_t>(negate ? PfOp::kMatchCompareNe : PfOp::kMatchCompareEq);
   insn.b = b.InternOperand(v1);
   insn.c = b.InternOperand(v2);
   if (negate) {

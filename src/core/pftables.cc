@@ -487,7 +487,17 @@ Status Pftables::Exec(const std::string& command) {
     }
   }
   if (need_commit) {
-    engine_->CommitRuleset();
+    if (Status cs = engine_->CommitRuleset(); !cs.ok()) {
+      // The load-time verifier vetoed the compiled program: the published
+      // generation is untouched (CommitRuleset never swaps on error). Roll
+      // the staged edit back too when --check armed a backup; without one
+      // the staging base keeps the edit, but nothing unverified ever serves.
+      if (backup) {
+        engine_->ruleset() = std::move(*backup);
+        ReindexAll(engine_->ruleset().filter());
+      }
+      return Status::Error("commit rejected: " + cs.message());
+    }
   }
   return Status::Ok();
 }
@@ -625,7 +635,8 @@ Status Pftables::Restore(const std::string& dump, CheckMode check) {
   auto roll_back = [&]() {
     engine_->ruleset() = std::move(*backup);
     ReindexAll(engine_->ruleset().filter());
-    engine_->CommitRuleset();
+    // Rolling back to a base that committed before; re-verification passes.
+    (void)engine_->CommitRuleset();
   };
 
   size_t i = 0;

@@ -141,6 +141,10 @@ std::string RenderInsn(const PfProgram& prog, const RuleRecord& rec, const PfIns
       oss << "MATCH_OBJECT " << RenderLabelSet(prog, insn.a, labels);
       break;
     case PfOp::kMatchState:
+    case PfOp::kMatchStateEq:
+    case PfOp::kMatchStateNe:
+      // Specialized forms carry the same flags as their generic twin, so one
+      // renderer covers all three and listings are specialization-invariant.
       oss << "MATCH_STATE --key " << prog.strings[insn.a];
       if ((insn.flags & kPfHasCmp) != 0) {
         oss << " --cmp " << prog.operands[insn.b].Render() << " " << EqFlag(insn.flags);
@@ -150,10 +154,16 @@ std::string RenderInsn(const PfProgram& prog, const RuleRecord& rec, const PfIns
       oss << "MATCH_SIGNAL";
       break;
     case PfOp::kMatchSyscallArg:
+    case PfOp::kMatchSyscallNrEq:
+    case PfOp::kMatchSyscallNrNe:
+    case PfOp::kMatchSyscallArgEq:
+    case PfOp::kMatchSyscallArgNe:
       oss << "MATCH_SYSCALL_ARG --arg " << insn.aux << " " << EqFlag(insn.flags) << " "
           << static_cast<int64_t>(insn.b);
       break;
     case PfOp::kMatchCompare:
+    case PfOp::kMatchCompareEq:
+    case PfOp::kMatchCompareNe:
       oss << "MATCH_COMPARE --v1 " << prog.operands[insn.b].Render() << " --v2 "
           << prog.operands[static_cast<uint32_t>(insn.c)].Render() << " "
           << EqFlag(insn.flags);

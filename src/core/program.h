@@ -68,7 +68,27 @@ enum class PfOp : uint8_t {
   kStateUnset,      // a = key string idx
   kLog,             // a = prefix string idx
   kTargetNative,    // a = native-target pool index (virtual escape)
+  // Compile-time-specialized forms, appended so the base opcodes keep their
+  // numbering. Lowering resolves the operand-kind and comparison-sense
+  // branches of the generic ops above at compile time (the --cmp / --nequal
+  // flags, the arg-0-means-syscall-nr convention), so the threaded hot loop
+  // dispatches straight to a handler with no per-insn flag tests. The
+  // generic forms stay executable (hand-built programs, older dumps) and
+  // every specialized form disassembles to the same text as its generic
+  // twin — listings are invariant under specialization.
+  kMatchStateEq,      // kMatchState + kPfHasCmp, equal sense
+  kMatchStateNe,      // kMatchState + kPfHasCmp + kPfNegate
+  kMatchSyscallNrEq,  // kMatchSyscallArg with aux == 0 (the syscall number)
+  kMatchSyscallNrNe,
+  kMatchSyscallArgEq,  // kMatchSyscallArg with aux >= 1 (argument aux - 1)
+  kMatchSyscallArgNe,
+  kMatchCompareEq,  // kMatchCompare, equal sense
+  kMatchCompareNe,  // kMatchCompare + kPfNegate
 };
+
+// One past the highest opcode: the size of the evaluator's dispatch table
+// and the bound the load-time verifier proves every fetched op against.
+inline constexpr uint32_t kPfOpCount = static_cast<uint32_t>(PfOp::kMatchCompareNe) + 1;
 
 // Instruction flags.
 inline constexpr uint8_t kPfNegate = 1u << 0;  // --nequal / negated compare

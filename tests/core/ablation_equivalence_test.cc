@@ -26,19 +26,27 @@ constexpr int kTasks = 3;
 constexpr uint64_t kWorkloadSeed = 0xab1a7e5eedull;
 
 EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
-                        bool vcache = false) {
+                        bool vcache = false, bool threaded = true,
+                        bool verify = true) {
   EngineConfig cfg;
   cfg.lazy_context = lazy;
   cfg.cache_context = cache;
   cfg.ept_chains = ept;
   cfg.compiled_eval = compiled;
   cfg.verdict_cache = vcache;
+  cfg.threaded_eval = threaded;
+  cfg.verify_programs = verify;
   return cfg;
 }
 
 // The Table-6 ablation ladder (the lower rungs pin compiled_eval and
 // verdict_cache off so each rung isolates exactly one optimization). The
-// TRACE rung re-runs the top configuration with every tracepoint stream
+// SWITCHED rung runs the compiled evaluator through the portable switch
+// loop and COMPILED through the threaded dispatcher, so the dispatch
+// strategy itself is proven to be semantics-free. The VERIFY rung turns the
+// load-time verifier off on the top configuration: for accepted programs
+// the verifier must be a pure gate, changing nothing the evaluator does.
+// The TRACE rung re-runs the top configuration with every tracepoint stream
 // enabled: observability must be a pure observer — verdicts, STATE dicts,
 // and the decision counters all stay byte-identical.
 const struct {
@@ -50,8 +58,10 @@ const struct {
     {"CONCACHE", MakeConfig(false, true, false)},
     {"LAZYCON", MakeConfig(true, true, false)},
     {"EPTSPC", MakeConfig(true, true, true)},
+    {"SWITCHED", MakeConfig(true, true, true, true, false, /*threaded=*/false)},
     {"COMPILED", MakeConfig(true, true, true, true)},
     {"VCACHE", MakeConfig(true, true, true, true, true)},
+    {"VERIFY", MakeConfig(true, true, true, true, true, true, /*verify=*/false)},
     {"TRACE", MakeConfig(true, true, true, true, true), true},
 };
 

@@ -1,15 +1,25 @@
-// Differential fuzzing of the compiled evaluator against the legacy tree
-// walker: seeded random rule bases (including extension modules that lower
-// through the native escape ops) replayed over seeded random operation
-// streams, with EngineConfig::compiled_eval as the only difference between
-// the two runs. Everything observable must be bit-identical — the verdict
-// sequence, per-task STATE dictionaries, LOG records, rule counters (via the
-// List() rendering), and the engine statistics, including the context-fetch
-// counters that would expose a divergent EnsureContext order.
+// Differential fuzzing of the compiled evaluators against the legacy tree
+// walker: seeded random rule bases (five generator flavors, see
+// fuzz_rules.h) replayed over seeded random operation streams, with the
+// evaluator selection (legacy walker / portable switch loop / computed-goto
+// threaded loop) as the only difference between runs. Everything observable
+// must be bit-identical across all three — the verdict sequence, per-task
+// STATE dictionaries, LOG records, rule counters (via the List() rendering),
+// and the engine statistics, including the context-fetch counters that would
+// expose a divergent EnsureContext order.
+//
+// Seed control (for CI sharding and reproduction):
+//   --pf_fuzz_seed=0xNNN   run exactly one seed (also env PF_FUZZ_SEED)
+//   PF_FUZZ_SEEDS=N        run N consecutive seeds from the fixed base
+// The default is 16 seeds, cycling through every generator flavor. On a
+// mismatch the failing seed and the compiled-program disassembly
+// (pftables ListCompiled, i.e. `pftables -L --compiled`) are printed.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <random>
@@ -20,139 +30,38 @@
 #include "src/core/engine.h"
 #include "src/core/pftables.h"
 #include "src/sim/sysimage.h"
+#include "tests/core/fuzz_rules.h"
 
 namespace pf::core {
 namespace {
 
 constexpr int kOps = 2000;
 constexpr int kTasks = 3;
-constexpr int kRandomRules = 30;
 
-// --- extension modules (exercise the kMatchNative / kTargetNative escapes) --
+// Consecutive seeds from this base cycle through every fuzzgen::Flavor
+// (flavor = seed % kFlavorCount).
+constexpr uint64_t kSeedBase = 0xf002;
+constexpr int kDefaultSeedCount = 16;
 
-// Matches objects with an odd inode number.
-class OddInoMatch : public MatchModule {
- public:
-  std::string_view Name() const override { return "ODD_INO"; }
-  CtxMask Needs() const override { return CtxBit(Ctx::kObject); }
-  bool Matches(Packet& pkt, Engine&) const override {
-    return pkt.has_object && pkt.object_id.ino % 2 == 1;
+// Filled by main() from --pf_fuzz_seed / PF_FUZZ_SEED / PF_FUZZ_SEEDS.
+std::vector<uint64_t>& SeedList() {
+  static std::vector<uint64_t> seeds;
+  return seeds;
+}
+
+// The three evaluator builds under diff.
+enum class Mode { kLegacy, kSwitch, kThreaded };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kLegacy:
+      return "legacy";
+    case Mode::kSwitch:
+      return "switch";
+    case Mode::kThreaded:
+      return "threaded";
   }
-  std::string Render() const override { return "ODD_INO"; }
-};
-
-// Counts fires and continues.
-class CountTarget : public TargetModule {
- public:
-  explicit CountTarget(uint64_t* counter) : counter_(counter) {}
-  std::string_view Name() const override { return "COUNT"; }
-  TargetKind Fire(Packet&, Engine&) const override {
-    ++*counter_;
-    return TargetKind::kContinue;
-  }
-  std::string Render() const override { return "COUNT"; }
-
- private:
-  uint64_t* counter_;
-};
-
-// --- random rule bases ------------------------------------------------------
-
-// Builds a random but always-installable rule base: a user chain fed from
-// input, rules spread over every builtin chain, every builtin module and
-// target, entrypoint-indexed rules (some matching the workload tasks' real
-// frames in /bin/true, some chaff), and the two extension modules above.
-std::vector<std::string> RandomRules(std::mt19937_64& rng) {
-  const char* kLabels[] = {"etc_t", "tmp_t", "shadow_t", "bin_t", "user_t"};
-  const char* kOpsPool[] = {"FILE_OPEN", "SOCKET_BIND", "PROCESS_SIGNAL_DELIVERY",
-                            "FILE_GETATTR"};
-  const char* kChains[] = {"input", "input", "input", "output", "create",
-                           "syscallbegin", "fz"};
-  const char* kKeys[] = {"k0", "k1", "k2"};
-  const char* kBins[] = {"/bin/true", "/usr/bin/apache2", "/bin/sh"};
-
-  std::vector<std::string> rules = {"pftables -N fz",
-                                    "pftables -A input -s staff_t -j fz"};
-  for (int i = 0; i < kRandomRules; ++i) {
-    std::string r = "pftables -A ";
-    r += kChains[rng() % std::size(kChains)];
-    if (rng() % 2 == 0) {
-      r += std::string(" -o ") + kOpsPool[rng() % std::size(kOpsPool)];
-    }
-    switch (rng() % 4) {
-      case 0:
-        r += std::string(" -s ") + kLabels[rng() % std::size(kLabels)];
-        break;
-      case 1:
-        r += std::string(" -s ~") + kLabels[rng() % std::size(kLabels)];
-        break;
-      case 2:
-        r += std::string(" -s {") + kLabels[rng() % std::size(kLabels)] + "|" +
-             kLabels[rng() % std::size(kLabels)] + "}";
-        break;
-      default:
-        break;  // wildcard subject
-    }
-    if (rng() % 3 == 0) {
-      r += std::string(" -d ") + kLabels[rng() % std::size(kLabels)];
-    }
-    if (rng() % 4 == 0) {
-      char ept[64];
-      std::snprintf(ept, sizeof(ept), " -p %s -i 0x%x",
-                    kBins[rng() % std::size(kBins)],
-                    rng() % 3 == 0 ? 0x100 * (1 + static_cast<int>(rng() % 3))
-                                   : 0x8000 + static_cast<int>(rng() % 8) * 0x40);
-      r += ept;
-    }
-    switch (rng() % 6) {
-      case 0:
-        r += std::string(" -m STATE --key ") + kKeys[rng() % std::size(kKeys)];
-        break;
-      case 1:
-        r += std::string(" -m STATE --key ") + kKeys[rng() % std::size(kKeys)] +
-             " --cmp " + std::to_string(rng() % 3) + (rng() % 2 ? " --nequal" : "");
-        break;
-      case 2:
-        r += " -m SYSCALL_ARGS --arg 0 --equal " + std::to_string(rng() % 8);
-        break;
-      case 3:
-        r += " -m COMPARE --v1 C_UID --v2 " + std::to_string(rng() % 2) +
-             (rng() % 2 ? " --nequal" : "");
-        break;
-      case 4:
-        r += " -m ODD_INO";
-        break;
-      default:
-        break;  // no module
-    }
-    switch (rng() % 8) {
-      case 0:
-      case 1:
-        r += " -j DROP";
-        break;
-      case 2:
-        r += " -j ACCEPT";
-        break;
-      case 3:
-        r += " -j RETURN";
-        break;
-      case 4:
-        r += std::string(" -j STATE --set --key ") + kKeys[rng() % std::size(kKeys)] +
-             " --value " + std::to_string(rng() % 3);
-        break;
-      case 5:
-        r += std::string(" -j STATE --unset --key ") + kKeys[rng() % std::size(kKeys)];
-        break;
-      case 6:
-        r += " -j LOG --prefix fz" + std::to_string(rng() % 3);
-        break;
-      default:
-        r += " -j COUNT";
-        break;
-    }
-    rules.push_back(std::move(r));
-  }
-  return rules;
+  return "?";
 }
 
 // --- workload ----------------------------------------------------------------
@@ -162,15 +71,18 @@ struct FuzzRun {
   std::vector<std::map<std::string, int64_t>> dicts;
   std::string log_lines;
   std::string listing;
+  std::string compiled_listing;  // ListCompiled() dump for failure reports
   uint64_t count_fires = 0;
   EngineStats stats;
 };
 
-// Builds a kernel (fixed sim seed: both runs see identical inode numbers and
-// labels), installs the rule base, and replays the seeded operation stream.
-FuzzRun Replay(uint64_t seed, bool compiled, bool ept) {
+// Builds a kernel (fixed sim seed: all runs see identical inode numbers and
+// labels), installs the seed's flavor-specific rule base, and replays the
+// seeded operation stream under the requested evaluator.
+FuzzRun Replay(uint64_t seed, Mode mode, bool ept) {
   EngineConfig cfg;
-  cfg.compiled_eval = compiled;
+  cfg.compiled_eval = mode != Mode::kLegacy;
+  cfg.threaded_eval = mode == Mode::kThreaded;
   cfg.ept_chains = ept;
   cfg.verdict_cache = false;  // the cache would hide traversal differences
 
@@ -180,25 +92,10 @@ FuzzRun Replay(uint64_t seed, bool compiled, bool ept) {
   apps::InstallPrograms(kernel);
   Engine* engine = InstallProcessFirewall(kernel, cfg);
   Pftables pft(engine);
-  pft.RegisterMatch("ODD_INO", [](const std::vector<std::string>& opts,
-                                  std::unique_ptr<MatchModule>* m) {
-    if (!opts.empty()) {
-      return Status::Error("ODD_INO takes no options");
-    }
-    *m = std::make_unique<OddInoMatch>();
-    return Status::Ok();
-  });
-  pft.RegisterTarget("COUNT", [&out](const std::vector<std::string>& opts,
-                                     std::unique_ptr<TargetModule>* t) {
-    if (!opts.empty()) {
-      return Status::Error("COUNT takes no options");
-    }
-    *t = std::make_unique<CountTarget>(&out.count_fires);
-    return Status::Ok();
-  });
+  fuzzgen::RegisterFuzzModules(pft, &out.count_fires);
 
   std::mt19937_64 rule_rng(seed);
-  Status s = pft.ExecAll(RandomRules(rule_rng));
+  Status s = pft.ExecAll(fuzzgen::RandomRules(rule_rng, fuzzgen::FlavorForSeed(seed)));
   if (!s.ok()) {
     ADD_FAILURE() << "rule install failed: " << s.message();
     return out;
@@ -278,26 +175,27 @@ FuzzRun Replay(uint64_t seed, bool compiled, bool ept) {
   }
   out.log_lines = engine->log().ToJsonLines();
   out.listing = pft.List();
+  out.compiled_listing = pft.ListCompiled();
   out.stats = engine->stats();
   return out;
 }
 
-void ExpectBitEquivalent(const FuzzRun& legacy, const FuzzRun& compiled,
+void ExpectBitEquivalent(const FuzzRun& want, const FuzzRun& got,
                          const std::string& what) {
-  ASSERT_EQ(legacy.verdicts.size(), compiled.verdicts.size()) << what;
-  for (size_t i = 0; i < legacy.verdicts.size(); ++i) {
-    ASSERT_EQ(compiled.verdicts[i], legacy.verdicts[i])
+  ASSERT_EQ(want.verdicts.size(), got.verdicts.size()) << what;
+  for (size_t i = 0; i < want.verdicts.size(); ++i) {
+    ASSERT_EQ(got.verdicts[i], want.verdicts[i])
         << what << ": verdicts diverge at op " << i;
   }
-  EXPECT_EQ(compiled.dicts, legacy.dicts) << what << ": STATE dicts diverge";
-  EXPECT_EQ(compiled.log_lines, legacy.log_lines) << what << ": LOG records diverge";
-  EXPECT_EQ(compiled.count_fires, legacy.count_fires)
+  EXPECT_EQ(got.dicts, want.dicts) << what << ": STATE dicts diverge";
+  EXPECT_EQ(got.log_lines, want.log_lines) << what << ": LOG records diverge";
+  EXPECT_EQ(got.count_fires, want.count_fires)
       << what << ": native target fire counts diverge";
-  EXPECT_EQ(compiled.listing, legacy.listing)
+  EXPECT_EQ(got.listing, want.listing)
       << what << ": List() rendering (rule evals/hits counters) diverges";
 
-  const EngineStats& a = legacy.stats;
-  const EngineStats& b = compiled.stats;
+  const EngineStats& a = want.stats;
+  const EngineStats& b = got.stats;
   EXPECT_EQ(b.invocations, a.invocations) << what;
   EXPECT_EQ(b.drops, a.drops) << what;
   EXPECT_EQ(b.audited_drops, a.audited_drops) << what;
@@ -308,25 +206,95 @@ void ExpectBitEquivalent(const FuzzRun& legacy, const FuzzRun& compiled,
   EXPECT_EQ(b.ctx_fetches, a.ctx_fetches) << what << ": context fetch order diverges";
 }
 
-TEST(CompiledDiffFuzzTest, CompiledMatchesLegacyAcrossSeeds) {
-  for (uint64_t seed : {0x11aaULL, 0x22bbULL, 0x33ccULL, 0x44ddULL}) {
+// Prints everything needed to replay a divergence offline: the exact seed,
+// its flavor, and the compiled program as `pftables -L --compiled` shows it.
+void DumpFailure(uint64_t seed, bool ept, const FuzzRun& compiled) {
+  std::fprintf(stderr,
+               "\n=== fuzz mismatch: reproduce with --pf_fuzz_seed=0x%llx "
+               "(flavor %s, ept %s) ===\ncompiled program:\n%s\n",
+               static_cast<unsigned long long>(seed),
+               fuzzgen::FlavorName(fuzzgen::FlavorForSeed(seed)),
+               ept ? "on" : "off", compiled.compiled_listing.c_str());
+}
+
+TEST(CompiledDiffFuzzTest, ThreeWayEquivalenceAcrossSeeds) {
+  for (uint64_t seed : SeedList()) {
+    const std::string tag =
+        "seed=" + std::to_string(seed) + " flavor=" +
+        fuzzgen::FlavorName(fuzzgen::FlavorForSeed(seed));
     for (bool ept : {true, false}) {
-      FuzzRun legacy = Replay(seed, /*compiled=*/false, ept);
-      FuzzRun compiled = Replay(seed, /*compiled=*/true, ept);
-      ExpectBitEquivalent(legacy, compiled,
-                          "seed=" + std::to_string(seed) +
-                              (ept ? " ept=on" : " ept=off"));
+      const std::string what = tag + (ept ? " ept=on" : " ept=off");
+      FuzzRun legacy = Replay(seed, Mode::kLegacy, ept);
+      FuzzRun swtch = Replay(seed, Mode::kSwitch, ept);
+      FuzzRun threaded = Replay(seed, Mode::kThreaded, ept);
+      ExpectBitEquivalent(legacy, swtch, what + " switch-vs-legacy");
+      ExpectBitEquivalent(legacy, threaded, what + " threaded-vs-legacy");
+      if (::testing::Test::HasFailure()) {
+        DumpFailure(seed, ept, threaded);
+        return;  // first divergence wins; later seeds would bury the dump
+      }
     }
   }
 }
 
 TEST(CompiledDiffFuzzTest, ReplayIsDeterministic) {
-  FuzzRun a = Replay(0x55eeULL, /*compiled=*/true, /*ept=*/true);
-  FuzzRun b = Replay(0x55eeULL, /*compiled=*/true, /*ept=*/true);
+  const uint64_t seed = SeedList().empty() ? kSeedBase : SeedList().front();
+  FuzzRun a = Replay(seed, Mode::kThreaded, /*ept=*/true);
+  FuzzRun b = Replay(seed, Mode::kThreaded, /*ept=*/true);
   EXPECT_EQ(a.verdicts, b.verdicts);
   EXPECT_EQ(a.log_lines, b.log_lines);
   EXPECT_EQ(a.listing, b.listing);
 }
 
+// The mode plumbing itself: a threaded run and a switch run of the same seed
+// agree even when the legacy walker is left out of the loop, so a regression
+// in the shared handler bodies cannot hide behind a matching legacy bug.
+TEST(CompiledDiffFuzzTest, SwitchAndThreadedAgree) {
+  const uint64_t seed = SeedList().empty() ? kSeedBase : SeedList().front();
+  FuzzRun swtch = Replay(seed, Mode::kSwitch, /*ept=*/true);
+  FuzzRun threaded = Replay(seed, Mode::kThreaded, /*ept=*/true);
+  ExpectBitEquivalent(swtch, threaded, std::string(ModeName(Mode::kThreaded)) +
+                                           "-vs-" + ModeName(Mode::kSwitch));
+}
+
 }  // namespace
 }  // namespace pf::core
+
+// Custom main (overrides gtest_main's): resolves the seed list before any
+// test runs. Precedence: --pf_fuzz_seed flag, then PF_FUZZ_SEED, then
+// PF_FUZZ_SEEDS (a count of consecutive seeds, for CI sharding), then the
+// 16-seed default.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+
+  uint64_t single = 0;
+  bool have_single = false;
+  int count = pf::core::kDefaultSeedCount;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kFlag[] = "--pf_fuzz_seed=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      single = std::strtoull(argv[i] + sizeof(kFlag) - 1, nullptr, 0);
+      have_single = true;
+    }
+  }
+  if (const char* env = std::getenv("PF_FUZZ_SEED"); env != nullptr && !have_single) {
+    single = std::strtoull(env, nullptr, 0);
+    have_single = true;
+  }
+  if (const char* env = std::getenv("PF_FUZZ_SEEDS"); env != nullptr) {
+    count = std::atoi(env);
+    if (count < 1) {
+      count = 1;
+    }
+  }
+
+  std::vector<uint64_t>& seeds = pf::core::SeedList();
+  if (have_single) {
+    seeds = {single};
+  } else {
+    for (int i = 0; i < count; ++i) {
+      seeds.push_back(pf::core::kSeedBase + static_cast<uint64_t>(i));
+    }
+  }
+  return RUN_ALL_TESTS();
+}
