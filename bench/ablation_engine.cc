@@ -100,7 +100,70 @@ void BM_AuthorizeCompiledScan(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_AuthorizeCompiledScan)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
+BENCHMARK(BM_AuthorizeCompiledScan)
+    ->Arg(16)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(1218)
+    ->Arg(2048)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(100000)
+    ->Arg(200000);
+
+// Tuple-space pre-classification (DESIGN.md §5g) against the bucket scan
+// above, at matched rule counts: instead of walking every candidate record,
+// Authorize hashes the request's exact-match dimensions (subject, resolved
+// entrypoint, object, --ino) into the per-bucket tuple tables and evaluates
+// only the surviving slices plus the residual. The synthetic distributor
+// base is all entrypoint rules, so the probe resolves one tuple (or none)
+// and latency stays flat while the scan path grows linearly — the scaling
+// headline the bench-smoke CI job asserts (100k within 3x of 1218).
+void BM_AuthorizeTupleScan(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
+                   /*indexed=*/false);
+  fx.sys.engine->config().compiled_eval = true;
+  fx.sys.engine->config().tuple_dispatch = true;
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+  const core::ClassifierStats cs =
+      core::ComputeClassifierStats(fx.sys.engine->PublishedRuleset()->program);
+  state.counters["tuples"] = static_cast<double>(cs.tuples);
+  state.counters["max_slice"] = static_cast<double>(cs.max_slice);
+  state.counters["residual"] = static_cast<double>(cs.residual_rules);
+}
+BENCHMARK(BM_AuthorizeTupleScan)
+    ->Arg(1218)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(100000)
+    ->Arg(200000);
+
+// Tuple dispatch layered over the entrypoint-indexed chains: the classifier
+// takes precedence in ExecChain, so this measures the combined configuration
+// a production commit would run (both features on).
+void BM_AuthorizeTupleIndexed(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
+                   /*indexed=*/true);
+  fx.sys.engine->config().compiled_eval = true;
+  fx.sys.engine->config().tuple_dispatch = true;
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizeTupleIndexed)
+    ->Arg(1218)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(100000)
+    ->Arg(200000);
 
 // The compiled evaluator with the computed-goto threaded dispatcher turned
 // off: the same arena program run through the portable switch loop. The
@@ -167,10 +230,47 @@ void BM_CompileProgram(benchmark::State& state) {
     benchmark::DoNotOptimize(snap->program.arena.data());
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["arena_words"] = static_cast<double>(
-      sys.engine->CompileRuleset()->program.arena.size());
+  auto snap = sys.engine->CompileRuleset();
+  state.counters["arena_words"] = static_cast<double>(snap->program.arena.size());
+  state.counters["classifier_ns"] =
+      static_cast<double>(snap->program.classifier_build_ns);
 }
-BENCHMARK(BM_CompileProgram)->Arg(128)->Arg(1218)->Arg(2048);
+BENCHMARK(BM_CompileProgram)->Arg(128)->Arg(1218)->Arg(2048)->Arg(100000);
+
+// Incremental delta-commits: one-rule churn in a tiny `edits` chain against
+// a 100k-rule committed base. CommitRuleset detects the single dirty chain
+// (Chain::edit_seq), relowers only it into a copy of the published arena,
+// and delta-verifies just the appended records — the bench-smoke CI job
+// asserts this stays under 5% of the from-scratch BM_CompileProgram/100000
+// time. The alternating append/delete keeps the staged base size-stable so
+// every iteration measures the same one-edit delta.
+void BM_IncrementalCommit(benchmark::State& state) {
+  System sys;
+  sys.InstallRules(SyntheticRuleBase(static_cast<int>(state.range(0))));
+  core::Pftables& pft = *sys.pftables;
+  // Creating `edits` changes the chain-name set, so this first commit is a
+  // full compile; every commit in the timed loop then deltas against it.
+  pft.Exec("pftables -N edits");
+  if (core::Status s = pft.Exec("pftables -A edits -o FILE_OPEN -d shadow_t -j DROP");
+      !s.ok()) {
+    state.SkipWithError(s.message().c_str());
+    return;
+  }
+  bool add = true;
+  for (auto _ : state) {
+    core::Status s = add ? pft.Exec("pftables -A edits -o FILE_OPEN -d shadow_t -j DROP")
+                         : pft.Exec("pftables -D edits 2");
+    if (!s.ok()) {
+      state.SkipWithError(s.message().c_str());
+      return;
+    }
+    add = !add;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["delta_commits"] = static_cast<double>(sys.engine->delta_commits());
+  state.counters["full_commits"] = static_cast<double>(sys.engine->full_commits());
+}
+BENCHMARK(BM_IncrementalCommit)->Arg(1218)->Arg(100000);
 
 // The load-time verifier pass alone, over an already-lowered program: the
 // marginal cost verification adds to every commit. The bench-smoke CI job

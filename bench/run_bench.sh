@@ -24,7 +24,7 @@ trap 'rm -rf "$TMP"' EXIT
 # Medians of 3 repetitions: the dispatch-ladder and verifier-share summary
 # numbers gate CI, and single-shot runs swing +-20% on shared machines.
 "$BUILD/bench/ablation_engine" \
-  --benchmark_filter='BM_AuthorizeVerdictCache|BM_AuthorizeCompiled|BM_AuthorizeIndexedChains|BM_AuthorizeLinearScan|BM_AuthorizeSwitchScan|BM_CompileProgram|BM_VerifyProgram' \
+  --benchmark_filter='BM_AuthorizeVerdictCache|BM_AuthorizeCompiled|BM_AuthorizeIndexedChains|BM_AuthorizeLinearScan|BM_AuthorizeSwitchScan|BM_AuthorizeTuple|BM_CompileProgram|BM_VerifyProgram|BM_IncrementalCommit' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_out="$TMP/ablation.json" --benchmark_out_format=json
 "$BUILD/src/apps/pfcheck" --library --json > "$TMP/pfcheck.json"
@@ -43,7 +43,9 @@ with open(os.path.join(tmp, "ablation.json")) as f:
 out["ablation_engine"] = {
     b["name"].removesuffix("_median"): {
         "ns_per_op": b["real_time"],
-        **{k: b[k] for k in ("hit_rate", "miss_rate", "bypass_rate", "arena_words")
+        **{k: b[k] for k in ("hit_rate", "miss_rate", "bypass_rate", "arena_words",
+                             "classifier_ns", "tuples", "max_slice", "residual",
+                             "delta_commits", "full_commits")
            if k in b},
     }
     for b in ab.get("benchmarks", [])
@@ -91,6 +93,31 @@ out["summary"] = {
     "verify_program_1218_ns": ae.get("BM_VerifyProgram/1218", {}).get("ns_per_op"),
     "verify_us": out["pfcheck"].get("verify_us"),
 }
+
+# Tuple-space classifier + incremental commits (DESIGN.md §5g): the scaling
+# headline is flat authorize latency at 100k rules (within 3x of the
+# 1218-rule base) and a one-edit delta commit well under the from-scratch
+# relower (>= 20x acceptance; CI gates at <= 5% of full).
+tuple_1218 = ae.get("BM_AuthorizeTupleScan/1218", {}).get("ns_per_op")
+tuple_100k = ae.get("BM_AuthorizeTupleScan/100000", {}).get("ns_per_op")
+compile_100k = ae.get("BM_CompileProgram/100000", {}).get("ns_per_op")
+delta_100k = ae.get("BM_IncrementalCommit/100000", {}).get("ns_per_op")
+out["summary"].update({
+    "authorize_tuple_1218_ns": tuple_1218,
+    "authorize_tuple_100k_ns": tuple_100k,
+    "authorize_tuple_200k_ns":
+        ae.get("BM_AuthorizeTupleScan/200000", {}).get("ns_per_op"),
+    "authorize_compiled_scan_100k_ns":
+        ae.get("BM_AuthorizeCompiledScan/100000", {}).get("ns_per_op"),
+    "tuple_scaling_100k_vs_1218": (tuple_100k / tuple_1218
+                                   if tuple_100k and tuple_1218 else None),
+    "classifier_build_ns":
+        ae.get("BM_CompileProgram/100000", {}).get("classifier_ns"),
+    "compile_program_100k_ns": compile_100k,
+    "incremental_commit_1edit_ns": delta_100k,
+    "delta_commit_speedup_100k": (compile_100k / delta_100k
+                                  if compile_100k and delta_100k else None),
+})
 
 # Tracing tax (DESIGN.md §5e): full tracepoint streams on vs. off, measured
 # by the table6 trace rider. The acceptance bound is stat/FULL < +15%.

@@ -58,10 +58,40 @@ void Run() {
               report.programs, report.consistent);
 }
 
+// Beyond the paper: the rule-generation pipeline at production rule counts
+// (ROADMAP / DESIGN.md §5g). A distributor deployment that keeps every
+// suggested entrypoint rule lands in the tens-of-thousands; this section
+// materializes synthetic distributor bases at 1218 (the paper's PF Full) up
+// to 200k rules and reports what commit-time costs: parse+install, the full
+// lowering (with the classifier-build share), the verifier, and the shape
+// of the tuple-space classifier the compile produced.
+void RunScale() {
+  Caption("Rule generation at scale: commit-time costs, 1218 -> 200k rules");
+  std::printf("%8s %12s %12s %14s %12s %10s %10s\n", "Rules", "install ms",
+              "compile ms", "classifier ms", "verify ms", "tuples", "max slice");
+  for (int count : {1218, 10000, 50000, 100000, 200000}) {
+    System sys;
+    Stopwatch sw;
+    sw.Start();
+    sys.InstallRules(SyntheticRuleBase(count));
+    const double install_us = sw.ElapsedUs();
+    sw.Start();
+    auto snap = sys.engine->CompileRuleset();
+    const double compile_us = sw.ElapsedUs();
+    const core::ClassifierStats cstats = core::ComputeClassifierStats(snap->program);
+    std::printf("%8d %12.1f %12.1f %14.1f %12.1f %10u %10u\n", count,
+                install_us / 1e3, compile_us / 1e3,
+                static_cast<double>(snap->program.classifier_build_ns) / 1e6,
+                static_cast<double>(snap->verify_ns) / 1e6, cstats.tuples,
+                cstats.max_slice);
+  }
+}
+
 }  // namespace
 }  // namespace pf::bench
 
 int main() {
   pf::bench::Run();
+  pf::bench::RunScale();
   return 0;
 }

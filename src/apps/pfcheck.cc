@@ -128,6 +128,12 @@ int main(int argc, char** argv) {
   const bool verified = compiled->verified;
   const double verify_us = static_cast<double>(compiled->verify_ns) / 1000.0;
 
+  // Tuple-space classifier shape of the same compile (DESIGN.md §5g): how
+  // the rule base partitions into hash-probed tuples vs the always-scanned
+  // residual, and the longest candidate slice a single Authorize can see.
+  const pf::core::ClassifierStats cstats =
+      pf::core::ComputeClassifierStats(compiled->program);
+
   if (json) {
     std::ostringstream out;
     out << "{\"pfcheck\": {\"rules\": " << rules
@@ -136,6 +142,10 @@ int main(int argc, char** argv) {
         << ", \"verified\": " << (verified ? "true" : "false")
         << ", \"verify_us\": " << verify_us
         << ", \"verifier\": " << compiled->verify_report.RenderJson()
+        << ", \"classifier\": {\"tables\": " << cstats.tables
+        << ", \"tuples\": " << cstats.tuples
+        << ", \"max_slice\": " << cstats.max_slice
+        << ", \"residual_rules\": " << cstats.residual_rules << "}"
         << ", \"errors\": " << report.errors()
         << ", \"warnings\": " << report.warnings()
         << ", \"diagnostics\": " << report.RenderJson() << "}}\n";
@@ -149,9 +159,10 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "pfcheck: %zu rule(s) in %zu chain(s): %zu error(s), %zu warning(s) [%.1f us], "
-        "program %s [%.1f us]\n",
+        "program %s [%.1f us], classifier tables=%u tuples=%u max_slice=%u residual=%u\n",
         rules, nchains, report.errors(), report.warnings(), analysis_us,
-        verified ? "verified" : "REJECTED by verifier", verify_us);
+        verified ? "verified" : "REJECTED by verifier", verify_us, cstats.tables,
+        cstats.tuples, cstats.max_slice, cstats.residual_rules);
   }
   return report.HasErrors() || !verified ? 1 : 0;
 }

@@ -1,6 +1,8 @@
 #include "src/core/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <set>
 
 #include "src/core/verify.h"
 #include "src/sim/task.h"
@@ -127,61 +129,63 @@ const CompiledChain* CompiledRuleset::FindCompiled(const std::string& chain) con
   return it == compiled.end() ? nullptr : &it->second;
 }
 
-std::shared_ptr<CompiledRuleset> Engine::CompileRuleset() const {
-  auto snap = std::make_shared<CompiledRuleset>();
-  snap->rules = ruleset_;  // shares the Rule objects, copies chain structure
-  snap->input = snap->rules.filter().Find("input");
-  snap->output = snap->rules.filter().Find("output");
-  snap->create = snap->rules.filter().Find("create");
-  snap->syscallbegin = snap->rules.filter().Find("syscallbegin");
+namespace {
 
-  // --- commit-time compilation ---
-  // Pass 1: per-(chain, op) dispatch buckets with each bucket's own rules'
-  // context-mask union and purity.
-  Table& filter = snap->rules.filter();
-  for (auto& [name, chain] : filter.chains()) {
-    CompiledChain& cc = snap->compiled[&chain];
-    cc.chain = &chain;
-    for (size_t op = 0; op < sim::kOpCount; ++op) {
-      OpBucket& b = cc.ops[op];
-      for (const auto& rule : chain.rules()) {
-        if (rule->op && static_cast<size_t>(*rule->op) != op) {
-          continue;  // the op precheck can never pass; drop at compile time
-        }
-        b.all.push_back(rule.get());
-        b.needs |= rule->needs;
-        b.cacheable = b.cacheable && rule->CacheableByKey();
-        if (chain.index_built() && rule->IndexableByEntrypoint()) {
-          b.has_indexed = true;
-        } else {
-          b.plain.push_back(rule.get());
-        }
+// Pass 1 for one chain: per-(chain, op) dispatch buckets with each bucket's
+// own rules' context-mask union and purity, plus the distinct JUMP targets
+// the closure pass iterates. Shared by the full and the incremental compile
+// (which recomputes only dirty chains and copies the rest).
+void BuildChainBuckets(const Chain& chain, CompiledChain& cc) {
+  cc.op_mask = 0;
+  for (size_t op = 0; op < sim::kOpCount; ++op) {
+    OpBucket& b = cc.ops[op];
+    b = OpBucket{};
+    for (const auto& rule : chain.rules()) {
+      if (rule->op && static_cast<size_t>(*rule->op) != op) {
+        continue;  // the op precheck can never pass; drop at compile time
       }
-      if (!b.all.empty()) {
-        cc.op_mask |= 1ull << op;
+      b.all.push_back(rule.get());
+      b.needs |= rule->needs;
+      b.cacheable = b.cacheable && rule->CacheableByKey();
+      if (chain.index_built() && rule->IndexableByEntrypoint()) {
+        b.has_indexed = true;
+      } else {
+        b.plain.push_back(rule.get());
+      }
+      const std::string& jump = rule->target->jump_chain();
+      if (!jump.empty()) {
+        b.jump_targets.push_back(jump);
       }
     }
+    std::sort(b.jump_targets.begin(), b.jump_targets.end());
+    b.jump_targets.erase(std::unique(b.jump_targets.begin(), b.jump_targets.end()),
+                         b.jump_targets.end());
+    b.base_needs = b.needs;
+    b.base_cacheable = b.cacheable;
+    if (!b.all.empty()) {
+      cc.op_mask |= 1ull << op;
+    }
   }
-  // Pass 2: close needs/cacheable over JUMP edges to a monotone fixpoint.
-  // Iteration (rather than DFS memoization) keeps mutually-recursive chains
-  // correct: a bucket's final value folds every reachable rule, exactly the
-  // set the depth-limited runtime can evaluate.
+}
+
+// Pass 2: close needs/cacheable over JUMP edges to a monotone fixpoint.
+// Iteration (rather than DFS memoization) keeps mutually-recursive chains
+// correct: a bucket's final value folds every reachable rule, exactly the
+// set the depth-limited runtime can evaluate. The deduplicated edge lists
+// make one round O(edges), not O(rules).
+void CloseBucketPurity(Table& filter, std::map<const Chain*, CompiledChain>& compiled) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (auto& [chain_ptr, cc] : snap->compiled) {
+    for (auto& [chain_ptr, cc] : compiled) {
       for (size_t op = 0; op < sim::kOpCount; ++op) {
         OpBucket& b = cc.ops[op];
-        for (const Rule* rule : b.all) {
-          const std::string& jump = rule->target->jump_chain();
-          if (jump.empty()) {
-            continue;
-          }
+        for (const std::string& jump : b.jump_targets) {
           const Chain* next = filter.Find(jump);
           if (next == nullptr) {
             continue;
           }
-          const OpBucket& nb = snap->compiled[next].ops[op];
+          const OpBucket& nb = compiled[next].ops[op];
           CtxMask needs = b.needs | nb.needs;
           bool cacheable = b.cacheable && nb.cacheable;
           if (needs != b.needs || cacheable != b.cacheable) {
@@ -193,6 +197,28 @@ std::shared_ptr<CompiledRuleset> Engine::CompileRuleset() const {
       }
     }
   }
+}
+
+}  // namespace
+
+std::shared_ptr<CompiledRuleset> Engine::CompileRuleset() const {
+  auto snap = std::make_shared<CompiledRuleset>();
+  snap->rules = ruleset_;  // shares the Rule objects, copies chain structure
+  snap->input = snap->rules.filter().Find("input");
+  snap->output = snap->rules.filter().Find("output");
+  snap->create = snap->rules.filter().Find("create");
+  snap->syscallbegin = snap->rules.filter().Find("syscallbegin");
+
+  // --- commit-time compilation ---
+  // Pass 1: per-(chain, op) dispatch buckets.
+  Table& filter = snap->rules.filter();
+  for (auto& [name, chain] : filter.chains()) {
+    CompiledChain& cc = snap->compiled[&chain];
+    cc.chain = &chain;
+    BuildChainBuckets(chain, cc);
+  }
+  // Pass 2: transitive closure over JUMP edges.
+  CloseBucketPurity(filter, snap->compiled);
   snap->cc_input = snap->FindCompiled("input");
   snap->cc_output = snap->FindCompiled("output");
   snap->cc_create = snap->FindCompiled("create");
@@ -216,8 +242,138 @@ std::shared_ptr<CompiledRuleset> Engine::CompileRuleset() const {
   return snap;
 }
 
+bool Engine::CanDeltaCompile(const CompiledRuleset& prev,
+                             std::vector<std::string>* dirty) const {
+  if (!config_.incremental_commits) {
+    return false;
+  }
+  // Delta verification assumes the base program's untouched prefix was
+  // proven when it published; never build on an unverified base.
+  if (config_.verify_programs && !prev.verified) {
+    return false;
+  }
+  // Compaction threshold: once half the arena is dead, relower from scratch
+  // (bounds memory to 2x the live program across any edit history).
+  const PfProgram& pp = prev.program;
+  if (pp.dead_arena_words * 2 > pp.arena.size()) {
+    return false;
+  }
+  // Chain ids are positional: any change to the chain-name set reshuffles
+  // them, so only same-set edits take the delta path.
+  const auto& staged = ruleset_.filter().chains();
+  const auto& base = prev.rules.filter().chains();
+  if (staged.size() != base.size()) {
+    return false;
+  }
+  auto bit = base.begin();
+  for (const auto& [name, chain] : staged) {
+    if (bit->first != name) {
+      return false;
+    }
+    // edit_seq covers rule-list and policy mutations; index_built is derived
+    // state (pftables reindexes per command) and is compared separately.
+    if (chain.edit_seq() != bit->second.edit_seq() ||
+        chain.index_built() != bit->second.index_built()) {
+      dirty->push_back(name);
+    }
+    ++bit;
+  }
+  return true;
+}
+
+std::shared_ptr<CompiledRuleset> Engine::CompileRulesetDelta(
+    const CompiledRuleset& prev, const std::vector<std::string>& dirty) const {
+  // Recycle the retired generation's allocations when nothing still pins it:
+  // the copy-assignments below then reuse its vector pages and its map/chain
+  // nodes (libstdc++ recycles nodes on container copy-assignment) instead of
+  // faulting in a fresh ~40MB working set per commit. The compiled map and
+  // derived pointers are keyed by the previous generation's chain addresses,
+  // so they are cleared rather than reused.
+  std::shared_ptr<CompiledRuleset> snap;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    if (retired_ && retired_.use_count() == 1) {
+      snap = std::const_pointer_cast<CompiledRuleset>(retired_);
+      retired_.reset();
+    }
+  }
+  if (snap == nullptr) {
+    snap = std::make_shared<CompiledRuleset>();
+  } else {
+    snap->compiled.clear();
+    snap->verify_report = analysis::AnalysisReport();
+    snap->verified = false;
+    snap->verify_ns = 0;
+  }
+  snap->rules = ruleset_;
+  snap->input = snap->rules.filter().Find("input");
+  snap->output = snap->rules.filter().Find("output");
+  snap->create = snap->rules.filter().Find("create");
+  snap->syscallbegin = snap->rules.filter().Find("syscallbegin");
+
+  Table& filter = snap->rules.filter();
+  std::set<std::string> dirty_set(dirty.begin(), dirty.end());
+  // Pass 1: recompute buckets for dirty chains; copy the clean chains' from
+  // the base generation. Rule objects are shared between generations, so a
+  // copied bucket's pointer lists stay valid; needs/cacheable reset to their
+  // chain-local base values because the closure (whose inputs may include a
+  // dirty chain) reruns from scratch.
+  for (auto& [name, chain] : filter.chains()) {
+    CompiledChain& cc = snap->compiled[&chain];
+    if (dirty_set.count(name) == 0) {
+      cc = prev.compiled.at(prev.rules.filter().Find(name));
+      cc.chain = &chain;
+      for (size_t op = 0; op < sim::kOpCount; ++op) {
+        cc.ops[op].needs = cc.ops[op].base_needs;
+        cc.ops[op].cacheable = cc.ops[op].base_cacheable;
+      }
+    } else {
+      cc.chain = &chain;
+      BuildChainBuckets(chain, cc);
+    }
+  }
+  CloseBucketPurity(filter, snap->compiled);
+  snap->cc_input = snap->FindCompiled("input");
+  snap->cc_output = snap->FindCompiled("output");
+  snap->cc_create = snap->FindCompiled("create");
+  snap->cc_syscallbegin = snap->FindCompiled("syscallbegin");
+  // Pass 3: splice — copy the base program, kill the dirty chains' records,
+  // append their relowered bodies and tables (compile.cc).
+  LowerProgramDelta(*snap, prev.program, dirty);
+  // Pass 4: delta verification. The untouched prefix was proven when the
+  // base generation published and the splice never rewrites it (dead
+  // marking only clears RuleRecord::rule), so the verifier re-checks the
+  // appended records, the rebuilt chains' dispatch tables, and the global
+  // properties (arena alignment, jump-depth proof) that span generations.
+  if (config_.verify_programs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    VerifyOptions opts;
+    opts.delta = true;
+    opts.from_record = static_cast<uint32_t>(prev.program.rules.size());
+    for (const std::string& name : dirty_set) {
+      opts.recheck_chains.push_back(snap->program.chain_ids.at(name));
+    }
+    VerifyResult vr = VerifyProgram(snap->program, opts);
+    snap->verify_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    snap->verified = vr.ok();
+    snap->verify_report = std::move(vr.report);
+  }
+  return snap;
+}
+
 Status Engine::CommitRuleset() {
-  std::shared_ptr<CompiledRuleset> snap = CompileRuleset();
+  std::shared_ptr<const CompiledRuleset> prev;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    prev = published_;
+  }
+  std::vector<std::string> dirty;
+  const bool delta = prev != nullptr && CanDeltaCompile(*prev, &dirty);
+  std::shared_ptr<CompiledRuleset> snap =
+      delta ? CompileRulesetDelta(*prev, dirty) : CompileRuleset();
   if (config_.verify_programs && !snap->verified) {
     // Abort the publish: hook evaluation keeps serving the previous
     // generation, exactly as if the commit never happened. (The staging
@@ -229,9 +385,13 @@ Status Engine::CommitRuleset() {
   {
     std::lock_guard<std::mutex> lock(commit_mu_);
     snap->generation = generation_.load(kRelaxed) + 1;
+    // Keep the generation being unpublished for allocation recycling (see
+    // retired_). The generation it displaces is freed here if unpinned.
+    retired_ = std::move(published_);
     published_ = std::move(snap);
     generation_.store(published_->generation, std::memory_order_release);
   }
+  (delta ? delta_commits_ : full_commits_).fetch_add(1, kRelaxed);
   // Entries of dead generations are unreachable by key; clear them out so
   // frequent commits do not pin stale verdicts in memory.
   vcache_.Clear();
@@ -849,6 +1009,12 @@ Engine::Verdict Engine::ExecRule(const CompiledRuleset& rs, const RuleRecord& re
 
 Engine::Verdict Engine::ExecEntries(const CompiledRuleset& rs, uint32_t off, uint32_t len,
                                     bool op_checked, Packet& pkt, int depth) {
+  return ExecEntryList(rs, rs.program.entries.data() + off, len, op_checked, pkt, depth);
+}
+
+Engine::Verdict Engine::ExecEntryList(const CompiledRuleset& rs, const uint32_t* recs,
+                                      uint32_t len, bool op_checked, Packet& pkt,
+                                      int depth) {
   const PfProgram& prog = rs.program;
   DecisionScratch* ds = nullptr;
   if constexpr (trace::kTraceCompiledIn) {
@@ -862,7 +1028,7 @@ Engine::Verdict Engine::ExecEntries(const CompiledRuleset& rs, uint32_t off, uin
   uint32_t evals = 0;
   const auto flush = [&] { sb.rules_evaluated.fetch_add(evals, kRelaxed); };
   for (uint32_t i = 0; i < len; ++i) {
-    const RuleRecord& rec = prog.rules[prog.entries[off + i]];
+    const RuleRecord& rec = prog.rules[recs[i]];
     ++evals;
     rec.rule->evals.fetch_add(1, kRelaxed);
     // Bucket lists are op-filtered at compile time, so the kCheckOp guard is
@@ -913,23 +1079,127 @@ Engine::Verdict Engine::ExecEntries(const CompiledRuleset& rs, uint32_t off, uin
   return Verdict::kFallthrough;
 }
 
+// Tuple-space dispatch (program.h): resolve the contexts the bucket's
+// dimension masks key on, probe one hash table per mask, and merge the few
+// surviving slices back into chain order for the shared evaluation loop.
+// Soundness: a rule sits in a tuple only when a key mismatch guarantees its
+// own guards would fail, and tables whose dimensions are unresolvable (no
+// valid entrypoint frame, no object) hold only rules whose guards fail for
+// that very reason — so skipping them changes no verdict, side effect, or
+// per-rule hit counter; eval counters drop exactly for rules a scan would
+// have rejected.
+Engine::Verdict Engine::ExecChainTuple(const CompiledRuleset& rs,
+                                       const ProgramBucket& bucket, Packet& pkt,
+                                       int depth) {
+  const PfProgram& prog = rs.program;
+  if ((bucket.tuple_dims & kTupleDimEpt) != 0) {
+    EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
+  }
+  if ((bucket.tuple_dims & (kTupleDimObject | kTupleDimIno)) != 0) {
+    EnsureContext(pkt, CtxBit(Ctx::kObject));
+  }
+  TupleKey probe;
+  probe.subject = pkt.req->task->cred.sid;
+  if (pkt.entrypoint_valid) {
+    probe.ept_dev = pkt.entrypoint.image.dev;
+    probe.ept_ino = pkt.entrypoint.image.ino;
+    probe.ept_off = pkt.entrypoint.offset;
+  }
+  if (pkt.has_object) {
+    probe.object = pkt.object_sid;
+    probe.ino = pkt.object_id.ino;
+  }
+  struct ActiveSlice {
+    const uint32_t* cur;
+    const uint32_t* end;
+  };
+  ActiveSlice act[kTupleMaskLimit + 1];
+  uint32_t nact = 0;
+  uint32_t total = 0;
+  const auto push = [&](uint32_t off, uint32_t len) {
+    if (len != 0) {
+      act[nact].cur = prog.entries.data() + off;
+      act[nact].end = act[nact].cur + len;
+      ++nact;
+      total += len;
+    }
+  };
+  push(bucket.residual_off, bucket.residual_len);
+  for (uint32_t t = 0; t < bucket.tuple_cnt; ++t) {
+    const TupleTable& table = prog.tuple_tables[bucket.tuple_off + t];
+    if ((table.mask & kTupleDimEpt) != 0 && !pkt.entrypoint_valid) {
+      continue;
+    }
+    if ((table.mask & (kTupleDimObject | kTupleDimIno)) != 0 && !pkt.has_object) {
+      continue;
+    }
+    uint32_t idx =
+        static_cast<uint32_t>(TupleKeyHash(table.mask, probe)) & (table.slot_count - 1);
+    for (;;) {
+      const TupleSlot& slot = prog.tuple_slots[table.slot_off + idx];
+      if (slot.len == 0) {
+        break;  // empty slot: no tuple with this key
+      }
+      if (TupleKeyEq(table.mask, slot.key, probe)) {
+        push(slot.off, slot.len);
+        break;
+      }
+      idx = (idx + 1) & (table.slot_count - 1);
+    }
+  }
+  if (nact == 0) {
+    return Verdict::kFallthrough;
+  }
+  if (nact == 1) {
+    // One surviving slice: run it in place, no merge buffer.
+    return ExecEntryList(rs, act[0].cur, static_cast<uint32_t>(act[0].end - act[0].cur),
+                         /*op_checked=*/true, pkt, depth);
+  }
+  // K-way merge by ascending record index == chain order (records of one
+  // chain are lowered in chain order, and the slices are disjoint).
+  uint32_t stack_buf[128];
+  std::vector<uint32_t> heap_buf;
+  uint32_t* merged = stack_buf;
+  if (total > 128) {
+    heap_buf.resize(total);
+    merged = heap_buf.data();
+  }
+  uint32_t n = 0;
+  while (nact > 0) {
+    uint32_t best = 0;
+    for (uint32_t i = 1; i < nact; ++i) {
+      if (*act[i].cur < *act[best].cur) {
+        best = i;
+      }
+    }
+    merged[n++] = *act[best].cur;
+    if (++act[best].cur == act[best].end) {
+      act[best] = act[--nact];
+    }
+  }
+  return ExecEntryList(rs, merged, n, /*op_checked=*/true, pkt, depth);
+}
+
 Engine::Verdict Engine::ExecChain(const CompiledRuleset& rs, const ProgramChain& pc,
                                   Packet& pkt, int depth) {
   if (depth >= kMaxChainDepth) {
     return Verdict::kFallthrough;
   }
   const ProgramBucket& bucket = pc.ops[static_cast<size_t>(pkt.req->op)];
+  if (config_.tuple_dispatch && bucket.has_classifier) {
+    return ExecChainTuple(rs, bucket, pkt, depth);
+  }
   if (config_.ept_chains && pc.index_built) {
     Verdict v = ExecEntries(rs, bucket.plain_off, bucket.plain_len,
                             /*op_checked=*/true, pkt, depth);
     if (v != Verdict::kFallthrough) {
       return v;
     }
-    if (bucket.has_indexed) {
+    if (bucket.has_indexed && pc.ept) {
       EnsureContext(pkt, CtxBit(Ctx::kEntrypoint));
       if (pkt.entrypoint_valid) {
-        auto it = pc.ept.find(EptKey{pkt.entrypoint.image, pkt.entrypoint.offset});
-        if (it != pc.ept.end()) {
+        auto it = pc.ept->find(EptKey{pkt.entrypoint.image, pkt.entrypoint.offset});
+        if (it != pc.ept->end()) {
           StatsLocal().ept_chain_hits.fetch_add(1, kRelaxed);
           return ExecEntries(rs, it->second.first, it->second.second,
                              /*op_checked=*/false, pkt, depth);

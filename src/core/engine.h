@@ -94,6 +94,23 @@ struct EngineConfig {
   // switch loop runs) when the build lacks computed goto — non-GNU
   // compilers, or -DPF_THREADED_DISPATCH=OFF at configure time.
   bool threaded_eval = true;
+  // Dispatch Authorize through the tuple-space classifier (program.h): probe
+  // one hash table per distinct exact-match dimension mask and evaluate only
+  // the rules whose pinned key matches the request (plus the residual rules
+  // with no exact dimension), merged back into chain order. Skipped rules
+  // could only have failed their own guards, so verdicts, side effects, and
+  // per-rule hit counters are bit-identical to the scan path (TUPLE ablation
+  // rung); per-rule eval counters only drop for rules a scan would have
+  // rejected. Off by default: the scan path is the correctness oracle, the
+  // classifier is the 100k-rule scaling path (benches and the ablation rung
+  // turn it on).
+  bool tuple_dispatch = false;
+  // Incremental CommitRuleset: when the staging edit touched only some
+  // chains (per-chain edit sequences), copy the published program and
+  // re-lower just the dirty chains instead of relowering everything. The
+  // delta program is bit-equivalent to a from-scratch relower (churn test)
+  // and is still verifier-gated before publication.
+  bool incremental_commits = true;
   // Run the load-time PfInsn verifier (src/core/verify.h) as a mandatory
   // pass of CompileRuleset. A program with verification errors refuses to
   // publish: CommitRuleset returns the report as a Status error and the live
@@ -229,6 +246,13 @@ struct OpBucket {
   CtxMask needs = 0;
   bool cacheable = true;
   bool has_indexed = false;  // some entrypoint-indexed rule can match the op
+  // Pre-closure (chain-local) values of needs/cacheable plus the distinct
+  // JUMP targets, captured in pass 1. The transitive-closure fixpoint (pass
+  // 2) iterates these edges instead of every rule, and an incremental commit
+  // resets a copied bucket to the base values before re-running the closure.
+  CtxMask base_needs = 0;
+  bool base_cacheable = true;
+  std::vector<std::string> jump_targets;
 };
 
 // A chain plus its per-op dispatch table. `op_mask` bit i is set when
@@ -414,9 +438,36 @@ class Engine : public sim::SecurityModule {
   // exactly the structures hook evaluation would, including uncommitted
   // staging edits, with no effect on the live generation.
   std::shared_ptr<CompiledRuleset> CompileRuleset() const;
+
+  // Incremental twin of CompileRuleset: copies `prev`'s program and
+  // recompiles only the chains named in `dirty` (see EngineConfig::
+  // incremental_commits). Requires the staging chain-name set to equal
+  // prev's; CommitRuleset checks that via CanDeltaCompile.
+  std::shared_ptr<CompiledRuleset> CompileRulesetDelta(
+      const CompiledRuleset& prev, const std::vector<std::string>& dirty) const;
+
+  // True when an incremental recompile against `prev` is sound; fills
+  // `dirty` with the names of the chains whose edit sequence (or derived
+  // index state) diverged from the published copy.
+  bool CanDeltaCompile(const CompiledRuleset& prev,
+                       std::vector<std::string>* dirty) const;
+
+  // The currently published generation (nullptr before the first commit
+  // completes — the constructor commits generation 1, so users always see a
+  // snapshot). Tests and tools use this to inspect the delta-built program
+  // that hooks actually execute; the hot path pins via worker slots instead.
+  std::shared_ptr<const CompiledRuleset> PublishedRuleset() const {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    return published_;
+  }
+
   uint64_t ruleset_generation() const {
     return generation_.load(std::memory_order_acquire);
   }
+  // Commit-path split: how many publications went through the incremental
+  // delta path vs a from-scratch relower (includes the compaction fallback).
+  uint64_t delta_commits() const { return delta_commits_.load(std::memory_order_relaxed); }
+  uint64_t full_commits() const { return full_commits_.load(std::memory_order_relaxed); }
 
   // Per-task state, created on demand in the shard table.
   PfTaskState& TaskState(sim::Task& task);
@@ -459,6 +510,17 @@ class Engine : public sim::SecurityModule {
   // entrypoint index's lists are not op-filtered and keep the guard.
   Verdict ExecEntries(const CompiledRuleset& rs, uint32_t off, uint32_t len,
                       bool op_checked, Packet& pkt, int depth);
+  // The same evaluation loop over an arbitrary rule-record index list (the
+  // tuple probe's merge buffer); ExecEntries forwards into it. Accounting is
+  // shared, so classifier-reached rules bump eval/hit counters exactly as a
+  // scan does.
+  Verdict ExecEntryList(const CompiledRuleset& rs, const uint32_t* recs, uint32_t len,
+                        bool op_checked, Packet& pkt, int depth);
+  // Tuple-space dispatch for one (chain, op) bucket (EngineConfig::
+  // tuple_dispatch): probe the bucket's per-mask hash tables, merge the
+  // surviving slices back into chain order, and run the shared loop.
+  Verdict ExecChainTuple(const CompiledRuleset& rs, const ProgramBucket& bucket,
+                         Packet& pkt, int depth);
   // ExecRule picks a dispatch strategy per EngineConfig::threaded_eval. The
   // two strategies are expansions of the same handler bodies
   // (src/core/exec_insn.inc): ExecRuleSwitch is the portable switch loop,
@@ -495,9 +557,18 @@ class Engine : public sim::SecurityModule {
     std::shared_ptr<const CompiledRuleset> snap;
     uint64_t generation = ~0ull;
   };
-  mutable std::mutex commit_mu_;  // guards published_ swaps
+  mutable std::mutex commit_mu_;  // guards published_/retired_ swaps
   std::shared_ptr<const CompiledRuleset> published_;
+  // The generation most recently unpublished, kept so the next incremental
+  // compile can recycle its allocations: when no reader still pins it
+  // (use_count == 1), CompileRulesetDelta steals its containers and
+  // copy-assigns the new generation into them — warm pages and reusable
+  // map nodes instead of ~40MB of fresh allocations per one-rule commit at
+  // 100k-rule scale. Never handed out; only swapped under commit_mu_.
+  mutable std::shared_ptr<const CompiledRuleset> retired_;
   std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> delta_commits_{0};
+  std::atomic<uint64_t> full_commits_{0};
   std::array<WorkerSlot, kMaxWorkers> workers_;
 
   // Per-worker stats blocks (indices wrap; see EngineStatsBlock).

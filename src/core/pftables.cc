@@ -299,9 +299,46 @@ Status Pftables::ParseRule(const std::vector<std::string>& tokens, size_t from, 
 }
 
 void Pftables::ReindexAll(Table& table) {
+  // Every mutation invalidates only its own chain's index, so rebuilding the
+  // already-built ones would be pure waste — at a 100k-rule base the skip is
+  // what keeps a one-rule edit from paying an O(total rules) reindex.
   for (auto& [name, chain] : table.chains()) {
-    chain.BuildIndex();
+    if (!chain.index_built()) {
+      chain.BuildIndex();
+    }
   }
+}
+
+void Pftables::Reindex(Table& table) {
+  if (batching_) {
+    batch_dirty_ = true;
+    return;
+  }
+  ReindexAll(table);
+}
+
+Status Pftables::CommitStaged() {
+  if (batching_) {
+    batch_dirty_ = true;
+    return Status::Ok();
+  }
+  if (Status cs = engine_->CommitRuleset(); !cs.ok()) {
+    return Status::Error("commit rejected: " + cs.message());
+  }
+  return Status::Ok();
+}
+
+Status Pftables::FlushBatch() {
+  if (!batch_dirty_) {
+    return Status::Ok();
+  }
+  batch_dirty_ = false;
+  ReindexAll(engine_->ruleset().filter());
+  ReindexAll(engine_->ruleset().mangle());
+  if (Status cs = engine_->CommitRuleset(); !cs.ok()) {
+    return Status::Error("commit rejected: " + cs.message());
+  }
+  return Status::Ok();
 }
 
 Status Pftables::Exec(const std::string& command) {
@@ -410,7 +447,7 @@ Status Pftables::Exec(const std::string& command) {
       } else {
         return Status::Error("no such chain: " + chain_name);
       }
-      ReindexAll(*table);
+      Reindex(*table);
       need_commit = true;
       break;
     }
@@ -450,7 +487,7 @@ Status Pftables::Exec(const std::string& command) {
       if (position == 0 || !chain->Delete(position - 1)) {
         return Status::Error("no rule at position");
       }
-      ReindexAll(*table);
+      Reindex(*table);
       need_commit = true;
       break;
     }
@@ -467,7 +504,7 @@ Status Pftables::Exec(const std::string& command) {
       } else {
         chain.Append(std::move(rule));
       }
-      ReindexAll(*table);
+      Reindex(*table);
       need_commit = true;
       break;
     }
@@ -485,9 +522,17 @@ Status Pftables::Exec(const std::string& command) {
     if (!last_check_.empty()) {
       std::fputs(("pftables --check:\n" + last_check_.RenderText()).c_str(), stderr);
     }
+    // Shape of the tuple-space classifier the gated compile produced — the
+    // operator-facing view of how much of the base Authorize can skip.
+    const ClassifierStats cstats =
+        ComputeClassifierStats(engine_->CompileRuleset()->program);
+    std::fprintf(stderr,
+                 "pftables --check: classifier tables=%u tuples=%u max_slice=%u "
+                 "residual=%u\n",
+                 cstats.tables, cstats.tuples, cstats.max_slice, cstats.residual_rules);
   }
   if (need_commit) {
-    if (Status cs = engine_->CommitRuleset(); !cs.ok()) {
+    if (Status cs = CommitStaged(); !cs.ok()) {
       // The load-time verifier vetoed the compiled program: the published
       // generation is untouched (CommitRuleset never swaps on error). Roll
       // the staged edit back too when --check armed a backup; without one
@@ -496,19 +541,42 @@ Status Pftables::Exec(const std::string& command) {
         engine_->ruleset() = std::move(*backup);
         ReindexAll(engine_->ruleset().filter());
       }
-      return Status::Error("commit rejected: " + cs.message());
+      return cs;
     }
   }
   return Status::Ok();
 }
 
 Status Pftables::ExecAll(const std::vector<std::string>& commands) {
+  batching_ = true;
+  Status result = Status::Ok();
   for (const std::string& cmd : commands) {
-    if (Status s = Exec(cmd); !s.ok()) {
-      return Status::Error(s.message() + " in: " + cmd);
+    Status s;
+    if (cmd.find("--check") != std::string::npos) {
+      // A --check line gates (and may roll back) the staged base, so every
+      // deferred edit must be reindexed and committed before it runs — and
+      // the line itself runs unbatched, keeping its gate-then-commit order.
+      batching_ = false;
+      s = FlushBatch();
+      if (s.ok()) {
+        s = Exec(cmd);
+      }
+      batching_ = true;
+    } else {
+      s = Exec(cmd);
+    }
+    if (!s.ok()) {
+      result = Status::Error(s.message() + " in: " + cmd);
+      break;
     }
   }
-  return Status::Ok();
+  batching_ = false;
+  // First error wins, but the lines that succeeded before it stay staged —
+  // flush so they are indexed and published exactly as with per-line Exec.
+  if (Status flush = FlushBatch(); !flush.ok() && result.ok()) {
+    result = flush;
+  }
+  return result;
 }
 
 namespace {

@@ -16,7 +16,8 @@ uint32_t ProgramBuilder::Emit(const PfInsn& insn) {
 }
 
 uint32_t ProgramBuilder::InternString(const std::string& s) {
-  auto [it, inserted] = string_ids_.try_emplace(s, static_cast<uint32_t>(prog_.strings.size()));
+  auto [it, inserted] =
+      prog_.intern_strings.try_emplace(s, static_cast<uint32_t>(prog_.strings.size()));
   if (inserted) {
     prog_.strings.push_back(s);
   }
@@ -33,7 +34,7 @@ uint32_t ProgramBuilder::InternLabelSet(const LabelSet& ls) {
     key << ',' << sid;
   }
   auto [it, inserted] =
-      labelset_ids_.try_emplace(key.str(), static_cast<uint32_t>(prog_.labelsets.size()));
+      prog_.intern_labelsets.try_emplace(key.str(), static_cast<uint32_t>(prog_.labelsets.size()));
   if (inserted) {
     LabelSetRef ref;
     ref.off = static_cast<uint32_t>(prog_.sid_pool.size());
@@ -60,6 +61,65 @@ uint32_t ProgramBuilder::AddNativeMatch(const MatchModule* m) {
 uint32_t ProgramBuilder::AddNativeTarget(const TargetModule* t) {
   prog_.native_targets.push_back(t);
   return static_cast<uint32_t>(prog_.native_targets.size() - 1);
+}
+
+// --- tuple-space classifier keys ---------------------------------------------
+
+uint64_t TupleKeyHash(uint8_t mask, const TupleKey& key) {
+  size_t h = std::hash<uint64_t>()(0x7f00u | mask);
+  if ((mask & kTupleDimSubject) != 0) {
+    h = HashCombine(h, std::hash<uint64_t>()(key.subject));
+  }
+  if ((mask & kTupleDimEpt) != 0) {
+    h = HashCombine(h, std::hash<uint64_t>()(key.ept_dev));
+    h = HashCombine(h, std::hash<uint64_t>()(key.ept_ino));
+    h = HashCombine(h, std::hash<uint64_t>()(key.ept_off));
+  }
+  if ((mask & kTupleDimObject) != 0) {
+    h = HashCombine(h, std::hash<uint64_t>()(key.object));
+  }
+  if ((mask & kTupleDimIno) != 0) {
+    h = HashCombine(h, std::hash<uint64_t>()(key.ino));
+  }
+  return h;
+}
+
+bool TupleKeyEq(uint8_t mask, const TupleKey& lhs, const TupleKey& rhs) {
+  if ((mask & kTupleDimSubject) != 0 && lhs.subject != rhs.subject) {
+    return false;
+  }
+  if ((mask & kTupleDimEpt) != 0 &&
+      (lhs.ept_dev != rhs.ept_dev || lhs.ept_ino != rhs.ept_ino ||
+       lhs.ept_off != rhs.ept_off)) {
+    return false;
+  }
+  if ((mask & kTupleDimObject) != 0 && lhs.object != rhs.object) {
+    return false;
+  }
+  return (mask & kTupleDimIno) == 0 || lhs.ino == rhs.ino;
+}
+
+ClassifierStats ComputeClassifierStats(const PfProgram& prog) {
+  ClassifierStats stats;
+  for (const ProgramChain& pc : prog.chains) {
+    for (const ProgramBucket& pb : pc.ops) {
+      if (!pb.has_classifier) {
+        continue;
+      }
+      stats.tables += pb.tuple_cnt;
+      stats.max_slice = std::max(stats.max_slice, pb.residual_len);
+      stats.residual_rules += pb.residual_len;
+      for (uint32_t t = 0; t < pb.tuple_cnt; ++t) {
+        const TupleTable& table = prog.tuple_tables[pb.tuple_off + t];
+        stats.tuples += table.used;
+        for (uint32_t s = 0; s < table.slot_count; ++s) {
+          stats.max_slice =
+              std::max(stats.max_slice, prog.tuple_slots[table.slot_off + s].len);
+        }
+      }
+    }
+  }
+  return stats;
 }
 
 // --- disassembler ------------------------------------------------------------
@@ -220,27 +280,117 @@ std::string RenderInsn(const PfProgram& prog, const RuleRecord& rec, const PfIns
   return oss.str();
 }
 
+// Live/referenced totals for the listing header. A delta-built program
+// carries dead records and pool entries superseded by later generations;
+// counting only what live rules reference keeps the listing byte-identical
+// to a from-scratch relower of the same rule base (for scratch programs the
+// referenced counts equal the raw pool sizes, since interning only happens
+// on behalf of emitted instructions).
+struct LiveCounts {
+  size_t rules = 0;
+  size_t insns = 0;
+  size_t arena_words = 0;
+  size_t strings = 0;
+  size_t labelsets = 0;
+  size_t sids = 0;
+  size_t operands = 0;
+  size_t native_matches = 0;
+  size_t native_targets = 0;
+};
+
+LiveCounts CountLive(const PfProgram& prog) {
+  LiveCounts lc;
+  std::vector<uint8_t> str_seen(prog.strings.size(), 0);
+  std::vector<uint8_t> ls_seen(prog.labelsets.size(), 0);
+  auto touch_str = [&](uint32_t idx) {
+    if (idx < str_seen.size() && str_seen[idx] == 0) {
+      str_seen[idx] = 1;
+      ++lc.strings;
+    }
+  };
+  auto touch_ls = [&](uint32_t idx) {
+    if (idx < ls_seen.size() && ls_seen[idx] == 0) {
+      ls_seen[idx] = 1;
+      ++lc.labelsets;
+      lc.sids += prog.labelsets[idx].len;
+    }
+  };
+  for (const RuleRecord& rec : prog.rules) {
+    if (rec.rule == nullptr) {
+      continue;  // dead record (superseded by a delta commit)
+    }
+    ++lc.rules;
+    lc.arena_words += rec.end - rec.entry;
+    if (rec.jump_name != kPfNoIndex) {
+      touch_str(rec.jump_name);
+    }
+    for (uint32_t pc = rec.entry; pc < rec.end; pc += kPfInsnWords) {
+      ++lc.insns;
+      const PfInsn insn = prog.Fetch(pc);
+      switch (static_cast<PfOp>(insn.op)) {
+        case PfOp::kMatchSubject:
+        case PfOp::kMatchObject:
+          touch_ls(insn.a);
+          break;
+        case PfOp::kMatchState:
+        case PfOp::kMatchStateEq:
+        case PfOp::kMatchStateNe:
+          touch_str(insn.a);
+          if ((insn.flags & kPfHasCmp) != 0) {
+            ++lc.operands;  // operands are interned per use, never deduped
+          }
+          break;
+        case PfOp::kMatchCompare:
+        case PfOp::kMatchCompareEq:
+        case PfOp::kMatchCompareNe:
+          lc.operands += 2;
+          break;
+        case PfOp::kMatchInterp:
+        case PfOp::kStateUnset:
+        case PfOp::kLog:
+          touch_str(insn.a);
+          break;
+        case PfOp::kStateSet:
+          touch_str(insn.a);
+          ++lc.operands;
+          break;
+        case PfOp::kJump:
+          touch_str(static_cast<uint32_t>(insn.b));
+          break;
+        case PfOp::kMatchNative:
+          ++lc.native_matches;  // native pools are per-use, like operands
+          break;
+        case PfOp::kTargetNative:
+          ++lc.native_targets;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return lc;
+}
+
 }  // namespace
 
 std::string DisassemblePfProgram(const PfProgram& prog, const sim::LabelRegistry& labels) {
   std::ostringstream oss;
-  size_t insns = 0;
-  for (const RuleRecord& rec : prog.rules) {
-    insns += (rec.end - rec.entry) / kPfInsnWords;
-  }
-  oss << ";; pf program: chains=" << prog.chains.size() << " rules=" << prog.rules.size()
-      << " insns=" << insns << " arena_words=" << prog.arena.size() << "\n";
-  oss << ";; pools: strings=" << prog.strings.size()
-      << " labelsets=" << prog.labelsets.size() << " sids=" << prog.sid_pool.size()
-      << " operands=" << prog.operands.size()
-      << " native_matches=" << prog.native_matches.size()
-      << " native_targets=" << prog.native_targets.size() << "\n";
+  const LiveCounts lc = CountLive(prog);
+  oss << ";; pf program: chains=" << prog.chains.size() << " rules=" << lc.rules
+      << " insns=" << lc.insns << " arena_words=" << lc.arena_words << "\n";
+  oss << ";; pools: strings=" << lc.strings << " labelsets=" << lc.labelsets
+      << " sids=" << lc.sids << " operands=" << lc.operands
+      << " native_matches=" << lc.native_matches
+      << " native_targets=" << lc.native_targets << "\n";
+  const ClassifierStats cs = ComputeClassifierStats(prog);
+  oss << ";; classifier: tables=" << cs.tables << " tuples=" << cs.tuples
+      << " max_slice=" << cs.max_slice << " residual=" << cs.residual_rules << "\n";
   for (const ProgramChain& chain : prog.chains) {
     oss << "chain " << chain.name << " (" << (chain.builtin ? "builtin" : "user")
         << ", policy " << (chain.policy_drop ? "DROP" : "ACCEPT") << ", "
         << chain.rules.size() << " rules";
-    if (chain.index_built && !chain.ept.empty()) {
-      oss << ", ept-indexed " << chain.ept.size() << " entrypoints";
+    if (chain.index_built && chain.ept && !chain.ept->empty()) {
+      oss << ", ept-indexed " << chain.ept->size() << " entrypoints";
     }
     oss << ")\n";
     if (chain.op_mask != 0) {
@@ -268,9 +418,9 @@ std::string DisassemblePfProgram(const PfProgram& prog, const sim::LabelRegistry
     }
     // Entrypoint index, in deterministic (dev, ino, offset) order. Rule
     // lists render as chain positions, not record indices.
-    if (chain.index_built && !chain.ept.empty()) {
-      std::vector<std::pair<EptKey, std::pair<uint32_t, uint32_t>>> keys(chain.ept.begin(),
-                                                                         chain.ept.end());
+    if (chain.index_built && chain.ept && !chain.ept->empty()) {
+      std::vector<std::pair<EptKey, std::pair<uint32_t, uint32_t>>> keys(chain.ept->begin(),
+                                                                         chain.ept->end());
       std::sort(keys.begin(), keys.end(), [](const auto& x, const auto& y) {
         if (x.first.file.dev != y.first.file.dev) {
           return x.first.file.dev < y.first.file.dev;

@@ -149,6 +149,56 @@ struct RuleRecord {
   const Rule* rule = nullptr;
 };
 
+// Tuple-space classifier (DESIGN.md §5g). At lowering time every rule in a
+// per-(chain,op) bucket is assigned the set of *exact-match* dimensions its
+// guards pin to a single value: a one-sid positive subject set, a resolved
+// entrypoint (-p + -i), a one-sid positive object set, an --ino. Rules that
+// share a dimension mask are grouped by their key values into tuples —
+// contiguous, chain-ordered slices of the entries table — and each mask gets
+// an open-addressed hash table from key to slice. Authorize then probes one
+// table per distinct mask (a handful) instead of scanning the bucket, and
+// merges the few surviving slices back into chain order; a rule whose exact
+// key differs from the request's could only have failed its guards, so
+// skipping it is verdict- and counter-invariant.
+inline constexpr uint8_t kTupleDimSubject = 1u << 0;  // -s, single positive sid
+inline constexpr uint8_t kTupleDimEpt = 1u << 1;      // -p + -i (entrypoint)
+inline constexpr uint8_t kTupleDimObject = 1u << 2;   // -d, single positive sid
+inline constexpr uint8_t kTupleDimIno = 1u << 3;      // --ino
+// Distinct non-empty dimension masks; bounds the per-probe table count and
+// the merge fan-in.
+inline constexpr uint32_t kTupleMaskLimit = 15;
+
+// Full-width key: only the dimensions named by the owning table's mask are
+// compared (the rest stay zero for determinism).
+struct TupleKey {
+  sim::Sid subject = 0;
+  sim::Sid object = 0;
+  uint64_t ept_dev = 0;
+  uint64_t ept_ino = 0;
+  uint64_t ept_off = 0;
+  uint64_t ino = 0;
+};
+
+uint64_t TupleKeyHash(uint8_t mask, const TupleKey& key);
+bool TupleKeyEq(uint8_t mask, const TupleKey& lhs, const TupleKey& rhs);
+
+// One occupied (or empty, len == 0) slot of a tuple hash table: key -> a
+// chain-ordered slice of PfProgram::entries.
+struct TupleSlot {
+  TupleKey key;
+  uint32_t off = 0;
+  uint32_t len = 0;  // 0 = empty slot
+};
+
+// Open-addressed (linear probing) table for one dimension mask; slots live
+// in PfProgram::tuple_slots, slot_count is a power of two.
+struct TupleTable {
+  uint8_t mask = 0;
+  uint32_t slot_off = 0;
+  uint32_t slot_count = 0;
+  uint32_t used = 0;  // occupied slots (tuples)
+};
+
 // Per-(chain, op) dispatch bucket, the program-form twin of OpBucket
 // (engine.h) with the rule pointers re-pointed at entry-table slices.
 struct ProgramBucket {
@@ -159,7 +209,21 @@ struct ProgramBucket {
   CtxMask needs = 0;
   bool cacheable = true;
   bool has_indexed = false;
+  // Tuple-space classifier over the `all` slice: `residual` holds the rules
+  // with no exact dimension (always evaluated), `tuple_off/cnt` the per-mask
+  // hash tables in PfProgram::tuple_tables, `tuple_dims` the union of their
+  // masks (which contexts a probe must resolve up front).
+  uint32_t residual_off = 0;
+  uint32_t residual_len = 0;
+  uint32_t tuple_off = 0;
+  uint32_t tuple_cnt = 0;
+  uint8_t tuple_dims = 0;
+  bool has_classifier = false;
 };
+
+// Entrypoint index of one lowered chain: key -> an entry-table slice.
+using EptSliceMap =
+    std::unordered_map<EptKey, std::pair<uint32_t, uint32_t>, EptKeyHash>;
 
 // One lowered chain. `rules` lists the chain's rule records in chain order
 // (the disassembler's and analyzer's view); the buckets and the entrypoint
@@ -175,8 +239,11 @@ struct ProgramChain {
   // Entrypoint index re-pointed at entry-table slices. Like the legacy
   // Chain index the per-key rule list is NOT op-filtered (the kCheckOp
   // guard handles mismatches, bumping eval counters exactly as the tree
-  // walker does).
-  std::unordered_map<EptKey, std::pair<uint32_t, uint32_t>, EptKeyHash> ept;
+  // walker does). Immutable once the chain is lowered and held by
+  // shared_ptr (null = no indexed entrypoints): a delta commit's program
+  // copy shares every clean chain's map instead of re-hashing it, which is
+  // what keeps a one-rule edit from paying O(total rules) per generation.
+  std::shared_ptr<const EptSliceMap> ept;
 };
 
 // The compiled program artifact: one relocatable arena plus interned pools.
@@ -202,6 +269,25 @@ struct PfProgram {
   // shared Rule instances (same lifetime as the program).
   std::vector<const MatchModule*> native_matches;
   std::vector<const TargetModule*> native_targets;
+
+  // Tuple-space classifier pools (see ProgramBucket).
+  std::vector<TupleTable> tuple_tables;
+  std::vector<TupleSlot> tuple_slots;
+  uint64_t classifier_build_ns = 0;
+
+  // Delta-commit bookkeeping. A delta lowering (LowerProgramDelta) copies the
+  // previous generation's program, marks the dirty chains' records dead
+  // (RuleRecord::rule == nullptr; never reachable from any live table), and
+  // appends the relowered chains. Dead words accumulate until the compaction
+  // threshold in Engine::CommitRuleset forces a from-scratch relower.
+  uint64_t dead_arena_words = 0;
+  uint64_t dead_entry_slots = 0;
+  uint32_t dead_rule_records = 0;
+
+  // Intern maps live on the program (not the builder) so a delta build
+  // dedupes against the pools it copied from the base generation.
+  std::unordered_map<std::string, uint32_t> intern_strings;
+  std::map<std::string, uint32_t> intern_labelsets;  // keyed by canonical form
 
   PfInsn Fetch(uint32_t pc) const {
     PfInsn insn{};
@@ -269,8 +355,6 @@ class ProgramBuilder {
 
  private:
   PfProgram& prog_;
-  std::unordered_map<std::string, uint32_t> string_ids_;
-  std::map<std::string, uint32_t> labelset_ids_;  // keyed by canonical form
 };
 
 struct CompiledRuleset;  // engine.h
@@ -280,6 +364,23 @@ struct CompiledRuleset;  // engine.h
 // buckets and entrypoint index at arena/entry-table offsets. Requires the
 // OpBucket compilation (Engine::CompileRuleset passes 1-2) to have run.
 void LowerProgram(CompiledRuleset& snap);
+
+// Incremental lowering: copy `prev`'s program (arena, pools, tables, intern
+// maps), mark the records of the chains named in `dirty` dead, and re-lower
+// only those chains, appending their records, slices, and classifier tables.
+// Requires the staging chain-name set to equal prev's (Engine::CommitRuleset
+// falls back to LowerProgram otherwise).
+void LowerProgramDelta(CompiledRuleset& snap, const PfProgram& prev,
+                       const std::vector<std::string>& dirty);
+
+// Classifier shape summary for pfcheck / pftables --check.
+struct ClassifierStats {
+  uint32_t tables = 0;     // tuple tables across all (chain,op) buckets
+  uint32_t tuples = 0;     // occupied slots
+  uint32_t max_slice = 0;  // longest candidate slice (tuple or residual)
+  uint32_t residual_rules = 0;  // entries reachable only by residual scan
+};
+ClassifierStats ComputeClassifierStats(const PfProgram& prog);
 
 // Renders the program as deterministic, pool-resolved assembly (the
 // `pftables -L --compiled` listing). Interned content is printed by value

@@ -42,6 +42,17 @@ struct EptKeyHash {
   }
 };
 
+// The derived entrypoint index of one chain, immutable once built. Held by
+// shared_ptr so Chain (and therefore snapshot) copies share it instead of
+// duplicating a potentially 100k-node hash map per generation — a one-rule
+// delta commit must not pay an O(total rules) map copy for every clean
+// chain. Entries point at the shared heap-allocated Rule objects, so a
+// shared index stays valid for every copy that references it.
+struct ChainIndex {
+  std::vector<const Rule*> plain;
+  std::unordered_map<EptKey, std::vector<const Rule*>, EptKeyHash> by_ept;
+};
+
 class Chain {
  public:
   Chain() = default;
@@ -56,7 +67,17 @@ class Chain {
   // whitelist, at the cost of rule-order sensitivity.
   enum class Policy { kAccept, kDrop };
   Policy policy() const { return policy_; }
-  void set_policy(Policy p) { policy_ = p; }
+  void set_policy(Policy p) {
+    policy_ = p;
+    ++edit_seq_;
+  }
+
+  // Monotonic edit sequence, bumped by every rule-list or policy mutation
+  // (not by BuildIndex, which only derives state). The engine's incremental
+  // CommitRuleset compares a staging chain's sequence against the published
+  // snapshot's copy to find the dirty chains that need relowering; snapshot
+  // copies freeze the value, so an equal sequence proves an identical chain.
+  uint64_t edit_seq() const { return edit_seq_; }
 
   void Insert(std::shared_ptr<Rule> rule, size_t pos);  // pos clamped to [0, size]
   void Append(std::shared_ptr<Rule> rule);
@@ -70,28 +91,29 @@ class Chain {
   // --- entrypoint index ---
   void BuildIndex();
   bool index_built() const { return index_built_; }
-  const std::vector<const Rule*>& plain_rules() const { return plain_; }
+  const std::vector<const Rule*>& plain_rules() const { return index().plain; }
   const std::vector<const Rule*>* EptRules(const EptKey& key) const;
-  size_t indexed_entrypoints() const { return by_ept_.size(); }
+  size_t indexed_entrypoints() const { return index().by_ept.size(); }
   // Whole-index view for the commit-time lowering pass (program.h), which
   // re-points every per-entrypoint rule list at entry-table slices.
   const std::unordered_map<EptKey, std::vector<const Rule*>, EptKeyHash>& ept_index() const {
-    return by_ept_;
+    return index().by_ept;
   }
 
  private:
   void InvalidateIndex();
+  const ChainIndex& index() const;  // index_ when set, a shared empty otherwise
 
   std::string name_;
   bool builtin_ = false;
   Policy policy_ = Policy::kAccept;
+  uint64_t edit_seq_ = 0;
   std::vector<std::shared_ptr<Rule>> rules_;
 
-  // Index entries point at the shared heap-allocated Rule objects, so a
-  // copied Chain's index stays valid without a rebuild.
+  // Derived entrypoint index, shared by Chain copies (see ChainIndex). Null
+  // until BuildIndex runs or after a mutation invalidates it.
   bool index_built_ = false;
-  std::vector<const Rule*> plain_;
-  std::unordered_map<EptKey, std::vector<const Rule*>, EptKeyHash> by_ept_;
+  std::shared_ptr<const ChainIndex> index_;
 };
 
 class Table {

@@ -34,6 +34,8 @@
 #ifndef SRC_CORE_VERIFY_H_
 #define SRC_CORE_VERIFY_H_
 
+#include <vector>
+
 #include "src/analysis/diagnostics.h"
 #include "src/core/program.h"
 
@@ -45,6 +47,17 @@ struct VerifyOptions {
   // dead, not dangerous); on when a caller wants "every rule reachable" as
   // a hard property.
   bool strict_depth = false;
+  // Delta verification (incremental commits): the program is a copy of an
+  // already-verified base with records appended from `from_record` and the
+  // chains in `recheck_chains` rebuilt. Per-record checks run only on the
+  // appended suffix and per-chain table checks only on the rebuilt chains —
+  // everything else is byte-identical to the proven base. Global properties
+  // (arena alignment, the jump-depth proof) always run over the whole
+  // program. Dead records (RuleRecord::rule == nullptr) are skipped in
+  // every mode: they are unreachable from all live dispatch tables.
+  bool delta = false;
+  uint32_t from_record = 0;
+  std::vector<int32_t> recheck_chains;
 };
 
 struct VerifyResult {
@@ -55,7 +68,8 @@ struct VerifyResult {
 // Single forward verification pass over `prog`. Diagnostics use the stable
 // codes: arena-truncated, rule-malformed, bad-opcode, pool-oob,
 // state-slot-oob, native-oob, jump-target-oob, syscall-arg-oob,
-// ctx-mask-invalid, chain-table-oob, depth-exceeded.
+// ctx-mask-invalid, chain-table-oob, classifier-oob, classifier-coverage,
+// depth-exceeded.
 VerifyResult VerifyProgram(const PfProgram& prog, const VerifyOptions& opts = {});
 
 }  // namespace pf::core

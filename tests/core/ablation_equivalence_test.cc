@@ -27,7 +27,7 @@ constexpr uint64_t kWorkloadSeed = 0xab1a7e5eedull;
 
 EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
                         bool vcache = false, bool threaded = true,
-                        bool verify = true) {
+                        bool verify = true, bool tuple = false) {
   EngineConfig cfg;
   cfg.lazy_context = lazy;
   cfg.cache_context = cache;
@@ -36,6 +36,7 @@ EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
   cfg.verdict_cache = vcache;
   cfg.threaded_eval = threaded;
   cfg.verify_programs = verify;
+  cfg.tuple_dispatch = tuple;
   return cfg;
 }
 
@@ -48,7 +49,10 @@ EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
 // the verifier must be a pure gate, changing nothing the evaluator does.
 // The TRACE rung re-runs the top configuration with every tracepoint stream
 // enabled: observability must be a pure observer — verdicts, STATE dicts,
-// and the decision counters all stay byte-identical.
+// and the decision counters all stay byte-identical. The TUPLE rung turns
+// the tuple-space classifier on above COMPILED (verdict cache off so every
+// op actually traverses): probing per-mask hash tables and k-way-merging
+// candidate slices must pick exactly the rules a linear scan would.
 const struct {
   const char* name;
   EngineConfig cfg;
@@ -60,6 +64,7 @@ const struct {
     {"EPTSPC", MakeConfig(true, true, true)},
     {"SWITCHED", MakeConfig(true, true, true, true, false, /*threaded=*/false)},
     {"COMPILED", MakeConfig(true, true, true, true)},
+    {"TUPLE", MakeConfig(true, true, true, true, false, true, true, /*tuple=*/true)},
     {"VCACHE", MakeConfig(true, true, true, true, true)},
     {"VERIFY", MakeConfig(true, true, true, true, true, true, /*verify=*/false)},
     {"TRACE", MakeConfig(true, true, true, true, true), true},
@@ -257,6 +262,58 @@ TEST(AblationEquivalenceTest, TracingIsAPureObserver) {
   EXPECT_EQ(off, on) << "tracing changed a verdict";
   EXPECT_EQ(dicts_off, dicts_on) << "tracing changed STATE side effects";
   EXPECT_EQ(counters_off, counters_on) << "tracing changed decision counters";
+}
+
+TEST(AblationEquivalenceTest, TupleClassifierPreservesHitCountersAndOnlySkipsWork) {
+  // The classifier may only *skip* rules a scan would have rejected on an
+  // exact-match dimension: every rule a scan fires must still fire (hits
+  // bit-identical, bumped by the same evaluator path), every rule the
+  // classifier does evaluate must be one the scan evaluated too (per-rule
+  // evals <= scan), and at this workload's shape the candidate slices must
+  // be strictly narrower than the full chain (total rules_evaluated drops).
+  const auto replay = [](bool tuple, std::vector<uint64_t>* evals,
+                         std::vector<uint64_t>* hits, EngineStats* stats) {
+    const EngineConfig cfg =
+        MakeConfig(true, true, true, true, false, true, true, tuple);
+    Workload w(cfg);
+    std::vector<int64_t> verdicts;
+    std::mt19937_64 rng(kWorkloadSeed);
+    const char* paths[] = {"/etc/passwd", "/etc/shadow", "/tmp/t"};
+    for (int i = 0; i < kOps; ++i) {
+      sim::Task& task = *w.tasks[rng() % kTasks];
+      if (rng() % 4 != 0) {
+        ++task.syscall_count;
+      }
+      sim::AccessRequest req = w.OpenRequest(task, paths[rng() % 3]);
+      verdicts.push_back(w.engine->Authorize(req));
+    }
+    for (const auto& [name, chain] : w.engine->ruleset().filter().chains()) {
+      for (const auto& r : chain.rules()) {
+        evals->push_back(r->evals.load(std::memory_order_relaxed));
+        hits->push_back(r->hits.load(std::memory_order_relaxed));
+      }
+    }
+    *stats = w.engine->stats();
+    return verdicts;
+  };
+
+  std::vector<uint64_t> scan_evals, scan_hits, tup_evals, tup_hits;
+  EngineStats scan_stats, tup_stats;
+  std::vector<int64_t> scan = replay(false, &scan_evals, &scan_hits, &scan_stats);
+  std::vector<int64_t> tup = replay(true, &tup_evals, &tup_hits, &tup_stats);
+
+  ASSERT_EQ(scan, tup) << "classifier changed a verdict";
+  ASSERT_EQ(scan_hits, tup_hits) << "classifier changed a per-rule hit count";
+  ASSERT_EQ(scan_evals.size(), tup_evals.size());
+  for (size_t i = 0; i < scan_evals.size(); ++i) {
+    EXPECT_LE(tup_evals[i], scan_evals[i])
+        << "classifier evaluated rule " << i << " more often than a scan — it "
+        << "may only skip rules, never add candidates";
+  }
+  EXPECT_LT(tup_stats.rules_evaluated, scan_stats.rules_evaluated)
+      << "classifier never narrowed a candidate slice on a workload built "
+      << "around exact-match dimensions";
+  EXPECT_EQ(tup_stats.drops, scan_stats.drops);
 }
 
 TEST(AblationEquivalenceTest, ReplayIsDeterministic) {
