@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/analysis/symbolic/model.h"
 #include "src/core/verify.h"
 
 namespace pf::bench {
@@ -286,6 +287,26 @@ void BM_VerifyProgram(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_VerifyProgram)->Arg(128)->Arg(1218)->Arg(2048);
+
+// The symbolic decision-space model (src/analysis/symbolic/) over the same
+// synthetic bases: the full-partition build pfcheck's exact tier and pfdiff
+// run per invocation. The bench-smoke CI job budgets the 1218-rule build at
+// < 250 ms (summary.symbolic_analysis_us).
+void BM_BuildSymbolicModel(benchmark::State& state) {
+  System sys;
+  sys.InstallRules(SyntheticRuleBase(static_cast<int>(state.range(0))));
+  auto snap = sys.engine->CompileRuleset();
+  size_t regions = 0;
+  for (auto _ : state) {
+    const analysis::symbolic::SymbolicModel model =
+        analysis::symbolic::BuildModel(*snap, sys.engine->policy());
+    regions = model.region_count;
+    benchmark::DoNotOptimize(regions);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["regions"] = static_cast<double>(regions);
+}
+BENCHMARK(BM_BuildSymbolicModel)->Arg(128)->Arg(1218)->Arg(10000)->Arg(100000);
 
 void BM_UnwindDepth(benchmark::State& state) {
   EngineFixture fx(/*frames=*/static_cast<int>(state.range(0)));

@@ -24,7 +24,7 @@ trap 'rm -rf "$TMP"' EXIT
 # Medians of 3 repetitions: the dispatch-ladder and verifier-share summary
 # numbers gate CI, and single-shot runs swing +-20% on shared machines.
 "$BUILD/bench/ablation_engine" \
-  --benchmark_filter='BM_AuthorizeVerdictCache|BM_AuthorizeCompiled|BM_AuthorizeIndexedChains|BM_AuthorizeLinearScan|BM_AuthorizeSwitchScan|BM_AuthorizeTuple|BM_CompileProgram|BM_VerifyProgram|BM_IncrementalCommit' \
+  --benchmark_filter='BM_AuthorizeVerdictCache|BM_AuthorizeCompiled|BM_AuthorizeIndexedChains|BM_AuthorizeLinearScan|BM_AuthorizeSwitchScan|BM_AuthorizeTuple|BM_CompileProgram|BM_VerifyProgram|BM_IncrementalCommit|BM_BuildSymbolicModel' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_out="$TMP/ablation.json" --benchmark_out_format=json
 "$BUILD/src/apps/pfcheck" --library --json > "$TMP/pfcheck.json"
@@ -45,7 +45,7 @@ out["ablation_engine"] = {
         "ns_per_op": b["real_time"],
         **{k: b[k] for k in ("hit_rate", "miss_rate", "bypass_rate", "arena_words",
                              "classifier_ns", "tuples", "max_slice", "residual",
-                             "delta_commits", "full_commits")
+                             "delta_commits", "full_commits", "regions")
            if k in b},
     }
     for b in ab.get("benchmarks", [])
@@ -93,6 +93,21 @@ out["summary"] = {
     "verify_program_1218_ns": ae.get("BM_VerifyProgram/1218", {}).get("ns_per_op"),
     "verify_us": out["pfcheck"].get("verify_us"),
 }
+
+# Symbolic decision-space model (DESIGN.md "Symbolic decision-space
+# analysis"): full-partition build time over the paper's 1218-rule PF Full
+# base (CI budget: < 250 ms) and its scaling point at 100k rules, plus the
+# shipped library's numbers from pfcheck's exact tier.
+sym_1218_ns = ae.get("BM_BuildSymbolicModel/1218", {}).get("ns_per_op")
+sym_100k_ns = ae.get("BM_BuildSymbolicModel/100000", {}).get("ns_per_op")
+out["summary"].update({
+    "symbolic_analysis_us": sym_1218_ns / 1e3 if sym_1218_ns else None,
+    "symbolic_analysis_100k_us": sym_100k_ns / 1e3 if sym_100k_ns else None,
+    "symbolic_regions_1218": ae.get("BM_BuildSymbolicModel/1218", {}).get("regions"),
+    "symbolic_regions_100k": ae.get("BM_BuildSymbolicModel/100000", {}).get("regions"),
+    "symbolic_library_us": out["pfcheck"].get("symbolic", {}).get("analysis_us"),
+    "symbolic_library_regions": out["pfcheck"].get("symbolic", {}).get("regions"),
+})
 
 # Tuple-space classifier + incremental commits (DESIGN.md §5g): the scaling
 # headline is flat authorize latency at 100k rules (within 3x of the

@@ -9,6 +9,7 @@
 #include <cinttypes>
 
 #include "bench/bench_util.h"
+#include "src/analysis/symbolic/model.h"
 #include "src/rulegen/synthetic.h"
 
 namespace pf::bench {
@@ -67,8 +68,9 @@ void Run() {
 // of the tuple-space classifier the compile produced.
 void RunScale() {
   Caption("Rule generation at scale: commit-time costs, 1218 -> 200k rules");
-  std::printf("%8s %12s %12s %14s %12s %10s %10s\n", "Rules", "install ms",
-              "compile ms", "classifier ms", "verify ms", "tuples", "max slice");
+  std::printf("%8s %12s %12s %14s %12s %10s %10s %12s %10s\n", "Rules",
+              "install ms", "compile ms", "classifier ms", "verify ms", "tuples",
+              "max slice", "symbolic ms", "regions");
   for (int count : {1218, 10000, 50000, 100000, 200000}) {
     System sys;
     Stopwatch sw;
@@ -79,11 +81,16 @@ void RunScale() {
     auto snap = sys.engine->CompileRuleset();
     const double compile_us = sw.ElapsedUs();
     const core::ClassifierStats cstats = core::ComputeClassifierStats(snap->program);
-    std::printf("%8d %12.1f %12.1f %14.1f %12.1f %10u %10u\n", count,
-                install_us / 1e3, compile_us / 1e3,
+    // The symbolic decision-space model over the same compiled base: the
+    // full-partition build whose 1218-rule wall time the CI budget bounds.
+    const analysis::symbolic::SymbolicModel model =
+        analysis::symbolic::BuildModel(*snap, sys.engine->policy());
+    std::printf("%8d %12.1f %12.1f %14.1f %12.1f %10u %10u %12.1f %10zu\n",
+                count, install_us / 1e3, compile_us / 1e3,
                 static_cast<double>(snap->program.classifier_build_ns) / 1e6,
                 static_cast<double>(snap->verify_ns) / 1e6, cstats.tuples,
-                cstats.max_slice);
+                cstats.max_slice, static_cast<double>(model.build_us) / 1e3,
+                model.region_count);
   }
 }
 

@@ -1,0 +1,242 @@
+#include "src/analysis/symbolic/diff.h"
+
+#include <chrono>
+#include <sstream>
+#include <unordered_map>
+
+namespace pf::analysis::symbolic {
+namespace {
+
+bool IntersectRegions(const Region& a, const Region& b,
+                      const std::vector<uint32_t>& alphabets, Region* out) {
+  out->dims.resize(a.dims.size());
+  for (size_t d = 0; d < a.dims.size(); ++d) {
+    out->dims[d] = DimSet::Intersect(a.dims[d], b.dims[d]);
+    if (out->dims[d].Empty(alphabets[d])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendEffects(std::ostringstream& oss, const std::vector<std::string>& v) {
+  oss << "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) {
+      oss << ",";
+    }
+    oss << "\"" << JsonEscape(v[i]) << "\"";
+  }
+  oss << "]";
+}
+
+}  // namespace
+
+DiffResult DiffRulesets(const core::CompiledRuleset& oldrs,
+                        const core::CompiledRuleset& newrs,
+                        const sim::MacPolicy& policy, const ModelOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  DiffResult result;
+  result.universe = BuildUniverse({&oldrs, &newrs}, policy);
+  const SymbolicModel a = BuildModel(oldrs, policy, result.universe, opts);
+  const SymbolicModel b = BuildModel(newrs, policy, result.universe, opts);
+  result.exact = !a.indeterminate && !b.indeterminate && a.exact_state &&
+                 b.exact_state;
+  const std::vector<uint32_t>& alphabets = result.universe->alphabets();
+
+  for (size_t op = 0; op < sim::kOpCount; ++op) {
+    const std::vector<DecisionRegion>& regions_a = a.by_op[op];
+    const std::vector<DecisionRegion>& regions_b = b.by_op[op];
+    // Regions pinned to entrypoint atoms dominate at scale; bucket B's
+    // positive-ept regions by atom so each A region only meets the B regions
+    // its own entrypoint set can overlap.
+    std::unordered_map<uint32_t, std::vector<size_t>> by_ept;
+    std::vector<size_t> wide;
+    for (size_t i = 0; i < regions_b.size(); ++i) {
+      const DimSet& ept = regions_b[i].region.dims[kDimEpt];
+      if (ept.complement || ept.atoms.size() > 8) {
+        wide.push_back(i);
+      } else {
+        for (const uint32_t atom : ept.atoms) {
+          by_ept[atom].push_back(i);
+        }
+      }
+    }
+    std::vector<uint32_t> seen(regions_b.size(), 0);
+    uint32_t pass = 0;
+    std::vector<size_t> candidates;
+    for (const DecisionRegion& ra : regions_a) {
+      ++pass;
+      candidates.clear();
+      const DimSet& ept_a = ra.region.dims[kDimEpt];
+      if (ept_a.complement) {
+        candidates.resize(regions_b.size());
+        for (size_t i = 0; i < regions_b.size(); ++i) {
+          candidates[i] = i;
+        }
+      } else {
+        for (const size_t i : wide) {
+          if (seen[i] != pass) {
+            seen[i] = pass;
+            candidates.push_back(i);
+          }
+        }
+        for (const uint32_t atom : ept_a.atoms) {
+          const auto it = by_ept.find(atom);
+          if (it == by_ept.end()) {
+            continue;
+          }
+          for (const size_t i : it->second) {
+            if (seen[i] != pass) {
+              seen[i] = pass;
+              candidates.push_back(i);
+            }
+          }
+        }
+      }
+      for (const size_t i : candidates) {
+        const DecisionRegion& rb = regions_b[i];
+        if (ra.outcome == rb.outcome && ra.effects == rb.effects) {
+          continue;
+        }
+        Region inter(0);
+        if (!IntersectRegions(ra.region, rb.region, alphabets, &inter)) {
+          continue;
+        }
+        DiffRegion d;
+        d.op = static_cast<sim::Op>(op);
+        d.from = ra.outcome;
+        d.to = rb.outcome;
+        d.effects_changed = ra.effects != rb.effects;
+        d.from_effects = ra.effects;
+        d.to_effects = rb.effects;
+        d.from_decided_by = ra.decided_by;
+        d.to_decided_by = rb.decided_by;
+        d.witness = result.universe->Witness(inter);
+        d.widening = ra.outcome != rb.outcome &&
+                     (ra.outcome == OutcomeKind::kDrop ||
+                      ra.outcome == OutcomeKind::kIndeterminate) &&
+                     (rb.outcome == OutcomeKind::kAllow ||
+                      rb.outcome == OutcomeKind::kIndeterminate);
+        result.any_widening = result.any_widening || d.widening;
+        d.region = std::move(inter);
+        result.regions.push_back(std::move(d));
+      }
+    }
+  }
+  result.analysis_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
+}
+
+std::string RenderDiffText(const DiffResult& diff, size_t max_regions) {
+  std::ostringstream oss;
+  size_t verdict_changes = 0;
+  for (const DiffRegion& d : diff.regions) {
+    if (d.from != d.to) {
+      ++verdict_changes;
+    }
+  }
+  oss << "pfdiff: " << diff.regions.size() << " changed region"
+      << (diff.regions.size() == 1 ? "" : "s") << " (" << verdict_changes
+      << " verdict-changing" << (diff.any_widening ? ", WIDENING" : "") << ")";
+  if (!diff.exact) {
+    oss << " [approximate: indeterminate targets or variable STATE values]";
+  }
+  oss << "\n";
+  // Verdict flips first; effect-only changes after.
+  size_t shown = 0;
+  for (const bool verdict_pass : {true, false}) {
+    for (const DiffRegion& d : diff.regions) {
+      if ((d.from != d.to) != verdict_pass) {
+        continue;
+      }
+      if (max_regions != 0 && shown >= max_regions) {
+        oss << "  ... " << (diff.regions.size() - shown) << " more\n";
+        return oss.str();
+      }
+      ++shown;
+      oss << "  " << sim::OpName(d.op) << ": " << OutcomeName(d.from) << " -> "
+          << OutcomeName(d.to);
+      if (d.widening) {
+        oss << " [widening]";
+      }
+      if (d.effects_changed && d.from == d.to) {
+        oss << " (effects changed)";
+      }
+      oss << "\n    was: " << d.from_decided_by
+          << "  now: " << d.to_decided_by << "\n    e.g. " << d.witness << "\n";
+    }
+  }
+  return oss.str();
+}
+
+std::string RenderDiffJson(const DiffResult& diff) {
+  std::ostringstream oss;
+  size_t verdict_changes = 0;
+  for (const DiffRegion& d : diff.regions) {
+    if (d.from != d.to) {
+      ++verdict_changes;
+    }
+  }
+  oss << "{\"pfdiff\": {\"changed_regions\": " << diff.regions.size()
+      << ", \"verdict_changing\": " << verdict_changes
+      << ", \"widening\": " << (diff.any_widening ? "true" : "false")
+      << ", \"exact\": " << (diff.exact ? "true" : "false")
+      << ", \"analysis_us\": " << diff.analysis_us << ", \"regions\": [";
+  for (size_t i = 0; i < diff.regions.size(); ++i) {
+    const DiffRegion& d = diff.regions[i];
+    if (i > 0) {
+      oss << ",";
+    }
+    oss << "\n  {\"op\": \"" << sim::OpName(d.op) << "\", \"from\": \""
+        << OutcomeName(d.from) << "\", \"to\": \"" << OutcomeName(d.to)
+        << "\", \"widening\": " << (d.widening ? "true" : "false")
+        << ", \"from_decided_by\": \"" << JsonEscape(d.from_decided_by)
+        << "\", \"to_decided_by\": \"" << JsonEscape(d.to_decided_by)
+        << "\", \"witness\": \"" << JsonEscape(d.witness)
+        << "\", \"region\": \""
+        << JsonEscape(diff.universe->Describe(d.region))
+        << "\", \"from_effects\": ";
+    AppendEffects(oss, d.from_effects);
+    oss << ", \"to_effects\": ";
+    AppendEffects(oss, d.to_effects);
+    oss << "}";
+  }
+  oss << "\n]}}\n";
+  return oss.str();
+}
+
+}  // namespace pf::analysis::symbolic

@@ -1,0 +1,61 @@
+// Semantic ruleset diff: regions of the decision space where two rule bases
+// decide differently (pfdiff, and the pftables --widening-gate).
+//
+// Both rule bases are modeled over one joint universe (universe.h), so their
+// partitions are directly comparable: intersecting every region pair yields
+// the exact set of verdict- or effect-changing regions, each with one
+// concrete witness tuple. Deleting a deny rule shows up as one DROP→ALLOW
+// region; a textual no-op reordering shows up as an empty diff.
+#ifndef SRC_ANALYSIS_SYMBOLIC_DIFF_H_
+#define SRC_ANALYSIS_SYMBOLIC_DIFF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/symbolic/model.h"
+
+namespace pf::analysis::symbolic {
+
+struct DiffRegion {
+  sim::Op op = sim::Op::kFileOpen;
+  Region region;
+  OutcomeKind from = OutcomeKind::kAllow;
+  OutcomeKind to = OutcomeKind::kAllow;
+  bool effects_changed = false;
+  std::vector<std::string> from_effects;
+  std::vector<std::string> to_effects;
+  std::string from_decided_by;
+  std::string to_decided_by;
+  std::string witness;  // one concrete tuple inside the region
+  // A request the old base denied and the new base allows (or either side is
+  // indeterminate and the other side moved): the "unintended widening" class
+  // the pftables gate rejects.
+  bool widening = false;
+};
+
+struct DiffResult {
+  std::shared_ptr<const Universe> universe;
+  std::vector<DiffRegion> regions;
+  bool any_widening = false;
+  bool exact = true;  // both models determinate with exact STATE slots
+  uint64_t analysis_us = 0;
+};
+
+// Diffs two compiled rule bases over their joint universe.
+DiffResult DiffRulesets(const core::CompiledRuleset& oldrs,
+                        const core::CompiledRuleset& newrs,
+                        const sim::MacPolicy& policy,
+                        const ModelOptions& opts = {});
+
+// Human-readable report, one block per region ("verdict-changing regions"
+// first). `max_regions` truncates with an explicit "... N more" line; pass 0
+// for unlimited.
+std::string RenderDiffText(const DiffResult& diff, size_t max_regions = 64);
+
+// Machine-readable report: {"pfdiff": {"regions": [...], ...}}.
+std::string RenderDiffJson(const DiffResult& diff);
+
+}  // namespace pf::analysis::symbolic
+
+#endif  // SRC_ANALYSIS_SYMBOLIC_DIFF_H_

@@ -1,0 +1,114 @@
+#include "src/analysis/symbolic/query.h"
+
+#include <algorithm>
+
+namespace pf::analysis::symbolic {
+
+QueryResult RunQuery(const SymbolicModel& model, const QuerySpec& spec) {
+  const Universe& u = *model.universe;
+  QueryResult result;
+  Conjunction conj;
+  if (spec.subject) {
+    const auto it =
+        std::find(u.sid_names.begin(), u.sid_names.end(), *spec.subject);
+    if (it == u.sid_names.end()) {
+      result.error = "unknown subject label: " + *spec.subject;
+      return result;
+    }
+    conj.emplace_back(kDimSubject, DimSet::Of({static_cast<uint32_t>(
+                                       it - u.sid_names.begin())}));
+  }
+  if (spec.object) {
+    const auto it =
+        std::find(u.sid_names.begin(), u.sid_names.end(), *spec.object);
+    if (it == u.sid_names.end()) {
+      result.error = "unknown object label: " + *spec.object;
+      return result;
+    }
+    conj.emplace_back(kDimObject, DimSet::Of({static_cast<uint32_t>(
+                                      it - u.sid_names.begin())}));
+  }
+  if (spec.program) {
+    const Universe::EptProg* prog = nullptr;
+    for (const Universe::EptProg& p : u.progs) {
+      if (p.path == *spec.program) {
+        prog = &p;
+        break;
+      }
+    }
+    if (prog == nullptr) {
+      result.error = "program not mentioned by any rule: " + *spec.program;
+      return result;
+    }
+    conj.emplace_back(
+        kDimEpt, u.EptMembers(true, prog->file, spec.entrypoint));
+  } else if (spec.entrypoint) {
+    conj.emplace_back(kDimEpt, u.EptMembers(false, {}, spec.entrypoint));
+  }
+  if (spec.ino) {
+    conj.emplace_back(kDimIno, DimSet::Of({u.AtomForIno(*spec.ino)}));
+  }
+
+  result.ok = true;
+  for (size_t op = 0; op < sim::kOpCount; ++op) {
+    if (spec.op && static_cast<size_t>(*spec.op) != op) {
+      continue;
+    }
+    for (const DecisionRegion& region : model.by_op[op]) {
+      if (spec.want && region.outcome != *spec.want) {
+        continue;
+      }
+      Region inter(0);
+      if (!IntersectRegion(region.region, conj, u.alphabets(), &inter)) {
+        continue;
+      }
+      result.matches.push_back({static_cast<sim::Op>(op), region.outcome,
+                                region.decided_by, region.effects,
+                                u.Witness(inter)});
+    }
+  }
+  return result;
+}
+
+ReachResult ChainReachability(const SymbolicModel& model,
+                              const std::string& chain, size_t max_atoms) {
+  ReachResult result;
+  const auto it = model.reach.find(chain);
+  if (it == model.reach.end()) {
+    return result;
+  }
+  result.found = true;
+  result.entered = it->second.entered;
+  const Universe& u = *model.universe;
+  for (size_t op = 0; op < sim::kOpCount; ++op) {
+    if ((it->second.ops >> op) & 1) {
+      result.ops.emplace_back(sim::OpName(static_cast<sim::Op>(op)));
+    }
+  }
+  auto render = [&](const DimSet& set, uint32_t dim,
+                    std::vector<std::string>* out) {
+    const uint32_t alphabet = u.alphabets()[dim];
+    if (set.IsAll()) {
+      out->push_back("<any>");
+      return;
+    }
+    if (set.complement) {
+      out->push_back("<all but " + std::to_string(set.atoms.size()) +
+                     " classes>");
+      return;
+    }
+    for (const uint32_t atom : set.atoms) {
+      if (out->size() >= max_atoms) {
+        out->push_back("... +" + std::to_string(set.Count(alphabet) -
+                                                max_atoms));
+        return;
+      }
+      out->push_back(u.RenderAtom(dim, atom));
+    }
+  };
+  render(it->second.ept, kDimEpt, &result.entrypoints);
+  render(it->second.subjects, kDimSubject, &result.subjects);
+  return result;
+}
+
+}  // namespace pf::analysis::symbolic

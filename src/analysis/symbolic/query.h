@@ -1,0 +1,61 @@
+// Policy queries over the symbolic decision space (pfquery).
+//
+// A query is a partial concretization — "subject=httpd_t op=FILE_OPEN
+// object=shadow_t" — answered by intersecting the constraint with the
+// model's partition: every overlapping region is a class of requests the
+// query describes, with its verdict and a concrete witness. Reachability
+// queries ("which entrypoints can reach chain C?") read the model's
+// chain-entry tracking instead.
+#ifndef SRC_ANALYSIS_SYMBOLIC_QUERY_H_
+#define SRC_ANALYSIS_SYMBOLIC_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/symbolic/model.h"
+
+namespace pf::analysis::symbolic {
+
+struct QuerySpec {
+  std::optional<sim::Op> op;            // default: every op
+  std::optional<std::string> subject;   // label name
+  std::optional<std::string> object;    // label name
+  std::optional<std::string> program;   // path as written in the rules
+  std::optional<uint64_t> entrypoint;   // binary-relative offset
+  std::optional<uint64_t> ino;
+  std::optional<OutcomeKind> want;      // only regions with this verdict
+};
+
+struct QueryMatch {
+  sim::Op op = sim::Op::kFileOpen;
+  OutcomeKind outcome = OutcomeKind::kAllow;
+  std::string decided_by;
+  std::vector<std::string> effects;
+  std::string witness;
+};
+
+struct QueryResult {
+  bool ok = false;
+  std::string error;  // unknown label / program when !ok
+  std::vector<QueryMatch> matches;
+};
+
+// Regions of `model` overlapping the spec (verdict-filtered by `want`).
+QueryResult RunQuery(const SymbolicModel& model, const QuerySpec& spec);
+
+// Reachability of one chain: the ops and entrypoint/subject classes that can
+// enter it. `found` is false when the model never saw the chain.
+struct ReachResult {
+  bool found = false;
+  bool entered = false;
+  std::vector<std::string> ops;
+  std::vector<std::string> entrypoints;  // rendered atom classes (capped)
+  std::vector<std::string> subjects;
+};
+ReachResult ChainReachability(const SymbolicModel& model,
+                              const std::string& chain, size_t max_atoms = 16);
+
+}  // namespace pf::analysis::symbolic
+
+#endif  // SRC_ANALYSIS_SYMBOLIC_QUERY_H_

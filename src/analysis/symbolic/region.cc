@@ -1,0 +1,146 @@
+#include "src/analysis/symbolic/region.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace pf::analysis::symbolic {
+namespace {
+
+std::vector<uint32_t> VecIntersect(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<uint32_t> VecDiff(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<uint32_t> VecUnion(const std::vector<uint32_t>& a,
+                               const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+bool DimSet::Contains(uint32_t atom) const {
+  const bool in = std::binary_search(atoms.begin(), atoms.end(), atom);
+  return complement ? !in : in;
+}
+
+uint32_t DimSet::First(uint32_t alphabet) const {
+  if (!complement) {
+    return atoms.front();
+  }
+  uint32_t candidate = 0;
+  for (const uint32_t excluded : atoms) {
+    if (excluded != candidate) {
+      break;
+    }
+    ++candidate;
+  }
+  return candidate < alphabet ? candidate : alphabet - 1;
+}
+
+DimSet DimSet::Of(std::vector<uint32_t> atoms) {
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  return DimSet{std::move(atoms), false};
+}
+
+DimSet DimSet::AllBut(std::vector<uint32_t> atoms) {
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  return DimSet{std::move(atoms), true};
+}
+
+DimSet DimSet::Intersect(const DimSet& a, const DimSet& b) {
+  if (a.IsAll()) {
+    return b;
+  }
+  if (b.IsAll()) {
+    return a;
+  }
+  if (!a.complement && !b.complement) {
+    return DimSet{VecIntersect(a.atoms, b.atoms), false};
+  }
+  if (!a.complement && b.complement) {
+    return DimSet{VecDiff(a.atoms, b.atoms), false};
+  }
+  if (a.complement && !b.complement) {
+    return DimSet{VecDiff(b.atoms, a.atoms), false};
+  }
+  return DimSet{VecUnion(a.atoms, b.atoms), true};
+}
+
+DimSet DimSet::Subtract(const DimSet& a, const DimSet& b) {
+  return Intersect(a, b.Complemented());
+}
+
+DimSet DimSet::Union(const DimSet& a, const DimSet& b) {
+  if (a.IsAll() || b.IsAll()) {
+    return All();
+  }
+  if (!a.complement && !b.complement) {
+    return DimSet{VecUnion(a.atoms, b.atoms), false};
+  }
+  if (!a.complement && b.complement) {
+    return DimSet{VecDiff(b.atoms, a.atoms), true};
+  }
+  if (a.complement && !b.complement) {
+    return DimSet{VecDiff(a.atoms, b.atoms), true};
+  }
+  return DimSet{VecIntersect(a.atoms, b.atoms), true};
+}
+
+bool Region::Contains(const std::vector<uint32_t>& assignment) const {
+  for (size_t d = 0; d < dims.size(); ++d) {
+    if (!dims[d].Contains(assignment[d])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IntersectRegion(const Region& r, const Conjunction& conj,
+                     const std::vector<uint32_t>& alphabets, Region* out) {
+  *out = r;
+  for (const auto& [dim, set] : conj) {
+    out->dims[dim] = DimSet::Intersect(out->dims[dim], set);
+    if (out->dims[dim].Empty(alphabets[dim])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SubtractRegion(const Region& r, const Conjunction& conj,
+                    const std::vector<uint32_t>& alphabets,
+                    std::vector<Region>* out) {
+  // Standard product-slicing: the piece that fails the i-th constraint while
+  // satisfying constraints 0..i-1. Pieces are pairwise disjoint and their
+  // union is exactly r ∖ conj.
+  Region prefix = r;
+  for (const auto& [dim, set] : conj) {
+    DimSet fail = DimSet::Subtract(prefix.dims[dim], set);
+    if (!fail.Empty(alphabets[dim])) {
+      Region piece = prefix;
+      piece.dims[dim] = std::move(fail);
+      out->push_back(std::move(piece));
+    }
+    prefix.dims[dim] = DimSet::Intersect(prefix.dims[dim], set);
+    if (prefix.dims[dim].Empty(alphabets[dim])) {
+      return;  // remaining pieces would all be empty
+    }
+  }
+}
+
+}  // namespace pf::analysis::symbolic

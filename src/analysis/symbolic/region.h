@@ -1,0 +1,74 @@
+// Region algebra for the symbolic decision-space model (DESIGN.md
+// "Symbolic decision-space analysis").
+//
+// The decision space is a finite product of per-dimension atom alphabets
+// (see universe.h). A DimSet is a set of atoms in one dimension, stored as a
+// sorted vector in either positive ("these atoms") or complement ("all but
+// these atoms") form — rule bases at 100k-rule scale pin single entrypoint
+// atoms and accumulate "everything except the pinned atoms" residues, so
+// both forms stay small while a dense bitset per region would not. A Region
+// is a product of DimSets (absent constraint = the whole alphabet); a rule's
+// match predicate is a sparse Conjunction. Subtracting a conjunction from a
+// region yields at most one region per constrained dimension, which is what
+// keeps the partition size proportional to the rule base.
+#ifndef SRC_ANALYSIS_SYMBOLIC_REGION_H_
+#define SRC_ANALYSIS_SYMBOLIC_REGION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pf::analysis::symbolic {
+
+struct DimSet {
+  std::vector<uint32_t> atoms;  // sorted, unique
+  bool complement = true;       // default-constructed = the whole alphabet
+
+  bool operator==(const DimSet&) const = default;
+
+  bool IsAll() const { return complement && atoms.empty(); }
+  bool Contains(uint32_t atom) const;
+  uint64_t Count(uint32_t alphabet) const {
+    return complement ? alphabet - atoms.size() : atoms.size();
+  }
+  bool Empty(uint32_t alphabet) const { return Count(alphabet) == 0; }
+  // Lowest atom in the set (alphabet bound for complement sets); the
+  // alphabet must be non-empty in this set.
+  uint32_t First(uint32_t alphabet) const;
+
+  static DimSet All() { return DimSet{}; }
+  static DimSet Of(std::vector<uint32_t> atoms);
+  static DimSet AllBut(std::vector<uint32_t> atoms);
+  static DimSet Intersect(const DimSet& a, const DimSet& b);
+  static DimSet Subtract(const DimSet& a, const DimSet& b);
+  static DimSet Union(const DimSet& a, const DimSet& b);
+  DimSet Complemented() const { return DimSet{atoms, !complement}; }
+};
+
+// Product of per-dimension sets; dims.size() == Universe::dim_count().
+struct Region {
+  std::vector<DimSet> dims;
+
+  explicit Region(size_t dim_count = 0) : dims(dim_count) {}
+  bool Contains(const std::vector<uint32_t>& assignment) const;
+  bool operator==(const Region&) const = default;
+};
+
+// Sparse conjunction: (dimension, allowed atoms) pairs, dimensions unique.
+using Conjunction = std::vector<std::pair<uint32_t, DimSet>>;
+
+// r ∩ conj; false (and `out` unspecified) when the intersection is empty.
+// `alphabet(dim)` sizes come from the caller's universe.
+bool IntersectRegion(const Region& r, const Conjunction& conj,
+                     const std::vector<uint32_t>& alphabets, Region* out);
+
+// r ∖ conj as disjoint regions appended to `out` (at most one per
+// constrained dimension of `conj`).
+void SubtractRegion(const Region& r, const Conjunction& conj,
+                    const std::vector<uint32_t>& alphabets,
+                    std::vector<Region>* out);
+
+}  // namespace pf::analysis::symbolic
+
+#endif  // SRC_ANALYSIS_SYMBOLIC_REGION_H_

@@ -1,0 +1,595 @@
+#include "src/analysis/symbolic/universe.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/core/modules.h"
+#include "src/core/symbolize.h"
+
+namespace pf::analysis::symbolic {
+namespace {
+
+using core::Chain;
+using core::CompiledRuleset;
+using core::MatchModule;
+using core::Rule;
+using core::StateTarget;
+
+void SortUnique(std::vector<uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+void SortUnique(std::vector<int64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string LangName(int lang) {
+  switch (lang) {
+    case 1:
+      return "php";
+    case 2:
+      return "python";
+    case 3:
+      return "bash";
+    default:
+      return "?";
+  }
+}
+
+// Accumulates the constants one rule base mentions. Raw pools; Seal() turns
+// them into the canonical sorted/deduplicated universe.
+struct Pools {
+  std::set<std::string> opaque;
+  std::vector<std::string> opaque_order;
+  std::map<std::string, std::set<int64_t>> state_values;
+  std::vector<std::string> state_order;
+  std::set<std::string> var_set_keys;  // STATE --set from a variable operand
+  // Every STATE check module with its key, for the unknown-slot second pass.
+  std::vector<std::pair<const void*, std::string>> state_checks;
+};
+
+class Collector : public core::SymbolicSink {
+ public:
+  Collector(Universe& u, Pools& pools) : u_(u), pools_(pools) {}
+
+  void Visit(const MatchModule& m) {
+    current_ = &m;
+    if (!m.Symbolize(*this)) {
+      AddOpaque(std::string(m.Name()) + "|" + m.Render());
+    }
+    current_ = nullptr;
+  }
+
+  void StateCheck(const std::string& key, std::optional<int64_t> cmp,
+                  bool /*negate*/) override {
+    if (!pools_.state_values.count(key)) {
+      pools_.state_order.push_back(key);
+    }
+    auto& values = pools_.state_values[key];
+    if (cmp) {
+      values.insert(*cmp);
+    }
+    pools_.state_checks.emplace_back(current_, key);
+  }
+
+  void SyscallArg(int arg, int64_t value, bool /*negate*/) override {
+    if (arg < 0 || arg >= kNumArgDims) {
+      AddOpaque(current_ != nullptr
+                    ? std::string(current_->Name()) + "|" + current_->Render()
+                    : "SYSCALL_ARGS|?");
+      return;
+    }
+    u_.args[arg].push_back(value);
+  }
+
+  void Interp(const std::string& suffix,
+              std::optional<sim::InterpLang> /*lang*/) override {
+    u_.interp_suffixes.push_back(suffix);
+  }
+
+  void OpPin(sim::Op /*op*/) override {}  // per-rule; handled by the model
+  void Const(bool /*result*/) override {}
+
+  void Opaque(std::string_view name, const std::string& render) override {
+    AddOpaque(std::string(name) + "|" + render);
+  }
+
+ private:
+  void AddOpaque(std::string id) {
+    if (pools_.opaque.insert(id).second) {
+      pools_.opaque_order.push_back(std::move(id));
+    }
+  }
+
+  Universe& u_;
+  Pools& pools_;
+  const MatchModule* current_ = nullptr;
+};
+
+}  // namespace
+
+uint32_t Universe::AtomForEpt(bool valid, sim::FileId image,
+                              uint64_t offset) const {
+  if (!valid) {
+    return ept_invalid;
+  }
+  const auto it = prog_index_.find(FileKey(image));
+  if (it != prog_index_.end()) {
+    const EptProg& prog = progs[it->second];
+    const auto off =
+        std::lower_bound(prog.offsets.begin(), prog.offsets.end(), offset);
+    if (off != prog.offsets.end() && *off == offset) {
+      return prog.atom_base +
+             static_cast<uint32_t>(off - prog.offsets.begin());
+    }
+    return prog.atom_base + static_cast<uint32_t>(prog.offsets.size());
+  }
+  const auto off =
+      std::lower_bound(global_offsets.begin(), global_offsets.end(), offset);
+  if (off != global_offsets.end() && *off == offset) {
+    return ept_other_base + static_cast<uint32_t>(off - global_offsets.begin());
+  }
+  return ept_other_base + static_cast<uint32_t>(global_offsets.size());
+}
+
+uint32_t Universe::AtomForIno(uint64_t ino) const {
+  const auto it = std::lower_bound(inos.begin(), inos.end(), ino);
+  if (it != inos.end() && *it == ino) {
+    return static_cast<uint32_t>(it - inos.begin());
+  }
+  return static_cast<uint32_t>(inos.size());
+}
+
+uint32_t Universe::AtomForArg(int arg, int64_t value) const {
+  const auto& pool = args[arg];
+  const auto it = std::lower_bound(pool.begin(), pool.end(), value);
+  if (it != pool.end() && *it == value) {
+    return static_cast<uint32_t>(it - pool.begin());
+  }
+  return static_cast<uint32_t>(pool.size());
+}
+
+uint32_t Universe::AtomForInterp(sim::InterpLang lang,
+                                 const std::string& script) const {
+  if (lang == sim::InterpLang::kNone) {
+    return 0;
+  }
+  // Class = longest mentioned suffix the script ends with (the matched
+  // suffixes of one path are totally ordered by length, so the longest
+  // determines them all); the last class = no mentioned suffix matches.
+  const uint32_t kNoClass = static_cast<uint32_t>(interp_suffixes.size());
+  uint32_t cls = kNoClass;
+  size_t best = 0;
+  for (size_t i = 0; i < interp_suffixes.size(); ++i) {
+    const std::string& s = interp_suffixes[i];
+    if (EndsWith(script, s) && (cls == kNoClass || s.size() > best)) {
+      cls = static_cast<uint32_t>(i);
+      best = s.size();
+    }
+  }
+  const uint32_t lang_index = static_cast<uint32_t>(lang) - 1;
+  return 1 + lang_index * (kNoClass + 1) + cls;
+}
+
+uint32_t Universe::AtomForState(size_t state_dim,
+                                std::optional<int64_t> value) const {
+  if (!value) {
+    return 0;
+  }
+  const auto& pool = state_dims[state_dim].values;
+  const auto it = std::lower_bound(pool.begin(), pool.end(), *value);
+  if (it != pool.end() && *it == *value) {
+    return 1 + static_cast<uint32_t>(it - pool.begin());
+  }
+  return 1 + static_cast<uint32_t>(pool.size());
+}
+
+std::optional<uint32_t> Universe::FindStateDim(const std::string& key) const {
+  const auto it = state_index_.find(key);
+  if (it == state_index_.end()) {
+    return std::nullopt;
+  }
+  return StateDimIndex(it->second);
+}
+
+std::optional<uint32_t> Universe::FindOpaqueDim(const std::string& id) const {
+  const auto it = opaque_index_.find(id);
+  if (it == opaque_index_.end()) {
+    return std::nullopt;
+  }
+  return OpaqueDimIndex(it->second);
+}
+
+std::optional<uint32_t> Universe::UnknownSlotDim(const void* match_module) const {
+  const auto it = unknown_slot_dims_.find(match_module);
+  if (it == unknown_slot_dims_.end()) {
+    return std::nullopt;
+  }
+  return OpaqueDimIndex(it->second);
+}
+
+DimSet Universe::EptMembers(bool has_program, sim::FileId file,
+                            std::optional<uint64_t> offset) const {
+  std::vector<uint32_t> atoms;
+  if (has_program) {
+    const auto it = prog_index_.find(FileKey(file));
+    if (it == prog_index_.end()) {
+      // A program never seen while building the universe (possible only when
+      // querying with a file outside both rule bases): no atom class pins
+      // that exact binary, so nothing can be proven to match.
+      return DimSet::Of({});
+    }
+    const EptProg& prog = progs[it->second];
+    if (offset) {
+      const auto off =
+          std::lower_bound(prog.offsets.begin(), prog.offsets.end(), *offset);
+      if (off != prog.offsets.end() && *off == *offset) {
+        atoms.push_back(prog.atom_base +
+                        static_cast<uint32_t>(off - prog.offsets.begin()));
+      }
+      return DimSet::Of(std::move(atoms));
+    }
+    for (uint32_t i = 0; i <= prog.offsets.size(); ++i) {
+      atoms.push_back(prog.atom_base + i);
+    }
+    return DimSet::Of(std::move(atoms));
+  }
+  // Program-less -i rule: the offset must match under any program. Mentioned
+  // program-less offsets are folded into every program's offset list, so the
+  // per-program lookup below finds them.
+  if (!offset) {
+    return DimSet::AllBut({ept_invalid});
+  }
+  for (const EptProg& prog : progs) {
+    const auto off =
+        std::lower_bound(prog.offsets.begin(), prog.offsets.end(), *offset);
+    if (off != prog.offsets.end() && *off == *offset) {
+      atoms.push_back(prog.atom_base +
+                      static_cast<uint32_t>(off - prog.offsets.begin()));
+    }
+  }
+  const auto off =
+      std::lower_bound(global_offsets.begin(), global_offsets.end(), *offset);
+  if (off != global_offsets.end() && *off == *offset) {
+    atoms.push_back(ept_other_base +
+                    static_cast<uint32_t>(off - global_offsets.begin()));
+  }
+  return DimSet::Of(std::move(atoms));
+}
+
+DimSet Universe::InterpMembers(const std::string& suffix,
+                               std::optional<sim::InterpLang> lang) const {
+  std::vector<uint32_t> atoms;
+  const uint32_t classes = static_cast<uint32_t>(interp_suffixes.size()) + 1;
+  for (int l = 1; l <= kNumInterpLangs; ++l) {
+    if (lang && static_cast<int>(*lang) != l) {
+      continue;
+    }
+    for (uint32_t c = 0; c < classes; ++c) {
+      const bool matches = c < interp_suffixes.size()
+                               ? EndsWith(interp_suffixes[c], suffix)
+                               : suffix.empty();
+      if (matches) {
+        atoms.push_back(1 + static_cast<uint32_t>(l - 1) * classes + c);
+      }
+    }
+  }
+  return DimSet::Of(std::move(atoms));
+}
+
+DimSet Universe::ExpandSubject(const core::LabelSet& set) const {
+  if (set.wildcard) {
+    return DimSet::All();
+  }
+  std::vector<uint32_t> atoms;
+  for (uint32_t sid = 0; sid < n_sids; ++sid) {
+    if (set.MatchesSubject(sid, *policy)) {
+      atoms.push_back(sid);
+    }
+  }
+  return DimSet::Of(std::move(atoms));
+}
+
+DimSet Universe::ExpandObject(const core::LabelSet& set) const {
+  if (set.wildcard) {
+    return DimSet::All();
+  }
+  std::vector<uint32_t> atoms;
+  for (uint32_t sid = 0; sid < n_sids; ++sid) {
+    if (set.MatchesObject(sid, *policy)) {
+      atoms.push_back(sid);
+    }
+  }
+  return DimSet::Of(std::move(atoms));
+}
+
+std::string Universe::DimName(uint32_t dim) const {
+  switch (dim) {
+    case kDimSubject:
+      return "subject";
+    case kDimObject:
+      return "object";
+    case kDimEpt:
+      return "entrypoint";
+    case kDimIno:
+      return "ino";
+    case kDimInterp:
+      return "interp";
+    default:
+      break;
+  }
+  if (dim >= kDimArgBase && dim < kDimFixedCount) {
+    return "arg" + std::to_string(dim - kDimArgBase);
+  }
+  const uint32_t rel = dim - kDimFixedCount;
+  if (rel < state_dims.size()) {
+    return "state[" + state_dims[rel].key + "]";
+  }
+  return "pred[" + opaque_ids[rel - state_dims.size()] + "]";
+}
+
+std::string Universe::RenderAtom(uint32_t dim, uint32_t atom) const {
+  std::ostringstream oss;
+  switch (dim) {
+    case kDimSubject:
+    case kDimObject:
+      return atom < sid_names.size() ? sid_names[atom] : "<sid?>";
+    case kDimEpt: {
+      if (atom == ept_invalid) {
+        return "<invalid-stack>";
+      }
+      if (atom >= ept_other_base) {
+        const uint32_t i = atom - ept_other_base;
+        if (i < global_offsets.size()) {
+          oss << "<other-program>+0x" << std::hex << global_offsets[i];
+        } else {
+          oss << "<other-program>+<other-offset>";
+        }
+        return oss.str();
+      }
+      for (const EptProg& prog : progs) {
+        if (atom >= prog.atom_base &&
+            atom <= prog.atom_base + prog.offsets.size()) {
+          const uint32_t i = atom - prog.atom_base;
+          if (i < prog.offsets.size()) {
+            oss << prog.path << "+0x" << std::hex << prog.offsets[i];
+          } else {
+            oss << prog.path << "+<other-offset>";
+          }
+          return oss.str();
+        }
+      }
+      return "<ept?>";
+    }
+    case kDimIno:
+      if (atom < inos.size()) {
+        return std::to_string(inos[atom]);
+      }
+      return "<other-ino>";
+    case kDimInterp: {
+      if (atom == 0) {
+        return "<no-interpreter>";
+      }
+      const uint32_t classes = static_cast<uint32_t>(interp_suffixes.size()) + 1;
+      const uint32_t lang = (atom - 1) / classes;
+      const uint32_t cls = (atom - 1) % classes;
+      oss << LangName(static_cast<int>(lang) + 1) << ":";
+      if (cls < interp_suffixes.size()) {
+        oss << "*" << interp_suffixes[cls];
+      } else {
+        oss << "<other-script>";
+      }
+      return oss.str();
+    }
+    default:
+      break;
+  }
+  if (dim >= kDimArgBase && dim < kDimFixedCount) {
+    const auto& pool = args[dim - kDimArgBase];
+    if (atom < pool.size()) {
+      return std::to_string(pool[atom]);
+    }
+    return "<other>";
+  }
+  const uint32_t rel = dim - kDimFixedCount;
+  if (rel < state_dims.size()) {
+    const auto& pool = state_dims[rel].values;
+    if (atom == 0) {
+      return "<absent>";
+    }
+    if (atom - 1 < pool.size()) {
+      return std::to_string(pool[atom - 1]);
+    }
+    return "<other-value>";
+  }
+  return atom != 0 ? "true" : "false";
+}
+
+std::string Universe::Witness(const Region& r) const {
+  std::ostringstream oss;
+  bool first = true;
+  for (uint32_t d = 0; d < r.dims.size(); ++d) {
+    // An unconstrained dimension adds nothing to the witness: any value of
+    // it lands in the region.
+    if (r.dims[d].IsAll()) {
+      continue;
+    }
+    if (!first) {
+      oss << " ";
+    }
+    first = false;
+    oss << DimName(d) << "=" << RenderAtom(d, r.dims[d].First(alphabets_[d]));
+  }
+  if (first) {
+    return "<any>";
+  }
+  return oss.str();
+}
+
+std::string Universe::Describe(const Region& r) const {
+  std::ostringstream oss;
+  bool first = true;
+  for (uint32_t d = 0; d < r.dims.size(); ++d) {
+    const DimSet& set = r.dims[d];
+    if (set.IsAll()) {
+      continue;
+    }
+    if (!first) {
+      oss << " ";
+    }
+    first = false;
+    oss << DimName(d) << (set.complement ? " !in {" : " in {");
+    for (size_t i = 0; i < set.atoms.size(); ++i) {
+      if (i > 0) {
+        oss << ",";
+      }
+      if (i == 4 && set.atoms.size() > 5) {
+        oss << "...+" << (set.atoms.size() - i);
+        break;
+      }
+      oss << RenderAtom(d, set.atoms[i]);
+    }
+    oss << "}";
+  }
+  if (first) {
+    return "<any>";
+  }
+  return oss.str();
+}
+
+void Universe::Seal() {
+  SortUnique(global_offsets);
+  uint32_t next = 0;
+  for (EptProg& prog : progs) {
+    prog.offsets.insert(prog.offsets.end(), global_offsets.begin(),
+                        global_offsets.end());
+    SortUnique(prog.offsets);
+    prog.atom_base = next;
+    next += static_cast<uint32_t>(prog.offsets.size()) + 1;
+  }
+  ept_other_base = next;
+  next += static_cast<uint32_t>(global_offsets.size()) + 1;
+  ept_invalid = next;
+  ept_atom_count = next + 1;
+
+  SortUnique(inos);
+  for (auto& pool : args) {
+    SortUnique(pool);
+  }
+  std::sort(interp_suffixes.begin(), interp_suffixes.end());
+  interp_suffixes.erase(
+      std::unique(interp_suffixes.begin(), interp_suffixes.end()),
+      interp_suffixes.end());
+  for (StateDim& dim : state_dims) {
+    SortUnique(dim.values);
+  }
+
+  alphabets_.assign(dim_count(), 0);
+  alphabets_[kDimSubject] = n_sids;
+  alphabets_[kDimObject] = n_sids;
+  alphabets_[kDimEpt] = ept_atom_count;
+  alphabets_[kDimIno] = static_cast<uint32_t>(inos.size()) + 1;
+  alphabets_[kDimInterp] = interp_atom_count();
+  for (int i = 0; i < kNumArgDims; ++i) {
+    alphabets_[kDimArgBase + i] = static_cast<uint32_t>(args[i].size()) + 1;
+  }
+  for (size_t i = 0; i < state_dims.size(); ++i) {
+    alphabets_[StateDimIndex(i)] =
+        static_cast<uint32_t>(state_dims[i].values.size()) + 2;
+  }
+  for (size_t i = 0; i < opaque_ids.size(); ++i) {
+    alphabets_[OpaqueDimIndex(i)] = 2;
+  }
+}
+
+std::shared_ptr<const Universe> BuildUniverse(
+    const std::vector<const CompiledRuleset*>& rulesets,
+    const sim::MacPolicy& policy) {
+  auto u = std::make_shared<Universe>();
+  u->policy = &policy;
+  u->n_sids = static_cast<uint32_t>(policy.labels().size());
+  u->sid_names.reserve(u->n_sids);
+  for (uint32_t sid = 0; sid < u->n_sids; ++sid) {
+    u->sid_names.push_back(policy.labels().Name(sid));
+  }
+
+  Pools pools;
+  Collector collector(*u, pools);
+  for (const CompiledRuleset* rs : rulesets) {
+    for (const auto& [name, chain] : rs->rules.filter().chains()) {
+      for (const auto& rule : chain.rules()) {
+        if (rule->has_program()) {
+          const uint64_t key = Universe::FileKey(rule->program_file);
+          auto [it, inserted] =
+              u->prog_index_.emplace(key, static_cast<uint32_t>(u->progs.size()));
+          if (inserted) {
+            u->progs.push_back(
+                {rule->program_file, rule->program, {}, 0});
+          }
+          if (rule->entrypoint) {
+            u->progs[it->second].offsets.push_back(*rule->entrypoint);
+          }
+        } else if (rule->entrypoint) {
+          u->global_offsets.push_back(*rule->entrypoint);
+        }
+        if (rule->ino) {
+          u->inos.push_back(*rule->ino);
+        }
+        for (const auto& match : rule->matches) {
+          collector.Visit(*match);
+        }
+        if (const auto* st =
+                dynamic_cast<const StateTarget*>(rule->target.get())) {
+          if (!pools.state_values.count(st->key)) {
+            pools.state_order.push_back(st->key);
+          }
+          auto& values = pools.state_values[st->key];
+          if (!st->unset) {
+            if (st->value.is_var) {
+              u->exact_state = false;
+              pools.var_set_keys.insert(st->key);
+            } else {
+              values.insert(st->value.literal);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (const std::string& key : pools.state_order) {
+    u->state_index_.emplace(key, static_cast<uint32_t>(u->state_dims.size()));
+    const auto& values = pools.state_values[key];
+    u->state_dims.push_back(
+        {key, std::vector<int64_t>(values.begin(), values.end())});
+  }
+  for (std::string& id : pools.opaque_order) {
+    u->opaque_index_.emplace(id, static_cast<uint32_t>(u->opaque_ids.size()));
+    u->opaque_ids.push_back(std::move(id));
+  }
+  // STATE checks on keys written from variables: slot contents after such a
+  // write are unknown, so each check becomes its own uninterpreted predicate
+  // (sound: regions split on both outcomes; witnesses lose slot precision).
+  for (const auto& [module, key] : pools.state_checks) {
+    if (!pools.var_set_keys.count(key) ||
+        u->unknown_slot_dims_.count(module) != 0) {
+      continue;
+    }
+    const uint32_t index = static_cast<uint32_t>(u->opaque_ids.size());
+    u->unknown_slot_dims_.emplace(module, index);
+    u->opaque_ids.push_back("STATE?" + key + "#" + std::to_string(index));
+  }
+
+  u->Seal();
+  return u;
+}
+
+}  // namespace pf::analysis::symbolic

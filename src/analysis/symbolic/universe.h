@@ -1,0 +1,179 @@
+// The finite atom universe of the symbolic decision-space model.
+//
+// Every input Engine::Authorize can read is mapped onto a finite alphabet of
+// atoms per dimension, derived from the constants the rule base(s) mention:
+// two concrete decision tuples that fall into the same atom on every
+// dimension are indistinguishable to every rule, so a partition over atoms
+// is a partition over the full concrete space. Dimensions:
+//
+//   subject   one atom per interned MAC label (exact: task sids are interned)
+//   object    one atom per interned MAC label
+//   ept       entrypoint classes: one atom per mentioned (program, offset)
+//             pair, one "other offset" atom per mentioned program, the
+//             mentioned program-less offsets under an "other program" class,
+//             one "any other program" atom, and one "invalid stack" atom
+//   ino       mentioned --ino values plus "any other inode number"
+//   interp    innermost interpreter frame: "no frame" plus, per language,
+//             one atom per maximal mentioned script-suffix class plus "no
+//             mentioned suffix matches"
+//   arg0..4   mentioned SYSCALL_ARGS values per arg index plus "other" (the
+//             canonical interval form: each atom is a point or the residual
+//             interval between mentioned points)
+//   STATE[k]  initial dictionary value per mentioned key: "absent",
+//             mentioned literals, "any other value"
+//   opaque    one boolean dimension per uninterpreted predicate (COMPARE on
+//             variables, SIGNAL_MATCH's handler test, native extension
+//             matches), keyed by Name()+Render()
+//
+// A universe built jointly over two rule bases (BuildUniverse with both)
+// makes their models directly comparable region-by-region — pfdiff's
+// alignment step.
+#ifndef SRC_ANALYSIS_SYMBOLIC_UNIVERSE_H_
+#define SRC_ANALYSIS_SYMBOLIC_UNIVERSE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/symbolic/region.h"
+#include "src/core/engine.h"
+#include "src/sim/mac_policy.h"
+
+namespace pf::analysis::symbolic {
+
+// Fixed dimension indices; state and opaque dimensions follow.
+inline constexpr uint32_t kDimSubject = 0;
+inline constexpr uint32_t kDimObject = 1;
+inline constexpr uint32_t kDimEpt = 2;
+inline constexpr uint32_t kDimIno = 3;
+inline constexpr uint32_t kDimInterp = 4;
+inline constexpr uint32_t kDimArgBase = 5;  // args 0..4 -> dims 5..9
+inline constexpr uint32_t kDimFixedCount = 10;
+inline constexpr int kNumArgDims = 5;
+inline constexpr int kNumInterpLangs = 3;  // php, python, bash
+
+class Universe {
+ public:
+  struct EptProg {
+    sim::FileId file;
+    std::string path;                // as written in the first mentioning rule
+    std::vector<uint64_t> offsets;   // sorted: mentioned with this program,
+                                     // plus all program-less offsets
+    uint32_t atom_base = 0;          // atoms [base, base+offsets.size()]:
+                                     // per-offset atoms then "other offset"
+  };
+
+  struct StateDim {
+    std::string key;
+    std::vector<int64_t> values;  // sorted mentioned literals
+    // atoms: 0 = absent, 1+i = values[i], last = any other value
+  };
+
+  const sim::MacPolicy* policy = nullptr;
+  uint32_t n_sids = 0;
+  std::vector<std::string> sid_names;
+
+  std::vector<EptProg> progs;
+  std::vector<uint64_t> global_offsets;  // sorted; from program-less -i rules
+  uint32_t ept_other_base = 0;  // pseudo-program "any other program"
+  uint32_t ept_invalid = 0;     // unusable/absent stack
+  uint32_t ept_atom_count = 0;
+
+  std::vector<uint64_t> inos;                        // sorted
+  std::array<std::vector<int64_t>, kNumArgDims> args;  // sorted per index
+  std::vector<std::string> interp_suffixes;          // sorted, unique
+  std::vector<StateDim> state_dims;
+  std::vector<std::string> opaque_ids;
+
+  // True when every STATE --set value in the source rule bases is a literal;
+  // variable-valued sets make checked slots uninterpreted dimensions (the
+  // partition stays sound but loses slot-value precision).
+  bool exact_state = true;
+
+  uint32_t dim_count() const {
+    return kDimFixedCount + static_cast<uint32_t>(state_dims.size()) +
+           static_cast<uint32_t>(opaque_ids.size());
+  }
+  uint32_t StateDimIndex(size_t i) const {
+    return kDimFixedCount + static_cast<uint32_t>(i);
+  }
+  uint32_t OpaqueDimIndex(size_t i) const {
+    return kDimFixedCount + static_cast<uint32_t>(state_dims.size()) +
+           static_cast<uint32_t>(i);
+  }
+  // Alphabet size per dimension, indexable by any dim id.
+  const std::vector<uint32_t>& alphabets() const { return alphabets_; }
+  uint32_t interp_atom_count() const {
+    return 1 + kNumInterpLangs *
+                   (static_cast<uint32_t>(interp_suffixes.size()) + 1);
+  }
+
+  // --- atom lookup (concrete value -> atom) ---
+  uint32_t AtomForSid(sim::Sid sid) const { return sid; }
+  uint32_t AtomForEpt(bool valid, sim::FileId image, uint64_t offset) const;
+  uint32_t AtomForIno(uint64_t ino) const;
+  uint32_t AtomForArg(int arg, int64_t value) const;
+  // lang == kNone means no interpreter frame.
+  uint32_t AtomForInterp(sim::InterpLang lang, const std::string& script) const;
+  // nullopt = key absent from the dictionary.
+  uint32_t AtomForState(size_t state_dim, std::optional<int64_t> value) const;
+
+  std::optional<uint32_t> FindStateDim(const std::string& key) const;
+  std::optional<uint32_t> FindOpaqueDim(const std::string& id) const;
+  // Opaque dimension standing in for a STATE check on a slot whose value was
+  // set from a variable operand (keyed per check-module instance). Empty
+  // unless the source base writes that key from a variable.
+  std::optional<uint32_t> UnknownSlotDim(const void* match_module) const;
+
+  // --- membership (constraint -> atom set) ---
+  // Entrypoint atoms matched by a rule's -p/-i operands (invalid excluded).
+  DimSet EptMembers(bool has_program, sim::FileId file,
+                    std::optional<uint64_t> offset) const;
+  // Atoms of the interp dimension matched by INTERP --script/--lang.
+  DimSet InterpMembers(const std::string& suffix,
+                       std::optional<sim::InterpLang> lang) const;
+  // Label-set expansion (exactly LabelSet::MatchesSubject/MatchesObject over
+  // every interned sid).
+  DimSet ExpandSubject(const core::LabelSet& set) const;
+  DimSet ExpandObject(const core::LabelSet& set) const;
+
+  // --- rendering (atom -> human-readable witness value) ---
+  std::string RenderAtom(uint32_t dim, uint32_t atom) const;
+  std::string DimName(uint32_t dim) const;
+  // One concrete representative tuple of the region, e.g.
+  // "subject=httpd_t entrypoint=/usr/sbin/httpd+0x832 object=shadow_t".
+  std::string Witness(const Region& r) const;
+  // The region itself: every constrained dimension's atom set.
+  std::string Describe(const Region& r) const;
+
+ private:
+  friend std::shared_ptr<const Universe> BuildUniverse(
+      const std::vector<const core::CompiledRuleset*>& rulesets,
+      const sim::MacPolicy& policy);
+
+  void Seal();  // sorts pools, assigns atom bases, fills alphabets_
+
+  std::vector<uint32_t> alphabets_;
+  std::unordered_map<uint64_t, uint32_t> prog_index_;  // FileId -> progs idx
+  std::unordered_map<std::string, uint32_t> state_index_;
+  std::unordered_map<std::string, uint32_t> opaque_index_;
+  std::unordered_map<const void*, uint32_t> unknown_slot_dims_;
+
+  static uint64_t FileKey(sim::FileId id) {
+    return (static_cast<uint64_t>(id.dev) << 48) ^ id.ino;
+  }
+};
+
+// Builds the joint universe of one or more compiled rule bases (filter
+// table: the chains Engine::Authorize traverses) against the MAC policy.
+std::shared_ptr<const Universe> BuildUniverse(
+    const std::vector<const core::CompiledRuleset*>& rulesets,
+    const sim::MacPolicy& policy);
+
+}  // namespace pf::analysis::symbolic
+
+#endif  // SRC_ANALYSIS_SYMBOLIC_UNIVERSE_H_

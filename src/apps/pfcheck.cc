@@ -9,19 +9,31 @@
 //   pfcheck --library              analyze the shipped paper rule base
 //   pfcheck file.rules ...         analyze pftables-save format dumps
 //   pfcheck --json ...             machine-readable report (with timing)
+//   pfcheck --diff old.rules ...   also diff old.rules -> the analyzed base
+//
+// The pairwise shadow pass (analyzer.cc) is the fast heuristic tier; the
+// symbolic decision-space model (src/analysis/symbolic/) is the exact tier.
+// pfcheck runs both, reports the symbolic model's dead rules, and
+// cross-checks that every pairwise shadow finding is confirmed by the
+// symbolic pass — a violation is itself reported as an analyzer bug
+// ("analysis-mismatch").
 //
 // Exit status: 0 clean (or warnings only), 1 error-severity diagnostics,
 // 2 the rule base failed to load at all.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/symbolic/diff.h"
+#include "src/analysis/symbolic/model.h"
 #include "src/apps/programs.h"
 #include "src/apps/rule_library.h"
 #include "src/core/engine.h"
@@ -40,6 +52,7 @@ void PrintUsage(std::FILE* to) {
       "\n"
       "  --library   analyze the shipped paper rule base (R1-R12 + link rules)\n"
       "  --json      emit a JSON report with analysis timing\n"
+      "  --diff F    semantically diff rule base F against the analyzed base\n"
       "  rule-file   a pftables-save format dump (as produced by Save())\n",
       to);
 }
@@ -49,6 +62,7 @@ void PrintUsage(std::FILE* to) {
 int main(int argc, char** argv) {
   bool json = false;
   bool library = false;
+  std::string diff_path;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,6 +70,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--library") {
       library = true;
+    } else if (arg == "--diff" && i + 1 < argc) {
+      diff_path = argv[++i];
     } else if (arg == "-h" || arg == "--help") {
       PrintUsage(stdout);
       return 0;
@@ -118,6 +134,63 @@ int main(int argc, char** argv) {
   const double analysis_us =
       std::chrono::duration<double, std::micro>(t1 - t0).count() / kTimingIters;
 
+  // Symbolic decision-space model (the exact tier; DESIGN.md "Symbolic
+  // decision-space analysis"). Its dead-rule findings subsume the pairwise
+  // pass's shadow findings, which is asserted below as a cross-check.
+  namespace sym = pf::analysis::symbolic;
+  const sym::SymbolicModel model = sym::BuildModel(*compiled, engine->policy());
+  for (const sym::RuleLocusInfo& dead : model.dead) {
+    report.Add(pf::analysis::Severity::kWarning, "dead-rule",
+               {"filter", dead.chain, dead.pos},
+               "no request in the decision space can fire this rule "
+               "(symbolic analysis)");
+  }
+  // Cross-check: every pairwise shadow/unreachable finding claims its rule
+  // can never fire, so the exact pass must agree. A disagreement means one
+  // of the analyzers is wrong — surface it as an error on the spot.
+  if (!model.indeterminate) {
+    std::set<std::pair<std::string, std::size_t>> dead_set;
+    for (const sym::RuleLocusInfo& dead : model.dead) {
+      dead_set.emplace(dead.chain, dead.pos);
+    }
+    for (const pf::analysis::Diagnostic& d : report.diagnostics()) {
+      if ((d.code == "shadowed-rule" || d.code == "unreachable-rule") &&
+          d.locus.pos != 0 &&
+          dead_set.find({d.locus.chain, d.locus.pos}) == dead_set.end()) {
+        report.Add(pf::analysis::Severity::kError, "analysis-mismatch", d.locus,
+                   "pairwise pass reports '" + d.code +
+                       "' but the symbolic model proves the rule can fire");
+      }
+    }
+  }
+  report.Sort();
+
+  // Optional semantic diff: old base from --diff file, new base = analyzed.
+  sym::DiffResult diff;
+  bool have_diff = false;
+  if (!diff_path.empty()) {
+    std::ifstream in(diff_path);
+    if (!in) {
+      std::fprintf(stderr, "pfcheck: cannot open %s\n", diff_path.c_str());
+      return 2;
+    }
+    std::ostringstream dump;
+    dump << in.rdbuf();
+    pf::core::Engine old_engine(kernel, engine->config());
+    pf::core::Pftables old_front(&old_engine);
+    std::vector<std::string> lines;
+    std::istringstream stream(dump.str());
+    for (std::string line; std::getline(stream, line);) {
+      lines.push_back(line);
+    }
+    if (Status s = old_front.ExecAll(lines); !s.ok()) {
+      std::fprintf(stderr, "pfcheck: %s: %s\n", diff_path.c_str(), s.message().c_str());
+      return 2;
+    }
+    diff = sym::DiffRulesets(*old_engine.CompileRuleset(), *compiled, engine->policy());
+    have_diff = true;
+  }
+
   const pf::core::Table& filter = engine->ruleset().filter();
   const std::size_t rules = filter.total_rules();
   const std::size_t nchains = filter.chains().size();
@@ -146,6 +219,21 @@ int main(int argc, char** argv) {
         << ", \"tuples\": " << cstats.tuples
         << ", \"max_slice\": " << cstats.max_slice
         << ", \"residual_rules\": " << cstats.residual_rules << "}"
+        << ", \"symbolic\": {\"regions\": " << model.region_count
+        << ", \"max_op_regions\": " << model.max_op_regions
+        << ", \"dead_rules\": " << model.dead.size()
+        << ", \"analysis_us\": " << model.build_us
+        << ", \"indeterminate\": " << (model.indeterminate ? "true" : "false")
+        << ", \"exact_state\": " << (model.exact_state ? "true" : "false");
+    if (have_diff) {
+      // Embed the pfdiff object ({"pfdiff": {...}}) under "diff".
+      const std::string diff_json = sym::RenderDiffJson(diff);
+      const std::size_t open = diff_json.find('{', diff_json.find("\"pfdiff\""));
+      const std::size_t close = diff_json.rfind('}');
+      out << ", \"diff\": "
+          << diff_json.substr(open, diff_json.rfind('}', close - 1) + 1 - open);
+    }
+    out << "}"
         << ", \"errors\": " << report.errors()
         << ", \"warnings\": " << report.warnings()
         << ", \"diagnostics\": " << report.RenderJson() << "}}\n";
@@ -163,6 +251,16 @@ int main(int argc, char** argv) {
         rules, nchains, report.errors(), report.warnings(), analysis_us,
         verified ? "verified" : "REJECTED by verifier", verify_us, cstats.tables,
         cstats.tuples, cstats.max_slice, cstats.residual_rules);
+    std::printf(
+        "pfcheck: symbolic model: %zu region(s) (max %zu per op), %zu dead rule(s)%s%s "
+        "[%llu us]\n",
+        model.region_count, model.max_op_regions, model.dead.size(),
+        model.indeterminate ? ", INDETERMINATE" : "",
+        model.exact_state ? "" : ", inexact STATE",
+        static_cast<unsigned long long>(model.build_us));
+    if (have_diff) {
+      std::fputs(sym::RenderDiffText(diff).c_str(), stdout);
+    }
   }
   return report.HasErrors() || !verified ? 1 : 0;
 }

@@ -1,0 +1,229 @@
+// pfquery: policy queries over a rule base's symbolic decision space.
+//
+// Answers "what would the firewall decide for requests shaped like X?" by
+// intersecting a partial request description with the symbolic model's
+// partition (src/analysis/symbolic/): every overlapping region prints its
+// verdict, the rule that decides it, and one concrete witness request.
+// Reachability mode answers "which inputs can ever enter chain C?".
+//
+//   pfquery --library -o FILE_OPEN -d shadow_t     who can open shadow files?
+//   pfquery rules.dump -p /usr/bin/php5 --want drop
+//   pfquery --library --reach signal_chain          chain reachability
+//
+// Exit status: 0 query answered, 1 bad query (unknown label/program/op),
+// 2 the rule base failed to load.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/symbolic/query.h"
+#include "src/apps/programs.h"
+#include "src/apps/rule_library.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+
+namespace {
+
+void PrintUsage(std::FILE* to) {
+  std::fputs(
+      "usage: pfquery [--library | rule-file] [query...]\n"
+      "\n"
+      "query: [-o OP] [-s subject_label] [-d object_label] [-p program]\n"
+      "       [-i entrypoint] [--ino N] [--want allow|drop|indeterminate]\n"
+      "       [--reach chain] [--max N]\n"
+      "\n"
+      "Prints every decision-space region overlapping the query with its\n"
+      "verdict, deciding rule, and one concrete witness request. With\n"
+      "--reach, prints which ops/entrypoints/subjects can enter the chain.\n",
+      to);
+}
+
+std::optional<uint64_t> ParseNum(const std::string& token) {
+  try {
+    return std::stoull(token, nullptr, 0);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace sym = pf::analysis::symbolic;
+  bool library = false;
+  std::string file;
+  std::string reach_chain;
+  std::size_t max_matches = 32;
+  sym::QuerySpec spec;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pfquery: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--library") {
+      library = true;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg == "-o") {
+      const char* v = next("-o");
+      if (v == nullptr) return 1;
+      std::optional<pf::sim::Op> op = pf::sim::OpFromName(v);
+      if (!op) {
+        std::fprintf(stderr, "pfquery: unknown op %s\n", v);
+        return 1;
+      }
+      spec.op = *op;
+    } else if (arg == "-s") {
+      const char* v = next("-s");
+      if (v == nullptr) return 1;
+      spec.subject = v;
+    } else if (arg == "-d") {
+      const char* v = next("-d");
+      if (v == nullptr) return 1;
+      spec.object = v;
+    } else if (arg == "-p") {
+      const char* v = next("-p");
+      if (v == nullptr) return 1;
+      spec.program = v;
+    } else if (arg == "-i") {
+      const char* v = next("-i");
+      if (v == nullptr) return 1;
+      std::optional<uint64_t> n = ParseNum(v);
+      if (!n) {
+        std::fprintf(stderr, "pfquery: bad entrypoint %s\n", v);
+        return 1;
+      }
+      spec.entrypoint = *n;
+    } else if (arg == "--ino") {
+      const char* v = next("--ino");
+      if (v == nullptr) return 1;
+      std::optional<uint64_t> n = ParseNum(v);
+      if (!n) {
+        std::fprintf(stderr, "pfquery: bad inode %s\n", v);
+        return 1;
+      }
+      spec.ino = *n;
+    } else if (arg == "--want") {
+      const char* v = next("--want");
+      if (v == nullptr) return 1;
+      const std::string want = v;
+      if (want == "allow" || want == "ALLOW") {
+        spec.want = sym::OutcomeKind::kAllow;
+      } else if (want == "drop" || want == "DROP") {
+        spec.want = sym::OutcomeKind::kDrop;
+      } else if (want == "indeterminate" || want == "INDETERMINATE") {
+        spec.want = sym::OutcomeKind::kIndeterminate;
+      } else {
+        std::fprintf(stderr, "pfquery: --want allow|drop|indeterminate\n");
+        return 1;
+      }
+    } else if (arg == "--reach") {
+      const char* v = next("--reach");
+      if (v == nullptr) return 1;
+      reach_chain = v;
+    } else if (arg == "--max") {
+      const char* v = next("--max");
+      if (v == nullptr) return 1;
+      std::optional<uint64_t> n = ParseNum(v);
+      if (!n) return 1;
+      max_matches = static_cast<std::size_t>(*n);
+    } else if (!arg.empty() && arg[0] != '-') {
+      file = arg;
+    } else {
+      std::fprintf(stderr, "pfquery: unknown flag %s\n", arg.c_str());
+      PrintUsage(stderr);
+      return 1;
+    }
+  }
+  if (!library && file.empty()) {
+    library = true;
+  }
+
+  pf::sim::Kernel kernel(0x5eed);
+  pf::sim::BuildSysImage(kernel);
+  pf::apps::InstallPrograms(kernel);
+  pf::core::Engine engine(kernel, {});
+  pf::core::Pftables front(&engine);
+
+  std::vector<std::string> lines;
+  if (library) {
+    lines = pf::apps::RuleLibrary::DefaultRuleBase();
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "pfquery: cannot open %s\n", file.c_str());
+      return 2;
+    }
+    for (std::string line; std::getline(in, line);) {
+      lines.push_back(line);
+    }
+  }
+  if (pf::core::Status s = front.ExecAll(lines); !s.ok()) {
+    std::fprintf(stderr, "pfquery: load failed: %s\n", s.message().c_str());
+    return 2;
+  }
+
+  const sym::SymbolicModel model =
+      sym::BuildModel(*engine.CompileRuleset(), engine.policy());
+
+  if (!reach_chain.empty()) {
+    const sym::ReachResult reach = sym::ChainReachability(model, reach_chain);
+    if (!reach.found) {
+      std::fprintf(stderr, "pfquery: no such chain: %s\n", reach_chain.c_str());
+      return 1;
+    }
+    if (!reach.entered) {
+      std::printf("chain %s: unreachable (no request can enter it)\n",
+                  reach_chain.c_str());
+      return 0;
+    }
+    std::printf("chain %s: reachable\n  ops:", reach_chain.c_str());
+    for (const std::string& op : reach.ops) {
+      std::printf(" %s", op.c_str());
+    }
+    std::printf("\n  entrypoints:");
+    for (const std::string& e : reach.entrypoints) {
+      std::printf(" %s", e.c_str());
+    }
+    std::printf("\n  subjects:");
+    for (const std::string& s : reach.subjects) {
+      std::printf(" %s", s.c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  const sym::QueryResult result = sym::RunQuery(model, spec);
+  if (!result.ok) {
+    std::fprintf(stderr, "pfquery: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::size_t shown = 0;
+  for (const sym::QueryMatch& m : result.matches) {
+    if (shown++ >= max_matches) {
+      std::printf("... %zu more region(s)\n", result.matches.size() - max_matches);
+      break;
+    }
+    std::printf("%s %s (decided by %s)\n  witness: %s\n",
+                std::string(pf::sim::OpName(m.op)).c_str(),
+                std::string(sym::OutcomeName(m.outcome)).c_str(),
+                m.decided_by.c_str(), m.witness.c_str());
+    for (const std::string& effect : m.effects) {
+      std::printf("  effect: %s\n", effect.c_str());
+    }
+  }
+  std::printf("pfquery: %zu matching region(s) over %zu total [model %llu us]\n",
+              result.matches.size(), model.region_count,
+              static_cast<unsigned long long>(model.build_us));
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "src/core/engine.h"
 #include "src/core/program.h"
+#include "src/core/symbolize.h"
 #include "src/sim/syscall_nr.h"
 #include "src/sim/task.h"
 
@@ -534,6 +535,43 @@ bool InterpMatch::Lower(ProgramBuilder& b) const {
   insn.a = b.InternString(script_suffix);
   insn.aux = lang ? static_cast<uint16_t>(*lang) + 1 : 0;
   b.Emit(insn);
+  return true;
+}
+
+// --- symbolic lowering (src/analysis/symbolic) -------------------------------
+
+bool StateMatch::Symbolize(SymbolicSink& sink) const {
+  if (cmp && cmp->is_var) {
+    return false;  // variable comparison value: model as opaque
+  }
+  sink.StateCheck(key, cmp ? std::optional<int64_t>(cmp->literal) : std::nullopt,
+                  negate);
+  return true;
+}
+
+bool SignalMatch::Symbolize(SymbolicSink& sink) const {
+  // Handled-and-blockable is a property of the delivering task's handler
+  // table, outside the decision dimensions — but the op pin is exact.
+  sink.OpPin(sim::Op::kSignalDeliver);
+  sink.Opaque(Name(), Render());
+  return true;
+}
+
+bool SyscallArgsMatch::Symbolize(SymbolicSink& sink) const {
+  sink.SyscallArg(arg, value, negate);
+  return true;
+}
+
+bool CompareMatch::Symbolize(SymbolicSink& sink) const {
+  if (!v1.is_var && !v2.is_var) {
+    sink.Const((v1.literal == v2.literal) != negate);
+    return true;
+  }
+  return false;  // variable operands: model as opaque
+}
+
+bool InterpMatch::Symbolize(SymbolicSink& sink) const {
+  sink.Interp(script_suffix, lang);
   return true;
 }
 

@@ -45,6 +45,7 @@ class StateMatch : public MatchModule {
   CtxMask Needs() const override;
   bool Matches(Packet& pkt, Engine& engine) const override;
   bool Lower(ProgramBuilder& b) const override;
+  bool Symbolize(SymbolicSink& sink) const override;
   std::string Render() const override;
 
   std::string key;
@@ -60,6 +61,7 @@ class SignalMatch : public MatchModule {
   std::string_view Name() const override { return "SIGNAL_MATCH"; }
   bool Matches(Packet& pkt, Engine& engine) const override;
   bool Lower(ProgramBuilder& b) const override;
+  bool Symbolize(SymbolicSink& sink) const override;
   std::string Render() const override;
 };
 
@@ -72,6 +74,7 @@ class SyscallArgsMatch : public MatchModule {
   std::string_view Name() const override { return "SYSCALL_ARGS"; }
   bool Matches(Packet& pkt, Engine& engine) const override;
   bool Lower(ProgramBuilder& b) const override;
+  bool Symbolize(SymbolicSink& sink) const override;
   std::string Render() const override;
 
   int arg = 0;
@@ -91,6 +94,7 @@ class CompareMatch : public MatchModule {
   }
   bool Matches(Packet& pkt, Engine& engine) const override;
   bool Lower(ProgramBuilder& b) const override;
+  bool Symbolize(SymbolicSink& sink) const override;
   std::string Render() const override;
 
   Operand v1;
@@ -112,6 +116,7 @@ class InterpMatch : public MatchModule {
   // the shadowing analysis can exploit.
   bool Subsumes(const MatchModule& other) const override;
   bool Lower(ProgramBuilder& b) const override;
+  bool Symbolize(SymbolicSink& sink) const override;
   std::string Render() const override;
 
   std::string script_suffix;

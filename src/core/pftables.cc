@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <sstream>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/symbolic/diff.h"
 #include "src/core/modules.h"
 
 namespace pf::core {
@@ -341,6 +343,45 @@ Status Pftables::FlushBatch() {
   return Status::Ok();
 }
 
+Status Pftables::DiffAgainstFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Error("--diff: cannot read " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  // The "old" side loads into a scratch engine sharing this engine's kernel
+  // (same label registry, MAC policy, and program images — required for a
+  // joint symbolic universe) but never registered with it: nothing the file
+  // stages can ever serve a request.
+  Engine old_engine(engine_->kernel(), engine_->config());
+  Pftables old_front(&old_engine);
+  old_front.custom_matches_ = custom_matches_;
+  old_front.custom_targets_ = custom_targets_;
+  const size_t first = content.find_first_not_of(" \t\r\n");
+  Status load;
+  if (first != std::string::npos && content[first] == '*') {
+    load = old_front.Restore(content);
+  } else {
+    std::vector<std::string> lines;
+    std::istringstream stream(content);
+    for (std::string line; std::getline(stream, line);) {
+      lines.push_back(line);
+    }
+    load = old_front.ExecAll(lines);
+  }
+  if (!load.ok()) {
+    return Status::Error("--diff: loading " + path + ": " + load.message());
+  }
+  const std::shared_ptr<CompiledRuleset> oldrs = old_engine.CompileRuleset();
+  const std::shared_ptr<CompiledRuleset> newrs = engine_->CompileRuleset();
+  const analysis::symbolic::DiffResult diff =
+      analysis::symbolic::DiffRulesets(*oldrs, *newrs, engine_->policy());
+  std::fputs(analysis::symbolic::RenderDiffText(diff).c_str(), stdout);
+  return Status::Ok();
+}
+
 Status Pftables::Exec(const std::string& command) {
   std::vector<std::string> tokens;
   if (Status s = Tokenize(command, &tokens); !s.ok()) {
@@ -354,9 +395,13 @@ Status Pftables::Exec(const std::string& command) {
     ++i;
   }
 
-  // Global flags (--check and -t in either order) before the chain command.
+  // Global flags (--check, --diff, the widening gate, and -t in any order)
+  // before the chain command.
   std::string table_name = "filter";
   CheckMode check = CheckMode::kOff;
+  std::string diff_path;
+  bool widening_gate = false;
+  bool allow_widening = false;
   while (i < tokens.size()) {
     const std::string& t = tokens[i];
     if (t == "-t" && i + 1 < tokens.size()) {
@@ -371,18 +416,33 @@ Status Pftables::Exec(const std::string& command) {
         return Status::Error("--check mode must be 'error' or 'warn'");
       }
       ++i;
+    } else if (t == "--diff" && i + 1 < tokens.size()) {
+      diff_path = tokens[i + 1];
+      i += 2;
+    } else if (t == "--widening-gate") {
+      widening_gate = true;
+      ++i;
+    } else if (t == "--allow-widening") {
+      allow_widening = true;
+      ++i;
     } else {
       break;
     }
+  }
+  if (!diff_path.empty()) {
+    // `--diff old.rules` is a standalone report: the live base is the "new"
+    // side, the file the "old" side; no chain command follows.
+    return DiffAgainstFile(diff_path);
   }
   Table* table = engine_->ruleset().FindTable(table_name);
   if (table == nullptr) {
     return Status::Error("unknown table '" + table_name + "'");
   }
-  // Rollback copy for the --check=error gate, taken before any mutation
-  // (cheap: chains copy structurally, the Rule objects are shared).
+  // Rollback copy for the --check=error and --widening-gate gates, taken
+  // before any mutation (cheap: chains copy structurally, the Rule objects
+  // are shared).
   std::optional<RuleSet> backup;
-  if (check != CheckMode::kOff) {
+  if (check != CheckMode::kOff || widening_gate) {
     backup = engine_->ruleset();
   }
 
@@ -531,6 +591,35 @@ Status Pftables::Exec(const std::string& command) {
                  "residual=%u\n",
                  cstats.tables, cstats.tuples, cstats.max_slice, cstats.residual_rules);
   }
+  if (widening_gate && need_commit) {
+    // Semantic no-unintended-widening gate: diff the staged base against the
+    // generation actually serving requests. A DROP→ALLOW flip anywhere in
+    // the decision space vetoes the command transactionally — the staged
+    // edit rolls back and the published generation is never touched.
+    const std::shared_ptr<const CompiledRuleset> published = engine_->PublishedRuleset();
+    const std::shared_ptr<CompiledRuleset> staged = engine_->CompileRuleset();
+    if (published != nullptr) {
+      const analysis::symbolic::DiffResult diff =
+          analysis::symbolic::DiffRulesets(*published, *staged, engine_->policy());
+      if (diff.any_widening && !allow_widening) {
+        engine_->ruleset() = std::move(*backup);
+        ReindexAll(engine_->ruleset().filter());
+        std::string witness;
+        for (const auto& region : diff.regions) {
+          if (region.widening) {
+            witness = "  " + std::string(sim::OpName(region.op)) + ": " +
+                      std::string(analysis::symbolic::OutcomeName(region.from)) + " -> " +
+                      std::string(analysis::symbolic::OutcomeName(region.to)) + " at " +
+                      region.witness;
+            break;
+          }
+        }
+        return Status::Error(
+            "--widening-gate rejected the command: it widens access "
+            "(re-run with --allow-widening to override)\n" + witness);
+      }
+    }
+  }
   if (need_commit) {
     if (Status cs = CommitStaged(); !cs.ok()) {
       // The load-time verifier vetoed the compiled program: the published
@@ -552,10 +641,13 @@ Status Pftables::ExecAll(const std::vector<std::string>& commands) {
   Status result = Status::Ok();
   for (const std::string& cmd : commands) {
     Status s;
-    if (cmd.find("--check") != std::string::npos) {
-      // A --check line gates (and may roll back) the staged base, so every
-      // deferred edit must be reindexed and committed before it runs — and
-      // the line itself runs unbatched, keeping its gate-then-commit order.
+    if (cmd.find("--check") != std::string::npos ||
+        cmd.find("--widening-gate") != std::string::npos ||
+        cmd.find("--diff") != std::string::npos) {
+      // A --check or --widening-gate line gates (and may roll back) the
+      // staged base, and a --diff line compiles it, so every deferred edit
+      // must be reindexed and committed before it runs — and the line itself
+      // runs unbatched, keeping its gate-then-commit order.
       batching_ = false;
       s = FlushBatch();
       if (s.ok()) {

@@ -59,6 +59,19 @@ class Pftables {
   // annotated rule files can be fed line by line. A `--check[=error|warn]`
   // flag before the chain command runs the static analyzer over the
   // resulting rule base; see CheckMode.
+  //
+  // Symbolic decision-space flags (src/analysis/symbolic/):
+  //   --diff <path>      Standalone: loads <path> (a Save() dump or a file
+  //                      of pftables lines) into a scratch engine and prints
+  //                      the semantic diff old→live — the exact regions of
+  //                      the decision space where the two bases decide
+  //                      differently. No chain command follows.
+  //   --widening-gate    Before committing a mutating command, diffs the
+  //                      staged base against the published generation and
+  //                      rejects the command transactionally if any region
+  //                      flips toward ALLOW (the staged edit rolls back, the
+  //                      published generation is untouched).
+  //   --allow-widening   Overrides the gate for an intended widening.
   Status Exec(const std::string& command);
 
   // Executes many commands as one batch: the per-chain reindex and the
@@ -113,6 +126,7 @@ class Pftables {
 
  private:
   Status ParseLabelSet(const std::string& token, LabelSet* out);
+  Status DiffAgainstFile(const std::string& path);
   Status ParseRule(const std::vector<std::string>& tokens, size_t from, Rule* rule);
   void ReindexAll(Table& table);
   void Reindex(Table& table);           // batch-aware: defers while batching

@@ -22,6 +22,7 @@ namespace pf::core {
 
 class Engine;
 class ProgramBuilder;  // program.h
+class SymbolicSink;    // symbolize.h
 
 using CtxMask = uint32_t;
 
@@ -73,6 +74,14 @@ class MatchModule {
   // return false — makes the lowering pass emit a kMatchNative escape that
   // dispatches back into this object, so extension modules work unmodified.
   virtual bool Lower(ProgramBuilder&) const { return false; }
+  // Symbolic-lowering hook for the decision-space analyzer
+  // (src/analysis/symbolic), alongside Lower()/Subsumes(): describe the
+  // accepted set as per-dimension constraints on the sink and return true.
+  // The default — return false — makes the analyzer model the module as an
+  // uninterpreted boolean dimension keyed by Name()+Render(): every region
+  // is split on both outcomes, which stays sound (extension modules work
+  // unmodified) but proves less shadowing and yields abstract witnesses.
+  virtual bool Symbolize(SymbolicSink&) const { return false; }
   virtual std::string Render() const = 0;
 };
 

@@ -1,0 +1,63 @@
+// Symbolic-lowering sink for the decision-space analyzer
+// (src/analysis/symbolic). MatchModule::Symbolize() describes a module's
+// accepted packet set as a conjunction of per-dimension constraints against
+// this interface, mirroring how Lower() describes its evaluation as program
+// instructions. The analyzer implements the sink twice: once to collect the
+// constants that define the finite atom universe, once to build the actual
+// per-rule conjunction.
+//
+// A module that cannot express itself exactly must return false from
+// Symbolize() (the analyzer then models it as an uninterpreted boolean
+// dimension keyed by Name()+Render(), which keeps the partition sound but
+// proves less), or call Opaque() for just the inexpressible residue.
+#ifndef SRC_CORE_SYMBOLIZE_H_
+#define SRC_CORE_SYMBOLIZE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/sim/lsm.h"
+#include "src/sim/task.h"
+
+namespace pf::core {
+
+class SymbolicSink {
+ public:
+  virtual ~SymbolicSink() = default;
+
+  // STATE --key K [--cmp literal] [--nequal]: the per-task dictionary holds
+  // K and its value compares to the literal (no literal: any value present).
+  // An absent key never matches, negated or not. Variable-valued --cmp
+  // operands must not be symbolized this way — return false instead.
+  virtual void StateCheck(const std::string& key, std::optional<int64_t> cmp,
+                          bool negate) = 0;
+
+  // SYSCALL_ARGS --arg N --equal/--nequal V. Arg 0 is the syscall number,
+  // args 1..4 the syscall arguments.
+  virtual void SyscallArg(int arg, int64_t value, bool negate) = 0;
+
+  // INTERP [--script SUFFIX] [--lang L]: the innermost interpreter frame's
+  // script path ends with SUFFIX (empty: any script) in language L (unset:
+  // any language). Requires an interpreter frame to exist at all.
+  virtual void Interp(const std::string& suffix,
+                      std::optional<sim::InterpLang> lang) = 0;
+
+  // The module can only accept requests of this operation (e.g. SIGNAL_MATCH
+  // pins kSignalDeliver). Composes with the rule's own -o operand.
+  virtual void OpPin(sim::Op op) = 0;
+
+  // The module's result is a constant, independent of the decision tuple
+  // (e.g. COMPARE of two literals).
+  virtual void Const(bool result) = 0;
+
+  // An uninterpreted boolean predicate, keyed by (module name, render).
+  // Predicates with equal keys are the same dimension, so render-equal
+  // opaque modules still shadow each other exactly.
+  virtual void Opaque(std::string_view name, const std::string& render) = 0;
+};
+
+}  // namespace pf::core
+
+#endif  // SRC_CORE_SYMBOLIZE_H_

@@ -1,0 +1,264 @@
+// Symbolic decision-space model: exactness corners the pairwise analyzer
+// cannot reach, the pairwise-is-a-subset cross-check, the pftables
+// --widening-gate transaction, and the semantic diff / query consumers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/symbolic/diff.h"
+#include "src/analysis/symbolic/model.h"
+#include "src/analysis/symbolic/query.h"
+#include "src/apps/programs.h"
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "src/sim/sysimage.h"
+
+namespace pf::analysis::symbolic {
+namespace {
+
+class SymbolicModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = std::make_unique<sim::Kernel>(0x5eed);
+    sim::BuildSysImage(*kernel_);
+    apps::InstallPrograms(*kernel_);
+    engine_ = core::InstallProcessFirewall(*kernel_);
+    pft_ = std::make_unique<core::Pftables>(engine_);
+  }
+
+  void Install(const std::vector<std::string>& rules) {
+    core::Status s = pft_->ExecAll(rules);
+    ASSERT_TRUE(s.ok()) << s.message();
+  }
+
+  SymbolicModel Model() {
+    return BuildModel(*engine_->CompileRuleset(), engine_->policy());
+  }
+
+  // A task whose subject label is `label`, with no stack frames (invalid
+  // entrypoint) so entrypoint-pinned rules never match it.
+  std::unique_ptr<sim::Task> MakeTask(const std::string& label) {
+    auto task = std::make_unique<sim::Task>();
+    task->pid = next_pid_++;
+    task->comm = "symtest";
+    task->exe = sim::kBinTrue;
+    task->cred.sid = kernel_->labels().Intern(label);
+    task->cwd = kernel_->vfs().root()->id();
+    task->mm.Reset(kernel_->AslrStackBase());
+    return task;
+  }
+
+  int64_t OpenEtcPasswd(sim::Task& task) {
+    auto inode = kernel_->LookupNoHooks("/etc/passwd");
+    sim::AccessRequest req;
+    req.task = &task;
+    req.op = sim::Op::kFileOpen;
+    req.inode = inode.get();
+    req.id = inode->id();
+    req.syscall_nr = sim::SyscallNr::kOpen;
+    return engine_->Authorize(req);
+  }
+
+  std::unique_ptr<sim::Kernel> kernel_;
+  core::Engine* engine_ = nullptr;
+  std::unique_ptr<core::Pftables> pft_;
+  sim::Pid next_pid_ = 300;
+};
+
+std::set<std::pair<std::string, size_t>> DeadSet(const SymbolicModel& model) {
+  std::set<std::pair<std::string, size_t>> dead;
+  for (const RuleLocusInfo& info : model.dead) {
+    dead.emplace(info.chain, info.pos);
+  }
+  return dead;
+}
+
+// A rule shadowed only by the *union* of two earlier rules: no single
+// predecessor subsumes it, so the pairwise pass (a heuristic tier by design,
+// DESIGN.md) cannot see it — the symbolic partition must.
+TEST_F(SymbolicModelTest, UnionShadowingNeedsTheSymbolicPass) {
+  Install({
+      "pftables -A input -o FILE_OPEN -s {etc_t|tmp_t} -j DROP",
+      "pftables -A input -o FILE_OPEN -s {shadow_t|bin_t} -j DROP",
+      // Shadowed by rules 1+2 together, by neither alone.
+      "pftables -A input -o FILE_OPEN -s {etc_t|shadow_t} -j DROP",
+  });
+  const SymbolicModel model = Model();
+  ASSERT_FALSE(model.indeterminate);
+  EXPECT_TRUE(DeadSet(model).count({"input", 3}))
+      << "symbolic pass must prove input:3 dead";
+
+  const AnalysisReport pairwise =
+      AnalyzeRuleset(*engine_->CompileRuleset(), engine_->policy());
+  for (const Diagnostic& d : pairwise.diagnostics()) {
+    EXPECT_FALSE((d.code == "shadowed-rule" || d.code == "unreachable-rule") &&
+                 d.locus.chain == "input" && d.locus.pos == 3)
+        << "pairwise pass unexpectedly proves union shadowing: " << d.message;
+  }
+}
+
+// Aggregate cross-check on a base with both kinds of dead rule: every
+// pairwise shadow finding is confirmed by the symbolic pass (subset), and
+// the subset is strict (the union-shadowed rule is symbolic-only).
+TEST_F(SymbolicModelTest, PairwiseFindingsAreAStrictSubsetOfSymbolicDead) {
+  Install({
+      "pftables -A input -o FILE_OPEN -s {etc_t|tmp_t} -j DROP",
+      "pftables -A input -o FILE_OPEN -s {shadow_t|bin_t} -j DROP",
+      "pftables -A input -o FILE_OPEN -s {etc_t|shadow_t} -j DROP",
+      // Pairwise-visible: identical to rule 1.
+      "pftables -A input -o FILE_OPEN -s {etc_t|tmp_t} -j DROP",
+  });
+  const SymbolicModel model = Model();
+  ASSERT_FALSE(model.indeterminate);
+  const auto dead = DeadSet(model);
+
+  const AnalysisReport pairwise =
+      AnalyzeRuleset(*engine_->CompileRuleset(), engine_->policy());
+  size_t pairwise_findings = 0;
+  for (const Diagnostic& d : pairwise.diagnostics()) {
+    if (d.code == "shadowed-rule" || d.code == "unreachable-rule") {
+      ++pairwise_findings;
+      EXPECT_TRUE(dead.count({d.locus.chain, d.locus.pos}))
+          << "pairwise finding at " << d.locus.Render()
+          << " not confirmed by the symbolic pass";
+    }
+  }
+  EXPECT_GE(pairwise_findings, 1u) << "expected the identical-rule shadow";
+  EXPECT_GT(dead.size(), pairwise_findings)
+      << "symbolic dead set should strictly contain the pairwise findings";
+  EXPECT_TRUE(dead.count({"input", 3}));
+  EXPECT_TRUE(dead.count({"input", 4}));
+}
+
+// The --widening-gate vetoes a DROP -> ALLOW flip transactionally: the
+// staged edit rolls back and the previously published generation keeps
+// serving (the probe request still drops), while narrowing edits and
+// --allow-widening overrides pass.
+TEST_F(SymbolicModelTest, WideningGateIsTransactional) {
+  ASSERT_TRUE(pft_->Exec("pftables -A input -o FILE_OPEN -s etc_t -j DROP").ok());
+  auto task = MakeTask("etc_t");
+  ASSERT_LT(OpenEtcPasswd(*task), 0) << "probe must drop before the edit";
+
+  // Deleting the deny rule widens: rejected, nothing changes.
+  core::Status s = pft_->Exec("pftables --widening-gate -D input 1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("widen"), std::string::npos) << s.message();
+  EXPECT_EQ(engine_->ruleset().filter().Find("input")->rules().size(), 1u)
+      << "staged base must roll back";
+  EXPECT_LT(OpenEtcPasswd(*task), 0) << "published generation must stay live";
+
+  // A narrowing edit passes the gate.
+  EXPECT_TRUE(pft_->Exec("pftables --widening-gate -A input -o SOCKET_BIND -j DROP").ok());
+
+  // The override applies the widening.
+  EXPECT_TRUE(pft_->Exec("pftables --widening-gate --allow-widening -D input 1").ok());
+  EXPECT_EQ(OpenEtcPasswd(*task), 0) << "widened base must now allow";
+}
+
+// Semantic diff: deleting one deny rule yields exactly one DROP -> ALLOW
+// widening region; a pure reordering of disjoint rules diffs empty.
+TEST_F(SymbolicModelTest, DiffFindsExactlyTheDeletedDenyRegion) {
+  core::Engine old_engine(*kernel_, {});
+  core::Engine new_engine(*kernel_, {});
+  core::Pftables old_pft(&old_engine);
+  core::Pftables new_pft(&new_engine);
+  const std::vector<std::string> base = {
+      "pftables -A input -o FILE_OPEN -d shadow_t -j DROP",
+      "pftables -A input -o SOCKET_BIND -s user_t -j DROP",
+  };
+  ASSERT_TRUE(old_pft.ExecAll(base).ok());
+  ASSERT_TRUE(new_pft.ExecAll({base[0]}).ok());  // rule 2 deleted
+
+  const DiffResult diff = DiffRulesets(*old_engine.CompileRuleset(),
+                                       *new_engine.CompileRuleset(),
+                                       old_engine.policy());
+  ASSERT_EQ(diff.regions.size(), 1u);
+  EXPECT_EQ(diff.regions[0].op, sim::Op::kSocketBind);
+  EXPECT_EQ(diff.regions[0].from, OutcomeKind::kDrop);
+  EXPECT_EQ(diff.regions[0].to, OutcomeKind::kAllow);
+  EXPECT_TRUE(diff.regions[0].widening);
+  EXPECT_TRUE(diff.any_widening);
+  EXPECT_FALSE(diff.regions[0].witness.empty());
+
+  core::Engine reordered(*kernel_, {});
+  core::Pftables reordered_pft(&reordered);
+  ASSERT_TRUE(reordered_pft.ExecAll({base[1], base[0]}).ok());
+  const DiffResult noop = DiffRulesets(*old_engine.CompileRuleset(),
+                                       *reordered.CompileRuleset(),
+                                       old_engine.policy());
+  EXPECT_TRUE(noop.regions.empty())
+      << "reordering disjoint rules must diff semantically empty";
+  EXPECT_FALSE(noop.any_widening);
+}
+
+// pftables --diff loads the old base from a file and reports standalone.
+TEST_F(SymbolicModelTest, PftablesDiffFlagRuns) {
+  Install({"pftables -A input -o FILE_OPEN -d shadow_t -j DROP"});
+  const std::string path = ::testing::TempDir() + "/pfdiff_old.rules";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("pftables -A input -o FILE_OPEN -d shadow_t -j DROP\n"
+               "pftables -A input -o SOCKET_BIND -j DROP\n", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(pft_->Exec("pftables --diff " + path).ok());
+}
+
+// Queries answer partial concretizations with verdicts and witnesses, and
+// reject unknown labels with an error instead of an empty result.
+TEST_F(SymbolicModelTest, QueriesIntersectThePartition) {
+  Install({
+      "pftables -A input -o FILE_OPEN -s user_t -d shadow_t -j DROP",
+      "pftables -N audit",
+      "pftables -A input -o SOCKET_BIND -j audit",
+      "pftables -A audit -s user_t -j DROP",
+  });
+  const SymbolicModel model = Model();
+
+  QuerySpec spec;
+  spec.op = sim::Op::kFileOpen;
+  spec.subject = "user_t";
+  spec.object = "shadow_t";
+  const QueryResult result = RunQuery(model, spec);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_FALSE(result.matches.empty());
+  bool saw_drop = false;
+  for (const QueryMatch& m : result.matches) {
+    if (m.outcome == OutcomeKind::kDrop) {
+      saw_drop = true;
+      EXPECT_EQ(m.decided_by, "input:1");
+      EXPECT_FALSE(m.witness.empty());
+    }
+  }
+  EXPECT_TRUE(saw_drop);
+
+  QuerySpec want_drop = spec;
+  want_drop.want = OutcomeKind::kDrop;
+  const QueryResult only_drop = RunQuery(model, want_drop);
+  ASSERT_TRUE(only_drop.ok);
+  for (const QueryMatch& m : only_drop.matches) {
+    EXPECT_EQ(m.outcome, OutcomeKind::kDrop);
+  }
+
+  QuerySpec bad;
+  bad.subject = "no_such_label_t";
+  EXPECT_FALSE(RunQuery(model, bad).ok);
+
+  const ReachResult reach = ChainReachability(model, "audit");
+  ASSERT_TRUE(reach.found);
+  EXPECT_TRUE(reach.entered);
+  ASSERT_EQ(reach.ops.size(), 1u);
+  EXPECT_EQ(reach.ops[0], "SOCKET_BIND");
+  EXPECT_FALSE(ChainReachability(model, "nonexistent").found);
+}
+
+}  // namespace
+}  // namespace pf::analysis::symbolic

@@ -1,0 +1,172 @@
+// Rule-language corners at operand extremes: Tokenize() quoting edges, the
+// empty label set as a parse error, the full-width sid set, and every
+// builtin match module round-tripped through Save()/Restore() with extremal
+// operand values (SYSCALL_ARGS values span the whole int64 range, --ino the
+// whole uint64 range). A dump that re-parses into a different rule base —
+// or fails to re-parse at all — would silently change enforcement on the
+// next pftables-restore, so each case asserts dump == Save(Restore(dump)).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/pftables.h"
+#include "tests/testutil.h"
+
+namespace pf::core {
+namespace {
+
+class TokenizeExtremalTest : public pf::testing::SimTest {
+ protected:
+  TokenizeExtremalTest() : engine_(InstallProcessFirewall(kernel())), pft_(engine_) {}
+
+  // Installs one rule, then proves the save dump re-installs to the
+  // byte-identical dump (the round trip is the idempotence fixed point).
+  void ExpectRoundTrips(const std::string& rule) {
+    ASSERT_TRUE(pft_.Exec("pftables -F").ok());
+    Status s = pft_.Exec(rule);
+    ASSERT_TRUE(s.ok()) << rule << ": " << s.message();
+    const std::string dump = pft_.Save();
+    ASSERT_TRUE(pft_.Exec("pftables -F").ok());
+    s = pft_.Restore(dump);
+    ASSERT_TRUE(s.ok()) << rule << ": restore failed: " << s.message() << "\n" << dump;
+    EXPECT_EQ(pft_.Save(), dump) << rule << ": dump is not a fixed point";
+  }
+
+  Engine* engine_;
+  Pftables pft_;
+};
+
+TEST_F(TokenizeExtremalTest, TokenizeHonorsQuotesAndRejectsUnterminated) {
+  std::vector<std::string> tokens;
+  ASSERT_TRUE(Pftables::Tokenize("a 'b c'  \"d\te\"", &tokens).ok());
+  EXPECT_EQ(tokens, (std::vector<std::string>{"a", "b c", "d\te"}));
+
+  // Adjacent quoted segments join into one token (shell semantics).
+  ASSERT_TRUE(Pftables::Tokenize("pre'fix'\"-post\"", &tokens).ok());
+  EXPECT_EQ(tokens, (std::vector<std::string>{"prefix-post"}));
+
+  // Empty quotes produce no token: "" is not an operand.
+  ASSERT_TRUE(Pftables::Tokenize("x '' y", &tokens).ok());
+  EXPECT_EQ(tokens, (std::vector<std::string>{"x", "y"}));
+
+  Status s = Pftables::Tokenize("pftables -A input -j 'DROP", &tokens);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unterminated single"), std::string::npos);
+  s = Pftables::Tokenize("pftables -m LOG --prefix \"oops", &tokens);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unterminated double"), std::string::npos);
+}
+
+TEST_F(TokenizeExtremalTest, EmptyLabelSetIsAParseError) {
+  Status s = pft_.Exec("pftables -A input -s {} -j DROP");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("empty label set"), std::string::npos) << s.message();
+
+  // The negated and destination forms fail identically; nothing half-parses.
+  EXPECT_FALSE(pft_.Exec("pftables -A input -s ~{} -j DROP").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -A input -d {} -j DROP").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -A input -s ~ -j DROP").ok());
+  EXPECT_EQ(engine_->ruleset().filter().total_rules(), 0u);
+
+  // An unterminated set is its own error, not an empty set.
+  s = pft_.Exec("pftables -A input -s {etc_t -j DROP");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unterminated label set"), std::string::npos);
+}
+
+TEST_F(TokenizeExtremalTest, MaximalSidSetRoundTrips) {
+  // Every label the system image interns, in one set, both polarities.
+  const std::vector<std::string> labels = {
+      "bin_t",         "etc_t",       "lib_t",
+      "ld_so_t",       "root_t",      "shadow_t",
+      "usr_t",         "var_t",       "tmp_t",
+      "user_t",        "user_home_t", "user_tmp_t",
+      "var_log_t",     "var_run_t",   "httpd_t",
+      "httpd_config_t", "init_t",     "sshd_t"};
+  std::string set = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    set += (i != 0 ? "|" : "") + labels[i];
+  }
+  set += "}";
+  ExpectRoundTrips("pftables -A input -o FILE_OPEN -s " + set + " -j DROP");
+  ExpectRoundTrips("pftables -A input -o FILE_OPEN -s ~" + set + " -j DROP");
+  ExpectRoundTrips("pftables -A input -s {SYSHIGH|user_t} -d SYSHIGH -j DROP");
+}
+
+TEST_F(TokenizeExtremalTest, SyscallArgsSpansInt64) {
+  ExpectRoundTrips("pftables -A input -m SYSCALL_ARGS --arg 0 --equal 0 -j DROP");
+  ExpectRoundTrips(
+      "pftables -A input -m SYSCALL_ARGS --arg 4 --equal 9223372036854775807 -j DROP");
+  ExpectRoundTrips(
+      "pftables -A input -m SYSCALL_ARGS --arg 1 --nequal -9223372036854775807 -j DROP");
+  // Symbolic syscall names resolve at parse time and re-render numerically.
+  ExpectRoundTrips("pftables -A input -m SYSCALL_ARGS --arg 0 --equal NR_open -j DROP");
+
+  EXPECT_FALSE(pft_.Exec("pftables -A input -m SYSCALL_ARGS --arg 5 --equal 0 -j DROP").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -A input -m SYSCALL_ARGS --arg 0 -j DROP").ok());
+  EXPECT_FALSE(
+      pft_.Exec("pftables -A input -m SYSCALL_ARGS --arg 0 --equal zzz -j DROP").ok());
+}
+
+TEST_F(TokenizeExtremalTest, InoSpansUint64) {
+  ExpectRoundTrips("pftables -A input -o FILE_OPEN --ino 0 -j DROP");
+  ExpectRoundTrips("pftables -A input -o FILE_OPEN --ino 18446744073709551615 -j DROP");
+  // Hex parses; the dump's decimal rendering must still round-trip.
+  ExpectRoundTrips("pftables -A input -o FILE_OPEN --ino 0xffffffffffffffff -j DROP");
+  EXPECT_FALSE(pft_.Exec("pftables -A input --ino 18446744073709551616 -j DROP").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -A input --ino -1 -j DROP").ok());
+}
+
+TEST_F(TokenizeExtremalTest, EntrypointSpansUint64) {
+  ExpectRoundTrips("pftables -A input -p /bin/true -i 0 -j DROP");
+  ExpectRoundTrips("pftables -A input -p /bin/true -i 0xffffffffffffffff -j DROP");
+  EXPECT_FALSE(pft_.Exec("pftables -A input -p /bin/true -i nope -j DROP").ok());
+}
+
+TEST_F(TokenizeExtremalTest, StateMatchAndTargetExtremes) {
+  ExpectRoundTrips("pftables -A input -m STATE --key k -j DROP");
+  ExpectRoundTrips(
+      "pftables -A input -m STATE --key k --cmp 9223372036854775807 -j DROP");
+  ExpectRoundTrips(
+      "pftables -A input -m STATE --key k --cmp -9223372036854775807 --nequal -j DROP");
+  ExpectRoundTrips("pftables -A input -m STATE --key k --cmp C_INO -j DROP");
+  ExpectRoundTrips(
+      "pftables -A input -j STATE --set --key k --value 9223372036854775807");
+  ExpectRoundTrips("pftables -A input -j STATE --unset --key k");
+  EXPECT_FALSE(pft_.Exec("pftables -A input -m STATE -j DROP").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -A input -j STATE --set --key k").ok());
+}
+
+TEST_F(TokenizeExtremalTest, CompareInterpAndSignalMatchExtremes) {
+  ExpectRoundTrips("pftables -A input -m COMPARE --v1 C_UID --v2 0 -j DROP");
+  ExpectRoundTrips(
+      "pftables -A input -m COMPARE --v1 9223372036854775807 --v2 "
+      "-9223372036854775807 --nequal -j DROP");
+  ExpectRoundTrips("pftables -A input -m COMPARE --v1 C_INO --v2 C_UID -j DROP");
+  ExpectRoundTrips("pftables -A input -m INTERP --lang php -j DROP");
+  ExpectRoundTrips("pftables -A input -m INTERP --script .php -j DROP");
+  ExpectRoundTrips(
+      "pftables -A input -m INTERP --script /var/www/upload/a.php --lang php -j DROP");
+  ExpectRoundTrips(
+      "pftables -A input -o PROCESS_SIGNAL_DELIVERY -m SIGNAL_MATCH -j DROP");
+  EXPECT_FALSE(pft_.Exec("pftables -A input -m COMPARE --v1 C_UID -j DROP").ok());
+  EXPECT_FALSE(pft_.Exec("pftables -A input -m INTERP -j DROP").ok());
+  EXPECT_FALSE(
+      pft_.Exec("pftables -A input -m SIGNAL_MATCH --sig 9 -j DROP").ok());
+}
+
+TEST_F(TokenizeExtremalTest, LogPrefixQuotingRoundTrips) {
+  ExpectRoundTrips("pftables -A input -o FILE_OPEN -d shadow_t -j LOG --prefix audit0");
+  // A quoted prefix tokenizes as one operand.
+  ASSERT_TRUE(pft_.Exec("pftables -F").ok());
+  ASSERT_TRUE(pft_.Exec("pftables -A input -j LOG --prefix 'x'").ok());
+  EXPECT_NE(pft_.Save().find("--prefix x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pf::core
