@@ -235,8 +235,27 @@ void BM_CompileProgram(benchmark::State& state) {
   state.counters["arena_words"] = static_cast<double>(snap->program.arena.size());
   state.counters["classifier_ns"] =
       static_cast<double>(snap->program.classifier_build_ns);
+  state.counters["automata_ns"] = static_cast<double>(snap->program.automata_build_ns);
 }
 BENCHMARK(BM_CompileProgram)->Arg(128)->Arg(1218)->Arg(2048)->Arg(100000);
+
+// The same pipeline with the STATE-protocol automaton lowering pass (§5i)
+// ablated out. The delta against BM_CompileProgram at equal rule counts is
+// the commit-time price of making stateful decisions cacheable — a
+// reference number; the bench-smoke CI job gates the pass's self-timed
+// automata_ns share of BM_CompileProgram/1218 at <10%, which the
+// machine-noise between two separately-run benchmarks cannot corrupt.
+void BM_CompileProgramNoAutomata(benchmark::State& state) {
+  System sys;
+  sys.engine->config().automata = false;
+  sys.InstallRules(SyntheticRuleBase(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto snap = sys.engine->CompileRuleset();
+    benchmark::DoNotOptimize(snap->program.arena.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompileProgramNoAutomata)->Arg(128)->Arg(1218)->Arg(2048)->Arg(100000);
 
 // Incremental delta-commits: one-rule churn in a tiny `edits` chain against
 // a 100k-rule committed base. CommitRuleset detects the single dirty chain
@@ -359,6 +378,7 @@ void ReportVcacheRates(benchmark::State& state, const core::EngineStats& s) {
   state.counters["hit_rate"] = static_cast<double>(s.vcache_hits) / total;
   state.counters["miss_rate"] = static_cast<double>(s.vcache_misses) / total;
   state.counters["bypass_rate"] = static_cast<double>(s.vcache_bypasses) / total;
+  state.counters["state_hits"] = static_cast<double>(s.vcache_state_hits);
 }
 
 // The hot-path payoff: identical repeated access against the paper-sized
@@ -379,11 +399,16 @@ void BM_AuthorizeVerdictCache(benchmark::State& state) {
 }
 BENCHMARK(BM_AuthorizeVerdictCache)->Arg(0)->Arg(1);
 
-// Stateful rules force the bypass path: the cacheability analysis must pin
-// the whole bucket, so bypass_rate reports 1 and the cache adds only the
-// per-request cacheability check.
+// Stateful rules, with and without the automaton tier (the AUTOMATA ablation
+// rung). Arg(0): the lowering pass is off, the cacheability analysis pins
+// the whole bucket, bypass_rate reports 1 and the cache adds only the
+// per-request check. Arg(1): the STATE-set rule lowers, the verdict is keyed
+// on the task's automaton state, and hit_rate reports ~1 with the hits
+// served from the stateful tier (state_hits).
 void BM_AuthorizeVerdictCacheStateful(benchmark::State& state) {
+  const bool automata = state.range(0) != 0;
   EngineFixture fx(/*frames=*/2, /*rules=*/64, /*indexed=*/true);
+  fx.sys.engine->config().automata = automata;
   core::Pftables pft(fx.sys.engine);
   pft.Exec("pftables -o FILE_OPEN -d etc_t -j STATE --set --key seen --value 1");
   fx.sys.engine->config().verdict_cache = true;
@@ -396,7 +421,7 @@ void BM_AuthorizeVerdictCacheStateful(benchmark::State& state) {
   ReportVcacheRates(state, fx.sys.engine->stats());
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_AuthorizeVerdictCacheStateful);
+BENCHMARK(BM_AuthorizeVerdictCacheStateful)->Arg(0)->Arg(1);
 
 void BM_PftablesCompile(benchmark::State& state) {
   System sys;

@@ -272,11 +272,19 @@ struct VcacheTotals {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t bypasses = 0;
+  uint64_t state_hits = 0;
+  uint64_t state_misses = 0;
+  uint64_t bypass_causes[core::kBypassCauseCount] = {};
 
   void Add(const core::EngineStats& s) {
     hits += s.vcache_hits;
     misses += s.vcache_misses;
     bypasses += s.vcache_bypasses;
+    state_hits += s.vcache_state_hits;
+    state_misses += s.vcache_state_misses;
+    for (size_t i = 0; i < core::kBypassCauseCount; ++i) {
+      bypass_causes[i] += s.vcache_bypass_causes[i];
+    }
   }
   uint64_t total() const { return hits + misses + bypasses; }
   double hit_rate() const {
@@ -391,11 +399,32 @@ void Run(const char* json_path) {
                   : 100.0 * static_cast<double>(vcache.bypasses) /
                         static_cast<double>(vcache.total()),
               static_cast<unsigned long long>(vcache.total()));
+  std::printf("  of which automaton-keyed (stateful tier): %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(vcache.state_hits),
+              static_cast<unsigned long long>(vcache.state_misses));
+  if (vcache.bypasses > 0) {
+    std::printf("  bypass causes:");
+    for (size_t i = 0; i < core::kBypassCauseCount; ++i) {
+      if (vcache.bypass_causes[i] > 0) {
+        std::printf(" %s=%llu", core::BypassCauseName(static_cast<uint8_t>(1u << i)),
+                    static_cast<unsigned long long>(vcache.bypass_causes[i]));
+      }
+    }
+    std::printf("\n");
+  }
   json.BeginObject("vcache");
   json.Number("hit_rate", vcache.hit_rate());
   json.Number("hits", static_cast<double>(vcache.hits));
   json.Number("misses", static_cast<double>(vcache.misses));
   json.Number("bypasses", static_cast<double>(vcache.bypasses));
+  json.Number("state_hits", static_cast<double>(vcache.state_hits));
+  json.Number("state_misses", static_cast<double>(vcache.state_misses));
+  json.BeginObject("bypass_causes");
+  for (size_t i = 0; i < core::kBypassCauseCount; ++i) {
+    json.Number(core::BypassCauseName(static_cast<uint8_t>(1u << i)),
+                static_cast<double>(vcache.bypass_causes[i]));
+  }
+  json.EndObject();
   json.EndObject();
   json.EndObject();
   json.WriteTo(json_path);

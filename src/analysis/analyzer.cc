@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/automata.h"
 #include "src/core/modules.h"
 
 namespace pf::analysis {
@@ -679,34 +680,38 @@ void Analysis::CheckStateProtocol() {
   // Scan the instruction stream rather than dynamic_cast the module tree:
   // every STATE match and STATE target lowers to a dedicated arena op with
   // its key interned in the string pool, so the protocol pass sees exactly
-  // what the compiled evaluator will execute.
+  // what the compiled evaluator will execute. StateRefOfInsn is the same
+  // extraction the automaton lowering pass classifies from, so the lints and
+  // the lowering agree on what touches which key.
   for (size_t id = 0; id < prog.chains.size(); ++id) {
     const ProgramChain& pc = prog.chains[id];
     for (size_t i = 0; i < pc.rules.size(); ++i) {
       const RuleRecord& rec = prog.rules[pc.rules[i]];
       for (uint32_t p = rec.entry; p < rec.end; p += core::kPfInsnWords) {
-        const core::PfInsn insn = prog.Fetch(p);
-        switch (static_cast<PfOp>(insn.op)) {
-          case PfOp::kMatchState:
-          case PfOp::kMatchStateEq:
-          case PfOp::kMatchStateNe:
-            keys[prog.strings[insn.a]].checks.emplace_back(Locus(pc.name, i),
-                                                           &infos[id][i]);
-            break;
-          case PfOp::kStateSet:
-            keys[prog.strings[insn.a]].sets.push_back(Locus(pc.name, i));
-            break;
-          case PfOp::kStateUnset:
-            keys[prog.strings[insn.a]].unsets.push_back(Locus(pc.name, i));
-            break;
-          default:
-            break;
+        const std::optional<core::InsnStateRef> ref =
+            core::StateRefOfInsn(prog, prog.Fetch(p));
+        if (!ref.has_value()) {
+          continue;
+        }
+        KeyUse& use = keys[std::string(ref->key)];
+        if (ref->is_check) {
+          use.checks.emplace_back(Locus(pc.name, i), &infos[id][i]);
+        } else if (ref->is_set) {
+          use.sets.push_back(Locus(pc.name, i));
+        } else if (ref->is_unset) {
+          use.unsets.push_back(Locus(pc.name, i));
         }
       }
     }
   }
 
   for (const auto& [key, use] : keys) {
+    if (key == core::kPhaseKeyName) {
+      // The phase key reads as the distinguished init phase while absent, so
+      // a PHASE guard with no -j PHASE writer is a legitimate init-only rule,
+      // not a dead check.
+      continue;
+    }
     if (use.sets.empty()) {
       // An absent key never matches a STATE check (even --nequal), so every
       // check of a never-set key deadens its rule.

@@ -1,9 +1,12 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <set>
 
+#include "src/core/automata.h"
+#include "src/core/modules.h"
 #include "src/core/verify.h"
 #include "src/sim/task.h"
 
@@ -34,7 +37,33 @@ struct DecisionScratch {
 };
 
 thread_local DecisionScratch* g_scratch = nullptr;
+
+// Stateful-effects capture (engine.h NoteRuleHit/NoteDictDelta), armed by
+// Authorize around a miss traversal it intends to cache with automaton state
+// in the key. `own_mutations` counts the dictionary writes this traversal
+// performed itself; comparing the task's dict_seq across the traversal
+// against it proves no concurrent writer interleaved (in which case the
+// capture would describe a mixed history and must not be inserted).
+struct EffectsCapture {
+  StatefulEffects fx;
+  uint64_t own_mutations = 0;
+};
+
+thread_local EffectsCapture* g_capture = nullptr;
 }  // namespace
+
+void NoteRuleHit(const Rule* rule) {
+  if (EffectsCapture* cap = g_capture) {
+    cap->fx.hits.push_back(rule);
+  }
+}
+
+void NoteDictDelta(const std::string& key, bool unset, int64_t value) {
+  if (EffectsCapture* cap = g_capture) {
+    cap->fx.deltas.push_back(DictDelta{key, unset, value});
+    ++cap->own_mutations;
+  }
+}
 
 bool IsOutputOp(sim::Op op) {
   switch (op) {
@@ -226,6 +255,13 @@ std::shared_ptr<CompiledRuleset> Engine::CompileRuleset() const {
   // Pass 3: lower the whole generation into the arena-packed program form
   // (compile.cc) — re-points the buckets just built at entry-table slices.
   LowerProgram(*snap);
+  // Pass 3.5: STATE-protocol automaton lowering (automata.cc). Gated so the
+  // NOAUTOMATA bench rung measures the baseline compile; with the pass off,
+  // program.automata_built stays false and every consumer ignores the
+  // astate fields.
+  if (config_.automata) {
+    BuildAutomata(*snap);
+  }
   // Pass 4: the load-time verifier (verify.h). The evaluator trusts every
   // arena fetch; this pass is where that trust is earned. CommitRuleset
   // refuses to publish on errors.
@@ -340,6 +376,11 @@ std::shared_ptr<CompiledRuleset> Engine::CompileRulesetDelta(
   // Pass 3: splice — copy the base program, kill the dirty chains' records,
   // append their relowered bodies and tables (compile.cc).
   LowerProgramDelta(*snap, prev.program, dirty);
+  // Pass 3.5: delta automaton lowering — reclassifies only the dirty chains
+  // when their STATE facts are unchanged, full rebuild otherwise.
+  if (config_.automata) {
+    BuildAutomataDelta(*snap, dirty);
+  }
   // Pass 4: delta verification. The untouched prefix was proven when the
   // base generation published and the splice never rewrites it (dead
   // marking only clears RuleRecord::rule), so the verifier re-checks the
@@ -418,23 +459,24 @@ const CompiledRuleset& Engine::PinRuleset(std::shared_ptr<const CompiledRuleset>
 
 // --- VerdictCache ------------------------------------------------------------
 
-std::optional<bool> VerdictCache::Lookup(const VerdictKey& key, size_t hash) const {
+std::optional<CachedVerdict> VerdictCache::Lookup(const VerdictKey& key,
+                                                  size_t hash) const {
   const Shard& shard = shards_[hash & (kShards - 1)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     return std::nullopt;
   }
-  return it->second;
+  return it->second;  // copies bool + one shared_ptr ref
 }
 
-void VerdictCache::Insert(const VerdictKey& key, size_t hash, bool drop) {
+void VerdictCache::Insert(const VerdictKey& key, size_t hash, CachedVerdict verdict) {
   Shard& shard = shards_[hash & (kShards - 1)];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.map.size() >= kMaxPerShard) {
     shard.map.clear();  // memo, not truth: dump the shard and let it refill
   }
-  shard.map[key] = drop;
+  shard.map[key] = std::move(verdict);
 }
 
 void VerdictCache::Clear() {
@@ -472,6 +514,11 @@ EngineStats Engine::stats() const {
     out.vcache_hits += b.vcache_hits.load(kRelaxed);
     out.vcache_misses += b.vcache_misses.load(kRelaxed);
     out.vcache_bypasses += b.vcache_bypasses.load(kRelaxed);
+    out.vcache_state_hits += b.vcache_state_hits.load(kRelaxed);
+    out.vcache_state_misses += b.vcache_state_misses.load(kRelaxed);
+    for (size_t i = 0; i < out.vcache_bypass_causes.size(); ++i) {
+      out.vcache_bypass_causes[i] += b.vcache_bypass_causes[i].load(kRelaxed);
+    }
     for (size_t i = 0; i < out.ctx_fetches.size(); ++i) {
       out.ctx_fetches[i] += b.ctx_fetches[i].load(kRelaxed);
     }
@@ -498,6 +545,11 @@ void Engine::ResetStats() {
     b.vcache_hits.store(0, kRelaxed);
     b.vcache_misses.store(0, kRelaxed);
     b.vcache_bypasses.store(0, kRelaxed);
+    b.vcache_state_hits.store(0, kRelaxed);
+    b.vcache_state_misses.store(0, kRelaxed);
+    for (auto& c : b.vcache_bypass_causes) {
+      c.store(0, kRelaxed);
+    }
     for (auto& c : b.ctx_fetches) {
       c.store(0, kRelaxed);
     }
@@ -792,6 +844,7 @@ Engine::Verdict Engine::EvalRule(const CompiledRuleset& rs, const Rule& rule, Pa
     }
   }
   rule.hits.fetch_add(1, kRelaxed);
+  NoteRuleHit(&rule);
   switch (rule.target->Fire(pkt, *this)) {
     case TargetKind::kAccept:
       return Verdict::kAccept;
@@ -948,19 +1001,21 @@ Engine::Verdict Engine::ExecRuleThreaded(const CompiledRuleset& rs, const RuleRe
       &&op_kLog,             &&op_kTargetNative,    &&op_kMatchStateEq,
       &&op_kMatchStateNe,    &&op_kMatchSyscallNrEq, &&op_kMatchSyscallNrNe,
       &&op_kMatchSyscallArgEq, &&op_kMatchSyscallArgNe, &&op_kMatchCompareEq,
-      &&op_kMatchCompareNe,  // 31 == kPfOpCount - 1
-// 224 out-of-range slots (32..255), all skipping the instruction.
+      &&op_kMatchCompareNe,  &&op_kMatchPhase,  // 32 == kPfOpCount - 1
+// 223 out-of-range slots (33..255), all skipping the instruction.
 #define PF_INVALID8 \
   &&op_invalid, &&op_invalid, &&op_invalid, &&op_invalid, &&op_invalid, &&op_invalid, \
       &&op_invalid, &&op_invalid
+      &&op_invalid, &&op_invalid, &&op_invalid, &&op_invalid, &&op_invalid,
+      &&op_invalid, &&op_invalid,
       PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8,
       PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8,
       PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8,
       PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8,
-      PF_INVALID8, PF_INVALID8, PF_INVALID8, PF_INVALID8,
+      PF_INVALID8,
 #undef PF_INVALID8
   };
-  static_assert(kPfOpCount == 32, "keep the label table in sync with PfOp");
+  static_assert(kPfOpCount == 33, "keep the label table in sync with PfOp");
 
 #define PF_NEXT                          \
   do {                                   \
@@ -1303,9 +1358,19 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
     EnsureContext(pkt, kAllCtx);
   }
 
-  // Verdict-cache probe: only when every applicable bucket is pure — its
-  // verdict a function of the key alone. Stateful chains (STATE, LOG,
-  // SYSCALL_ARGS, signal/interp/stack readers) bypass the cache entirely.
+  // Verdict-cache probe, three tiers:
+  //   * pure: every applicable bucket's verdict is a function of the key
+  //     alone — probe with the base key (unchanged from before the stateful
+  //     tier existed);
+  //   * stateful: some bucket is impure but every impure one is
+  //     automaton-lowered (astate.causes == 0) — probe with the key extended
+  //     by the task's folded automaton state (plus syscall number / signal
+  //     disposition when lowered guards read them); a hit replays the
+  //     memoized rule hits and dictionary writes, a miss traverses under an
+  //     armed effects capture;
+  //   * bypass: some impure bucket is not lowerable (LOG, variable STATE
+  //     operands, SYSCALL_ARGS beyond the number, ...) — traverse uncached,
+  //     attributing the primary cause to the per-cause counters.
   bool cacheable = config_.verdict_cache;
   CtxMask needs = 0;
   for (size_t i = 0; i < num_applicable; ++i) {
@@ -1313,12 +1378,68 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
     cacheable = cacheable && bucket.cacheable;
     needs |= bucket.needs;
   }
+  bool state_probe = false;
+  bool nr_in_key = false;
+  bool sig_in_key = false;
+  uint8_t bypass_causes = 0;
+  uint64_t astate_fold = 0;
+  std::vector<uint16_t> protocols;
+  if (config_.verdict_cache && !cacheable) {
+    const bool automata_ok = config_.automata && rs.program.automata_built;
+    bool admissible = automata_ok;
+    for (size_t i = 0; i < num_applicable; ++i) {
+      const CompiledChain* cc = applicable[i];
+      if (cc->ops[op_index].cacheable) {
+        continue;  // pure bucket: contributes nothing stateful
+      }
+      if (!automata_ok || cc->program_chain < 0) {
+        admissible = false;
+        continue;
+      }
+      const ProgramBucket& pb = rs.program.chains[cc->program_chain].ops[op_index];
+      bypass_causes |= pb.astate.causes;
+      if (pb.astate.causes != 0) {
+        admissible = false;
+        continue;
+      }
+      nr_in_key = nr_in_key || pb.astate.nr_in_key;
+      sig_in_key = sig_in_key || pb.astate.sig_in_key;
+      protocols.insert(protocols.end(), pb.astate.protocols.begin(),
+                       pb.astate.protocols.end());
+    }
+    state_probe = admissible;
+    if (state_probe && !protocols.empty()) {
+      std::sort(protocols.begin(), protocols.end());
+      protocols.erase(std::unique(protocols.begin(), protocols.end()), protocols.end());
+    }
+  }
   VerdictKey key;
   size_t key_hash = 0;
   bool insert_on_miss = false;
   bool drop = false;
   bool decided = false;
-  if (cacheable) {
+  std::shared_ptr<PfTaskState> tstate;
+  if (state_probe) {
+    // Fold the task's current automaton state into the key. Tasks with no
+    // PfTaskState yet have an empty dictionary: every digit (and the fold)
+    // is zero, with no state faulted in.
+    tstate = states_.Find(req.task->pid);
+    std::optional<uint64_t> fold;
+    if (tstate != nullptr) {
+      std::lock_guard<std::mutex> lock(tstate->mu);
+      const std::vector<uint32_t>& vec =
+          DeriveAutomatonState(rs.program, rs.generation, *tstate);
+      fold = FoldAutomatonState(rs.program, protocols, &vec);
+    } else {
+      fold = FoldAutomatonState(rs.program, protocols, nullptr);
+    }
+    if (fold) {
+      astate_fold = *fold;
+    } else {
+      state_probe = false;  // fold overflow: serve as a plain bypass
+    }
+  }
+  if (cacheable || state_probe) {
     key.generation = rs.generation;
     key.mac_epoch = kernel_.policy().epoch();
     key.op = static_cast<uint32_t>(req.op);
@@ -1340,19 +1461,69 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
         key.ept_offset = pkt.entrypoint.offset;
       }
     }
+    if (state_probe) {
+      key.flags |= VerdictKey::kStateInKey;
+      key.astate = astate_fold;
+      if (nr_in_key) {
+        key.flags |= VerdictKey::kNrInKey;
+        key.syscall_nr = static_cast<uint32_t>(req.syscall_nr);
+      }
+      if (sig_in_key) {
+        // SIGNAL_MATCH reads exactly one predicate of the request: the
+        // delivered signal has a handler installed and is blockable. Key on
+        // that bit (probed here, so a handler change re-keys, never stales).
+        key.flags |= VerdictKey::kSigInKey;
+        if (req.op == sim::Op::kSignalDeliver && req.task->signals.HasHandler(req.sig) &&
+            !sim::IsUnblockable(req.sig)) {
+          key.flags |= VerdictKey::kSigHandled;
+        }
+      }
+    }
     key_hash = VerdictKeyHash()(key);
-    if (std::optional<bool> cached = vcache_.Lookup(key, key_hash)) {
+    if (std::optional<CachedVerdict> cached = vcache_.Lookup(key, key_hash)) {
       sb.vcache_hits.fetch_add(1, kRelaxed);
       cache_outcome = trace::kCacheHit;
-      drop = *cached;
+      drop = cached->drop;
       decided = true;
+      if (state_probe) {
+        sb.vcache_state_hits.fetch_add(1, kRelaxed);
+        if (cached->fx != nullptr) {
+          // Replay the traversal's effects: per-rule hit counters in
+          // traversal order, then the dictionary writes (which advance the
+          // automaton — the next probe derives the successor state).
+          for (const Rule* r : cached->fx->hits) {
+            r->hits.fetch_add(1, kRelaxed);
+          }
+          if (!cached->fx->deltas.empty()) {
+            PfTaskState& st = TaskState(*req.task);
+            std::lock_guard<std::mutex> lock(st.mu);
+            for (const DictDelta& d : cached->fx->deltas) {
+              if (d.unset) {
+                st.dict.erase(d.key);
+              } else {
+                st.dict[d.key] = d.value;
+              }
+              ++st.dict_seq;
+            }
+          }
+        }
+      }
     } else {
       sb.vcache_misses.fetch_add(1, kRelaxed);
       cache_outcome = trace::kCacheMiss;
       insert_on_miss = true;
+      if (state_probe) {
+        sb.vcache_state_misses.fetch_add(1, kRelaxed);
+      }
     }
   } else if (config_.verdict_cache) {
     sb.vcache_bypasses.fetch_add(1, kRelaxed);
+    if (bypass_causes != 0) {
+      const unsigned cause = static_cast<unsigned>(std::countr_zero(bypass_causes));
+      if (cause < kBypassCauseCount) {
+        sb.vcache_bypass_causes[cause].fetch_add(1, kRelaxed);
+      }
+    }
     cache_outcome = trace::kCacheBypass;
   }
   if constexpr (trace::kTraceCompiledIn) {
@@ -1364,11 +1535,34 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
       rec.event = static_cast<uint8_t>(trace::Event::kVcache);
       rec.subject_sid = req.task->cred.sid;
       rec.cache = cache_outcome;
+      if (state_probe) {
+        // Stateful-tier attribution: kVcache records carry no timing, so
+        // the folded automaton state rides in total_ns (kFlagStateKey marks
+        // it meaningful) — pftrace renders it as the probe's state id.
+        rec.flags |= trace::kFlagStateKey;
+        rec.total_ns = trace::ClampNs(astate_fold);
+      }
       trace_.Emit(rec);
     }
   }
 
   if (!decided) {
+    // A stateful miss traverses under an armed effects capture; the entry is
+    // inserted only when the task's dict_seq moved by exactly this
+    // traversal's own writes — a concurrent writer interleaving with the
+    // traversal would make the capture describe a mixed history.
+    EffectsCapture capture;
+    EffectsCapture* prev_capture = nullptr;
+    uint64_t seq_before = 0;
+    const bool capturing = state_probe && insert_on_miss;
+    if (capturing) {
+      if (tstate != nullptr) {
+        std::lock_guard<std::mutex> lock(tstate->mu);
+        seq_before = tstate->dict_seq;
+      }
+      prev_capture = g_capture;
+      g_capture = &capture;
+    }
     Verdict verdict = Verdict::kFallthrough;
     for (size_t i = 0; i < num_applicable && verdict == Verdict::kFallthrough; ++i) {
       const CompiledChain* cc = applicable[i];
@@ -1381,8 +1575,31 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
       }
     }
     drop = verdict == Verdict::kDrop;
+    if (capturing) {
+      g_capture = prev_capture;
+    }
     if (insert_on_miss) {
-      vcache_.Insert(key, key_hash, drop);
+      CachedVerdict cv;
+      cv.drop = drop;
+      bool insert = true;
+      if (state_probe) {
+        if (tstate == nullptr) {
+          // The traversal (or a concurrent one) may have faulted state in;
+          // the empty pre-traversal dictionary corresponds to seq 0.
+          tstate = states_.Find(req.task->pid);
+          seq_before = 0;
+        }
+        if (tstate != nullptr) {
+          std::lock_guard<std::mutex> lock(tstate->mu);
+          insert = tstate->dict_seq == seq_before + capture.own_mutations;
+        }
+        if (insert && (!capture.fx.hits.empty() || !capture.fx.deltas.empty())) {
+          cv.fx = std::make_shared<const StatefulEffects>(std::move(capture.fx));
+        }
+      }
+      if (insert) {
+        vcache_.Insert(key, key_hash, std::move(cv));
+      }
     }
   }
 
@@ -1420,6 +1637,9 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
           rec.ept_dev = pkt.entrypoint.image.dev;
           rec.ept_ino = pkt.entrypoint.image.ino;
           rec.ept_offset = pkt.entrypoint.offset;
+        }
+        if (state_probe) {
+          rec.flags |= trace::kFlagStateKey;  // decision keyed on automaton state
         }
         trace_.Emit(rec);
       }

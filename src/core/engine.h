@@ -81,6 +81,15 @@ struct EngineConfig {
   // verdicts instead of re-traversing the rule base. Chains with stateful or
   // side-effecting rules (STATE, LOG, SYSCALL_ARGS, ...) bypass the cache.
   bool verdict_cache = true;
+  // STATE-protocol automaton lowering (DESIGN.md §5i): compile the rule
+  // base's STATE keys into per-task mixed-radix DFAs at commit time and
+  // serve stateful decisions whose guards are digit-pure from the verdict
+  // cache, with the task's current automaton state folded into the key. A
+  // stateful cache hit replays the recorded dictionary writes and per-rule
+  // hit counters bit-identically to a traversal (AUTOMATA ablation rung);
+  // rules the pass cannot lower transparently stay on the bypass path.
+  // Effective only together with verdict_cache.
+  bool automata = true;
   // Evaluate hooks with the instruction interpreter over the commit-time
   // arena-packed program (program.h) instead of the legacy shared_ptr<Rule>
   // tree walker. Both produce bit-identical verdicts, stats, and side
@@ -137,7 +146,16 @@ struct EngineStats {
   uint64_t ruleset_refreshes = 0;  // per-worker snapshot re-pins
   uint64_t vcache_hits = 0;        // verdicts served without traversal
   uint64_t vcache_misses = 0;      // traversed, then inserted
-  uint64_t vcache_bypasses = 0;    // stateful chains: never cached
+  uint64_t vcache_bypasses = 0;    // unlowerable stateful chains: never cached
+  // Stateful-tier split of the totals above: hits/misses whose key carried
+  // automaton state (also counted in vcache_hits/vcache_misses), and the
+  // bypasses attributed to each kBypass* cause (the highest-priority set bit
+  // of the applicable buckets' unioned causes; with the automaton pass on,
+  // the array sums to vcache_bypasses — with it off no cause information
+  // exists and only the total moves).
+  uint64_t vcache_state_hits = 0;
+  uint64_t vcache_state_misses = 0;
+  std::array<uint64_t, kBypassCauseCount> vcache_bypass_causes{};
   uint64_t trace_records = 0;      // TraceRecords ever emitted
   uint64_t trace_drops = 0;        // records lost to full rings
   std::array<uint64_t, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
@@ -164,6 +182,9 @@ struct alignas(64) EngineStatsBlock {
   std::atomic<uint64_t> vcache_hits{0};
   std::atomic<uint64_t> vcache_misses{0};
   std::atomic<uint64_t> vcache_bypasses{0};
+  std::atomic<uint64_t> vcache_state_hits{0};
+  std::atomic<uint64_t> vcache_state_misses{0};
+  std::array<std::atomic<uint64_t>, kBypassCauseCount> vcache_bypass_causes{};
   std::array<std::atomic<uint64_t>, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
 };
 
@@ -191,11 +212,26 @@ struct InterpSnapshot {
 // only tasks that actually hit a stateful rule or a context unwind get one —
 // the authorization fast path never touches the shard table.
 struct PfTaskState {
-  // Guards dict only. Held for pointer-sized critical sections.
+  // Guards dict and the automaton-state cache below. Held for pointer-sized
+  // critical sections.
   std::mutex mu;
 
   // STATE match/target dictionary.
   std::map<std::string, int64_t> dict;
+
+  // Mutation sequence of `dict`, bumped under mu by every set/unset/replay
+  // (exec_insn.inc, StateTarget::Fire, stateful cache-hit replay). The
+  // stateful verdict-cache tier uses it two ways: to invalidate the derived
+  // automaton-state cache below, and to prove a miss traversal ran free of
+  // concurrent dictionary interference before inserting its verdict.
+  uint64_t dict_seq = 0;
+
+  // Cached DeriveAutomatonState result: the per-protocol digit products for
+  // program `astate_tag` at dictionary version `astate_seq`. Guarded by mu;
+  // rederived (a few map lookups) only when the dictionary moved.
+  uint64_t astate_tag = 0;
+  uint64_t astate_seq = ~0ull;
+  std::vector<uint32_t> astate;
 
   // Context caches (null until first fill; reset on execve). Atomic
   // shared_ptr slots: a cache hit is one acquire load, a miss publishes its
@@ -309,11 +345,22 @@ struct CompiledRuleset {
 // pure non-entrypoint rulesets never force an unwind. Per-task state is
 // never an input to a pure traversal, and the task-varying inputs that are
 // (subject sid, entrypoint) sit in the key — so execve/exit need no sweep.
+// The stateful tier (EngineConfig::automata) extends the same key with the
+// inputs an automaton-lowered traversal can additionally read, each probed
+// at key-build time so a change re-keys instead of staling: the task's
+// folded automaton state (kStateInKey), the syscall number when a
+// SYSCALL_ARGS --arg 0 guard is reachable (kNrInKey), and the
+// SIGNAL_MATCH predicate — handler installed and signal blockable — as one
+// bit (kSigHandled, meaningful under kSigInKey).
 struct VerdictKey {
   enum Flags : uint32_t {
     kHasObject = 1u << 0,
     kEptInKey = 1u << 1,
     kEptValid = 1u << 2,
+    kStateInKey = 1u << 3,
+    kNrInKey = 1u << 4,
+    kSigInKey = 1u << 5,
+    kSigHandled = 1u << 6,
   };
 
   uint64_t generation = 0;
@@ -326,6 +373,8 @@ struct VerdictKey {
   uint64_t object_generation = 0;
   sim::FileId ept_image;
   uint64_t ept_offset = 0;
+  uint64_t astate = 0;      // FoldAutomatonState product (kStateInKey)
+  uint32_t syscall_nr = 0;  // request syscall number (kNrInKey)
 
   bool operator==(const VerdictKey&) const = default;
 };
@@ -341,12 +390,44 @@ struct VerdictKeyHash {
     h = HashCombine(h, std::hash<uint64_t>()(k.object_generation));
     h = HashCombine(h, sim::FileIdHash()(k.ept_image));
     h = HashCombine(h, std::hash<uint64_t>()(k.ept_offset));
+    h = HashCombine(h, std::hash<uint64_t>()(
+                           k.astate ^ (static_cast<uint64_t>(k.syscall_nr) << 40)));
     return h;
   }
 };
 
+// One recorded STATE-dictionary write (or unset) of a stateful miss
+// traversal, keyed by value (not pool index) so replay is independent of the
+// evaluation path — compiled or legacy — that recorded it.
+struct DictDelta {
+  std::string key;
+  bool unset = false;
+  int64_t value = 0;
+};
+
+// The side effects a stateful cache hit must replay to stay bit-identical
+// with a traversal: the rules whose hit counters a traversal from this exact
+// key would bump (in traversal order) and the literal dictionary writes it
+// would perform (which advance the automaton — the next probe re-derives the
+// state vector from the mutated dictionary). Automaton-lowered buckets admit
+// no LOG rules, so log order is preserved trivially. The Rule pointers stay
+// valid while the entry's generation is pinned (same lifetime contract as
+// the compiled program itself).
+struct StatefulEffects {
+  std::vector<const Rule*> hits;
+  std::vector<DictDelta> deltas;
+};
+
+// A cached final verdict. `fx` is null for pure entries; stateful entries
+// carry the replayable effects above.
+struct CachedVerdict {
+  bool drop = false;
+  std::shared_ptr<const StatefulEffects> fx;
+};
+
 // Sharded, lock-striped verdict cache (the SELinux AVC analogue). Stores the
-// final accept/drop of pure traversals; invalidation is by key construction
+// final accept/drop of pure traversals — plus replayable effects for
+// automaton-lowered stateful traversals; invalidation is by key construction
 // (see VerdictKey), so the only maintenance is clearing dead generations on
 // commit and dumping a shard that grows past its cap — the cache is a memo,
 // never a source of truth.
@@ -355,19 +436,28 @@ class VerdictCache {
   static constexpr size_t kShards = 16;        // power of two
   static constexpr size_t kMaxPerShard = 4096; // dump-and-refill threshold
 
-  std::optional<bool> Lookup(const VerdictKey& key, size_t hash) const;
-  void Insert(const VerdictKey& key, size_t hash, bool drop);
+  std::optional<CachedVerdict> Lookup(const VerdictKey& key, size_t hash) const;
+  void Insert(const VerdictKey& key, size_t hash, CachedVerdict verdict);
   void Clear();
   size_t size() const;
 
  private:
   struct alignas(64) Shard {
     mutable std::mutex mu;
-    std::unordered_map<VerdictKey, bool, VerdictKeyHash> map;
+    std::unordered_map<VerdictKey, CachedVerdict, VerdictKeyHash> map;
   };
 
   std::array<Shard, kShards> shards_;
 };
+
+// Stateful-miss capture hooks. While Engine::Authorize runs a miss traversal
+// it intends to cache with automaton state in the key, a thread-local
+// capture is armed and every evaluation path — the compiled handlers in
+// exec_insn.inc, the legacy walker's hit bump, StateTarget::Fire — reports
+// rule hits and dictionary writes through these (no-ops when unarmed, one
+// predictable branch). The capture becomes the entry's StatefulEffects.
+void NoteRuleHit(const Rule* rule);
+void NoteDictDelta(const std::string& key, bool unset, int64_t value);
 
 class Engine : public sim::SecurityModule {
  public:

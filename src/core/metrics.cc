@@ -70,6 +70,17 @@ std::string Engine::MetricsText() const {
   const uint64_t probes = s.vcache_hits + s.vcache_misses;
   w.Gauge("pf_vcache_hit_ratio", {},
           probes == 0 ? 0.0 : static_cast<double>(s.vcache_hits) / probes);
+  w.Family("pf_vcache_state_probes_total",
+           "Stateful-tier probes served with an automaton-extended key", "counter");
+  w.Counter("pf_vcache_state_probes_total", {{"result", "hit"}}, s.vcache_state_hits);
+  w.Counter("pf_vcache_state_probes_total", {{"result", "miss"}}, s.vcache_state_misses);
+  w.Family("pf_vcache_bypasses_total", "Verdict-cache bypasses by primary cause",
+           "counter");
+  for (size_t i = 0; i < s.vcache_bypass_causes.size(); ++i) {
+    w.Counter("pf_vcache_bypasses_total",
+              {{"cause", BypassCauseName(static_cast<uint8_t>(1u << i))}},
+              s.vcache_bypass_causes[i]);
+  }
 
   w.Family("pf_ctx_fetches_total", "Context-module fetches by kind", "counter");
   for (size_t i = 0; i < s.ctx_fetches.size(); ++i) {

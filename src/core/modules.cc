@@ -383,6 +383,43 @@ std::string InterpMatch::Render() const {
   return oss.str();
 }
 
+// --- PhaseMatch --------------------------------------------------------------------
+
+Status PhaseMatch::Create(const std::vector<std::string>& opts,
+                          std::unique_ptr<MatchModule>* out) {
+  auto m = std::make_unique<PhaseMatch>();
+  auto name = OptValue(opts, "--is");
+  if (!name) {
+    return Status::Error("PHASE match requires --is");
+  }
+  m->phase = Unquote(*name);
+  if (m->phase.empty()) {
+    return Status::Error("PHASE --is: phase name must be non-empty");
+  }
+  m->negate = HasFlag(opts, "--nequal");
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+bool PhaseMatch::Matches(Packet& pkt, Engine& engine) const {
+  PfTaskState& state = engine.TaskState(*pkt.req->task);
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.dict.find(std::string(kPhaseKeyName));
+  // Unlike STATE, an absent key is a defined phase: init.
+  int64_t current = it == state.dict.end() ? PhaseId(kPhaseInitName) : it->second;
+  bool equal = current == PhaseId(phase);
+  return negate ? !equal : equal;
+}
+
+std::string PhaseMatch::Render() const {
+  std::ostringstream oss;
+  oss << "PHASE --is " << phase;
+  if (negate) {
+    oss << " --nequal";
+  }
+  return oss.str();
+}
+
 // --- targets -----------------------------------------------------------------------
 
 std::string_view VerdictTarget::Name() const {
@@ -428,10 +465,14 @@ TargetKind StateTarget::Fire(Packet& pkt, Engine& engine) const {
   std::lock_guard<std::mutex> lock(state.mu);
   if (unset) {
     state.dict.erase(key);
+    ++state.dict_seq;
+    NoteDictDelta(key, /*unset=*/true, 0);
     return TargetKind::kContinue;
   }
   if (auto v = value.Eval(pkt)) {
     state.dict[key] = *v;
+    ++state.dict_seq;
+    NoteDictDelta(key, /*unset=*/false, *v);
   }
   return TargetKind::kContinue;
 }
@@ -444,6 +485,32 @@ std::string StateTarget::Render() const {
   }
   return oss.str();
 }
+
+Status PhaseTarget::Create(const std::vector<std::string>& opts,
+                           std::unique_ptr<TargetModule>* out) {
+  auto t = std::make_unique<PhaseTarget>();
+  auto name = OptValue(opts, "--enter");
+  if (!name) {
+    return Status::Error("PHASE target requires --enter");
+  }
+  t->phase = Unquote(*name);
+  if (t->phase.empty()) {
+    return Status::Error("PHASE --enter: phase name must be non-empty");
+  }
+  *out = std::move(t);
+  return Status::Ok();
+}
+
+TargetKind PhaseTarget::Fire(Packet& pkt, Engine& engine) const {
+  PfTaskState& state = engine.TaskState(*pkt.req->task);
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.dict[std::string(kPhaseKeyName)] = PhaseId(phase);
+  ++state.dict_seq;
+  NoteDictDelta(std::string(kPhaseKeyName), /*unset=*/false, PhaseId(phase));
+  return TargetKind::kContinue;
+}
+
+std::string PhaseTarget::Render() const { return "PHASE --enter " + phase; }
 
 Status LogTarget::Create(const std::vector<std::string>& opts,
                          std::unique_ptr<TargetModule>* out) {
@@ -529,6 +596,22 @@ bool CompareMatch::Lower(ProgramBuilder& b) const {
   return true;
 }
 
+bool PhaseMatch::Lower(ProgramBuilder& b) const {
+  // Phase names compile down to their stable 63-bit ids, so the handler is a
+  // single integer compare against the task's "@phase" entry (absent means
+  // PhaseId("init")) and the automaton pass can treat the guard as a
+  // literal-domain digit check.
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kMatchPhase);
+  insn.a = b.InternString(phase);  // keeps the listing symbolic
+  insn.b = static_cast<uint64_t>(PhaseId(phase));
+  if (negate) {
+    insn.flags |= kPfNegate;
+  }
+  b.Emit(insn);
+  return true;
+}
+
 bool InterpMatch::Lower(ProgramBuilder& b) const {
   PfInsn insn{};
   insn.op = static_cast<uint8_t>(PfOp::kMatchInterp);
@@ -575,6 +658,14 @@ bool InterpMatch::Symbolize(SymbolicSink& sink) const {
   return true;
 }
 
+bool PhaseMatch::Symbolize(SymbolicSink& sink) const {
+  // StateCheck's contract is absent-never-matches, but an absent "@phase"
+  // key IS the init phase — so a phase guard is not expressible as a state
+  // check. Render-keyed opacity still lets identical guards shadow exactly.
+  sink.Opaque(Name(), Render());
+  return true;
+}
+
 bool VerdictTarget::Lower(ProgramBuilder& b) const {
   PfInsn insn{};
   switch (kind_) {
@@ -614,6 +705,20 @@ bool StateTarget::Lower(ProgramBuilder& b) const {
     insn.op = static_cast<uint8_t>(PfOp::kStateSet);
     insn.b = b.InternOperand(value);
   }
+  b.Emit(insn);
+  return true;
+}
+
+bool PhaseTarget::Lower(ProgramBuilder& b) const {
+  // A phase entry is a literal STATE write of the phase id to the reserved
+  // key, so the existing kStateSet handler (and the automaton pass's
+  // literal-write classification) covers it with no new target opcode.
+  PfInsn insn{};
+  insn.op = static_cast<uint8_t>(PfOp::kStateSet);
+  insn.a = b.InternString(std::string(kPhaseKeyName));
+  Operand literal;
+  literal.literal = PhaseId(phase);
+  insn.b = b.InternOperand(literal);
   b.Emit(insn);
   return true;
 }

@@ -8,13 +8,35 @@
 #ifndef SRC_CORE_MODULES_H_
 #define SRC_CORE_MODULES_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/core/rule.h"
 #include "src/core/status.h"
 
 namespace pf::core {
+
+// Temporal phases (DESIGN.md §5i, after SYSPART's execve-milestone model):
+// a task's lifecycle phase is a reserved STATE dictionary key, entered by
+// -j PHASE --enter NAME (an execve-milestone rule swaps the active rule
+// subset by entering "serving") and tested by -m PHASE --is NAME. Phase
+// names are stored as stable 63-bit FNV-1a ids so phase guards lower to
+// literal-compare instructions the automaton pass can prove digit-pure.
+inline constexpr std::string_view kPhaseKeyName = "@phase";
+// The phase every task is in until a PHASE target fires: the "@phase" key
+// is simply absent, and every phase guard treats absent as this name.
+inline constexpr std::string_view kPhaseInitName = "init";
+
+constexpr int64_t PhaseId(std::string_view name) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<int64_t>(h & 0x7fffffffffffffffull);
+}
 
 // An argument that is either a literal integer or a context variable.
 struct Operand {
@@ -123,6 +145,22 @@ class InterpMatch : public MatchModule {
   std::optional<sim::InterpLang> lang;
 };
 
+// -m PHASE --is NAME [--nequal]: matches when the task's current temporal
+// phase (the reserved "@phase" STATE key; absent = init) equals NAME.
+class PhaseMatch : public MatchModule {
+ public:
+  static Status Create(const std::vector<std::string>& opts,
+                       std::unique_ptr<MatchModule>* out);
+  std::string_view Name() const override { return "PHASE"; }
+  bool Matches(Packet& pkt, Engine& engine) const override;
+  bool Lower(ProgramBuilder& b) const override;
+  bool Symbolize(SymbolicSink& sink) const override;
+  std::string Render() const override;
+
+  std::string phase;
+  bool negate = false;
+};
+
 // --- targets ---
 
 class VerdictTarget : public TargetModule {
@@ -172,6 +210,23 @@ class StateTarget : public TargetModule {
   std::string key;
   Operand value;
   bool unset = false;
+};
+
+// -j PHASE --enter NAME: moves the task into temporal phase NAME (a literal
+// write of PhaseId(NAME) to the reserved "@phase" STATE key) and continues
+// traversal. An execve-milestone rule (-o FILE_EXEC -j PHASE --enter
+// serving) atomically swaps which PHASE-guarded rules apply from then on.
+class PhaseTarget : public TargetModule {
+ public:
+  static Status Create(const std::vector<std::string>& opts,
+                       std::unique_ptr<TargetModule>* out);
+  std::string_view Name() const override { return "PHASE"; }
+  std::optional<TargetKind> StaticKind() const override { return TargetKind::kContinue; }
+  bool Lower(ProgramBuilder& b) const override;
+  TargetKind Fire(Packet& pkt, Engine& engine) const override;
+  std::string Render() const override;
+
+  std::string phase;
 };
 
 // -j LOG [--prefix P]: records the access (rule-generation input) and

@@ -4,11 +4,13 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 
 #include "src/analysis/analyzer.h"
 #include "src/analysis/symbolic/diff.h"
+#include "src/core/automata.h"
 #include "src/core/modules.h"
 
 namespace pf::core {
@@ -68,12 +70,14 @@ MatchFactory FindMatchFactory(const std::string& name) {
   if (name == "SYSCALL_ARGS") return &SyscallArgsMatch::Create;
   if (name == "COMPARE") return &CompareMatch::Create;
   if (name == "INTERP") return &InterpMatch::Create;
+  if (name == "PHASE") return &PhaseMatch::Create;
   return nullptr;
 }
 
 TargetFactory FindTargetFactory(const std::string& name) {
   if (name == "STATE") return &StateTarget::Create;
   if (name == "LOG") return &LogTarget::Create;
+  if (name == "PHASE") return &PhaseTarget::Create;
   return nullptr;
 }
 
@@ -584,12 +588,21 @@ Status Pftables::Exec(const std::string& command) {
     }
     // Shape of the tuple-space classifier the gated compile produced — the
     // operator-facing view of how much of the base Authorize can skip.
-    const ClassifierStats cstats =
-        ComputeClassifierStats(engine_->CompileRuleset()->program);
+    const std::shared_ptr<CompiledRuleset> checked = engine_->CompileRuleset();
+    const ClassifierStats cstats = ComputeClassifierStats(checked->program);
     std::fprintf(stderr,
                  "pftables --check: classifier tables=%u tuples=%u max_slice=%u "
                  "residual=%u\n",
                  cstats.tables, cstats.tuples, cstats.max_slice, cstats.residual_rules);
+    if (checked->program.automata_built) {
+      const AutomataStats astats = ComputeAutomataStats(checked->program);
+      std::fprintf(stderr,
+                   "pftables --check: automata protocols=%u keys=%u states=%llu "
+                   "lowered=%u bypass=%u state_buckets=%u\n",
+                   astats.protocols, astats.keys,
+                   static_cast<unsigned long long>(astats.states),
+                   astats.lowered_rules, astats.bypass_rules, astats.state_buckets);
+    }
   }
   if (widening_gate && need_commit) {
     // Semantic no-unintended-widening gate: diff the staged base against the
@@ -708,6 +721,35 @@ std::string Pftables::List(const std::string& table_name, bool verbose) const {
     return "unknown table\n";
   }
   const sim::LabelRegistry& labels = engine_->kernel().labels();
+  // Verbose listings annotate each rule with the automaton pass's verdict:
+  // which STATE protocol covers it (cacheable via the stateful tier) or
+  // which construct keeps its decisions on the verdict-cache bypass path.
+  std::shared_ptr<CompiledRuleset> compiled;
+  std::map<const Rule*, const RuleRecord*> records;
+  if (verbose && table_name == "filter") {
+    compiled = engine_->CompileRuleset();
+    if (compiled->program.automata_built) {
+      for (const RuleRecord& rec : compiled->program.rules) {
+        if (rec.rule != nullptr) {
+          records[rec.rule] = &rec;
+        }
+      }
+    }
+  }
+  auto automaton_note = [&](const Rule* r) -> std::string {
+    auto it = records.find(r);
+    if (it == records.end()) {
+      return "";
+    }
+    const RuleRecord& rec = *it->second;
+    if (rec.astate_causes != 0) {
+      return " bypass=" + RenderBypassCauses(rec.astate_causes);
+    }
+    if (rec.astate_protocol >= 0) {
+      return " automaton=p" + std::to_string(rec.astate_protocol);
+    }
+    return "";  // pure rule: no stateful decision to attribute
+  };
   for (const auto& [name, chain] : table->chains()) {
     uint64_t chain_evals = 0;
     uint64_t chain_hits = 0;
@@ -734,6 +776,7 @@ std::string Pftables::List(const std::string& table_name, bool verbose) const {
         // Wall time attributed by the per-rule tracepoint (Event::kRule);
         // zero unless rule tracing has been enabled on the engine.
         oss << " time=" << r->eval_ns.load() << "ns";
+        oss << automaton_note(r.get());
       }
       oss << "]\n";
     }

@@ -69,6 +69,10 @@ inline constexpr uint8_t kCacheBypass = 3;  // stateful bucket: never cached
 inline constexpr uint8_t kFlagDrop = 1u << 0;      // verdict was a denial
 inline constexpr uint8_t kFlagAudited = 1u << 1;   // denial suppressed (audit)
 inline constexpr uint8_t kFlagEptValid = 1u << 2;  // entrypoint fields are set
+// The decision was keyed on the task's automaton state (stateful verdict-
+// cache tier). On kVcache records the otherwise-unused total_ns field then
+// carries the folded automaton state of the probe.
+inline constexpr uint8_t kFlagStateKey = 1u << 3;
 
 // One fixed-size trace record. Field use by event kind:
 //
@@ -80,7 +84,8 @@ inline constexpr uint8_t kFlagEptValid = 1u << 2;  // entrypoint fields are set
 //   kRule      chain_id/rule_index = the rule, eval_ns = its evaluation ns,
 //              flags kFlagDrop when it dropped.
 //   kCtxFetch  chain_id = the CtxMask fetched (reused field), eval_ns = ns.
-//   kVcache    cache = probe outcome; no timing fields.
+//   kVcache    cache = probe outcome; no timing fields (total_ns instead
+//              carries the folded automaton state under kFlagStateKey).
 struct TraceRecord {
   uint64_t ts_ns = 0;       // steady-clock ns when the record was emitted
   uint64_t ept_ino = 0;     // entrypoint image inode (kFlagEptValid)

@@ -27,7 +27,8 @@ constexpr uint64_t kWorkloadSeed = 0xab1a7e5eedull;
 
 EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
                         bool vcache = false, bool threaded = true,
-                        bool verify = true, bool tuple = false) {
+                        bool verify = true, bool tuple = false,
+                        bool automata = true) {
   EngineConfig cfg;
   cfg.lazy_context = lazy;
   cfg.cache_context = cache;
@@ -37,6 +38,7 @@ EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
   cfg.threaded_eval = threaded;
   cfg.verify_programs = verify;
   cfg.tuple_dispatch = tuple;
+  cfg.automata = automata;
   return cfg;
 }
 
@@ -52,7 +54,12 @@ EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
 // and the decision counters all stay byte-identical. The TUPLE rung turns
 // the tuple-space classifier on above COMPILED (verdict cache off so every
 // op actually traverses): probing per-mask hash tables and k-way-merging
-// candidate slices must pick exactly the rules a linear scan would.
+// candidate slices must pick exactly the rules a linear scan would. The
+// AUTOMATA rung re-runs the verdict-cache configuration with STATE-protocol
+// lowering ablated: with lowering off every stateful decision bypasses and
+// traverses, with it on (the VCACHE rung's default) those decisions are
+// cached under automaton-extended keys and their effects replayed — the two
+// must be indistinguishable in verdicts and dictionaries.
 const struct {
   const char* name;
   EngineConfig cfg;
@@ -66,6 +73,8 @@ const struct {
     {"COMPILED", MakeConfig(true, true, true, true)},
     {"TUPLE", MakeConfig(true, true, true, true, false, true, true, /*tuple=*/true)},
     {"VCACHE", MakeConfig(true, true, true, true, true)},
+    {"AUTOMATA", MakeConfig(true, true, true, true, true, true, true, false,
+                            /*automata=*/false)},
     {"VERIFY", MakeConfig(true, true, true, true, true, true, /*verify=*/false)},
     {"TRACE", MakeConfig(true, true, true, true, true), true},
 };
@@ -314,6 +323,94 @@ TEST(AblationEquivalenceTest, TupleClassifierPreservesHitCountersAndOnlySkipsWor
       << "classifier never narrowed a candidate slice on a workload built "
       << "around exact-match dimensions";
   EXPECT_EQ(tup_stats.drops, scan_stats.drops);
+}
+
+TEST(AblationEquivalenceTest, AutomataLoweringPreservesHitCountersAndRemovesBypasses) {
+  // The AUTOMATA rung, isolated and strengthened: with lowering on, the
+  // workload's stateful decisions (binds, tmp-opens, signals over key b) are
+  // served from the stateful cache tier with their effects replayed; with it
+  // off they bypass and traverse. Verdicts, dictionaries AND per-rule hit
+  // counters must be bit-identical — a hit counter is bumped by the replay on
+  // one side and by the traversal on the other.
+  const auto replay = [](bool automata, std::vector<uint64_t>* hits,
+                         std::vector<std::map<std::string, int64_t>>* dicts,
+                         EngineStats* stats) {
+    const EngineConfig cfg =
+        MakeConfig(true, true, true, true, true, true, true, false, automata);
+    std::vector<int64_t> verdicts = Replay(cfg, dicts);
+    // Replay tears the workload down, so run it again inline to read hit
+    // counters off the live ruleset.
+    Workload w(cfg);
+    std::mt19937_64 rng(kWorkloadSeed);
+    const char* paths[] = {"/etc/passwd", "/etc/shadow", "/tmp/t"};
+    for (int i = 0; i < kOps; ++i) {
+      sim::Task& task = *w.tasks[rng() % kTasks];
+      if (rng() % 4 != 0) {
+        ++task.syscall_count;
+      }
+      sim::AccessRequest req;
+      switch (rng() % 8) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+          req = w.OpenRequest(task, paths[rng() % 3]);
+          break;
+        case 4:
+          req = w.OpenRequest(task, "/etc/shadow");
+          break;
+        case 5: {
+          req.task = &task;
+          req.op = sim::Op::kSocketBind;
+          req.name = "/tmp/sock";
+          req.syscall_nr = sim::SyscallNr::kBind;
+          break;
+        }
+        case 6: {
+          req.task = &task;
+          req.op = sim::Op::kSignalDeliver;
+          req.sig = sim::kSigUsr1;
+          req.sig_sender = 1;
+          req.syscall_nr = sim::SyscallNr::kKill;
+          break;
+        }
+        default: {
+          req.task = &task;
+          req.op = sim::Op::kSyscallBegin;
+          req.syscall_nr = sim::SyscallNr::kNull;
+          break;
+        }
+      }
+      w.engine->Authorize(req);
+    }
+    for (const auto& [name, chain] : w.engine->ruleset().filter().chains()) {
+      for (const auto& r : chain.rules()) {
+        hits->push_back(r->hits.load(std::memory_order_relaxed));
+      }
+    }
+    *stats = w.engine->stats();
+    return verdicts;
+  };
+
+  std::vector<uint64_t> on_hits, off_hits;
+  std::vector<std::map<std::string, int64_t>> on_dicts, off_dicts;
+  EngineStats on_stats, off_stats;
+  std::vector<int64_t> on = replay(true, &on_hits, &on_dicts, &on_stats);
+  std::vector<int64_t> off = replay(false, &off_hits, &off_dicts, &off_stats);
+
+  ASSERT_EQ(on, off) << "automaton lowering changed a verdict";
+  EXPECT_EQ(on_dicts, off_dicts) << "automaton lowering changed STATE side effects";
+  EXPECT_EQ(on_hits, off_hits)
+      << "stateful hit replay diverged from the bypass traversal's counters";
+
+  // And the rung is not vacuous: this rule base is fully lowerable, so the
+  // automata build serves its stateful decisions as (state-keyed) cache
+  // traffic while the ablated build bypasses every one of them.
+  EXPECT_GT(on_stats.vcache_state_hits, 0u);
+  EXPECT_EQ(on_stats.vcache_bypasses, 0u)
+      << "a fully lowerable rule base must not bypass with automata on";
+  EXPECT_GT(off_stats.vcache_bypasses, 0u);
+  EXPECT_EQ(off_stats.vcache_state_hits, 0u);
 }
 
 TEST(AblationEquivalenceTest, ReplayIsDeterministic) {
