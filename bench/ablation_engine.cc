@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "src/analysis/symbolic/model.h"
+#include "src/audit/hub.h"
 #include "src/core/verify.h"
 
 namespace pf::bench {
@@ -219,6 +220,31 @@ void BM_AuthorizeCompiledTraced(benchmark::State& state) {
       static_cast<double>(fx.sys.engine->trace().drops());
 }
 BENCHMARK(BM_AuthorizeCompiledTraced)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
+
+// The audit tax with the security-event pipeline armed (suppression off,
+// every kind enabled). The workload is an allowed open, so no records are
+// emitted: this measures the pure observer prologue/epilogue the audit
+// pipeline adds to every decision — the ISSUE's <5% acceptance bound for
+// the *enabled* case, asserted by the bench-smoke CI job as the geometric
+// mean across rule counts vs. BM_AuthorizeCompiledIndexed in this binary
+// (a PF_AUDIT=OFF build runs alongside as the compile gate and reference).
+void BM_AuthorizeCompiledAudited(benchmark::State& state) {
+  EngineFixture fx(/*frames=*/2, /*rules=*/static_cast<int>(state.range(0)),
+                   /*indexed=*/true);
+  fx.sys.engine->config().compiled_eval = true;
+  audit::AuditHub::Config acfg;
+  acfg.bucket_capacity = 0;
+  fx.sys.engine->audit().Enable(acfg);
+  sim::AccessRequest req = fx.OpenRequest();
+  for (auto _ : state) {
+    ++fx.task.syscall_count;
+    benchmark::DoNotOptimize(fx.sys.engine->Authorize(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["audit_emitted"] =
+      static_cast<double>(fx.sys.engine->audit().emitted());
+}
+BENCHMARK(BM_AuthorizeCompiledAudited)->Arg(16)->Arg(128)->Arg(512)->Arg(1218)->Arg(2048);
 
 // Commit-time cost of the whole compilation pipeline (bucket build + arena
 // lowering) over the staging rule base — the price paid once per pftables

@@ -211,7 +211,9 @@ std::string RenderDiffJson(const DiffResult& diff) {
       ++verdict_changes;
     }
   }
-  oss << "{\"pfdiff\": {\"changed_regions\": " << diff.regions.size()
+  // `schema` versions the machine-readable surface: consumers gate on it
+  // before parsing, and any field rename/removal bumps it (additions do not).
+  oss << "{\"pfdiff\": {\"schema\": 1, \"changed_regions\": " << diff.regions.size()
       << ", \"verdict_changing\": " << verdict_changes
       << ", \"widening\": " << (diff.any_widening ? "true" : "false")
       << ", \"exact\": " << (diff.exact ? "true" : "false")

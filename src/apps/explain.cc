@@ -1,0 +1,221 @@
+#include "src/apps/explain.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "src/audit/export.h"
+#include "src/core/program.h"
+
+namespace pf::apps {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+struct RuleCounter {
+  const core::Rule* rule = nullptr;
+  int32_t chain_id = -1;
+  uint32_t chain_index = 0;
+  uint64_t evals = 0;
+  uint64_t hits = 0;
+};
+
+bool IsDenyKind(const audit::AuditRecord& rec) {
+  return rec.kind == static_cast<uint8_t>(audit::Kind::kDeny) ||
+         rec.kind == static_cast<uint8_t>(audit::Kind::kAuditedDeny);
+}
+
+}  // namespace
+
+ExplainResult ExplainRequest(core::Engine& engine, sim::AccessRequest& req) {
+  ExplainResult out;
+  audit::AuditHub& hub = engine.audit();
+  const bool was_enabled = hub.enabled();
+  if (!was_enabled) {
+    audit::AuditHub::Config cfg;
+    cfg.bucket_capacity = 0;  // an explanation must never be suppressed
+    hub.Enable(cfg);
+  }
+  (void)hub.Drain();  // discard any backlog: drained events must be ours alone
+
+  // Per-rule counter snapshot over the published program's live records. The
+  // Rule atomics are shared with the staging base, so both evaluators (the
+  // compiled program and the legacy walker) move the same counters.
+  const std::shared_ptr<const core::CompiledRuleset> rs = engine.PublishedRuleset();
+  std::vector<RuleCounter> counters;
+  if (rs != nullptr) {
+    counters.reserve(rs->program.rules.size());
+    for (const core::RuleRecord& rr : rs->program.rules) {
+      if (rr.rule == nullptr) {
+        continue;  // dead delta-commit record, unreachable
+      }
+      counters.push_back({rr.rule, rr.chain_id, rr.chain_index,
+                          rr.rule->evals.load(kRelaxed), rr.rule->hits.load(kRelaxed)});
+    }
+  }
+
+  const core::EngineStats before = engine.stats();
+  out.verdict = engine.Authorize(req);
+  const core::EngineStats after = engine.stats();
+  out.events = hub.Drain();
+  if (!was_enabled) {
+    hub.Disable();
+  }
+
+  out.audited = after.audited_drops > before.audited_drops;
+  out.drop = out.verdict != 0 || out.audited;
+
+  // Verdict attribution and serving tier, from the denial's audit record
+  // when one exists (exact), from the cache-counter movement otherwise.
+  const audit::AuditRecord* deny = nullptr;
+  for (const audit::AuditRecord& rec : out.events) {
+    if (IsDenyKind(rec)) {
+      deny = &rec;
+    }
+  }
+  const bool traversed_rules = [&] {
+    for (const RuleCounter& rc : counters) {
+      if (rc.rule->evals.load(kRelaxed) != rc.evals) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  if (deny != nullptr) {
+    out.tier = std::string(
+        audit::TierName(static_cast<audit::Tier>(deny->tier)));
+    out.cause = deny->cause;
+    out.chain_id = deny->chain_id;
+    out.rule_index = deny->rule_index;
+  } else if (after.vcache_state_hits > before.vcache_state_hits) {
+    out.tier = std::string(audit::TierName(audit::Tier::kVcacheState));
+  } else if (after.vcache_hits > before.vcache_hits) {
+    out.tier = std::string(audit::TierName(audit::Tier::kVcache));
+  } else if (after.vcache_bypasses > before.vcache_bypasses) {
+    out.tier = std::string(audit::TierName(audit::Tier::kBypass));
+    for (size_t i = 0; i < after.vcache_bypass_causes.size(); ++i) {
+      if (after.vcache_bypass_causes[i] > before.vcache_bypass_causes[i]) {
+        out.cause |= static_cast<uint8_t>(1u << i);
+      }
+    }
+  } else if (after.vcache_misses > before.vcache_misses || traversed_rules) {
+    // A miss traverses even when every reachable rule list for the op is
+    // empty (entrypoint-indexed chains with no matching binding).
+    out.tier = std::string(audit::TierName(engine.config().compiled_eval
+                                               ? audit::Tier::kCompiled
+                                               : audit::Tier::kLegacy));
+  } else {
+    out.tier = "fast-path";  // no applicable chain: Authorize never built a packet
+  }
+
+  // Traversal steps: every rule whose eval counter moved, with this
+  // request's movement, in (chain, position) order.
+  std::map<int32_t, std::string> chain_names;
+  if (rs != nullptr) {
+    for (const auto& [name, id] : rs->program.chain_ids) {
+      chain_names[id] = name;
+    }
+  }
+  std::sort(counters.begin(), counters.end(), [](const RuleCounter& a,
+                                                 const RuleCounter& b) {
+    return a.chain_id != b.chain_id ? a.chain_id < b.chain_id
+                                    : a.chain_index < b.chain_index;
+  });
+  std::map<int32_t, std::pair<size_t, size_t>> per_chain;  // evaluated, total
+  for (const RuleCounter& rc : counters) {
+    const uint64_t evals = rc.rule->evals.load(kRelaxed) - rc.evals;
+    const uint64_t hits = rc.rule->hits.load(kRelaxed) - rc.hits;
+    auto& [evaluated, total] = per_chain[rc.chain_id];
+    ++total;
+    if (evals == 0) {
+      continue;
+    }
+    ++evaluated;
+    ExplainStep step;
+    step.chain_id = rc.chain_id;
+    step.rule_index = rc.chain_index;
+    auto it = chain_names.find(rc.chain_id);
+    step.chain = it != chain_names.end() ? it->second : std::to_string(rc.chain_id);
+    step.rule = rc.rule->source;
+    step.evals = evals;
+    step.hits = hits;
+    step.produced_verdict =
+        out.chain_id == rc.chain_id &&
+        out.rule_index == static_cast<int32_t>(rc.chain_index);
+    out.steps.push_back(std::move(step));
+  }
+  for (const auto& [chain_id, ev] : per_chain) {
+    const auto& [evaluated, total] = ev;
+    if (evaluated == 0 || evaluated == total) {
+      continue;  // chain not consulted at all, or fully walked
+    }
+    auto it = chain_names.find(chain_id);
+    out.not_reached.push_back(
+        "chain '" + (it != chain_names.end() ? it->second : std::to_string(chain_id)) +
+        "': " + std::to_string(total - evaluated) + " of " + std::to_string(total) +
+        " rules not evaluated (op filter, entrypoint index, or earlier verdict)");
+  }
+  return out;
+}
+
+std::string ExplainResult::Render(const trace::NameTable& names) const {
+  std::ostringstream os;
+  os << "verdict: ";
+  if (audited) {
+    os << "DROP (audited: access allowed, denial recorded)";
+  } else if (drop) {
+    os << "DROP (" << verdict << ")";
+  } else {
+    os << "ALLOW (0)";
+  }
+  os << "\n  served by: tier=" << tier;
+  if (cause != 0) {
+    os << " cause=0x" << std::hex << static_cast<unsigned>(cause) << std::dec;
+  }
+  os << "\n";
+  if (drop) {
+    os << "  matched rule: ";
+    if (chain_id < 0) {
+      os << "(chain policy or legacy walker — no compiled attribution)";
+    } else {
+      os << chain_id << ":" << rule_index;
+      for (const ExplainStep& s : steps) {
+        if (s.produced_verdict) {
+          os << "  `" << s.rule << "`";
+          break;
+        }
+      }
+    }
+    os << "\n";
+  }
+  if (!steps.empty()) {
+    os << "traversal:\n";
+    for (const ExplainStep& s : steps) {
+      os << "  " << s.chain << ":" << s.rule_index << " evaluated";
+      if (s.hits > 0) {
+        os << " HIT";
+      }
+      if (s.produced_verdict) {
+        os << "  <== verdict";
+      }
+      os << "\n";
+    }
+    for (const std::string& nr : not_reached) {
+      os << "  " << nr << "\n";
+    }
+  } else {
+    os << "traversal: none (served without evaluating any rule)\n";
+  }
+  if (!events.empty()) {
+    os << "events:\n";
+    std::istringstream lines(audit::RenderText(events, names));
+    for (std::string line; std::getline(lines, line);) {
+      os << "  " << line << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pf::apps

@@ -234,7 +234,9 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::ostringstream out;
-    out << "{\"pfcheck\": {\"rules\": " << rules
+    // `schema` versions the machine-readable surface (same contract as the
+    // pfdiff object): consumers gate on it before parsing.
+    out << "{\"pfcheck\": {\"schema\": 1, \"rules\": " << rules
         << ", \"chains\": " << nchains
         << ", \"analysis_us\": " << analysis_us
         << ", \"verified\": " << (verified ? "true" : "false")

@@ -19,6 +19,11 @@ constexpr CtxMask kAllCtx = CtxBit(Ctx::kObject) | CtxBit(Ctx::kLinkTarget) |
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
 
+// The decision-scratch machinery below serves two observers: the tracer and
+// the audit pipeline. It is compiled in when either is, and compiled out —
+// along with every gate that reads it — only when both are off.
+constexpr bool kObsCompiledIn = trace::kTraceCompiledIn || audit::kAuditCompiledIn;
+
 // Per-decision tracing scratch, installed on the stack by Authorize and
 // published through a thread-local pointer so the stages it calls into
 // (EnsureContext, the compiled evaluator) can attribute their cost without
@@ -33,6 +38,7 @@ struct DecisionScratch {
   uint8_t op = 0;
   bool trace_rules = false;      // emit Event::kRule per verdict + rule ns
   bool trace_ctx = false;        // emit Event::kCtxFetch per fetch
+  bool time_ctx = false;         // accumulate ctx_ns (clock reads per fetch)
   pf::trace::TraceHub* hub = nullptr;
 };
 
@@ -50,6 +56,52 @@ struct EffectsCapture {
 };
 
 thread_local EffectsCapture* g_capture = nullptr;
+
+// Per-decision audit scratch, armed by Authorize whenever the audit pipeline
+// is enabled. Security events that surface mid-traversal — LOG-target hits,
+// `@phase` transitions — are parked here (fixed-size, overflow-counted) and
+// materialized into AuditRecords in the decision epilogue, where the serving
+// tier, timing, and packet provenance are all known. Null whenever the
+// current decision is not audited; every hook below gates on that single TLS
+// load, and the mechanism compiles out under PF_AUDIT=OFF.
+struct AuditScratch {
+  static constexpr uint32_t kMaxPending = 4;
+
+  // LOG hits: the compiled kLog handler deposits its RuleRecord identity
+  // here just before EmitLog; the legacy walker leaves -1 (same attribution
+  // convention as tracing).
+  int32_t cur_chain = -1;
+  int32_t cur_rule = -1;
+  int32_t log_chain[kMaxPending];
+  int32_t log_rule[kMaxPending];
+  uint32_t log_count = 0;
+
+  // @phase transitions observed by the dictionary write sites.
+  int64_t phase_from[kMaxPending];
+  int64_t phase_to[kMaxPending];
+  uint32_t phase_count = 0;
+
+  AuditScratch* prev = nullptr;
+
+  void NoteLog() {
+    if (log_count < kMaxPending) {
+      log_chain[log_count] = cur_chain;
+      log_rule[log_count] = cur_rule;
+    }
+    ++log_count;
+    cur_chain = -1;
+    cur_rule = -1;
+  }
+  void NotePhase(int64_t from, int64_t to) {
+    if (phase_count < kMaxPending) {
+      phase_from[phase_count] = from;
+      phase_to[phase_count] = to;
+    }
+    ++phase_count;
+  }
+};
+
+thread_local AuditScratch* g_audit = nullptr;
 }  // namespace
 
 void NoteRuleHit(const Rule* rule) {
@@ -62,6 +114,17 @@ void NoteDictDelta(const std::string& key, bool unset, int64_t value) {
   if (EffectsCapture* cap = g_capture) {
     cap->fx.deltas.push_back(DictDelta{key, unset, value});
     ++cap->own_mutations;
+  }
+}
+
+void NotePhaseTransition(int64_t from, int64_t to) {
+  if constexpr (audit::kAuditCompiledIn) {
+    if (AuditScratch* as = g_audit) {
+      as->NotePhase(from, to);
+    }
+  } else {
+    (void)from;
+    (void)to;
   }
 }
 
@@ -525,6 +588,10 @@ EngineStats Engine::stats() const {
   }
   out.trace_records = trace_.records();
   out.trace_drops = trace_.drops();
+  out.audit_emitted = audit_.emitted();
+  out.audit_records = audit_.records();
+  out.audit_suppressed = audit_.suppressed();
+  out.audit_ring_drops = audit_.ring_drops();
   const uint64_t gen_after = stats_gen_.load(std::memory_order_acquire);
   out.stats_generation = gen_after;
   out.torn = (gen_after & 1) != 0 || gen_after != gen_before;
@@ -702,11 +769,15 @@ void Engine::EnsureContext(Packet& pkt, CtxMask mask) {
   if (missing == 0) {
     return;
   }
-  // Context-fetch tracepoint: only decisions being traced carry a scratch,
-  // so the untraced hot path pays one thread-local load past this point.
+  // Context-fetch tracepoint: only decisions being traced (or audited) carry
+  // a scratch, so the unobserved hot path pays one thread-local load past
+  // this point.
+  // Timing is opt-in per decision (tracer active, or audit with
+  // Config::timed): an armed-but-untimed audit pipeline must not put two
+  // clock reads on every allow-path context fetch.
   uint64_t t0 = 0;
-  if constexpr (trace::kTraceCompiledIn) {
-    if (g_scratch != nullptr) {
+  if constexpr (kObsCompiledIn) {
+    if (g_scratch != nullptr && g_scratch->time_ctx) {
       t0 = trace::NowNs();
     }
   }
@@ -725,8 +796,8 @@ void Engine::EnsureContext(Packet& pkt, CtxMask mask) {
   if (missing & CtxBit(Ctx::kInterpStack)) {
     FetchInterp(pkt);
   }
-  if constexpr (trace::kTraceCompiledIn) {
-    if (DecisionScratch* ds = g_scratch) {
+  if constexpr (kObsCompiledIn) {
+    if (DecisionScratch* ds = g_scratch; ds != nullptr && ds->time_ctx) {
       const uint64_t dt = trace::NowNs() - t0;
       ds->ctx_ns += dt;
       if (ds->trace_ctx) {
@@ -772,6 +843,17 @@ void Engine::EmitLog(Packet& pkt, const std::string& prefix) {
   rec.adversary_readable = pkt.adversary_readable;
   rec.prefix = prefix;
   log_.Append(std::move(rec));
+  // Audit hook: a LOG fired during an audited decision becomes a kLogHit
+  // record in the epilogue. The compiled kLog handler parked its rule
+  // identity in cur_chain/cur_rule just before calling here; the legacy
+  // walker's LogTarget::Fire leaves -1 (the tracing convention). The
+  // audit-drop EmitLog in Authorize runs after the scratch is popped, so a
+  // denial never double-reports as a log hit.
+  if constexpr (audit::kAuditCompiledIn) {
+    if (AuditScratch* as = g_audit) {
+      as->NoteLog();
+    }
+  }
 }
 
 // --- rule evaluation -------------------------------------------------------------
@@ -1072,7 +1154,7 @@ Engine::Verdict Engine::ExecEntryList(const CompiledRuleset& rs, const uint32_t*
                                       int depth) {
   const PfProgram& prog = rs.program;
   DecisionScratch* ds = nullptr;
-  if constexpr (trace::kTraceCompiledIn) {
+  if constexpr (kObsCompiledIn) {
     ds = g_scratch;
   }
   // rules_evaluated is batched: one thread-local lookup and one atomic add
@@ -1327,6 +1409,7 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
   bool trace_vcache = false;
   bool trace_active = false;
   uint64_t t_start = 0;
+  [[maybe_unused]] bool obs_timed = false;
   [[maybe_unused]] trace::Path path = trace::Path::kVcache;
   [[maybe_unused]] uint8_t cache_outcome = trace::kCacheNone;
   if constexpr (trace::kTraceCompiledIn) {
@@ -1344,10 +1427,40 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
         scratch.worker =
             static_cast<uint16_t>(WorkerIndex() & (trace::TraceHub::kMaxWorkers - 1));
         scratch.op = static_cast<uint8_t>(req.op);
+        scratch.time_ctx = true;
         scratch.hub = &trace_;
         prev_scratch = g_scratch;
         g_scratch = &scratch;
         t_start = trace::NowNs();
+        obs_timed = true;
+      }
+    }
+  }
+
+  // --- audit prologue. Attribution (verdict-producing rule, context time)
+  // rides on the same DecisionScratch the tracer installs, so an audited but
+  // untraced decision installs one too: its trace flags stay false and its
+  // hub stays null, so no trace records can be emitted through it. Stage
+  // timing is only armed when the hub asks for it (Config::timed) — the
+  // default audited decision reads the clock once, at emission.
+  AuditScratch audit_scratch;
+  [[maybe_unused]] bool audit_active = false;
+  if constexpr (audit::kAuditCompiledIn) {
+    if (audit_.enabled()) {
+      audit_active = true;
+      audit_scratch.prev = g_audit;
+      g_audit = &audit_scratch;
+      if (!trace_active) {
+        // No worker/op setup here: an audited-only decision resolves its
+        // worker lane at emission time, so the (dominant) allow path pays
+        // only the two TLS installs.
+        prev_scratch = g_scratch;
+        g_scratch = &scratch;
+        if (audit_.timed()) {
+          scratch.time_ctx = true;
+          t_start = trace::NowNs();
+          obs_timed = true;
+        }
       }
     }
   }
@@ -1418,6 +1531,8 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
   bool insert_on_miss = false;
   bool drop = false;
   bool decided = false;
+  [[maybe_unused]] int32_t hit_chain = -1;
+  [[maybe_unused]] int32_t hit_rule = -1;
   std::shared_ptr<PfTaskState> tstate;
   if (state_probe) {
     // Fold the task's current automaton state into the key. Tasks with no
@@ -1485,6 +1600,11 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
       cache_outcome = trace::kCacheHit;
       drop = cached->drop;
       decided = true;
+      // Cached-hit denials keep exact rule attribution for the audit
+      // pipeline: the verdict-producing rule is a pure function of the key,
+      // memoized at insert time.
+      hit_chain = cached->chain_id;
+      hit_rule = cached->rule_index;
       if (state_probe) {
         sb.vcache_state_hits.fetch_add(1, kRelaxed);
         if (cached->fx != nullptr) {
@@ -1501,6 +1621,17 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
               if (d.unset) {
                 st.dict.erase(d.key);
               } else {
+                // Audit emit point (stateful replay): a memoized @phase write
+                // is the same protocol transition the traversal performed.
+                if constexpr (audit::kAuditCompiledIn) {
+                  if (g_audit != nullptr && d.key == kPhaseKeyName) {
+                    auto it = st.dict.find(d.key);
+                    NotePhaseTransition(it != st.dict.end()
+                                            ? it->second
+                                            : PhaseId(kPhaseInitName),
+                                        d.value);
+                  }
+                }
                 st.dict[d.key] = d.value;
               }
               ++st.dict_seq;
@@ -1581,6 +1712,12 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
     if (insert_on_miss) {
       CachedVerdict cv;
       cv.drop = drop;
+      // Memoize attribution when an observer was watching the traversal
+      // (compiled path only, -1 otherwise — the tracing convention). Like
+      // the verdict it is a pure function of the key, so a later hit can
+      // report the matched rule without re-traversing.
+      cv.chain_id = scratch.chain_id;
+      cv.rule_index = scratch.rule_index;
       bool insert = true;
       if (state_probe) {
         if (tstate == nullptr) {
@@ -1603,12 +1740,22 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
     }
   }
 
+  // --- observer epilogue: pop the shared scratch (installed by whichever of
+  // the two prologues armed it) and close the decision's timing window.
+  [[maybe_unused]] uint64_t total = 0;
+  if constexpr (kObsCompiledIn) {
+    if (trace_active || audit_active) {
+      g_scratch = prev_scratch;
+      if (obs_timed) {
+        total = trace::NowNs() - t_start;
+      }
+    }
+  }
+
   // --- decision tracepoint, epilogue: histogram sample + one kDecision
   // record covering context fetch, probe, and traversal of this request.
   if constexpr (trace::kTraceCompiledIn) {
     if (trace_active) {
-      g_scratch = prev_scratch;
-      const uint64_t total = trace::NowNs() - t_start;
       if (trace_decision) {
         trace_.RecordLatency(static_cast<uint32_t>(req.op), path, total);
         trace::TraceRecord rec;
@@ -1642,6 +1789,126 @@ int64_t Engine::Authorize(sim::AccessRequest& req) {
           rec.flags |= trace::kFlagStateKey;  // decision keyed on automaton state
         }
         trace_.Emit(rec);
+      }
+    }
+  }
+
+  // --- audit epilogue: materialize this decision's security events with
+  // full provenance. Runs after the scratch pop on purpose — the audit-mode
+  // EmitLog in the verdict tail below must not double-report as a kLogHit.
+  if constexpr (audit::kAuditCompiledIn) {
+    if (audit_active) {
+      g_audit = audit_scratch.prev;
+      // Stack-local event check before anything shared: an allow that saw no
+      // mid-traversal events — the hot path — pays no atomic load here (a
+      // kind mask of 0 zeroes every event count below).
+      const bool any_event = drop || audit_scratch.phase_count != 0 ||
+                             audit_scratch.log_count != 0;
+      const uint32_t kinds = any_event ? audit_.kinds() : 0;
+      const bool deny_event =
+          drop && (kinds & audit::KindBit(config_.audit_only
+                                              ? audit::Kind::kAuditedDeny
+                                              : audit::Kind::kDeny)) != 0;
+      const uint32_t n_phase =
+          (kinds & audit::KindBit(audit::Kind::kPhase)) != 0
+              ? std::min(audit_scratch.phase_count, AuditScratch::kMaxPending)
+              : 0;
+      const uint32_t n_log =
+          (kinds & audit::KindBit(audit::Kind::kLogHit)) != 0
+              ? std::min(audit_scratch.log_count, AuditScratch::kMaxPending)
+              : 0;
+      if (deny_event || n_phase != 0 || n_log != 0) {
+        const size_t w =
+            trace_active ? scratch.worker
+                         : (WorkerIndex() & (trace::TraceHub::kMaxWorkers - 1));
+        audit::AuditRecord base;
+        base.ts_ns = trace::NowNs();
+        base.generation = rs.generation;
+        base.subject_sid = req.task->cred.sid;
+        base.pid = static_cast<uint32_t>(req.task->pid);
+        base.worker = static_cast<uint16_t>(w);
+        base.op = static_cast<uint8_t>(req.op);
+        if (req.inode != nullptr) {
+          base.flags |= audit::kFlagHasObject;
+          base.object_sid = req.inode->sid;
+          base.object_dev = req.id.dev;
+          base.object_ino = req.id.ino;
+          base.object_gen = req.inode->generation;
+        }
+        if (pkt.entrypoint_valid) {
+          base.flags |= audit::kFlagEptValid;
+          base.ept_dev = pkt.entrypoint.image.dev;
+          base.ept_ino = pkt.entrypoint.image.ino;
+          base.ept_offset = pkt.entrypoint.offset;
+        }
+        if (obs_timed) {
+          base.flags |= audit::kFlagTimed;
+          base.total_ns = total;
+          base.ctx_ns = scratch.ctx_ns;
+        }
+        // Serving-tier attribution: which layer of the engine produced (or
+        // replayed) the verdict this event belongs to.
+        if (decided) {
+          base.tier = static_cast<uint8_t>(state_probe ? audit::Tier::kVcacheState
+                                                       : audit::Tier::kVcache);
+        } else if (cache_outcome == trace::kCacheBypass) {
+          base.tier = static_cast<uint8_t>(audit::Tier::kBypass);
+          base.cause = bypass_causes;
+        } else {
+          base.tier = static_cast<uint8_t>(path == trace::Path::kCompiled
+                                               ? audit::Tier::kCompiled
+                                               : audit::Tier::kLegacy);
+        }
+        if (state_probe) {
+          base.flags |= audit::kFlagStateKey;
+          base.automaton = protocols.empty()
+                               ? audit::kNoAutomaton
+                               : static_cast<uint16_t>(protocols.front());
+          base.astate_in = astate_fold;
+          base.astate_out = astate_fold;
+          // Successor state: re-fold after this decision's recorded effects
+          // (traversal writes or replayed deltas) have been applied.
+          std::shared_ptr<PfTaskState> ts =
+              tstate != nullptr ? tstate : states_.Find(req.task->pid);
+          std::optional<uint64_t> out_fold;
+          if (ts != nullptr) {
+            std::lock_guard<std::mutex> lock(ts->mu);
+            const std::vector<uint32_t>& vec =
+                DeriveAutomatonState(rs.program, rs.generation, *ts);
+            out_fold = FoldAutomatonState(rs.program, protocols, &vec);
+          } else {
+            out_fold = FoldAutomatonState(rs.program, protocols, nullptr);
+          }
+          if (out_fold) {
+            base.astate_out = *out_fold;
+          }
+        }
+        // Mid-traversal events first, in occurrence order, then the verdict.
+        for (uint32_t i = 0; i < n_phase; ++i) {
+          audit::AuditRecord rec = base;
+          rec.kind = static_cast<uint8_t>(audit::Kind::kPhase);
+          rec.flags = static_cast<uint16_t>(rec.flags & ~audit::kFlagStateKey);
+          rec.automaton = audit::kNoAutomaton;
+          rec.astate_in = static_cast<uint64_t>(audit_scratch.phase_from[i]);
+          rec.astate_out = static_cast<uint64_t>(audit_scratch.phase_to[i]);
+          audit_.Emit(w, rec);
+        }
+        for (uint32_t i = 0; i < n_log; ++i) {
+          audit::AuditRecord rec = base;
+          rec.kind = static_cast<uint8_t>(audit::Kind::kLogHit);
+          rec.chain_id = audit_scratch.log_chain[i];
+          rec.rule_index = audit_scratch.log_rule[i];
+          audit_.Emit(w, rec);
+        }
+        if (deny_event) {
+          audit::AuditRecord rec = base;
+          rec.kind = static_cast<uint8_t>(config_.audit_only
+                                              ? audit::Kind::kAuditedDeny
+                                              : audit::Kind::kDeny);
+          rec.chain_id = decided ? hit_chain : scratch.chain_id;
+          rec.rule_index = decided ? hit_rule : scratch.rule_index;
+          audit_.Emit(w, rec);
+        }
       }
     }
   }

@@ -48,6 +48,7 @@
 #include <unordered_map>
 
 #include "src/analysis/diagnostics.h"  // standalone by design, like pftables.h
+#include "src/audit/hub.h"
 #include "src/core/log.h"
 #include "src/core/packet.h"
 #include "src/core/program.h"
@@ -158,6 +159,13 @@ struct EngineStats {
   std::array<uint64_t, kBypassCauseCount> vcache_bypass_causes{};
   uint64_t trace_records = 0;      // TraceRecords ever emitted
   uint64_t trace_drops = 0;        // records lost to full rings
+  // Audit-pipeline conservation counters (src/audit): emitted = admitted +
+  // suppressed; admitted records either drain, sit buffered, or are counted
+  // in audit_ring_drops when a full ring evicted them unread.
+  uint64_t audit_emitted = 0;
+  uint64_t audit_records = 0;      // admitted into the per-worker rings
+  uint64_t audit_suppressed = 0;   // collapsed by token-bucket suppression
+  uint64_t audit_ring_drops = 0;   // evicted unread from full rings
   std::array<uint64_t, static_cast<size_t>(Ctx::kCount)> ctx_fetches{};
   // Counter-mutation generation at read time (see Engine::stats()). Odd, or
   // different before/after aggregation, means a reset/zeroing ran while this
@@ -419,9 +427,14 @@ struct StatefulEffects {
 };
 
 // A cached final verdict. `fx` is null for pure entries; stateful entries
-// carry the replayable effects above.
+// carry the replayable effects above. chain_id/rule_index name the rule that
+// produced the verdict when the entry was inserted (-1 when the chain policy
+// decided) — a pure function of the key, so replaying it on every hit keeps
+// audit attribution of cached denials exact without a traversal.
 struct CachedVerdict {
   bool drop = false;
+  int32_t chain_id = -1;
+  int32_t rule_index = -1;
   std::shared_ptr<const StatefulEffects> fx;
 };
 
@@ -458,6 +471,13 @@ class VerdictCache {
 // predictable branch). The capture becomes the entry's StatefulEffects.
 void NoteRuleHit(const Rule* rule);
 void NoteDictDelta(const std::string& key, bool unset, int64_t value);
+
+// Audit-observer hook: while Engine::Authorize runs with the audit pipeline
+// enabled, a thread-local observer is armed and every `@phase` dictionary
+// write site — the compiled kStateSet handler, StateTarget/PhaseTarget::Fire,
+// the stateful cache-hit replay — reports the transition through this (no-op
+// when unarmed, one predictable branch on a path that already took a mutex).
+void NotePhaseTransition(int64_t from, int64_t to);
 
 class Engine : public sim::SecurityModule {
  public:
@@ -508,6 +528,11 @@ class Engine : public sim::SecurityModule {
   // Disabled (and nearly free) by default; compiled out under PF_NO_TRACE.
   trace::TraceHub& trace() { return trace_; }
   const trace::TraceHub& trace() const { return trace_; }
+
+  // The security-event audit pipeline (src/audit, DESIGN.md §5j). Disabled
+  // it costs one relaxed load per Authorize; compiled out under PF_AUDIT=OFF.
+  audit::AuditHub& audit() { return audit_; }
+  const audit::AuditHub& audit() const { return audit_; }
 
   // Prometheus text-exposition (format 0.0.4) of the engine counters, the
   // verdict-cache rates, the ring drop counters, and every non-empty
@@ -639,6 +664,7 @@ class Engine : public sim::SecurityModule {
   TaskStateStore states_;
   VerdictCache vcache_;
   trace::TraceHub trace_;
+  audit::AuditHub audit_;
   std::atomic<uint64_t> stats_gen_{0};  // even: stable; odd: mutation running
 
   // --- RCU-style ruleset publication ---

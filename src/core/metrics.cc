@@ -3,7 +3,9 @@
 // histograms. Served verbatim by `pfshell stats --prom` and the pftrace CLI;
 // the format is tested against a real exposition-format parser in
 // tests/trace/trace_export_test.cc.
+#include "src/audit/export.h"
 #include "src/core/engine.h"
+#include "src/trace/export.h"
 #include "src/trace/metrics.h"
 
 namespace pf::core {
@@ -89,12 +91,11 @@ std::string Engine::MetricsText() const {
               s.ctx_fetches[i]);
   }
 
-  w.Family("pf_trace_records_total", "Trace records emitted into the per-worker rings",
-           "counter");
-  w.Counter("pf_trace_records_total", {}, s.trace_records);
-  w.Family("pf_trace_drops_total", "Trace records evicted unread from full rings",
-           "counter");
-  w.Counter("pf_trace_drops_total", {}, s.trace_drops);
+  // Ring-health and audit families are written by their owning subsystems —
+  // one source of truth for family/help text, shared by every exposition
+  // surface (pfshell stats --prom, pftrace --prom all serve this string).
+  trace::WriteRingFamilies(w, trace_);
+  audit::WriteAuditFamilies(w, audit_);
 
   w.Family("pf_ruleset_generation", "Published ruleset generation", "gauge");
   w.Gauge("pf_ruleset_generation", {}, static_cast<double>(ruleset_generation()));

@@ -470,6 +470,13 @@ TargetKind StateTarget::Fire(Packet& pkt, Engine& engine) const {
     return TargetKind::kContinue;
   }
   if (auto v = value.Eval(pkt)) {
+    if (key == kPhaseKeyName) {
+      // Audit emit point (legacy walker): a STATE write to the @phase key is
+      // a protocol-phase transition, same as the compiled kStateSet handler.
+      auto it = state.dict.find(key);
+      NotePhaseTransition(it != state.dict.end() ? it->second : PhaseId(kPhaseInitName),
+                          *v);
+    }
     state.dict[key] = *v;
     ++state.dict_seq;
     NoteDictDelta(key, /*unset=*/false, *v);
@@ -504,6 +511,9 @@ Status PhaseTarget::Create(const std::vector<std::string>& opts,
 TargetKind PhaseTarget::Fire(Packet& pkt, Engine& engine) const {
   PfTaskState& state = engine.TaskState(*pkt.req->task);
   std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.dict.find(std::string(kPhaseKeyName));
+  NotePhaseTransition(it != state.dict.end() ? it->second : PhaseId(kPhaseInitName),
+                      PhaseId(phase));
   state.dict[std::string(kPhaseKeyName)] = PhaseId(phase);
   ++state.dict_seq;
   NoteDictDelta(std::string(kPhaseKeyName), /*unset=*/false, PhaseId(phase));

@@ -10,8 +10,10 @@
 
 #include "src/analysis/analyzer.h"
 #include "src/analysis/symbolic/diff.h"
+#include "src/audit/export.h"
 #include "src/core/automata.h"
 #include "src/core/modules.h"
+#include "src/trace/export.h"
 
 namespace pf::core {
 
@@ -386,6 +388,11 @@ Status Pftables::DiffAgainstFile(const std::string& path) {
   return Status::Ok();
 }
 
+std::string Pftables::AuditText() const {
+  trace::NameTable names{&engine_->kernel().labels()};
+  return audit::RenderWindows(engine_->audit(), names);
+}
+
 Status Pftables::Exec(const std::string& command) {
   std::vector<std::string> tokens;
   if (Status s = Tokenize(command, &tokens); !s.ok()) {
@@ -406,6 +413,7 @@ Status Pftables::Exec(const std::string& command) {
   std::string diff_path;
   bool widening_gate = false;
   bool allow_widening = false;
+  bool audit_view = false;
   while (i < tokens.size()) {
     const std::string& t = tokens[i];
     if (t == "-t" && i + 1 < tokens.size()) {
@@ -429,9 +437,18 @@ Status Pftables::Exec(const std::string& command) {
     } else if (t == "--allow-widening") {
       allow_widening = true;
       ++i;
+    } else if (t == "--audit") {
+      audit_view = true;
+      ++i;
     } else {
       break;
     }
+  }
+  if (audit_view) {
+    // `--audit` is a standalone report like `--diff`: render the audit hub's
+    // live aggregator view; no chain command follows.
+    std::fputs(AuditText().c_str(), stdout);
+    return Status::Ok();
   }
   if (!diff_path.empty()) {
     // `--diff old.rules` is a standalone report: the live base is the "new"

@@ -96,6 +96,12 @@ class Pftables {
   // byte-identically.
   std::string ListCompiled() const;
 
+  // Renders the audit pipeline's live view (`pftables --audit`): the hub's
+  // conservation counters followed by the aggregator's per-(rule, subject,
+  // entrypoint) deny-rate windows, suppression totals, and anomaly flags.
+  // Non-destructive — the record rings are left for the drain consumers.
+  std::string AuditText() const;
+
   // Serializes the rule base as re-installable commands (pftables-save).
   // Round trip: Restore(Save()) reproduces the rule base.
   std::string Save(const std::string& table = "filter") const;

@@ -179,4 +179,44 @@ std::string RenderChromeTrace(const std::vector<TraceRecord>& records, const Nam
   return out.str();
 }
 
+void WriteRingFamilies(PromWriter& w, const TraceHub& hub) {
+  w.Family("pf_trace_records_total", "Trace records emitted into the per-worker rings",
+           "counter");
+  w.Counter("pf_trace_records_total", {}, hub.records());
+  w.Family("pf_trace_drops_total", "Trace records evicted unread from full rings",
+           "counter");
+  w.Counter("pf_trace_drops_total", {}, hub.drops());
+  // Per-ring health, one series per ring that exists. A utilization pinned
+  // near 1.0 between scrapes means the eviction counter next to it is about
+  // to move: drain more often or grow ring_capacity.
+  bool any = false;
+  for (size_t wk = 0; wk < TraceHub::kMaxWorkers && !any; ++wk) {
+    any = hub.ring(wk) != nullptr;
+  }
+  if (!any) {
+    return;
+  }
+  w.Family("pf_trace_ring_utilization",
+           "Occupied fraction of each worker's trace ring", "gauge");
+  for (size_t wk = 0; wk < TraceHub::kMaxWorkers; ++wk) {
+    const TraceRing* r = hub.ring(wk);
+    if (r == nullptr) {
+      continue;
+    }
+    const size_t cap = r->capacity();
+    w.Gauge("pf_trace_ring_utilization", {{"ring", "worker-" + std::to_string(wk)}},
+            cap == 0 ? 0.0 : static_cast<double>(r->size()) / static_cast<double>(cap));
+  }
+  w.Family("pf_trace_ring_drops_total",
+           "Trace records evicted unread, by worker ring", "counter");
+  for (size_t wk = 0; wk < TraceHub::kMaxWorkers; ++wk) {
+    const TraceRing* r = hub.ring(wk);
+    if (r == nullptr) {
+      continue;
+    }
+    w.Counter("pf_trace_ring_drops_total", {{"ring", "worker-" + std::to_string(wk)}},
+              r->drops());
+  }
+}
+
 }  // namespace pf::trace

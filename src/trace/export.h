@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/trace/hub.h"
+#include "src/trace/metrics.h"
 #include "src/trace/record.h"
 
 namespace pf::sim {
@@ -38,6 +40,14 @@ std::string RenderJsonLines(const std::vector<TraceRecord>& records, const NameT
 // events, pid 1, tid = worker index, microsecond timestamps rebased to the
 // first record. Loads directly in chrome://tracing and ui.perfetto.dev.
 std::string RenderChromeTrace(const std::vector<TraceRecord>& records, const NameTable& names);
+
+// Appends the pf_trace_* ring-health families for `hub` to an exposition in
+// progress: stream totals plus a pf_trace_ring_utilization{ring="worker-N"}
+// occupancy gauge and per-ring eviction counter for every ring that exists
+// (rings allocate lazily on a worker's first emission). The one source of
+// truth for these family/help strings — Engine::MetricsText() is the only
+// caller, so every surface that serves an exposition agrees.
+void WriteRingFamilies(PromWriter& w, const TraceHub& hub);
 
 // "drop" / "drop(audited)" / "accept" from record flags.
 std::string VerdictString(const TraceRecord& rec);

@@ -1,4 +1,4 @@
-// Lock-free per-worker trace ring (DESIGN.md §5e).
+// Lock-free per-worker flight-recorder ring (DESIGN.md §5e, §5j).
 //
 // An ftrace-style flight recorder: one producer (the worker thread emitting
 // records) and at most one consumer (a pftrace follower or a post-run dump).
@@ -18,6 +18,11 @@
 // the validated-discard pattern is race-free by the letter of the memory
 // model (TSan-clean), not just in practice; on x86 the stores compile to
 // plain moves.
+//
+// The ring is a template over the record type: TraceRecord (64 bytes) for
+// the tracing flight recorder, audit::AuditRecord (128 bytes) for the
+// security-event pipeline. Any trivially-copyable record whose size is a
+// multiple of 8 works.
 #ifndef SRC_TRACE_RING_H_
 #define SRC_TRACE_RING_H_
 
@@ -25,6 +30,7 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "src/trace/record.h"
@@ -33,10 +39,17 @@ namespace pf::trace {
 
 inline constexpr size_t kDefaultRingCapacity = 4096;  // records per worker
 
-class TraceRing {
+template <typename Record>
+class RecordRing {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "ring records are copied word-by-word through atomics");
+  static_assert(sizeof(Record) % sizeof(uint64_t) == 0,
+                "ring records must be a whole number of 64-bit words");
+  static constexpr size_t kWords = sizeof(Record) / sizeof(uint64_t);
+
  public:
   // Capacity is rounded up to a power of two (index masking).
-  explicit TraceRing(size_t capacity = kDefaultRingCapacity) {
+  explicit RecordRing(size_t capacity = kDefaultRingCapacity) {
     size_t cap = 16;
     while (cap < capacity) {
       cap <<= 1;
@@ -48,7 +61,7 @@ class TraceRing {
 
   // Producer side. Single producer; returns false when the record displaced
   // an unread one (which is also counted in drops()).
-  bool Push(const TraceRecord& rec) {
+  bool Push(const Record& rec) {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     uint64_t tail = tail_.load(std::memory_order_acquire);
     bool evicted = false;
@@ -63,9 +76,9 @@ class TraceRing {
     }
     Slot& slot = slots_[head & mask_];
     slot.seq.store(2 * head + 1, std::memory_order_release);  // writing marker
-    uint64_t words[kRecordWords];
+    uint64_t words[kWords];
     std::memcpy(words, &rec, sizeof(rec));
-    for (size_t i = 0; i < kRecordWords; ++i) {
+    for (size_t i = 0; i < kWords; ++i) {
       slot.words[i].store(words[i], std::memory_order_relaxed);
     }
     slot.seq.store(2 * head + 2, std::memory_order_release);  // complete
@@ -75,7 +88,7 @@ class TraceRing {
   }
 
   // Consumer side. Single consumer; returns false when the ring is empty.
-  bool Pop(TraceRecord* out) {
+  bool Pop(Record* out) {
     for (;;) {
       uint64_t tail = tail_.load(std::memory_order_acquire);
       const uint64_t head = head_.load(std::memory_order_acquire);
@@ -89,8 +102,8 @@ class TraceRing {
         // past it); reload the cursor and try the new oldest record.
         continue;
       }
-      uint64_t words[kRecordWords];
-      for (size_t i = 0; i < kRecordWords; ++i) {
+      uint64_t words[kWords];
+      for (size_t i = 0; i < kWords; ++i) {
         words[i] = slot.words[i].load(std::memory_order_relaxed);
       }
       std::atomic_thread_fence(std::memory_order_acquire);
@@ -122,7 +135,7 @@ class TraceRing {
  private:
   struct Slot {
     std::atomic<uint64_t> seq{0};
-    std::array<std::atomic<uint64_t>, kRecordWords> words{};
+    std::array<std::atomic<uint64_t>, kWords> words{};
   };
 
   std::unique_ptr<Slot[]> slots_;
@@ -136,6 +149,8 @@ class TraceRing {
   std::atomic<uint64_t> drops_{0};
   std::atomic<uint64_t> pushed_{0};
 };
+
+using TraceRing = RecordRing<TraceRecord>;
 
 }  // namespace pf::trace
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/apps/programs.h"
+#include "src/audit/hub.h"
 #include "src/core/engine.h"
 #include "src/core/pftables.h"
 #include "src/sim/sysimage.h"
@@ -59,11 +60,15 @@ EngineConfig MakeConfig(bool lazy, bool cache, bool ept, bool compiled = false,
 // lowering ablated: with lowering off every stateful decision bypasses and
 // traverses, with it on (the VCACHE rung's default) those decisions are
 // cached under automaton-extended keys and their effects replayed — the two
-// must be indistinguishable in verdicts and dictionaries.
+// must be indistinguishable in verdicts and dictionaries. The AUDIT rung
+// re-runs the top configuration with the security-event audit pipeline
+// armed (suppression off, every kind enabled): like TRACE, audit must be a
+// pure observer of verdicts, STATE dicts, and decision counters.
 const struct {
   const char* name;
   EngineConfig cfg;
   bool traced = false;
+  bool audited = false;
 } kConfigs[] = {
     {"FULL", MakeConfig(false, false, false)},
     {"CONCACHE", MakeConfig(false, true, false)},
@@ -77,6 +82,7 @@ const struct {
                             /*automata=*/false)},
     {"VERIFY", MakeConfig(true, true, true, true, true, true, /*verify=*/false)},
     {"TRACE", MakeConfig(true, true, true, true, true), true},
+    {"AUDIT", MakeConfig(true, true, true, true, true), false, true},
 };
 
 // A rule base mixing every decision source: entrypoint-indexed drops (some
@@ -171,10 +177,16 @@ std::vector<uint64_t> DecisionCounters(const EngineStats& s) {
 std::vector<int64_t> Replay(const EngineConfig& cfg,
                             std::vector<std::map<std::string, int64_t>>* dicts,
                             bool traced = false,
-                            std::vector<uint64_t>* counters = nullptr) {
+                            std::vector<uint64_t>* counters = nullptr,
+                            bool audited = false) {
   Workload w(cfg);
   if (traced) {
     w.engine->trace().Enable();
+  }
+  if (audited) {
+    audit::AuditHub::Config acfg;
+    acfg.bucket_capacity = 0;  // admit every record: maximum observer load
+    w.engine->audit().Enable(acfg);
   }
   std::vector<int64_t> verdicts;
   verdicts.reserve(kOps);
@@ -248,7 +260,8 @@ TEST(AblationEquivalenceTest, AllConfigsProduceIdenticalVerdictSequences) {
 
   for (size_t c = 1; c < std::size(kConfigs); ++c) {
     std::vector<std::map<std::string, int64_t>> dicts;
-    std::vector<int64_t> got = Replay(kConfigs[c].cfg, &dicts, kConfigs[c].traced);
+    std::vector<int64_t> got = Replay(kConfigs[c].cfg, &dicts, kConfigs[c].traced,
+                                      nullptr, kConfigs[c].audited);
     ASSERT_EQ(got.size(), base.size()) << kConfigs[c].name;
     for (size_t i = 0; i < base.size(); ++i) {
       ASSERT_EQ(got[i], base[i])
@@ -271,6 +284,25 @@ TEST(AblationEquivalenceTest, TracingIsAPureObserver) {
   EXPECT_EQ(off, on) << "tracing changed a verdict";
   EXPECT_EQ(dicts_off, dicts_on) << "tracing changed STATE side effects";
   EXPECT_EQ(counters_off, counters_on) << "tracing changed decision counters";
+}
+
+TEST(AblationEquivalenceTest, AuditIsAPureObserver) {
+  // The AUDIT rung, isolated: the same configuration run with the audit
+  // pipeline armed (every kind, suppression off) must reproduce verdicts,
+  // STATE dictionaries, and the decision counters bit for bit. Audit may
+  // add audit_* accounting; it may not perturb the decisions it describes.
+  if (!audit::kAuditCompiledIn) {
+    GTEST_SKIP() << "audit compiled out (PF_AUDIT=OFF)";
+  }
+  const EngineConfig cfg = MakeConfig(true, true, true, true, true);
+  std::vector<std::map<std::string, int64_t>> dicts_off, dicts_on;
+  std::vector<uint64_t> counters_off, counters_on;
+  std::vector<int64_t> off = Replay(cfg, &dicts_off, false, &counters_off);
+  std::vector<int64_t> on =
+      Replay(cfg, &dicts_on, false, &counters_on, /*audited=*/true);
+  EXPECT_EQ(off, on) << "audit changed a verdict";
+  EXPECT_EQ(dicts_off, dicts_on) << "audit changed STATE side effects";
+  EXPECT_EQ(counters_off, counters_on) << "audit changed decision counters";
 }
 
 TEST(AblationEquivalenceTest, TupleClassifierPreservesHitCountersAndOnlySkipsWork) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/apps/programs.h"
+#include "src/audit/hub.h"
 #include "src/core/engine.h"
 #include "src/core/pftables.h"
 #include "src/sim/sched.h"
@@ -618,6 +619,88 @@ TEST(TraceExportTest, MetricsTextParsesAsPrometheusExposition) {
     }
   }
   EXPECT_GT(invocations, 0.0);
+}
+
+// Audit families (DESIGN.md §5j): with the audit pipeline armed over a
+// denied workload, MetricsText() must expose the pf_audit_* families and
+// the per-ring pf_trace_ring_utilization gauge, and the sampled counters
+// must satisfy the hub's conservation contract.
+TEST(TraceExportTest, AuditFamiliesExposeConservedCounters) {
+  if (!audit::kAuditCompiledIn) {
+    GTEST_SKIP() << "audit compiled out (PF_AUDIT=OFF)";
+  }
+  sim::Kernel kernel(0x5eed);
+  sim::BuildSysImage(kernel);
+  apps::InstallPrograms(kernel);
+  core::Engine* engine = core::InstallProcessFirewall(kernel);
+  core::Pftables pftables(engine);
+  ASSERT_TRUE(
+      pftables.ExecAll({"pftables -o FILE_OPEN -d shadow_t -j DROP"}).ok());
+
+  audit::AuditHub::Config acfg;
+  acfg.bucket_capacity = 4;  // force suppression so the counter is nonzero
+  acfg.refill_per_sec = 0;
+  engine->audit().Enable(acfg);
+  if (kTraceCompiledIn) {
+    engine->trace().Enable();
+  }
+  sim::Scheduler sched(kernel);
+  sim::SpawnOpts opts;
+  opts.name = "audited";
+  opts.exe = sim::kBinTrue;
+  sim::Pid pid = sched.Spawn(opts, [](sim::Proc& p) {
+    sim::UserFrame frame(p, sim::kBinTrue, 0x4000);
+    for (int i = 0; i < 32; ++i) {
+      p.Open("/etc/shadow", sim::kORdOnly);  // denied every time
+    }
+  });
+  sched.RunUntilExit(pid);
+  const size_t drained = engine->audit().Drain().size();
+  EXPECT_GT(drained, 0u);
+
+  PromParse p = ParsePrometheus(engine->MetricsText());
+  for (const std::string& e : p.errors) {
+    ADD_FAILURE() << e;
+  }
+  EXPECT_EQ(p.types["pf_audit_emitted_total"], "counter");
+  EXPECT_EQ(p.types["pf_audit_records_total"], "counter");
+  EXPECT_EQ(p.types["pf_audit_suppressed_total"], "counter");
+  EXPECT_EQ(p.types["pf_audit_ring_drops_total"], "counter");
+  EXPECT_EQ(p.types["pf_audit_drained_total"], "counter");
+  EXPECT_EQ(p.types["pf_audit_window_keys"], "gauge");
+
+  std::map<std::string, double> v;
+  for (const PromSample& s : p.samples) {
+    if (s.labels.empty()) {
+      v[s.name] = s.value;
+    }
+  }
+  EXPECT_GT(v["pf_audit_emitted_total"], 0.0);
+  EXPECT_GT(v["pf_audit_suppressed_total"], 0.0);
+  // Conservation as exposed: emitted == pushed + suppressed; with every
+  // ring drained and nothing evicted, pushed == drained.
+  EXPECT_EQ(v["pf_audit_emitted_total"],
+            v["pf_audit_records_total"] + v["pf_audit_suppressed_total"]);
+  EXPECT_EQ(v["pf_audit_records_total"],
+            v["pf_audit_drained_total"] + v["pf_audit_ring_drops_total"]);
+  EXPECT_GE(v["pf_audit_window_keys"], 1.0);
+
+  if (kTraceCompiledIn) {
+    // The companion utilization gauge: one series per allocated ring, a
+    // fill fraction in [0, 1].
+    size_t util_series = 0;
+    for (const PromSample& s : p.samples) {
+      if (s.name != "pf_trace_ring_utilization") {
+        continue;
+      }
+      ++util_series;
+      ASSERT_TRUE(s.labels.count("ring"));
+      EXPECT_EQ(s.labels.at("ring").rfind("worker-", 0), 0u);
+      EXPECT_GE(s.value, 0.0);
+      EXPECT_LE(s.value, 1.0);
+    }
+    EXPECT_GT(util_series, 0u) << "a traced run must expose ring utilization";
+  }
 }
 
 TEST(TraceExportTest, MetricsTextParsesEvenWithoutTraffic) {
